@@ -1,0 +1,175 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation measures both the runtime and (via printed side-channel
+//! at setup) the *outcome* consequence of a design decision:
+//!
+//! * `ablate_caliper` — the §3.2 trade-off: tighter calipers mean cleaner
+//!   but fewer pairs;
+//! * `ablate_binomial` — exact incomplete-beta tail vs the normal
+//!   approximation;
+//! * `ablate_matching` — greedy input-order matching vs reversed order;
+//! * `ablate_mathis` — the quality→demand arrow: realized demand with the
+//!   TCP bound active vs a clean path.
+
+use bb_bench::bench_dataset;
+use bb_causal::{match_pairs, Caliper, NaturalExperiment, StratifiedQed};
+use bb_netsim::link::AccessLink;
+use bb_netsim::workload::{simulate_user, UserWorkload};
+use bb_stats::hypothesis::{binomial_test, binomial_test_normal_approx, Tail};
+use bb_study::confounders::{to_units, ConfounderSet, OutcomeSpec};
+use bb_types::{Bandwidth, CapacityBin, Latency, LossRate, TimeAxis, Year};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Control/treatment unit sets for a representative Table 2 bin pair.
+fn capacity_units() -> (Vec<bb_causal::Unit>, Vec<bb_causal::Unit>) {
+    let ds = bench_dataset();
+    let bin = CapacityBin::of(Bandwidth::from_mbps(5.0));
+    let c = to_units(
+        ds.dasu().filter(|r| CapacityBin::of(r.capacity) == bin),
+        ConfounderSet::ForCapacityExperiment,
+        OutcomeSpec::PEAK_NO_BT,
+    );
+    let t = to_units(
+        ds.dasu().filter(|r| CapacityBin::of(r.capacity) == bin.next()),
+        ConfounderSet::ForCapacityExperiment,
+        OutcomeSpec::PEAK_NO_BT,
+    );
+    (c, t)
+}
+
+fn ablate_caliper(c: &mut Criterion) {
+    let (control, treatment) = capacity_units();
+    let mut group = c.benchmark_group("ablate_caliper");
+    for frac in [0.10f64, 0.25, 0.50] {
+        let calipers = vec![
+            Caliper { relative: frac, absolute_floor: 20.0 },
+            Caliper { relative: frac, absolute_floor: 0.05 },
+            Caliper { relative: frac, absolute_floor: 2.0 },
+            Caliper { relative: frac, absolute_floor: 0.3 },
+        ];
+        let pairs = match_pairs(&control, &treatment, &calipers);
+        // Outcome side-channel: pair yield per caliper width.
+        eprintln!(
+            "[ablate_caliper] {:.0}% caliper -> {} pairs from {}x{} units",
+            frac * 100.0,
+            pairs.len(),
+            control.len(),
+            treatment.len()
+        );
+        group.bench_function(format!("caliper_{:02.0}pct", frac * 100.0), |b| {
+            b.iter(|| black_box(match_pairs(&control, &treatment, &calipers)))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_binomial(c: &mut Criterion) {
+    // Outcome side-channel: worst relative error of the approximation over
+    // the regimes the study actually hits.
+    let mut worst: f64 = 0.0;
+    for &(k, n) in &[(60u64, 100u64), (450, 640), (703, 1000), (5300, 10000)] {
+        let exact = binomial_test(k, n, 0.5, Tail::Greater).p_value;
+        let approx = binomial_test_normal_approx(k, n, 0.5, Tail::Greater).p_value;
+        worst = worst.max(((approx - exact) / exact).abs());
+    }
+    eprintln!("[ablate_binomial] worst relative error of normal approx: {worst:.3}");
+    c.bench_function("binomial_exact", |b| {
+        b.iter(|| black_box(binomial_test(black_box(450), 640, 0.5, Tail::Greater)))
+    });
+    c.bench_function("binomial_normal_approx", |b| {
+        b.iter(|| {
+            black_box(binomial_test_normal_approx(
+                black_box(450),
+                640,
+                0.5,
+                Tail::Greater,
+            ))
+        })
+    });
+}
+
+fn ablate_matching_order(c: &mut Criterion) {
+    let (control, treatment) = capacity_units();
+    let mut reversed = treatment.clone();
+    reversed.reverse();
+    let calipers = ConfounderSet::ForCapacityExperiment.calipers();
+    let forward = match_pairs(&control, &treatment, &calipers);
+    let backward = match_pairs(&control, &reversed, &calipers);
+    eprintln!(
+        "[ablate_matching] greedy order sensitivity: forward {} pairs, reversed {} pairs",
+        forward.len(),
+        backward.len()
+    );
+    c.bench_function("matching_forward_order", |b| {
+        b.iter(|| black_box(match_pairs(&control, &treatment, &calipers)))
+    });
+    c.bench_function("matching_reversed_order", |b| {
+        b.iter(|| black_box(match_pairs(&control, &reversed, &calipers)))
+    });
+}
+
+fn ablate_mathis(c: &mut Criterion) {
+    // The §7 mechanism: the same workload on a clean vs an impaired path.
+    let clean = AccessLink::new(
+        Bandwidth::from_mbps(8.0),
+        Latency::from_ms(40.0),
+        LossRate::from_percent(0.02),
+    );
+    let impaired = AccessLink::new(
+        Bandwidth::from_mbps(8.0),
+        Latency::from_ms(700.0),
+        LossRate::from_percent(2.0),
+    );
+    let wl = UserWorkload::without_bt(Bandwidth::from_kbps(600.0));
+    let axis = TimeAxis::new(Year(2012), 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let clean_bytes = simulate_user(&clean, &wl, axis, &mut rng).total_bytes();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let impaired_bytes = simulate_user(&impaired, &wl, axis, &mut rng).total_bytes();
+    eprintln!(
+        "[ablate_mathis] demand suppression on impaired path: {:.1}% of clean-path bytes",
+        100.0 * impaired_bytes / clean_bytes
+    );
+    c.bench_function("simulate_clean_path", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        b.iter(|| black_box(simulate_user(&clean, &wl, axis, &mut rng)))
+    });
+    c.bench_function("simulate_impaired_path", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        b.iter(|| black_box(simulate_user(&impaired, &wl, axis, &mut rng)))
+    });
+}
+
+fn ablate_qed(c: &mut Criterion) {
+    // The §8 design choice: nearest-neighbour natural experiment vs
+    // stratified QED, same units, same question.
+    let (control, treatment) = capacity_units();
+    let ne = NaturalExperiment::new("ne", ConfounderSet::ForCapacityExperiment.calipers());
+    let qed = StratifiedQed::new("qed").with_buckets(4);
+    if let (Some(a), Some(b)) = (ne.run(&control, &treatment), qed.run(&control, &treatment)) {
+        eprintln!(
+            "[ablate_qed] NE: {} pairs, {:.1}% | QED: {} pairs over {} strata, {:.1}%",
+            a.test.trials,
+            a.percent_holds(),
+            b.test.trials,
+            b.n_strata,
+            b.percent_holds()
+        );
+    }
+    c.bench_function("design_natural_experiment", |bch| {
+        bch.iter(|| black_box(ne.run(&control, &treatment)))
+    });
+    c.bench_function("design_stratified_qed", |bch| {
+        bch.iter(|| black_box(qed.run(&control, &treatment)))
+    });
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(15);
+    targets = ablate_caliper, ablate_binomial, ablate_matching_order, ablate_mathis, ablate_qed
+);
+criterion_main!(ablations);

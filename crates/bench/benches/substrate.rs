@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the substrates: the statistics kernel, the TCP
+//! model, the probe, the session simulator, the matching engine, and full
+//! world generation. These quantify the building blocks the exhibit
+//! benches compose.
+
+use bb_causal::{match_pairs, Caliper, Unit};
+use bb_dataset::{World, WorldConfig};
+use bb_netsim::link::AccessLink;
+use bb_netsim::probe::NdtProbe;
+use bb_netsim::tcp::mathis_throughput;
+use bb_netsim::workload::{simulate_user, UserWorkload};
+use bb_stats::hypothesis::{binomial_test, Tail};
+use bb_stats::special::{inc_beta, ln_gamma};
+use bb_stats::{quantile, Ecdf};
+use bb_types::{Bandwidth, Latency, LossRate, TimeAxis, Year};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_special_functions(c: &mut Criterion) {
+    c.bench_function("stats_ln_gamma", |b| {
+        b.iter(|| black_box(ln_gamma(black_box(123.456))))
+    });
+    c.bench_function("stats_inc_beta", |b| {
+        b.iter(|| black_box(inc_beta(black_box(450.0), black_box(191.0), black_box(0.5))))
+    });
+    c.bench_function("stats_binomial_test", |b| {
+        b.iter(|| black_box(binomial_test(black_box(450), black_box(640), 0.5, Tail::Greater)))
+    });
+}
+
+fn bench_descriptive(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let data: Vec<f64> = (0..20_000).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+    c.bench_function("stats_p95_quantile_20k", |b| {
+        b.iter(|| black_box(quantile(black_box(&data), 0.95)))
+    });
+    c.bench_function("stats_ecdf_build_20k", |b| {
+        b.iter(|| black_box(Ecdf::new(data.iter().copied())))
+    });
+}
+
+fn bench_tcp_model(c: &mut Criterion) {
+    c.bench_function("netsim_mathis", |b| {
+        b.iter(|| {
+            black_box(mathis_throughput(
+                black_box(Latency::from_ms(100.0)),
+                black_box(LossRate::from_percent(0.1)),
+            ))
+        })
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let link = AccessLink::new(
+        Bandwidth::from_mbps(20.0),
+        Latency::from_ms(60.0),
+        LossRate::from_percent(0.2),
+    );
+    c.bench_function("netsim_ndt_probe_x4", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| black_box(NdtProbe::default().run_averaged(&link, 4, &mut rng)))
+    });
+}
+
+fn bench_simulate_user(c: &mut Criterion) {
+    let link = AccessLink::new(
+        Bandwidth::from_mbps(10.0),
+        Latency::from_ms(50.0),
+        LossRate::from_percent(0.1),
+    );
+    let wl = UserWorkload::with_bt(Bandwidth::from_kbps(600.0), 0.45);
+    c.bench_function("netsim_simulate_user_7d", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(simulate_user(
+                &link,
+                &wl,
+                TimeAxis::new(Year(2012), 7),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let unit = |id: u64, rng: &mut ChaCha8Rng| {
+        let lat = 40.0 + rand::Rng::gen::<f64>(rng) * 60.0;
+        let loss = 0.05 + rand::Rng::gen::<f64>(rng) * 0.4;
+        let price = 18.0 + rand::Rng::gen::<f64>(rng) * 12.0;
+        let upgrade = 0.4 + rand::Rng::gen::<f64>(rng) * 0.8;
+        Unit::new(id, vec![lat, loss, price, upgrade], rand::Rng::gen::<f64>(rng))
+    };
+    let control: Vec<Unit> = (0..500).map(|i| unit(i, &mut rng)).collect();
+    let treatment: Vec<Unit> = (0..500).map(|i| unit(1000 + i, &mut rng)).collect();
+    let calipers = vec![Caliper::PAPER; 4];
+    c.bench_function("causal_match_500x500", |b| {
+        b.iter(|| black_box(match_pairs(&control, &treatment, &calipers)))
+    });
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    c.bench_function("dataset_generate_small_world", |b| {
+        b.iter(|| {
+            let mut cfg = WorldConfig::small(7);
+            cfg.user_scale = 0.3;
+            cfg.days = 1;
+            cfg.fcc_users = 10;
+            black_box(World::new(cfg).generate())
+        })
+    });
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_special_functions,
+        bench_descriptive,
+        bench_tcp_model,
+        bench_probe,
+        bench_simulate_user,
+        bench_matching,
+        bench_world_generation
+);
+criterion_main!(substrate);

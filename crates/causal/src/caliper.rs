@@ -1,0 +1,124 @@
+//! Covariate calipers.
+//!
+//! A caliper decides when two values of one confounding covariate are
+//! "sufficiently similar" for their owners to be matched. The paper's rule
+//! is relative — within 25% of each other — with the worked example that
+//! latencies of 50 and 62 ms, or access prices of $25 and $30, are close
+//! enough. A pure relative rule degenerates around zero (a loss rate of 0%
+//! would match nothing but exact zeros), so each caliper also carries an
+//! *absolute floor* below which differences are always acceptable.
+
+/// Similarity rule for one covariate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Caliper {
+    /// Maximum relative difference, as a fraction of the larger magnitude
+    /// (the paper's 25% rule is `0.25`).
+    pub relative: f64,
+    /// Differences at or below this absolute value always pass, regardless
+    /// of the relative rule. Protects near-zero covariates (loss rates,
+    /// cheap markets) from degenerate matching.
+    pub absolute_floor: f64,
+}
+
+impl Caliper {
+    /// The paper's default: within 25% of each other, no absolute floor.
+    pub const PAPER: Caliper = Caliper {
+        relative: 0.25,
+        absolute_floor: 0.0,
+    };
+
+    /// A 25% caliper with an absolute floor.
+    pub fn paper_with_floor(absolute_floor: f64) -> Caliper {
+        Caliper {
+            relative: 0.25,
+            absolute_floor,
+        }
+    }
+
+    /// A purely relative caliper.
+    ///
+    /// # Panics
+    /// Panics on a negative fraction.
+    pub fn relative(fraction: f64) -> Caliper {
+        assert!(fraction >= 0.0, "caliper fraction must be >= 0");
+        Caliper {
+            relative: fraction,
+            absolute_floor: 0.0,
+        }
+    }
+
+    /// True when `a` and `b` are similar under this caliper.
+    ///
+    /// Symmetric in its arguments by construction.
+    pub fn within(&self, a: f64, b: f64) -> bool {
+        let diff = (a - b).abs();
+        if diff <= self.absolute_floor {
+            return true;
+        }
+        diff <= self.relative * a.abs().max(b.abs())
+    }
+
+    /// The tolerance width around `value` (used to normalise distances so
+    /// different covariates are comparable).
+    pub fn width_at(&self, value: f64) -> f64 {
+        (self.relative * value.abs()).max(self.absolute_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_pass() {
+        // §3.2: "users with latencies of 50 and 62 ms and in regions where
+        // broadband Internet access costs $25 and $30 (USD) per month are
+        // considered to be sufficiently similar".
+        let c = Caliper::PAPER;
+        assert!(c.within(50.0, 62.0));
+        assert!(c.within(25.0, 30.0));
+        // Clearly dissimilar values fail.
+        assert!(!c.within(50.0, 80.0));
+        assert!(!c.within(25.0, 60.0));
+    }
+
+    #[test]
+    fn symmetry() {
+        let c = Caliper::PAPER;
+        for &(a, b) in &[(50.0, 62.0), (1.0, 2.0), (0.0, 0.1), (3.0, 3.0)] {
+            assert_eq!(c.within(a, b), c.within(b, a));
+        }
+    }
+
+    #[test]
+    fn zero_needs_floor() {
+        let strict = Caliper::PAPER;
+        assert!(strict.within(0.0, 0.0));
+        assert!(!strict.within(0.0, 0.001));
+        let floored = Caliper::paper_with_floor(0.01);
+        assert!(floored.within(0.0, 0.001));
+        assert!(!floored.within(0.0, 0.5));
+    }
+
+    #[test]
+    fn tighter_caliper_is_stricter() {
+        let loose = Caliper::relative(0.5);
+        let tight = Caliper::relative(0.1);
+        assert!(loose.within(10.0, 14.0));
+        assert!(!tight.within(10.0, 14.0));
+    }
+
+    #[test]
+    fn width_scales_with_value() {
+        let c = Caliper::paper_with_floor(1.0);
+        assert_eq!(c.width_at(100.0), 25.0);
+        assert_eq!(c.width_at(0.0), 1.0); // floor dominates near zero
+    }
+
+    #[test]
+    fn identical_values_always_pass() {
+        let c = Caliper::relative(0.0);
+        assert!(c.within(5.0, 5.0));
+        assert!(!c.within(5.0, 5.000001));
+    }
+}

@@ -1,0 +1,244 @@
+//! Running a natural experiment end to end.
+//!
+//! A [`NaturalExperiment`] bundles a name, a hypothesis direction, and the
+//! caliper configuration; [`NaturalExperiment::run`] matches the groups,
+//! scores each pair, and produces an [`ExperimentOutcome`] whose fields map
+//! one-to-one onto the columns of the paper's experiment tables
+//! ("% H holds", "p-value", and the asterisk that "denotes that a result
+//! was not statistically significant").
+
+use crate::caliper::Caliper;
+use crate::matching::{match_pairs, MatchedPair, Unit};
+use bb_stats::hypothesis::{binomial_test, BinomialTest, Tail};
+
+/// Direction of the hypothesis on the treated outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// H: treated units have *higher* outcomes than their matched controls
+    /// (every experiment in the paper is phrased this way).
+    TreatmentHigher,
+    /// H: treated units have *lower* outcomes.
+    TreatmentLower,
+}
+
+/// A configured natural experiment.
+#[derive(Clone, Debug)]
+pub struct NaturalExperiment {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// Hypothesis direction.
+    pub direction: Direction,
+    /// One caliper per covariate.
+    pub calipers: Vec<Caliper>,
+}
+
+impl NaturalExperiment {
+    /// Create an experiment with the paper's hypothesis direction
+    /// (treatment increases the outcome).
+    pub fn new(name: impl Into<String>, calipers: Vec<Caliper>) -> Self {
+        NaturalExperiment {
+            name: name.into(),
+            direction: Direction::TreatmentHigher,
+            calipers,
+        }
+    }
+
+    /// Override the hypothesis direction.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Match the groups, score the pairs, and test the hypothesis.
+    ///
+    /// Returns `None` when no pairs could be formed (e.g. empty groups or a
+    /// caliper so tight nothing matches) — there is no experiment to run.
+    pub fn run(&self, control: &[Unit], treatment: &[Unit]) -> Option<ExperimentOutcome> {
+        let pairs = match_pairs(control, treatment, &self.calipers);
+        self.score(pairs)
+    }
+
+    /// Score pre-computed pairs (exposed for the ablation benches, which
+    /// reuse one matching under several tests).
+    pub fn score(&self, pairs: Vec<MatchedPair>) -> Option<ExperimentOutcome> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut holds = 0u64;
+        let mut ties = 0u64;
+        for p in &pairs {
+            let diff = p.treatment_outcome - p.control_outcome;
+            if diff == 0.0 {
+                ties += 1;
+                continue;
+            }
+            let in_favour = match self.direction {
+                Direction::TreatmentHigher => diff > 0.0,
+                Direction::TreatmentLower => diff < 0.0,
+            };
+            if in_favour {
+                holds += 1;
+            }
+        }
+        // Sign-test convention: ties carry no information about direction
+        // and are dropped from the trial count.
+        let trials = pairs.len() as u64 - ties;
+        if trials == 0 {
+            return None;
+        }
+        let test = binomial_test(holds, trials, 0.5, Tail::Greater);
+        Some(ExperimentOutcome {
+            name: self.name.clone(),
+            n_pairs: pairs.len(),
+            n_ties: ties as usize,
+            test,
+            pairs,
+        })
+    }
+}
+
+/// The result of one natural experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// Name of the experiment.
+    pub name: String,
+    /// Number of matched pairs (including ties).
+    pub n_pairs: usize,
+    /// Pairs with exactly equal outcomes, excluded from the test.
+    pub n_ties: usize,
+    /// The one-tailed binomial sign test over non-tied pairs.
+    pub test: BinomialTest,
+    /// The matched pairs themselves (for downstream inspection/plots).
+    pub pairs: Vec<MatchedPair>,
+}
+
+impl ExperimentOutcome {
+    /// "% H holds" — percentage of (non-tied) pairs supporting the
+    /// hypothesis.
+    pub fn percent_holds(&self) -> f64 {
+        self.test.share_percent()
+    }
+
+    /// Exact one-tailed p-value.
+    pub fn p_value(&self) -> f64 {
+        self.test.p_value
+    }
+
+    /// Statistically significant at α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.test.significant()
+    }
+
+    /// Clears both the significance and practical-importance bars of §2.3.
+    pub fn conclusive(&self) -> bool {
+        self.test.conclusive()
+    }
+
+    /// Mean outcome difference (treatment − control) across pairs.
+    pub fn mean_effect(&self) -> f64 {
+        let sum: f64 = self
+            .pairs
+            .iter()
+            .map(|p| p.treatment_outcome - p.control_outcome)
+            .sum();
+        sum / self.pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(outcomes: &[f64], base_id: u64) -> Vec<Unit> {
+        outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| Unit::new(base_id + i as u64, vec![100.0], o))
+            .collect()
+    }
+
+    #[test]
+    fn clear_effect_is_detected() {
+        // Treated outcomes uniformly higher: H should hold for all pairs.
+        let control = units(&[1.0, 1.1, 0.9, 1.2, 1.0, 0.8, 1.3, 0.95], 0);
+        let treatment = units(&[2.0, 2.1, 1.9, 2.2, 2.0, 1.8, 2.3, 1.95], 100);
+        let exp = NaturalExperiment::new("capacity", vec![Caliper::PAPER]);
+        let out = exp.run(&control, &treatment).unwrap();
+        assert_eq!(out.n_pairs, 8);
+        assert_eq!(out.percent_holds(), 100.0);
+        assert!(out.significant());
+        assert!(out.conclusive());
+        assert!(out.mean_effect() > 0.9);
+    }
+
+    #[test]
+    fn null_effect_is_not_significant() {
+        // Same outcome distribution in both groups, alternating order.
+        let control = units(&[1.0, 2.0, 1.0, 2.0, 1.0, 2.0], 0);
+        let treatment = units(&[2.0, 1.0, 2.0, 1.0, 2.0, 1.0], 100);
+        let exp = NaturalExperiment::new("noise", vec![Caliper::PAPER]);
+        let out = exp.run(&control, &treatment).unwrap();
+        assert!(!out.significant(), "p = {}", out.p_value());
+    }
+
+    #[test]
+    fn direction_flips_result() {
+        let control = units(&[2.0, 2.0, 2.0, 2.0], 0);
+        let treatment = units(&[1.0, 1.0, 1.0, 1.0], 100);
+        let higher = NaturalExperiment::new("h", vec![Caliper::PAPER]);
+        let lower = higher
+            .clone()
+            .with_direction(Direction::TreatmentLower);
+        assert_eq!(higher.run(&control, &treatment).unwrap().percent_holds(), 0.0);
+        assert_eq!(lower.run(&control, &treatment).unwrap().percent_holds(), 100.0);
+    }
+
+    #[test]
+    fn ties_are_excluded() {
+        let control = units(&[1.0, 1.0, 1.0], 0);
+        let treatment = units(&[1.0, 2.0, 2.0], 100);
+        let exp = NaturalExperiment::new("ties", vec![Caliper::PAPER]);
+        let out = exp.run(&control, &treatment).unwrap();
+        assert_eq!(out.n_ties, 1);
+        assert_eq!(out.test.trials, 2);
+        assert_eq!(out.percent_holds(), 100.0);
+    }
+
+    #[test]
+    fn no_pairs_is_none() {
+        let control = units(&[1.0], 0);
+        let mut treatment = units(&[2.0], 100);
+        treatment[0].covariates[0] = 500.0; // violates the caliper
+        let exp = NaturalExperiment::new("empty", vec![Caliper::PAPER]);
+        assert!(exp.run(&control, &treatment).is_none());
+        assert!(exp.run(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn all_ties_is_none() {
+        let control = units(&[1.0, 1.0], 0);
+        let treatment = units(&[1.0, 1.0], 100);
+        let exp = NaturalExperiment::new("all-ties", vec![Caliper::PAPER]);
+        assert!(exp.run(&control, &treatment).is_none());
+    }
+
+    #[test]
+    fn table_style_fields() {
+        // Mimic a Table 2 row: 59.9% of 1000 pairs in favour.
+        let n = 1000;
+        let control: Vec<Unit> = (0..n)
+            .map(|i| Unit::new(i, vec![100.0], 0.0))
+            .collect();
+        let treatment: Vec<Unit> = (0..n)
+            .map(|i| {
+                let outcome = if i < 599 { 1.0 } else { -1.0 };
+                Unit::new(1000 + i, vec![100.0], outcome)
+            })
+            .collect();
+        let exp = NaturalExperiment::new("t2", vec![Caliper::PAPER]);
+        let out = exp.run(&control, &treatment).unwrap();
+        assert!((out.percent_holds() - 59.9).abs() < 1e-9);
+        assert!(out.p_value() < 1e-8);
+        assert!(out.conclusive());
+    }
+}

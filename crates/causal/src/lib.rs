@@ -1,0 +1,34 @@
+//! # bb-causal — natural experiments over observational data
+//!
+//! "Classical controlled experiments … are clearly not feasible at a global
+//! scale" (§2.3 of the paper). This crate implements the study design the
+//! paper uses instead:
+//!
+//! 1. split users into a *control* and a *treatment* group by the variable
+//!    under study (capacity bin, price bin, upgrade-cost class, latency or
+//!    loss bin);
+//! 2. pair each treated user with the most similar control user, where
+//!    similarity is enforced per *confounding covariate* with a **caliper**
+//!    ("requiring that users be within 25% of each other for each
+//!    confounding factor");
+//! 3. for each matched pair, score whether the hypothesis holds (e.g. the
+//!    higher-capacity user generates more traffic);
+//! 4. run a one-tailed binomial sign test against the fair-coin null, and
+//!    apply the paper's practical-importance guard (deviation > 2 points).
+//!
+//! The three stages live in [`caliper`], [`matching`] and [`experiment`].
+//! [`qed`] implements the alternative stratified quasi-experimental design
+//! the paper's §8 discusses (and decided against), for comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod caliper;
+pub mod experiment;
+pub mod matching;
+pub mod qed;
+
+pub use caliper::Caliper;
+pub use experiment::{Direction, ExperimentOutcome, NaturalExperiment};
+pub use matching::{match_pairs, MatchedPair, Unit};
+pub use qed::{QedOutcome, StratifiedQed};

@@ -1,0 +1,260 @@
+//! Nearest-neighbour matching with calipers.
+//!
+//! The paper "use\[s\] nearest neighbor matching to pair similar users in
+//! 'control' and 'treatment' groups … with a caliper to ensure that
+//! dissimilar users are not matched" (§3.2). We implement greedy 1:1
+//! matching without replacement: treated units are processed in input
+//! order, each taking the nearest eligible control; matched controls are
+//! removed from the pool. The trade-off the paper notes — a tighter caliper
+//! gives cleaner comparisons but fewer pairs — is directly observable by
+//! varying the [`Caliper`]s (see the `ablate_caliper` bench).
+
+use crate::caliper::Caliper;
+
+/// One unit (user) entering an experiment: an opaque id, the covariates to
+/// balance on, and the outcome to compare.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    /// Caller-meaningful identifier (propagated into matches).
+    pub id: u64,
+    /// Covariate vector; all units in one experiment must agree on length
+    /// and ordering.
+    pub covariates: Vec<f64>,
+    /// Outcome value (a demand metric, in this study).
+    pub outcome: f64,
+}
+
+impl Unit {
+    /// Convenience constructor.
+    pub fn new(id: u64, covariates: Vec<f64>, outcome: f64) -> Self {
+        assert!(
+            covariates.iter().all(|c| c.is_finite()),
+            "covariates must be finite"
+        );
+        assert!(outcome.is_finite(), "outcome must be finite");
+        Unit {
+            id,
+            covariates,
+            outcome,
+        }
+    }
+}
+
+/// A matched control/treatment pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchedPair {
+    /// Id of the control unit.
+    pub control_id: u64,
+    /// Id of the treated unit.
+    pub treatment_id: u64,
+    /// Outcome of the control unit.
+    pub control_outcome: f64,
+    /// Outcome of the treated unit.
+    pub treatment_outcome: f64,
+    /// Normalised covariate distance of the pair (0 = identical).
+    pub distance: f64,
+}
+
+/// Greedily match treated units to their nearest eligible control.
+///
+/// `calipers` must have one entry per covariate. A control is *eligible*
+/// for a treated unit when every covariate passes its caliper; among
+/// eligible controls the one with the smallest normalised Euclidean
+/// distance wins. Matching is 1:1 without replacement, so
+/// `pairs.len() ≤ min(control.len(), treatment.len())`.
+///
+/// # Panics
+/// Panics when any unit's covariate count disagrees with `calipers.len()`.
+pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -> Vec<MatchedPair> {
+    for u in control.iter().chain(treatment) {
+        assert_eq!(
+            u.covariates.len(),
+            calipers.len(),
+            "unit {} has {} covariates but {} calipers were given",
+            u.id,
+            u.covariates.len(),
+            calipers.len()
+        );
+    }
+
+    let mut taken = vec![false; control.len()];
+    let mut pairs = Vec::new();
+
+    for t in treatment {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, c) in control.iter().enumerate() {
+            if taken[ci] {
+                continue;
+            }
+            if let Some(d) = pair_distance(c, t, calipers) {
+                match best {
+                    Some((_, bd)) if bd <= d => {}
+                    _ => best = Some((ci, d)),
+                }
+            }
+        }
+        if let Some((ci, d)) = best {
+            taken[ci] = true;
+            pairs.push(MatchedPair {
+                control_id: control[ci].id,
+                treatment_id: t.id,
+                control_outcome: control[ci].outcome,
+                treatment_outcome: t.outcome,
+                distance: d,
+            });
+        }
+    }
+    pairs
+}
+
+/// Normalised distance between a control and a treated unit, or `None` when
+/// any covariate violates its caliper.
+///
+/// Each per-covariate difference is divided by the caliper width at that
+/// point, so a value of 1.0 means "exactly at the edge of similarity" for
+/// that covariate regardless of its units.
+pub fn pair_distance(control: &Unit, treatment: &Unit, calipers: &[Caliper]) -> Option<f64> {
+    let mut sum_sq = 0.0;
+    for ((a, b), cal) in control
+        .covariates
+        .iter()
+        .zip(&treatment.covariates)
+        .zip(calipers)
+    {
+        if !cal.within(*a, *b) {
+            return None;
+        }
+        let width = cal.width_at(a.abs().max(b.abs()));
+        let norm = if width > 0.0 { (a - b).abs() / width } else { 0.0 };
+        sum_sq += norm * norm;
+    }
+    Some(sum_sq.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(id: u64, cov: &[f64], out: f64) -> Unit {
+        Unit::new(id, cov.to_vec(), out)
+    }
+
+    fn paper_calipers(n: usize) -> Vec<Caliper> {
+        vec![Caliper::PAPER; n]
+    }
+
+    #[test]
+    fn nearest_eligible_control_wins() {
+        let control = vec![
+            unit(1, &[100.0], 1.0),
+            unit(2, &[110.0], 2.0),
+            unit(3, &[124.0], 3.0),
+        ];
+        let treatment = vec![unit(10, &[112.0], 9.0)];
+        let pairs = match_pairs(&control, &treatment, &paper_calipers(1));
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].control_id, 2, "110 is nearest to 112");
+        assert_eq!(pairs[0].treatment_id, 10);
+    }
+
+    #[test]
+    fn caliper_excludes_dissimilar() {
+        let control = vec![unit(1, &[10.0], 1.0)];
+        let treatment = vec![unit(2, &[20.0], 2.0)];
+        assert!(match_pairs(&control, &treatment, &paper_calipers(1)).is_empty());
+    }
+
+    #[test]
+    fn matching_is_without_replacement() {
+        let control = vec![unit(1, &[100.0], 1.0)];
+        let treatment = vec![unit(10, &[100.0], 2.0), unit(11, &[100.0], 3.0)];
+        let pairs = match_pairs(&control, &treatment, &paper_calipers(1));
+        assert_eq!(pairs.len(), 1, "single control can only be used once");
+    }
+
+    #[test]
+    fn pairs_are_disjoint() {
+        let control: Vec<Unit> = (0..50).map(|i| unit(i, &[i as f64 + 100.0], 0.0)).collect();
+        let treatment: Vec<Unit> =
+            (0..50).map(|i| unit(1000 + i, &[i as f64 + 101.0], 1.0)).collect();
+        let pairs = match_pairs(&control, &treatment, &paper_calipers(1));
+        let mut controls: Vec<u64> = pairs.iter().map(|p| p.control_id).collect();
+        let mut treats: Vec<u64> = pairs.iter().map(|p| p.treatment_id).collect();
+        controls.sort_unstable();
+        controls.dedup();
+        treats.sort_unstable();
+        treats.dedup();
+        assert_eq!(controls.len(), pairs.len());
+        assert_eq!(treats.len(), pairs.len());
+    }
+
+    #[test]
+    fn all_covariates_must_pass() {
+        // Similar latency but very different price: no match.
+        let calipers = paper_calipers(2);
+        let control = vec![unit(1, &[50.0, 25.0], 1.0)];
+        let treatment = vec![unit(2, &[55.0, 90.0], 2.0)];
+        assert!(match_pairs(&control, &treatment, &calipers).is_empty());
+        // Both similar: match.
+        let treatment_ok = vec![unit(3, &[55.0, 28.0], 2.0)];
+        assert_eq!(match_pairs(&control, &treatment_ok, &calipers).len(), 1);
+    }
+
+    #[test]
+    fn distance_is_zero_for_identical_covariates() {
+        let control = vec![unit(1, &[42.0, 7.0], 1.0)];
+        let treatment = vec![unit(2, &[42.0, 7.0], 2.0)];
+        let pairs = match_pairs(&control, &treatment, &paper_calipers(2));
+        assert_eq!(pairs[0].distance, 0.0);
+    }
+
+    #[test]
+    fn distance_normalisation_is_unitless() {
+        // The same relative offset in two very different units should give
+        // the same distance contribution.
+        let cal = [Caliper::PAPER];
+        let a = pair_distance(
+            &unit(1, &[1000.0], 0.0),
+            &unit(2, &[1100.0], 0.0),
+            &cal,
+        )
+        .unwrap();
+        let b = pair_distance(&unit(3, &[1.0], 0.0), &unit(4, &[1.1], 0.0), &cal).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_groups_produce_no_pairs() {
+        assert!(match_pairs(&[], &[], &paper_calipers(0)).is_empty());
+        let t = vec![unit(1, &[1.0], 1.0)];
+        assert!(match_pairs(&[], &t, &paper_calipers(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "covariates")]
+    fn covariate_count_mismatch_panics() {
+        let control = vec![unit(1, &[1.0, 2.0], 1.0)];
+        let treatment = vec![unit(2, &[1.0], 2.0)];
+        let _ = match_pairs(&control, &treatment, &paper_calipers(2));
+    }
+
+    #[test]
+    fn tighter_caliper_yields_fewer_pairs() {
+        // Every treatment sits exactly 15% above its would-be control:
+        // all pairs pass a 25% caliper, none pass a 10% caliper.
+        let control: Vec<Unit> = (0..20)
+            .map(|i| unit(i, &[100.0 + 3.0 * i as f64], 0.0))
+            .collect();
+        let treatment: Vec<Unit> = (0..20)
+            .map(|i| unit(100 + i, &[(100.0 + 3.0 * i as f64) * 1.15], 1.0))
+            .collect();
+        let loose = match_pairs(&control, &treatment, &[Caliper::relative(0.25)]);
+        let tight = match_pairs(&control, &treatment, &[Caliper::relative(0.10)]);
+        assert!(
+            loose.len() > tight.len(),
+            "loose = {}, tight = {}",
+            loose.len(),
+            tight.len()
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The full study: every exhibit in one pass.
+
+use crate::exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentRow, ExperimentTable};
+use crate::sec5::CaseStudyRow;
+use crate::{sec2, sec3, sec4, sec5, sec6, sec7};
+use bb_dataset::{CountryProfile, Dataset};
+use bb_market::survey::{CorrelationCensus, RegionCostRow};
+
+/// Every table and figure of the paper, computed from one dataset.
+#[derive(Clone, Debug)]
+pub struct StudyReport {
+    /// Fig. 1a–c and the §2.2 prose statistics.
+    pub fig1: (CdfFigure, CdfFigure, CdfFigure, sec2::PopulationStats),
+    /// Fig. 2a–d.
+    pub fig2: [BinnedFigure; 4],
+    /// Fig. 3a–b.
+    pub fig3: [BinnedFigure; 2],
+    /// Table 1.
+    pub table1: ExperimentTable,
+    /// Fig. 4a–b.
+    pub fig4: [CdfFigure; 2],
+    /// Fig. 5a–d.
+    pub fig5: [BarFigure; 4],
+    /// Table 2 (Dasu, FCC).
+    pub table2: (ExperimentTable, ExperimentTable),
+    /// Fig. 6a–d.
+    pub fig6: [BinnedFigure; 4],
+    /// §4 per-tier year experiment.
+    pub year_experiment: ExperimentTable,
+    /// Table 3.
+    pub table3: ExperimentTable,
+    /// Table 4.
+    pub table4: Vec<CaseStudyRow>,
+    /// Fig. 7a–b.
+    pub fig7: [CdfFigure; 2],
+    /// Fig. 8 panels (one per case-study market with enough users).
+    pub fig8: Vec<CdfFigure>,
+    /// Fig. 9.
+    pub fig9: BarFigure,
+    /// Fig. 10 plus per-country upgrade costs.
+    pub fig10: (CdfFigure, Vec<(String, f64)>),
+    /// Table 5.
+    pub table5: Vec<RegionCostRow>,
+    /// §6 correlation census.
+    pub census: CorrelationCensus,
+    /// Table 6a–b.
+    pub table6: [ExperimentTable; 2],
+    /// Table 7.
+    pub table7: ExperimentTable,
+    /// Fig. 11.
+    pub fig11: CdfFigure,
+    /// Table 8.
+    pub table8: ExperimentTable,
+    /// Fig. 12.
+    pub fig12: CdfFigure,
+    /// §7.1 India-vs-US matched comparison.
+    pub india_vs_us: Option<ExperimentRow>,
+}
+
+impl StudyReport {
+    /// Run the entire pipeline.
+    ///
+    /// `profiles` supplies the per-country GDP data for Table 4 (the paper
+    /// took it from the IMF); pass the same profiles used to generate the
+    /// dataset. `min_tier_users` is the §5 per-tier filter (30 in the
+    /// paper; smaller values are useful on reduced datasets).
+    pub fn run(dataset: &Dataset, profiles: &[CountryProfile], min_tier_users: usize) -> Self {
+        StudyReport {
+            fig1: sec2::figure1(dataset),
+            fig2: sec3::figure2(dataset),
+            fig3: sec3::figure3(dataset),
+            table1: sec3::table1(dataset),
+            fig4: sec3::figure4(dataset),
+            fig5: sec3::figure5(dataset),
+            table2: sec3::table2(dataset),
+            fig6: sec4::figure6(dataset),
+            year_experiment: sec4::year_experiment(dataset),
+            table3: sec5::table3(dataset),
+            table4: sec5::table4(dataset, profiles),
+            fig7: sec5::figure7(dataset),
+            fig8: sec5::figure8(dataset, min_tier_users),
+            fig9: sec5::figure9(dataset, min_tier_users),
+            fig10: sec6::figure10(dataset),
+            table5: sec6::table5(dataset),
+            census: sec6::census(dataset),
+            table6: sec6::table6(dataset),
+            table7: sec7::table7(dataset),
+            fig11: sec7::figure11(dataset),
+            table8: sec7::table8(dataset),
+            fig12: sec7::figure12(dataset),
+            india_vs_us: sec7::india_vs_us(dataset),
+        }
+    }
+
+    /// All experiment tables, for bulk rendering.
+    pub fn experiment_tables(&self) -> Vec<&ExperimentTable> {
+        let mut v = vec![
+            &self.table1,
+            &self.table2.0,
+            &self.table2.1,
+            &self.year_experiment,
+            &self.table3,
+            &self.table6[0],
+            &self.table6[1],
+            &self.table7,
+            &self.table8,
+        ];
+        v.retain(|t| !t.rows.is_empty());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_dataset::{World, WorldConfig};
+
+    #[test]
+    fn full_report_runs_on_a_small_world() {
+        let mut cfg = WorldConfig::small(123);
+        cfg.user_scale = 1.0;
+        cfg.days = 1;
+        cfg.fcc_users = 30;
+        let world = World::new(cfg);
+        let ds = world.generate();
+        let report = StudyReport::run(&ds, &world.profiles, 10);
+        // Every exhibit produced something.
+        assert!(report.fig1.3.median_capacity_mbps > 0.0);
+        assert!(!report.fig2[0].series[0].points.is_empty());
+        assert!(!report.table1.rows.is_empty());
+        assert_eq!(report.table4.len(), 4);
+        assert!(!report.table5.is_empty());
+        assert!(report.census.n_markets > 80);
+        assert!(!report.experiment_tables().is_empty());
+    }
+}

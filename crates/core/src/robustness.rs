@@ -1,0 +1,184 @@
+//! Robustness of the findings across seeds.
+//!
+//! Paxson's *Strategies for Sound Internet Measurement* — which the paper
+//! leans on for its statistical hygiene — asks whether a result survives
+//! re-drawing the data. With a generative world that question is directly
+//! answerable: regenerate the dataset under several seeds and look at the
+//! distribution of each experiment's "% H holds".
+//!
+//! [`seed_sweep`] runs the headline experiments over `n_seeds` worlds and
+//! reports, per experiment, the min / mean / max share and how many runs
+//! came out significant — the reproduction's error bars on itself.
+
+use crate::exhibit::ExperimentRow;
+use crate::{sec3, sec5, sec6, sec7};
+use bb_dataset::{World, WorldConfig};
+
+/// Summary of one experiment across seeds.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Which experiment.
+    pub experiment: String,
+    /// Runs in which the experiment produced a result at all.
+    pub n_runs: usize,
+    /// Minimum "% H holds" across runs.
+    pub min: f64,
+    /// Mean "% H holds" across runs.
+    pub mean: f64,
+    /// Maximum "% H holds" across runs.
+    pub max: f64,
+    /// Runs that were statistically significant.
+    pub n_significant: usize,
+    /// Total matched pairs across runs.
+    pub total_pairs: usize,
+}
+
+impl SweepRow {
+    /// The finding is *stable* when every run points the same way and most
+    /// are significant.
+    pub fn stable(&self) -> bool {
+        self.n_runs > 0 && self.min > 50.0 && self.n_significant * 2 >= self.n_runs
+    }
+}
+
+/// Pooled rows of one experiment table as a single direction observation.
+fn pooled(rows: &[ExperimentRow]) -> Option<(f64, bool, usize)> {
+    if rows.is_empty() {
+        return None;
+    }
+    let pairs: usize = rows.iter().map(|r| r.n_pairs).sum();
+    let share = rows
+        .iter()
+        .map(|r| r.percent_holds * r.n_pairs as f64)
+        .sum::<f64>()
+        / pairs as f64;
+    let significant = rows.iter().any(|r| r.significant);
+    Some((share, significant, pairs))
+}
+
+/// Run the headline experiments across `n_seeds` regenerated worlds.
+///
+/// `base` supplies everything except the seed; pass a reduced
+/// configuration (small scale, short windows) unless you have minutes to
+/// spend.
+pub fn seed_sweep(base: &WorldConfig, n_seeds: u64) -> Vec<SweepRow> {
+    assert!(n_seeds >= 1, "need at least one seed");
+    let experiments: [&str; 6] = [
+        "table1 movers (peak)",
+        "table2 capacity (pooled)",
+        "table3 price (pooled)",
+        "table6 upgrade cost (pooled)",
+        "table7 latency (pooled)",
+        "table8 loss (pooled)",
+    ];
+    /// Per run: (pooled share, any-significant, total pairs).
+    type Observation = (f64, bool, usize);
+    let mut acc: Vec<(usize, Vec<Observation>)> =
+        (0..experiments.len()).map(|i| (i, Vec::new())).collect();
+
+    for i in 0..n_seeds {
+        let mut cfg = base.clone();
+        cfg.seed = base.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let ds = World::new(cfg).generate();
+
+        let t1 = sec3::table1(&ds);
+        let peak_row: Vec<ExperimentRow> = t1.rows.into_iter().skip(1).take(1).collect();
+        let (dasu2, _) = sec3::table2(&ds);
+        let t3 = sec5::table3(&ds);
+        let [t6a, _] = sec6::table6(&ds);
+        let t7 = sec7::table7(&ds);
+        let t8 = sec7::table8(&ds);
+
+        for (idx, rows) in [
+            (0, &peak_row[..]),
+            (1, &dasu2.rows[..]),
+            (2, &t3.rows[..]),
+            (3, &t6a.rows[..]),
+            (4, &t7.rows[..]),
+            (5, &t8.rows[..]),
+        ] {
+            if let Some(obs) = pooled(rows) {
+                acc[idx].1.push(obs);
+            }
+        }
+    }
+
+    acc.into_iter()
+        .map(|(idx, obs)| {
+            let n_runs = obs.len();
+            let shares: Vec<f64> = obs.iter().map(|o| o.0).collect();
+            let (min, max) = shares.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
+            SweepRow {
+                experiment: experiments[idx].to_string(),
+                n_runs,
+                min: if n_runs == 0 { 0.0 } else { min },
+                mean: if n_runs == 0 {
+                    0.0
+                } else {
+                    shares.iter().sum::<f64>() / n_runs as f64
+                },
+                max,
+                n_significant: obs.iter().filter(|o| o.1).count(),
+                total_pairs: obs.iter().map(|o| o.2).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Render a sweep as a text table.
+pub fn render_sweep(rows: &[SweepRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>5}  {:>6}  {:>6}  {:>6}  {:>11}  {:>11}",
+        "experiment", "runs", "min%", "mean%", "max%", "significant", "total pairs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<30} {:>5}  {:>6.1}  {:>6.1}  {:>6.1}  {:>8}/{:<2}  {:>11}",
+            r.experiment, r.n_runs, r.min, r.mean, r.max, r.n_significant, r.n_runs, r.total_pairs
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately small sweep: three seeds of a reduced world. The
+    /// headline findings should point the right way in aggregate.
+    #[test]
+    fn small_sweep_is_directionally_stable() {
+        let mut base = WorldConfig::small(71);
+        base.user_scale = 2.0;
+        base.days = 2;
+        base.fcc_users = 60;
+        let rows = seed_sweep(&base, 3);
+        assert_eq!(rows.len(), 6);
+        // Movers (Table 1) are the strongest effect in the model: every
+        // run should point up and be significant.
+        let movers = &rows[0];
+        assert_eq!(movers.n_runs, 3);
+        assert!(movers.min > 55.0, "{movers:?}");
+        assert_eq!(movers.n_significant, 3);
+        // Pooled capacity experiments point up on average.
+        let capacity = &rows[1];
+        assert!(capacity.mean > 52.0, "{capacity:?}");
+        // The render is a complete table.
+        let text = render_sweep(&rows);
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains("table8 loss"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let base = WorldConfig::small(1);
+        let _ = seed_sweep(&base, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! §4 — Longitudinal trends in usage (Figure 6).
+//!
+//! "Despite the fourfold increase in global IP traffic, we find that
+//! subscribers' demand on the network remained constant at each speed
+//! tier" — the panel figures overlay usage-vs-capacity curves for 2011,
+//! 2012 and 2013, and a natural experiment checks for per-tier change
+//! between the first and last year.
+
+use crate::confounders::{to_units, ConfounderSet, OutcomeSpec};
+use crate::exhibit::{BinnedFigure, BinnedPoint, BinnedSeries, ExperimentRow, ExperimentTable};
+use bb_causal::NaturalExperiment;
+use bb_dataset::Dataset;
+use bb_stats::binning::BinnedSeries as StatsBins;
+use bb_stats::corr::pearson;
+use bb_types::{CapacityBin, Year};
+
+/// Minimum users per (year, bin) cell.
+const MIN_CELL_USERS: usize = 5;
+
+/// Figure 6: usage vs capacity, one series per panel year. Panels:
+/// (a) mean w/ BT, (b) p95 w/ BT, (c) mean no BT, (d) p95 no BT.
+pub fn figure6(dataset: &Dataset) -> [BinnedFigure; 4] {
+    let spec = [
+        ("fig6a", "Mean (w/ BT)", OutcomeSpec::MEAN_WITH_BT),
+        ("fig6b", "95th %ile (w/ BT)", OutcomeSpec::PEAK_WITH_BT),
+        ("fig6c", "Mean (no BT)", OutcomeSpec::MEAN_NO_BT),
+        ("fig6d", "95th %ile (no BT)", OutcomeSpec::PEAK_NO_BT),
+    ];
+    spec.map(|(id, title, outcome)| {
+        let mut series = Vec::new();
+        for year in Year::PANEL {
+            let mut bins: StatsBins<CapacityBin> = StatsBins::new();
+            for r in dataset.dasu().filter(|r| r.year == year) {
+                if let Some(v) = outcome.of(r) {
+                    bins.push(CapacityBin::of(r.capacity), v / 1e6);
+                }
+            }
+            let bins = bins.filter_min_count(MIN_CELL_USERS);
+            let points: Vec<BinnedPoint> = bins
+                .mean_cis(0.95)
+                .into_iter()
+                .map(|(bin, ci)| BinnedPoint {
+                    x: bin.midpoint().mbps(),
+                    mean: ci.mean,
+                    ci_lo: ci.lo,
+                    ci_hi: ci.hi,
+                    n: ci.n,
+                })
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            let xs: Vec<f64> = points.iter().map(|p| p.x.log10()).collect();
+            let ys: Vec<f64> = points.iter().map(|p| p.mean.max(1e-9).log10()).collect();
+            series.push(BinnedSeries {
+                label: year.to_string(),
+                r_log: pearson(&xs, &ys),
+                points,
+            });
+        }
+        BinnedFigure {
+            id: id.into(),
+            title: format!("Usage vs capacity by year — {title}"),
+            x_label: "Capacity (Mbps)".into(),
+            y_label: "Usage (Mbps)".into(),
+            series,
+        }
+    })
+}
+
+/// The §4 natural experiment: per capacity bin, is 2013 demand higher than
+/// 2011 demand among matched users? The paper is "unable to find any
+/// significant change in demand at any given speed tier".
+pub fn year_experiment(dataset: &Dataset) -> ExperimentTable {
+    let calipers = ConfounderSet::ForCapacityExperiment.calipers();
+    let mut rows = Vec::new();
+    for k in 1..=10u8 {
+        let bin = CapacityBin(k);
+        let of_year = |year: Year| {
+            to_units(
+                dataset
+                    .dasu()
+                    .filter(|r| r.year == year && CapacityBin::of(r.capacity) == bin),
+                ConfounderSet::ForCapacityExperiment,
+                OutcomeSpec::PEAK_NO_BT,
+            )
+        };
+        let control = of_year(Year(2011));
+        let treatment = of_year(Year(2013));
+        if control.is_empty() || treatment.is_empty() {
+            continue;
+        }
+        let exp = NaturalExperiment::new(format!("year shift in {bin}"), calipers.clone());
+        let Some(outcome) = exp.run(&control, &treatment) else {
+            continue;
+        };
+        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+            continue;
+        }
+        rows.push(ExperimentRow {
+            control: format!("{bin} in 2011"),
+            treatment: format!("{bin} in 2013"),
+            n_pairs: outcome.test.trials as usize,
+            percent_holds: outcome.percent_holds(),
+            p_value: outcome.p_value(),
+            significant: outcome.significant(),
+        });
+    }
+    ExperimentTable {
+        id: "table_sec4".into(),
+        title: "Per-tier demand change between 2011 and 2013 (matched users)".into(),
+        control_label: "Control group (2011)".into(),
+        treatment_label: "Treatment group (2013)".into(),
+        rows,
+    }
+}
+
+/// Summary statistic for EXPERIMENTS.md: the share of per-tier year
+/// experiments that came out *conclusive* (significant + practically
+/// important). The paper found none.
+pub fn share_of_tiers_with_significant_change(table: &ExperimentTable) -> f64 {
+    if table.rows.is_empty() {
+        return 0.0;
+    }
+    let conclusive = table
+        .rows
+        .iter()
+        .filter(|r| r.significant && (r.percent_holds - 50.0).abs() > 2.0)
+        .count();
+    conclusive as f64 / table.rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_dataset::{World, WorldConfig};
+
+    fn dataset() -> Dataset {
+        let mut cfg = WorldConfig::small(1717);
+        cfg.user_scale = 3.0;
+        cfg.days = 2;
+        cfg.fcc_users = 0;
+        World::with_countries(cfg, &["US", "DE", "GB", "JP", "BR"]).generate()
+    }
+
+    #[test]
+    fn figure6_has_overlapping_yearly_series() {
+        let ds = dataset();
+        let figs = figure6(&ds);
+        for fig in &figs {
+            assert!(fig.series.len() >= 2, "{}: {} series", fig.id, fig.series.len());
+        }
+        // Per-tier demand is roughly constant across years: compare 2011
+        // and 2013 means in shared bins of the no-BT p95 panel; the bulk of
+        // shared bins should differ by less than 3x (they differ by 10-50x
+        // across the capacity axis).
+        let fig = &figs[3];
+        let find = |label: &str| fig.series.iter().find(|s| s.label == label);
+        if let (Some(a), Some(b)) = (find("2011"), find("2013")) {
+            let mut ratios = Vec::new();
+            for pa in &a.points {
+                if let Some(pb) = b.points.iter().find(|p| p.x == pa.x) {
+                    ratios.push((pb.mean / pa.mean).max(pa.mean / pb.mean));
+                }
+            }
+            assert!(!ratios.is_empty(), "no shared bins");
+            let close = ratios.iter().filter(|r| **r < 3.0).count();
+            assert!(
+                close * 2 >= ratios.len(),
+                "per-tier demand drifted: ratios {ratios:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn year_experiment_finds_little_change() {
+        let ds = dataset();
+        let table = year_experiment(&ds);
+        // With a faithful world the paper's null result should mostly hold:
+        // fewer than half the tiers show a conclusive change.
+        let share = share_of_tiers_with_significant_change(&table);
+        assert!(share <= 0.5, "share of changed tiers {share}");
+    }
+}

@@ -1,0 +1,328 @@
+//! §7 — Connection quality.
+//!
+//! * [`table7`] — the latency experiment: very high latency (512–2048 ms
+//!   control) vs each lower latency bin;
+//! * [`figure11`] — latency CDFs, India vs the rest, NDT and web probes;
+//! * [`table8`] — the packet-loss experiment;
+//! * [`figure12`] — loss CDFs, India vs the rest;
+//! * [`india_vs_us`] — the §7.1 matched comparison (India imposes lower
+//!   demand than capacity-matched US users ~62% of the time).
+
+use crate::confounders::{to_units, ConfounderSet, OutcomeSpec};
+use crate::exhibit::{CdfFigure, CdfSeries, ExperimentRow, ExperimentTable};
+use bb_causal::experiment::Direction;
+use bb_causal::NaturalExperiment;
+use bb_dataset::Dataset;
+use bb_stats::Ecdf;
+use bb_types::{Country, LatencyBin, LossBin};
+
+/// Table 7: does *lower* latency mean higher peak demand (no BitTorrent)?
+/// Control: the (512, 2048] ms group; treatments: each lower bin.
+pub fn table7(dataset: &Dataset) -> ExperimentTable {
+    let calipers = ConfounderSet::ForLatencyExperiment.calipers();
+    let units_for = |bin: LatencyBin| {
+        to_units(
+            dataset
+                .dasu()
+                .filter(|r| LatencyBin::of(r.latency) == bin),
+            ConfounderSet::ForLatencyExperiment,
+            OutcomeSpec::PEAK_NO_BT,
+        )
+    };
+    let control = units_for(LatencyBin::From512To2048);
+    let mut rows = Vec::new();
+    for treatment_bin in [
+        LatencyBin::UpTo64,
+        LatencyBin::From64To128,
+        LatencyBin::From128To256,
+        LatencyBin::From256To512,
+    ] {
+        let treatment = units_for(treatment_bin);
+        if control.is_empty() || treatment.is_empty() {
+            continue;
+        }
+        let exp = NaturalExperiment::new(
+            format!("latency {} vs {}", LatencyBin::From512To2048, treatment_bin),
+            calipers.clone(),
+        );
+        let Some(outcome) = exp.run(&control, &treatment) else {
+            continue;
+        };
+        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+            continue;
+        }
+        rows.push(ExperimentRow {
+            control: LatencyBin::From512To2048.label().into(),
+            treatment: treatment_bin.label().into(),
+            n_pairs: outcome.test.trials as usize,
+            percent_holds: outcome.percent_holds(),
+            p_value: outcome.p_value(),
+            significant: outcome.significant(),
+        });
+    }
+    ExperimentTable {
+        id: "table7".into(),
+        title: "Lower latency vs 95th %ile usage (no BitTorrent)".into(),
+        control_label: "Control group (ms)".into(),
+        treatment_label: "Treatment group (ms)".into(),
+        rows,
+    }
+}
+
+/// Figure 11: latency CDFs for India vs the rest of the population — web
+/// probes ('14 cohort) and NDT probes.
+pub fn figure11(dataset: &Dataset) -> CdfFigure {
+    let india = Country::new("IN");
+    let mut series = Vec::new();
+    let mut add = |label: &str, values: Vec<f64>| {
+        if values.len() >= 3 {
+            let e = Ecdf::new(values);
+            series.push(CdfSeries {
+                label: label.into(),
+                n: e.len(),
+                median: e.median(),
+                points: e.plot_points_downsampled(150),
+            });
+        }
+    };
+    let web = |in_india: bool| -> Vec<f64> {
+        dataset
+            .dasu()
+            .filter(|r| (r.country == india) == in_india)
+            .filter_map(|r| r.web_latency.map(|l| l.ms()))
+            .collect()
+    };
+    let ndt = |in_india: bool| -> Vec<f64> {
+        dataset
+            .dasu()
+            .filter(|r| (r.country == india) == in_india)
+            .map(|r| r.latency.ms())
+            .collect()
+    };
+    add("Web '14 India", web(true));
+    add("NDT India", ndt(true));
+    add("Web '14 Other", web(false));
+    add("NDT Other", ndt(false));
+    CdfFigure {
+        id: "fig11".into(),
+        title: "Latency to NDT servers and popular web sites: India vs others".into(),
+        x_label: "Latency (ms)".into(),
+        log_x: true,
+        series,
+    }
+}
+
+/// Table 8: does *lower* packet loss mean higher average demand (no
+/// BitTorrent)? Controls: the two high-loss bins; treatments: the two
+/// low-loss bins — the four row pairs of the paper's Table 8.
+pub fn table8(dataset: &Dataset) -> ExperimentTable {
+    let calipers = ConfounderSet::ForLossExperiment.calipers();
+    let units_for = |bin: LossBin| {
+        to_units(
+            dataset.dasu().filter(|r| LossBin::of(r.loss) == bin),
+            ConfounderSet::ForLossExperiment,
+            OutcomeSpec::MEAN_NO_BT,
+        )
+    };
+    let mut rows = Vec::new();
+    for (control_bin, treatment_bin) in [
+        (LossBin::From0_1To1, LossBin::UpTo0_01),
+        (LossBin::From0_1To1, LossBin::From0_01To0_1),
+        (LossBin::From1To15, LossBin::UpTo0_01),
+        (LossBin::From1To15, LossBin::From0_01To0_1),
+    ] {
+        let control = units_for(control_bin);
+        let treatment = units_for(treatment_bin);
+        if control.is_empty() || treatment.is_empty() {
+            continue;
+        }
+        let exp = NaturalExperiment::new(
+            format!("loss {} vs {}", control_bin, treatment_bin),
+            calipers.clone(),
+        );
+        let Some(outcome) = exp.run(&control, &treatment) else {
+            continue;
+        };
+        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+            continue;
+        }
+        rows.push(ExperimentRow {
+            control: control_bin.label().into(),
+            treatment: treatment_bin.label().into(),
+            n_pairs: outcome.test.trials as usize,
+            percent_holds: outcome.percent_holds(),
+            p_value: outcome.p_value(),
+            significant: outcome.significant(),
+        });
+    }
+    ExperimentTable {
+        id: "table8".into(),
+        title: "Lower packet loss vs average usage (no BitTorrent)".into(),
+        control_label: "Control group".into(),
+        treatment_label: "Treatment group".into(),
+        rows,
+    }
+}
+
+/// Figure 12: packet-loss CDFs, India vs the rest of the population.
+/// Series with no underlying users (a world without India, say) are
+/// omitted rather than fabricated.
+pub fn figure12(dataset: &Dataset) -> CdfFigure {
+    let india = Country::new("IN");
+    let build = |label: &str, in_india: bool| -> Option<CdfSeries> {
+        let v: Vec<f64> = dataset
+            .dasu()
+            .filter(|r| (r.country == india) == in_india)
+            .map(|r| r.loss.percent().max(1e-4))
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        let e = Ecdf::new(v);
+        Some(CdfSeries {
+            label: label.into(),
+            n: e.len(),
+            median: e.median(),
+            points: e.plot_points_downsampled(150),
+        })
+    };
+    CdfFigure {
+        id: "fig12".into(),
+        title: "Average packet loss: India vs the rest of the population".into(),
+        x_label: "Packet loss rate (%)".into(),
+        log_x: true,
+        series: [build("India", true), build("Rest of population", false)]
+            .into_iter()
+            .flatten()
+            .collect(),
+    }
+}
+
+/// The §7.1 matched comparison: capacity-matched users in India impose
+/// *lower* demand than users in the US (the paper finds H holds 62% of the
+/// time with p < 0.001, despite India's higher access price which would
+/// predict the opposite).
+pub fn india_vs_us(dataset: &Dataset) -> Option<ExperimentRow> {
+    let us = Country::new("US");
+    let india = Country::new("IN");
+    let control = to_units(
+        dataset.dasu().filter(|r| r.country == us),
+        ConfounderSet::ForCountryComparison,
+        OutcomeSpec::PEAK_NO_BT,
+    );
+    let treatment = to_units(
+        dataset.dasu().filter(|r| r.country == india),
+        ConfounderSet::ForCountryComparison,
+        OutcomeSpec::PEAK_NO_BT,
+    );
+    let exp = NaturalExperiment::new(
+        "India users impose lower demand than capacity-matched US users",
+        ConfounderSet::ForCountryComparison.calipers(),
+    )
+    .with_direction(Direction::TreatmentLower);
+    let outcome = exp.run(&control, &treatment)?;
+    if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        return None;
+    }
+    Some(ExperimentRow {
+        control: "US (matched capacity)".into(),
+        treatment: "India".into(),
+        n_pairs: outcome.test.trials as usize,
+        percent_holds: outcome.percent_holds(),
+        p_value: outcome.p_value(),
+        significant: outcome.significant(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_dataset::{World, WorldConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| {
+            let mut cfg = WorldConfig::small(61);
+            cfg.user_scale = 20.0;
+            cfg.days = 2;
+            cfg.fcc_users = 0;
+            World::with_countries(cfg, &["US", "DE", "IN", "BR", "PH", "UG", "AF"]).generate()
+        })
+    }
+
+    #[test]
+    fn table7_low_latency_users_demand_more() {
+        let ds = dataset();
+        let t = table7(ds);
+        assert!(!t.rows.is_empty(), "no latency rows");
+        let pooled: f64 = t
+            .rows
+            .iter()
+            .map(|r| r.percent_holds * r.n_pairs as f64)
+            .sum::<f64>()
+            / t.rows.iter().map(|r| r.n_pairs as f64).sum::<f64>();
+        assert!(pooled > 50.0, "pooled {pooled}%");
+    }
+
+    #[test]
+    fn table8_low_loss_users_demand_more() {
+        let ds = dataset();
+        let t = table8(ds);
+        assert!(!t.rows.is_empty(), "no loss rows");
+        let pooled: f64 = t
+            .rows
+            .iter()
+            .map(|r| r.percent_holds * r.n_pairs as f64)
+            .sum::<f64>()
+            / t.rows.iter().map(|r| r.n_pairs as f64).sum::<f64>();
+        assert!(pooled > 50.0, "pooled {pooled}%");
+    }
+
+    #[test]
+    fn figure11_india_is_shifted_right() {
+        let ds = dataset();
+        let fig = figure11(ds);
+        let ndt_india = fig.series.iter().find(|s| s.label == "NDT India").unwrap();
+        let ndt_other = fig.series.iter().find(|s| s.label == "NDT Other").unwrap();
+        assert!(
+            ndt_india.median > 2.0 * ndt_other.median,
+            "India NDT median {} vs other {}",
+            ndt_india.median,
+            ndt_other.median
+        );
+        // Nearly every Indian user above 100 ms (paper's observation).
+        let above_100 = ndt_india
+            .points
+            .iter()
+            .find(|(x, _)| *x >= 100.0)
+            .map(|(_, y)| 1.0 - y)
+            .unwrap_or(1.0);
+        assert!(above_100 > 0.6, "share above 100 ms {above_100}");
+    }
+
+    #[test]
+    fn figure12_india_loss_is_worse() {
+        let ds = dataset();
+        let fig = figure12(ds);
+        let india = &fig.series[0];
+        let rest = &fig.series[1];
+        assert!(
+            india.median > rest.median,
+            "India loss median {} vs rest {}",
+            india.median,
+            rest.median
+        );
+    }
+
+    #[test]
+    fn india_imposes_lower_demand_than_us() {
+        let ds = dataset();
+        let row = india_vs_us(ds).expect("comparison ran");
+        assert!(
+            row.percent_holds > 50.0,
+            "India lower-demand share {}%",
+            row.percent_holds
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Country profiles and the built-in world.
+//!
+//! A [`CountryProfile`] carries everything country-specific the generator
+//! needs: the market archetype (plan ladder, access price, upgrade cost),
+//! the path-quality distribution (median RTT and loss — India's profile,
+//! for instance, reproduces the §7.1 finding that "nearly every user has a
+//! latency longer than 100 ms"), annual GDP per capita (PPP), a population
+//! weight controlling how many sampled users live there, and the yearly
+//! appetite level.
+//!
+//! [`builtin_world`] assembles 99 profiles: the paper's case-study
+//! countries (Botswana, Saudi Arabia, the US, Japan — Table 4), the other
+//! countries it names (Germany, Canada, South Korea, Hong Kong, India,
+//! China, Mexico, New Zealand, the Philippines, Iran, Ghana, Uganda,
+//! Paraguay, Ivory Coast, Afghanistan), and regional filler countries with
+//! deterministic parameter spreads to reach the survey's 99 markets.
+
+use bb_market::MarketArchetype;
+use bb_types::{Country, MoneyPpp, Region};
+
+/// Everything the generator needs to know about one country.
+#[derive(Clone, Debug)]
+pub struct CountryProfile {
+    /// Country code.
+    pub country: Country,
+    /// Region (Table 5 aggregation).
+    pub region: Region,
+    /// Annual GDP per capita, PPP dollars.
+    pub gdp_per_capita: MoneyPpp,
+    /// Market archetype (plan ladder and pricing).
+    pub market: MarketArchetype,
+    /// Median base RTT to nearby servers/CDNs, milliseconds.
+    pub rtt_median_ms: f64,
+    /// Log-space sigma of the RTT distribution.
+    pub rtt_sigma: f64,
+    /// Median packet-loss rate, percent.
+    pub loss_median_pct: f64,
+    /// Log-space sigma of the loss distribution.
+    pub loss_sigma: f64,
+    /// Median demand appetite (peak desired Mbps) in the 2012 baseline
+    /// year. Appetites grow ~30% per year around this anchor.
+    pub appetite_median_mbps: f64,
+    /// Relative number of sampled (Dasu) users; the US weight is by far the
+    /// largest, as in the paper's Table 4 (3,759 of its users were in the
+    /// US).
+    pub user_weight: f64,
+}
+
+impl CountryProfile {
+    /// Monthly GDP per capita.
+    pub fn monthly_income(&self) -> MoneyPpp {
+        self.gdp_per_capita / 12.0
+    }
+}
+
+/// Per-year appetite growth factor.
+///
+/// Global IP traffic roughly quadrupled over the five years before the
+/// study (§1); appetite growth of ~32%/yr compounds to 4x over five years.
+pub const APPETITE_GROWTH_PER_YEAR: f64 = 1.32;
+
+/// Construct one named profile.
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    code: &str,
+    region: Region,
+    gdp: f64,
+    access_price: f64,
+    cost_per_mbps: f64,
+    tier_range: (f64, f64),
+    n_plans: usize,
+    rtt_ms: f64,
+    loss_pct: f64,
+    appetite: f64,
+    weight: f64,
+) -> CountryProfile {
+    let country = Country::new(code);
+    let mut market = MarketArchetype::developed(country, region);
+    market.access_price = access_price;
+    market.cost_per_mbps = cost_per_mbps;
+    market.min_tier_mbps = tier_range.0;
+    market.max_tier_mbps = tier_range.1;
+    market.n_plans = n_plans;
+    // Poorer markets price more noisily and sell more wireless/capped
+    // service.
+    let developing = gdp < 20_000.0;
+    market.price_noise = if developing { 0.15 } else { 0.05 };
+    market.wireless_share = if developing { 0.3 } else { 0.05 };
+    market.capped_share = if developing { 0.3 } else { 0.08 };
+    CountryProfile {
+        country,
+        region,
+        gdp_per_capita: MoneyPpp::from_usd(gdp),
+        market,
+        rtt_median_ms: rtt_ms,
+        rtt_sigma: 0.7,
+        loss_median_pct: loss_pct,
+        loss_sigma: 1.6,
+        appetite_median_mbps: appetite,
+        user_weight: weight,
+    }
+}
+
+/// The built-in 99-country world.
+///
+/// The named profiles encode the quantitative anchors the paper reports;
+/// the filler profiles reproduce the regional *distributions* (Table 5's
+/// shares, Fig. 10's CDF) with deterministic spreads.
+pub fn builtin_world() -> Vec<CountryProfile> {
+    use Region::*;
+    let mut world = vec![
+        // === The Table 4 case study ===
+        // Botswana: $100/mo typical, ~0.512 Mbps services, 8% of income.
+        profile("BW", Africa, 14_993.0, 95.0, 150.0, (0.5, 2.0), 4, 140.0, 0.8, 1.2, 0.9),
+        // Saudi Arabia: ~4 Mbps cluster, $79 typical, expensive upgrades.
+        profile("SA", MiddleEast, 29_114.0, 60.0, 6.5, (1.0, 20.0), 6, 100.0, 0.25, 2.0, 1.6),
+        // United States: wide ladder 1..100+, $20 access, ~$0.55/Mbps.
+        profile("US", NorthAmerica, 49_797.0, 20.0, 0.55, (1.0, 120.0), 14, 45.0, 0.05, 2.2, 50.0),
+        // Japan: cheap fast plans ($40 for 100 Mbps), few slow ones.
+        profile("JP", AsiaDeveloped, 34_532.0, 22.0, 0.09, (10.0, 200.0), 10, 35.0, 0.02, 2.2, 1.0),
+        // === Countries named elsewhere in the paper ===
+        profile("DE", Europe, 43_000.0, 22.0, 0.7, (1.0, 100.0), 12, 40.0, 0.04, 2.0, 4.0),
+        profile("CA", NorthAmerica, 42_000.0, 24.0, 0.6, (1.0, 100.0), 12, 50.0, 0.05, 2.0, 3.0),
+        profile("KR", AsiaDeveloped, 32_000.0, 20.0, 0.07, (10.0, 200.0), 10, 30.0, 0.02, 2.4, 1.2),
+        profile("HK", AsiaDeveloped, 51_000.0, 18.0, 0.06, (10.0, 300.0), 10, 30.0, 0.02, 2.4, 0.8),
+        profile("SG", AsiaDeveloped, 60_000.0, 20.0, 0.08, (10.0, 200.0), 9, 32.0, 0.02, 2.4, 0.6),
+        // India: cheap-ish upgrades (within 25% of the US, §7.1) but $67
+        // access and a long, lossy path profile.
+        profile("IN", AsiaDeveloping, 5_100.0, 67.0, 0.6, (0.5, 16.0), 8, 280.0, 1.4, 1.8, 6.0),
+        // China: upgrades below $1/Mbps (§6 footnote).
+        profile("CN", AsiaDeveloping, 9_300.0, 30.0, 0.8, (1.0, 50.0), 9, 85.0, 0.3, 1.7, 4.0),
+        profile("MX", CentralAmericaCaribbean, 16_500.0, 40.0, 3.0, (1.0, 20.0), 7, 70.0, 0.2, 1.7, 2.0),
+        profile("NZ", Oceania, 32_000.0, 35.0, 1.2, (1.0, 100.0), 10, 60.0, 0.05, 2.0, 0.7),
+        profile("PH", AsiaDeveloping, 6_300.0, 45.0, 12.0, (0.5, 10.0), 6, 115.0, 0.6, 1.5, 1.5),
+        profile("IR", MiddleEast, 17_000.0, 130.0, 18.0, (0.25, 4.0), 5, 130.0, 0.7, 1.4, 1.0),
+        profile("GH", Africa, 3_900.0, 75.0, 25.0, (0.25, 4.0), 5, 160.0, 1.0, 1.3, 0.6),
+        profile("UG", Africa, 1_700.0, 85.0, 40.0, (0.25, 2.0), 4, 175.0, 1.5, 1.2, 0.5),
+        profile("PY", SouthAmerica, 7_800.0, 55.0, 110.0, (0.25, 4.0), 5, 120.0, 0.6, 1.3, 0.5),
+        profile("CI", Africa, 2_900.0, 80.0, 130.0, (0.25, 2.0), 4, 170.0, 1.2, 1.2, 0.4),
+        profile("AF", AsiaDeveloping, 1_900.0, 90.0, 30.0, (0.25, 2.0), 5, 210.0, 1.8, 1.1, 0.3),
+        // === Other major markets for global shape ===
+        profile("GB", Europe, 37_000.0, 21.0, 0.8, (1.0, 100.0), 12, 38.0, 0.04, 2.1, 4.0),
+        profile("FR", Europe, 36_500.0, 20.0, 0.5, (1.0, 100.0), 12, 40.0, 0.04, 2.1, 3.5),
+        profile("IT", Europe, 33_000.0, 25.0, 0.85, (1.0, 50.0), 10, 45.0, 0.06, 1.9, 2.5),
+        profile("ES", Europe, 31_000.0, 28.0, 0.9, (1.0, 100.0), 10, 45.0, 0.05, 1.9, 2.5),
+        profile("SE", Europe, 42_500.0, 22.0, 0.3, (2.0, 200.0), 11, 35.0, 0.03, 2.3, 1.2),
+        profile("NL", Europe, 44_000.0, 23.0, 0.4, (2.0, 150.0), 11, 33.0, 0.03, 2.3, 1.2),
+        profile("PL", Europe, 22_000.0, 24.0, 0.95, (1.0, 60.0), 9, 55.0, 0.08, 1.8, 1.5),
+        profile("PT", Europe, 26_000.0, 26.0, 0.9, (1.0, 100.0), 10, 48.0, 0.05, 1.9, 1.0),
+        profile("RU", Europe, 24_000.0, 18.0, 1.0, (1.0, 60.0), 9, 80.0, 0.15, 1.8, 3.0),
+        profile("BR", SouthAmerica, 15_000.0, 35.0, 3.5, (0.5, 30.0), 8, 85.0, 0.3, 1.7, 3.5),
+        profile("AR", SouthAmerica, 18_500.0, 38.0, 4.0, (0.5, 20.0), 7, 90.0, 0.3, 1.6, 1.5),
+        profile("CL", SouthAmerica, 21_000.0, 33.0, 0.9, (1.0, 40.0), 8, 100.0, 0.2, 1.7, 1.0),
+        profile("AU", Oceania, 43_000.0, 30.0, 1.0, (1.0, 100.0), 11, 65.0, 0.05, 2.0, 2.0),
+        profile("TR", Europe, 18_000.0, 28.0, 2.0, (1.0, 30.0), 8, 68.0, 0.2, 1.7, 1.5),
+        profile("EG", Africa, 10_500.0, 38.0, 4.5, (0.5, 8.0), 6, 105.0, 0.5, 1.4, 1.2),
+        profile("ZA", Africa, 11_500.0, 45.0, 12.0, (0.5, 10.0), 6, 115.0, 0.5, 1.4, 1.0),
+        profile("NG", Africa, 5_400.0, 70.0, 30.0, (0.25, 4.0), 5, 165.0, 1.2, 1.3, 1.0),
+        profile("KE", Africa, 2_800.0, 60.0, 4.6, (0.25, 4.0), 5, 150.0, 1.0, 1.3, 0.7),
+        profile("ID", AsiaDeveloping, 9_000.0, 42.0, 11.0, (0.5, 10.0), 6, 120.0, 0.6, 1.5, 1.8),
+        profile("TH", AsiaDeveloping, 14_000.0, 30.0, 2.0, (1.0, 30.0), 8, 90.0, 0.3, 1.7, 1.2),
+        profile("VN", AsiaDeveloping, 5_000.0, 35.0, 8.0, (0.5, 16.0), 7, 105.0, 0.4, 1.5, 1.0),
+        profile("MY", AsiaDeveloping, 23_000.0, 32.0, 2.2, (1.0, 30.0), 8, 100.0, 0.2, 1.7, 0.8),
+        profile("IL", MiddleEast, 32_000.0, 24.0, 0.9, (1.0, 100.0), 10, 70.0, 0.06, 2.0, 0.7),
+        profile("AE", MiddleEast, 58_000.0, 55.0, 3.0, (1.0, 50.0), 8, 90.0, 0.1, 1.9, 0.6),
+        profile("QA", MiddleEast, 93_000.0, 60.0, 4.0, (1.0, 50.0), 7, 95.0, 0.1, 1.9, 0.4),
+        profile("JO", MiddleEast, 11_000.0, 50.0, 7.0, (0.5, 8.0), 6, 130.0, 0.4, 1.4, 0.4),
+        profile("CR", CentralAmericaCaribbean, 13_000.0, 38.0, 6.0, (0.5, 10.0), 6, 110.0, 0.3, 1.6, 0.4),
+        profile("JM", CentralAmericaCaribbean, 8_800.0, 48.0, 9.0, (0.5, 8.0), 5, 130.0, 0.5, 1.4, 0.3),
+        profile("PA", CentralAmericaCaribbean, 16_000.0, 36.0, 5.0, (0.5, 10.0), 6, 115.0, 0.3, 1.6, 0.3),
+        profile("GT", CentralAmericaCaribbean, 7_300.0, 52.0, 12.0, (0.25, 4.0), 5, 140.0, 0.6, 1.3, 0.3),
+    ];
+
+    // Filler countries per region, with deterministic parameter spreads.
+    // Codes are synthetic (drawn from ranges unused by the named profiles).
+    let filler_specs: [(Region, usize, f64, f64, f64); 7] = [
+        // (region, count, gdp base, access base, cost/Mbps base)
+        (Africa, 14, 3_000.0, 65.0, 22.0),
+        (AsiaDeveloping, 9, 6_000.0, 45.0, 6.0),
+        (Europe, 10, 28_000.0, 24.0, 0.5),
+        (MiddleEast, 4, 20_000.0, 55.0, 9.5),
+        (SouthAmerica, 5, 12_000.0, 40.0, 5.0),
+        (CentralAmericaCaribbean, 4, 9_000.0, 45.0, 5.0),
+        (Oceania, 3, 15_000.0, 40.0, 4.0),
+    ];
+    if let Some(afghanistan) = world
+        .iter_mut()
+        .find(|p| p.country == Country::new("AF"))
+    {
+        // §6's worked example: "in Afghanistan, it is possible to sign up
+        // for a dedicated (not shared) DSL connection that is slower and
+        // more expensive than alternatives, lowering the correlation
+        // coefficient between price and capacity."
+        afghanistan.market.dedicated_outlier = true;
+        afghanistan.market.price_noise = 0.35;
+    }
+
+    // India's ladder is flat (access $67, slope ≈ $0.6/Mbps): with the
+    // default developing-market price noise the correlation census would
+    // reject its upgrade-cost estimate, but the paper explicitly compares
+    // India's upgrade cost to the US's (§7.1), so its pricing is cleaner
+    // than its peers'.
+    if let Some(india) = world
+        .iter_mut()
+        .find(|p| p.country == Country::new("IN"))
+    {
+        india.market.price_noise = 0.06;
+    }
+
+    let letters = [
+        'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R',
+        'S', 'T', 'U', 'V', 'W', 'Y', 'Z',
+    ];
+    let mut idx = 0usize;
+    for (region, count, gdp_base, access_base, cost_base) in filler_specs {
+        for i in 0..count {
+            // Deterministic spread: alternate cheaper/faster and
+            // dearer/slower variants around the regional base.
+            let spread = 0.6 + 0.8 * (i as f64 / count.max(1) as f64);
+            let gdp = gdp_base * spread;
+            let access = access_base * (1.6 - 0.75 * (i as f64 / count as f64));
+            let cost = cost_base * (1.9 - 1.72 * (i as f64 / count as f64));
+            let developing = gdp < 20_000.0;
+            let (tiers, n_plans, rtt, loss, appetite) = if developing {
+                ((0.25, 6.0), 5, 110.0 - 2.0 * i as f64, 0.8, 1.5)
+            } else {
+                ((1.0, 80.0), 9, 55.0 - 1.5 * i as f64, 0.06, 1.9)
+            };
+            let code = format!("Y{}", letters[idx % letters.len()]);
+            idx += 1;
+            // The synthetic codes must stay unique: prefix rotates after 25.
+            let code = if idx <= 25 {
+                code
+            } else {
+                format!("X{}", letters[idx % letters.len()])
+            };
+            let mut p = profile(
+                &code,
+                region,
+                gdp,
+                access,
+                cost.max(0.05),
+                tiers,
+                n_plans,
+                rtt,
+                loss,
+                appetite,
+                0.35,
+            );
+            // The real survey is messy: §6 finds only 66% of markets with
+            // r > 0.8 and 81% with r > 0.4. Reproduce that by making a
+            // third of the filler markets price noisily and a quarter
+            // carry an Afghanistan-style dedicated-line outlier.
+            if idx.is_multiple_of(3) {
+                p.market.price_noise = 0.55;
+            } else if idx % 3 == 1 {
+                p.market.price_noise = 0.3;
+            }
+            if idx.is_multiple_of(4) {
+                p.market.dedicated_outlier = true;
+            }
+            world.push(p);
+        }
+    }
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn world_has_99_countries() {
+        let w = builtin_world();
+        assert_eq!(w.len(), 99, "the Google survey covers 99 countries");
+        let codes: BTreeSet<_> = w.iter().map(|p| p.country).collect();
+        assert_eq!(codes.len(), 99, "country codes must be unique");
+    }
+
+    #[test]
+    fn case_study_profiles_match_table4_anchors() {
+        let w = builtin_world();
+        let get = |c: &str| w.iter().find(|p| p.country == Country::new(c)).unwrap();
+        let bw = get("BW");
+        let us = get("US");
+        let jp = get("JP");
+        let sa = get("SA");
+        // GDP per capita (PPP) straight from Table 4.
+        assert_eq!(bw.gdp_per_capita, MoneyPpp::from_usd(14_993.0));
+        assert_eq!(us.gdp_per_capita, MoneyPpp::from_usd(49_797.0));
+        // Access-price ordering: BW > SA > US ≈ JP.
+        assert!(bw.market.access_price > sa.market.access_price);
+        assert!(sa.market.access_price > us.market.access_price);
+        // Upgrade-cost ordering: BW ≫ SA ≫ US > JP (Fig. 10).
+        assert!(bw.market.cost_per_mbps > 10.0 * sa.market.cost_per_mbps);
+        assert!(us.market.cost_per_mbps > 5.0 * jp.market.cost_per_mbps);
+        // The US dominates the sample (Table 4: 3,759 of ~5,000 users).
+        assert!(us.user_weight > 10.0 * jp.user_weight);
+    }
+
+    #[test]
+    fn india_profile_is_long_and_lossy() {
+        let w = builtin_world();
+        let media: Vec<f64> = w
+            .iter()
+            .filter(|p| p.country != Country::new("IN"))
+            .map(|p| p.rtt_median_ms)
+            .collect();
+        let global_median = {
+            let mut m = media.clone();
+            m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            m[m.len() / 2]
+        };
+        let india = w
+            .iter()
+            .find(|p| p.country == Country::new("IN"))
+            .unwrap();
+        assert!(
+            india.rtt_median_ms > 2.0 * global_median,
+            "India at {} ms vs global median {} ms",
+            india.rtt_median_ms,
+            global_median
+        );
+        assert!(india.loss_median_pct > 1.0);
+    }
+
+    #[test]
+    fn monthly_income_is_a_twelfth() {
+        let w = builtin_world();
+        let us = w.iter().find(|p| p.country == Country::new("US")).unwrap();
+        assert!((us.monthly_income().usd() - 49_797.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regions_cover_table5() {
+        let w = builtin_world();
+        let regions: BTreeSet<Region> = w.iter().map(|p| p.region).collect();
+        for needed in [
+            Region::Africa,
+            Region::AsiaDeveloped,
+            Region::AsiaDeveloping,
+            Region::CentralAmericaCaribbean,
+            Region::Europe,
+            Region::MiddleEast,
+            Region::NorthAmerica,
+            Region::SouthAmerica,
+        ] {
+            assert!(regions.contains(&needed), "missing {needed:?}");
+        }
+    }
+
+    #[test]
+    fn appetite_growth_is_fourfold_over_five_years() {
+        let five_year = APPETITE_GROWTH_PER_YEAR.powi(5);
+        assert!((3.5..4.5).contains(&five_year), "growth {five_year}");
+    }
+}

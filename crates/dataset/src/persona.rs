@@ -1,0 +1,176 @@
+//! User personas — the paper's §10 future work, implemented.
+//!
+//! "We have so far treated users as a homogeneous consumer group; it will
+//! be interesting to investigate how different categories of users (e.g.,
+//! gamers, shoppers or movie-watchers) … are impacted by different market
+//! and service features." A [`Persona`] shapes a user's application mix,
+//! duty cycle and BitTorrent propensity; the `bb-study` extension module
+//! then compares market impact across personas.
+//!
+//! The persona is a *generator-side* label: real studies would have to
+//! infer it from traffic. Records carry it as an oracle label, and nothing
+//! in the reproduction of the paper's own exhibits reads it.
+
+use bb_netsim::app::AppMix;
+use rand::Rng;
+
+/// Coarse user categories, echoing the examples in the paper's §10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Persona {
+    /// Movie-watcher: video dominates; long evening sessions.
+    Streamer,
+    /// Shopper/reader: many short web sessions, little video.
+    Browser,
+    /// Heavy file-grabber: bulk and BitTorrent loom large.
+    Downloader,
+    /// Gamer: latency-sensitive, modest volume, steady background traffic.
+    Gamer,
+}
+
+impl Persona {
+    /// All personas.
+    pub const ALL: [Persona; 4] = [
+        Persona::Streamer,
+        Persona::Browser,
+        Persona::Downloader,
+        Persona::Gamer,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Persona::Streamer => "streamer",
+            Persona::Browser => "browser",
+            Persona::Downloader => "downloader",
+            Persona::Gamer => "gamer",
+        }
+    }
+
+    /// Population weights (Dasu-like population: downloaders are
+    /// over-represented because the client ships as a BitTorrent
+    /// extension).
+    pub fn weight(self) -> f64 {
+        match self {
+            Persona::Streamer => 0.35,
+            Persona::Browser => 0.30,
+            Persona::Downloader => 0.25,
+            Persona::Gamer => 0.10,
+        }
+    }
+
+    /// Draw a persona according to the population weights.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Persona {
+        let total: f64 = Persona::ALL.iter().map(|p| p.weight()).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for p in Persona::ALL {
+            if x < p.weight() {
+                return p;
+            }
+            x -= p.weight();
+        }
+        Persona::Gamer
+    }
+
+    /// The persona's application mix (BitTorrent is handled separately).
+    pub fn app_mix(self) -> AppMix {
+        match self {
+            Persona::Streamer => AppMix {
+                web: 0.30,
+                video: 0.55,
+                bulk: 0.03,
+                background: 0.12,
+            },
+            Persona::Browser => AppMix {
+                web: 0.75,
+                video: 0.08,
+                bulk: 0.02,
+                background: 0.15,
+            },
+            Persona::Downloader => AppMix {
+                web: 0.40,
+                video: 0.18,
+                bulk: 0.22,
+                background: 0.20,
+            },
+            Persona::Gamer => AppMix {
+                web: 0.45,
+                video: 0.12,
+                bulk: 0.08,
+                background: 0.35,
+            },
+        }
+    }
+
+    /// Multiplier on the user's duty cycle (streamers watch for hours;
+    /// browsers dip in and out).
+    pub fn duty_multiplier(self) -> f64 {
+        match self {
+            Persona::Streamer => 1.35,
+            Persona::Browser => 0.6,
+            Persona::Downloader => 1.2,
+            Persona::Gamer => 0.8,
+        }
+    }
+
+    /// Multiplier on the base BitTorrent propensity.
+    pub fn bt_multiplier(self) -> f64 {
+        match self {
+            Persona::Streamer => 0.8,
+            Persona::Browser => 0.5,
+            Persona::Downloader => 1.7,
+            Persona::Gamer => 0.9,
+        }
+    }
+}
+
+impl std::fmt::Display for Persona {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = Persona::ALL.iter().map(|p| p.weight()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(Persona::sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for p in Persona::ALL {
+            let frac = counts[&p] as f64 / 20_000.0;
+            assert!(
+                (frac - p.weight()).abs() < 0.02,
+                "{p}: {frac} vs {}",
+                p.weight()
+            );
+        }
+    }
+
+    #[test]
+    fn mixes_are_valid_and_distinct() {
+        for p in Persona::ALL {
+            let mix = p.app_mix();
+            assert!((mix.total() - 1.0).abs() < 1e-9, "{p}");
+        }
+        assert!(Persona::Streamer.app_mix().video > Persona::Browser.app_mix().video);
+        assert!(Persona::Downloader.app_mix().bulk > Persona::Streamer.app_mix().bulk);
+    }
+
+    #[test]
+    fn behavioural_multipliers_are_ordered() {
+        assert!(Persona::Streamer.duty_multiplier() > Persona::Browser.duty_multiplier());
+        assert!(Persona::Downloader.bt_multiplier() > Persona::Browser.bt_multiplier());
+    }
+}

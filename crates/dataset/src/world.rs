@@ -1,0 +1,641 @@
+//! World generation: from country profiles to a complete [`Dataset`].
+
+use crate::agent::{choose_plan, Agent, AgentSampler};
+use crate::country::{builtin_world, CountryProfile, APPETITE_GROWTH_PER_YEAR};
+use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
+use bb_market::{MarketSurvey, Plan, PlanCatalog};
+use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
+use bb_netsim::link::AccessLink;
+use bb_netsim::probe::{web_latency, NdtProbe};
+use bb_netsim::workload::{simulate_user, UserWorkload};
+use bb_stats::dist::LogNormal;
+use bb_types::{Country, Latency, LossRate, NetworkId, TimeAxis, UserId, Year};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Knobs controlling the size and shape of a generated dataset.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Master seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Multiplier on each country's `user_weight` to get its Dasu user
+    /// count.
+    pub user_scale: f64,
+    /// Observation window length per user, days.
+    pub days: u32,
+    /// Panel years to populate.
+    pub years: Vec<Year>,
+    /// Size of the US-only FCC gateway cohort.
+    pub fcc_users: usize,
+    /// Fraction of Dasu users additionally observed after a service
+    /// upgrade (the §3.2 movers).
+    pub upgrade_fraction: f64,
+    /// Fraction of Dasu users with the 2014 web-latency measurements
+    /// (§7.1 added that experiment "later in the study").
+    pub web_probe_fraction: f64,
+    /// Share of BitTorrent users in the FCC cohort (gateway panellists are
+    /// recruited very differently from Dasu's BitTorrent population).
+    pub fcc_bt_prob: f64,
+}
+
+impl WorldConfig {
+    /// A small, fast configuration for unit/integration tests
+    /// (~250 users, 3-day windows).
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            user_scale: 1.2,
+            days: 3,
+            years: Year::PANEL.to_vec(),
+            fcc_users: 60,
+            upgrade_fraction: 0.25,
+            web_probe_fraction: 0.5,
+            fcc_bt_prob: 0.12,
+        }
+    }
+
+    /// The full configuration used by the benches and the `reproduce`
+    /// harness (~5,600 Dasu users + 600 FCC gateways, 7-day windows —
+    /// comparable to the paper's ~5,000-user Table 4 population).
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            user_scale: 40.0,
+            days: 7,
+            years: Year::PANEL.to_vec(),
+            fcc_users: 600,
+            upgrade_fraction: 0.25,
+            web_probe_fraction: 0.5,
+            fcc_bt_prob: 0.12,
+        }
+    }
+}
+
+/// A world: profiles plus configuration.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Country profiles to populate.
+    pub profiles: Vec<CountryProfile>,
+    /// Generation knobs.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// The built-in 99-country world.
+    pub fn new(config: WorldConfig) -> Self {
+        World {
+            profiles: builtin_world(),
+            config,
+        }
+    }
+
+    /// A world restricted to specific countries (case studies, examples).
+    pub fn with_countries(config: WorldConfig, codes: &[&str]) -> Self {
+        let wanted: Vec<Country> = codes.iter().map(|c| Country::new(c)).collect();
+        let profiles = builtin_world()
+            .into_iter()
+            .filter(|p| wanted.contains(&p.country))
+            .collect();
+        World { profiles, config }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut survey = MarketSurvey::new();
+        let mut catalogs: Vec<(usize, PlanCatalog)> = Vec::new();
+        for (i, p) in self.profiles.iter().enumerate() {
+            let catalog = p.market.instantiate(&mut rng);
+            survey.insert(p.region, catalog.clone());
+            catalogs.push((i, catalog));
+        }
+
+        let mut records = Vec::new();
+        let mut upgrades = Vec::new();
+        let mut next_user = 0u64;
+
+        for (pi, catalog) in &catalogs {
+            let profile = &self.profiles[*pi];
+            let n_users = (profile.user_weight * self.config.user_scale).round().max(1.0) as usize;
+            for _ in 0..n_users {
+                let user = UserId(next_user);
+                next_user += 1;
+                let year = self.config.years[rng.gen_range(0..self.config.years.len())];
+                let agent = self.sample_subscriber(profile, catalog, year, None, &mut rng);
+                let (record, link, plan_idx) = self.observe_user(
+                    user,
+                    profile,
+                    catalog,
+                    &agent,
+                    year,
+                    VantageKind::Dasu,
+                    &mut rng,
+                );
+                // Movers: re-observe a fraction of users after an upgrade.
+                if rng.gen::<f64>() < self.config.upgrade_fraction {
+                    if let Some(up) =
+                        self.observe_upgrade(&record, profile, catalog, &agent, link, plan_idx, &mut rng)
+                    {
+                        upgrades.push(up);
+                    }
+                }
+                records.push(record);
+            }
+        }
+
+        // The FCC cohort: US gateways.
+        if let Some(us_idx) = self
+            .profiles
+            .iter()
+            .position(|p| p.country == Country::new("US"))
+        {
+            let catalog = &catalogs.iter().find(|(i, _)| *i == us_idx).expect("US catalog").1;
+            let profile = &self.profiles[us_idx];
+            for _ in 0..self.config.fcc_users {
+                let user = UserId(next_user);
+                next_user += 1;
+                let year = self.config.years[rng.gen_range(0..self.config.years.len())];
+                let agent = self.sample_subscriber(
+                    profile,
+                    catalog,
+                    year,
+                    Some(self.config.fcc_bt_prob),
+                    &mut rng,
+                );
+                let (record, _, _) = self.observe_user(
+                    user,
+                    profile,
+                    catalog,
+                    &agent,
+                    year,
+                    VantageKind::Fcc,
+                    &mut rng,
+                );
+                records.push(record);
+            }
+        }
+
+        Dataset {
+            records,
+            upgrades,
+            survey,
+        }
+    }
+
+    /// Sample an agent who is actually *in* the broadband market.
+    ///
+    /// "Need, want, can afford" applies to the subscription decision
+    /// itself: where the cheapest workable plan exceeds a household's
+    /// budget, only the needy subscribe at all ("subscribers are willing
+    /// to pay more for it", §5). Low-appetite would-be users simply never
+    /// appear in a broadband measurement dataset. This self-selection is
+    /// the mechanism behind the §5/§6 findings that users in expensive
+    /// markets impose higher demand at matched capacities.
+    fn sample_subscriber(
+        &self,
+        profile: &CountryProfile,
+        catalog: &PlanCatalog,
+        year: Year,
+        bt_prob_override: Option<f64>,
+        rng: &mut ChaCha8Rng,
+    ) -> Agent {
+        let growth = APPETITE_GROWTH_PER_YEAR.powi(year.0 as i32 - 2012);
+        for _ in 0..60 {
+            let agent = self.sample_agent(profile, year, bt_prob_override, rng);
+            let plan = choose_plan(&agent, catalog);
+            // Consumer surplus of the best available plan, with some slack
+            // for habit, work-from-home necessity, family pressure…
+            let value = agent.value_of(plan.download).usd();
+            let hurdle = plan.monthly_price.usd() * 0.8;
+            // Soft acceptance in two parts: the measurable surplus, and a
+            // direct *need* tilt — dollar value alone cannot express why a
+            // high-need household keeps paying painful prices for a small
+            // pipe (the value of the first megabit is nearly
+            // appetite-independent), yet that is precisely who stays in an
+            // expensive market. Where plans are cheap the odds saturate
+            // and no selection occurs; where they are dear, subscribers
+            // skew needy — the §5 mechanism.
+            let need_ratio = agent.appetite.mbps() / (profile.appetite_median_mbps * growth);
+            let odds = (value / hurdle.max(0.01)).powf(1.5) * need_ratio.powf(0.8);
+            let accept = odds / (1.0 + odds);
+            if rng.gen::<f64>() < accept {
+                return agent;
+            }
+        }
+        // Extremely unaffordable market: whoever subscribes, subscribes.
+        self.sample_agent(profile, year, bt_prob_override, rng)
+    }
+
+    fn sample_agent(
+        &self,
+        profile: &CountryProfile,
+        year: Year,
+        bt_prob_override: Option<f64>,
+        rng: &mut ChaCha8Rng,
+    ) -> Agent {
+        // Appetites grow yearly around the 2012 anchor.
+        let growth = APPETITE_GROWTH_PER_YEAR.powi(year.0 as i32 - 2012);
+        let mut sampler = AgentSampler::new(
+            profile.appetite_median_mbps * growth,
+            profile.monthly_income(),
+        );
+        if let Some(p) = bt_prob_override {
+            sampler.bt_user_prob = p;
+        }
+        sampler.sample(rng)
+    }
+
+    /// Build the physical link a plan delivers at this user's location.
+    fn build_link(
+        &self,
+        profile: &CountryProfile,
+        plan: &Plan,
+        rng: &mut ChaCha8Rng,
+    ) -> AccessLink {
+        // Delivered capacity: advertised rate times a provisioning factor.
+        let provisioning = rng.gen_range(0.85..1.05);
+        let capacity = plan.download * provisioning;
+        // Path quality: country distribution, much worse over impaired
+        // technologies (the satellite/wireless tails of Figs. 1b-1c).
+        // Satellite-like paths are dominated by propagation delay;
+        // terrestrial wireless by loss — keeping the two impairments
+        // partly decoupled is what lets the §7 experiments match
+        // high-latency users against similar-loss users and vice versa.
+        let (rtt_mult, loss_mult) = if plan.technology.is_impaired() {
+            if rng.gen::<f64>() < 0.5 {
+                (5.0, 2.5) // satellite-like
+            } else {
+                (1.8, 8.0) // terrestrial wireless-like
+            }
+        } else {
+            (1.0, 1.0)
+        };
+        let rtt = LogNormal::from_median(profile.rtt_median_ms * rtt_mult, profile.rtt_sigma)
+            .sample(rng)
+            .clamp(3.0, 3000.0);
+        let loss_pct =
+            LogNormal::from_median(profile.loss_median_pct * loss_mult, profile.loss_sigma)
+                .sample(rng)
+                .clamp(1e-4, 30.0);
+        AccessLink::new(
+            capacity,
+            Latency::from_ms(rtt),
+            LossRate::from_percent(loss_pct),
+        )
+        .with_upload((plan.upload * provisioning).max(bb_types::Bandwidth::from_kbps(64.0)))
+    }
+
+    /// Simulate, collect and probe one user on their chosen plan.
+    /// Returns the record, the link (for upgrade re-use) and the index of
+    /// the chosen plan in the catalogue.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_user(
+        &self,
+        user: UserId,
+        profile: &CountryProfile,
+        catalog: &PlanCatalog,
+        agent: &Agent,
+        year: Year,
+        vantage: VantageKind,
+        rng: &mut ChaCha8Rng,
+    ) -> (UserRecord, AccessLink, usize) {
+        let plan = choose_plan(agent, catalog);
+        let plan_idx = catalog
+            .plans
+            .iter()
+            .position(|p| p == plan)
+            .expect("chosen plan comes from the catalogue");
+        let link = self.build_link(profile, plan, rng);
+        let (record, _) = self.observe_on_link(
+            user, profile, catalog, agent, year, vantage, plan, &link, rng,
+        );
+        (record, link, plan_idx)
+    }
+
+    /// Observe an already-linked user (shared by first observation and the
+    /// post-upgrade re-observation).
+    #[allow(clippy::too_many_arguments)]
+    fn observe_on_link(
+        &self,
+        user: UserId,
+        profile: &CountryProfile,
+        catalog: &PlanCatalog,
+        agent: &Agent,
+        year: Year,
+        vantage: VantageKind,
+        plan: &Plan,
+        link: &AccessLink,
+        rng: &mut ChaCha8Rng,
+    ) -> (UserRecord, NetworkId) {
+        let axis = TimeAxis::new(year, self.config.days);
+        // Usage caps: subscribers on capped plans *manage* their usage to
+        // the cap (Chetty et al., cited in §8) — model that as pacing the
+        // offered intensity to ~80% of the window's allowance — with the
+        // ISP's hard throttle as the backstop for the unlucky rest.
+        let window_cap_bytes = plan
+            .cap_gb
+            .map(|gb| gb * 1e9 * self.config.days as f64 / 30.0);
+        let mut intensity = agent.offered_intensity();
+        if let Some(cap) = window_cap_bytes {
+            let paced = bb_types::Bandwidth::from_bps(0.8 * cap * 8.0 / axis.duration_secs());
+            intensity = intensity.min(paced);
+        }
+        let mut workload = if agent.bt_user {
+            UserWorkload::with_bt(intensity, 0.45)
+        } else {
+            UserWorkload::without_bt(intensity)
+        };
+        workload.mix = agent.persona.app_mix();
+        if let Some(cap) = window_cap_bytes {
+            workload = workload.with_cap(cap);
+        }
+        // Multi-device households: other machines share the link; their
+        // traffic reaches UPnP gateway counters but not the measured
+        // host's netstat (Dasu detects and subtracts most of it).
+        if rng.gen::<f64>() < 0.4 {
+            let share = rng.gen_range(0.1..0.5);
+            workload = workload.with_cross_traffic(intensity * share);
+        }
+        let truth = simulate_user(link, &workload, axis, rng);
+        // Dasu clients poll real byte counters (§2.1): most ride UPnP
+        // gateway registers (32-bit, wrapping), the rest read netstat on a
+        // directly-connected host. FCC gateways report hourly bins.
+        let counter_source = match vantage {
+            VantageKind::Dasu => Some(if rng.gen::<f64>() < 0.6 {
+                CounterSource::Upnp
+            } else {
+                CounterSource::Netstat
+            }),
+            VantageKind::Fcc => None,
+        };
+        let collected = match counter_source {
+            Some(source) => {
+                UsageSeries::collect_via_counters(&truth, 0.5, source, link.capacity, rng)
+            }
+            None => UsageSeries::collect(&truth, Vantage::FccGateway, rng),
+        };
+        let demand_with_bt = collected.demand(BtFilter::Include);
+        let demand_no_bt = collected.demand(BtFilter::Exclude);
+        let upload_mean = collected.upload_mean(BtFilter::Include);
+
+        let ndt = NdtProbe::default().run_averaged(link, 4, rng);
+        let web = if rng.gen::<f64>() < self.config.web_probe_fraction {
+            Some(web_latency(link, rng))
+        } else {
+            None
+        };
+
+        let network = NetworkId::new(
+            profile.country,
+            (catalog
+                .plans
+                .iter()
+                .position(|p| p == plan)
+                .unwrap_or(0)
+                % 4) as u16,
+            rng.gen_range(0..1 << 16),
+            rng.gen_range(0..24),
+        );
+
+        let record = UserRecord {
+            user,
+            country: profile.country,
+            network: network.clone(),
+            year,
+            vantage,
+            capacity: ndt.download,
+            latency: ndt.avg_rtt,
+            loss: ndt.loss,
+            web_latency: web,
+            demand_with_bt,
+            demand_no_bt,
+            plan_capacity: plan.download,
+            plan_price: plan.monthly_price,
+            access_price: catalog
+                .price_of_access()
+                .unwrap_or(plan.monthly_price),
+            upgrade_cost: catalog.upgrade_cost(),
+            is_bt_user: agent.bt_user,
+            upload_mean,
+            plan_capped: plan.cap_gb.is_some(),
+            counter_source,
+            persona: agent.persona,
+        };
+        (record, network)
+    }
+
+    /// Re-observe a user after a service upgrade: the cheapest strictly
+    /// faster, non-dedicated plan one to three rungs up the ladder.
+    ///
+    /// Users "jump to a higher service when their demand grows" (§1), so
+    /// the mover's appetite is scaled by a heavy-tailed growth factor
+    /// (median ~1.7x, wide spread — some upgrades are promotions or
+    /// marketing, not need) between the two observations. The §3.2 numbers
+    /// (usage roughly doubling at the median, H holding for two thirds of
+    /// movers rather than all of them) reflect that mix plus the relaxed
+    /// capacity constraint.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_upgrade(
+        &self,
+        before_record: &UserRecord,
+        profile: &CountryProfile,
+        catalog: &PlanCatalog,
+        agent: &Agent,
+        before_link: AccessLink,
+        before_plan_idx: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<UpgradeObservation> {
+        let before_plan = &catalog.plans[before_plan_idx];
+        // Candidate faster plans, sorted by capacity.
+        let mut faster: Vec<&Plan> = catalog
+            .plans
+            .iter()
+            .filter(|p| !p.dedicated && p.download > before_plan.download)
+            .collect();
+        if faster.is_empty() {
+            return None;
+        }
+        faster.sort_by_key(|p| p.download);
+        let rungs = rng.gen_range(1..=3usize.min(faster.len()));
+        let after_plan = faster[rungs - 1];
+
+        // Same location: keep the path quality, change the delivered
+        // capacity.
+        let provisioning = rng.gen_range(0.85..1.05);
+        let after_link = AccessLink::new(
+            after_plan.download * provisioning,
+            before_link.base_rtt,
+            before_link.loss,
+        )
+        .with_upload(
+            (after_plan.upload * provisioning).max(bb_types::Bandwidth::from_kbps(64.0)),
+        );
+        // Demand growth drives the upgrade (see the doc comment).
+        let growth = LogNormal::from_median(1.7, 0.85).sample(rng).clamp(0.35, 10.0);
+        let grown_agent = Agent {
+            appetite: (agent.appetite * growth).min(bb_types::Bandwidth::from_mbps(200.0)),
+            ..*agent
+        };
+        let (after_record, after_network) = self.observe_on_link(
+            before_record.user,
+            profile,
+            catalog,
+            &grown_agent,
+            before_record.year,
+            VantageKind::Dasu,
+            after_plan,
+            &after_link,
+            rng,
+        );
+        Some(UpgradeObservation {
+            user: before_record.user,
+            country: profile.country,
+            before: UpgradeSnapshot {
+                network: before_record.network.clone(),
+                capacity: before_record.capacity,
+                demand_with_bt: before_record.demand_with_bt,
+                demand_no_bt: before_record.demand_no_bt,
+            },
+            after: UpgradeSnapshot {
+                network: after_network,
+                capacity: after_record.capacity,
+                demand_with_bt: after_record.demand_with_bt,
+                demand_no_bt: after_record.demand_no_bt,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]).generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.capacity, rb.capacity);
+            assert_eq!(ra.demand_no_bt, rb.demand_no_bt);
+        }
+    }
+
+    #[test]
+    fn cohorts_are_present() {
+        let ds = tiny();
+        assert!(ds.dasu().count() > 20);
+        assert_eq!(ds.fcc().count(), 20);
+        assert!(ds.fcc().all(|r| r.country == Country::new("US")));
+        assert!(!ds.upgrades.is_empty());
+        assert_eq!(ds.survey.len(), 5);
+    }
+
+    #[test]
+    fn upgrades_actually_go_up() {
+        let ds = tiny();
+        let mut ratios: Vec<f64> = Vec::new();
+        for up in &ds.upgrades {
+            // Individual *measured* capacities can dip across an upgrade
+            // (provisioning spread + probe noise), just like real NDT
+            // readings; but never catastrophically…
+            assert!(
+                up.after.capacity > up.before.capacity * 0.5,
+                "after {} vs before {}",
+                up.after.capacity,
+                up.before.capacity
+            );
+            ratios.push(up.after.capacity / up.before.capacity);
+        }
+        // …and the typical upgrade clearly raises capacity.
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!(
+            ratios[ratios.len() / 2] > 1.15,
+            "median upgrade ratio {}",
+            ratios[ratios.len() / 2]
+        );
+    }
+
+    #[test]
+    fn case_study_capacity_ordering() {
+        // The Fig. 7a ordering: BW < SA < US < JP in median capacity.
+        let mut cfg = WorldConfig::small(11);
+        cfg.user_scale = 40.0; // enough users in the small countries
+        cfg.fcc_users = 0;
+        cfg.days = 1;
+        let ds = World::with_countries(cfg, &["US", "JP", "BW", "SA"]).generate();
+        let median_cap = |code: &str| {
+            let mut caps: Vec<f64> = ds
+                .in_country(Country::new(code))
+                .map(|r| r.capacity.mbps())
+                .collect();
+            assert!(caps.len() >= 20, "{code}: {} users", caps.len());
+            caps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            caps[caps.len() / 2]
+        };
+        let (bw, sa, us, jp) = (
+            median_cap("BW"),
+            median_cap("SA"),
+            median_cap("US"),
+            median_cap("JP"),
+        );
+        assert!(bw < sa, "BW {bw} < SA {sa}");
+        assert!(sa < us, "SA {sa} < US {us}");
+        assert!(us < jp, "US {us} < JP {jp}");
+    }
+
+    #[test]
+    fn utilization_ordering_reverses_capacity_ordering() {
+        // Fig. 7b: "the countries appear in exactly reverse order".
+        let mut cfg = WorldConfig::small(13);
+        cfg.user_scale = 40.0;
+        cfg.fcc_users = 0;
+        cfg.days = 2;
+        let ds = World::with_countries(cfg, &["US", "JP", "BW"]).generate();
+        let mean_util = |code: &str| {
+            let utils: Vec<f64> = ds
+                .in_country(Country::new(code))
+                .filter_map(|r| r.peak_utilization())
+                .collect();
+            utils.iter().sum::<f64>() / utils.len() as f64
+        };
+        let (bw, us, jp) = (mean_util("BW"), mean_util("US"), mean_util("JP"));
+        assert!(bw > us, "BW {bw} should out-utilise US {us}");
+        assert!(us > jp, "US {us} should out-utilise JP {jp}");
+    }
+
+    #[test]
+    fn india_has_long_latency_records() {
+        let ds = tiny();
+        let in_lat: Vec<f64> = ds
+            .in_country(Country::new("IN"))
+            .map(|r| r.latency.ms())
+            .collect();
+        let us_lat: Vec<f64> = ds
+            .in_country(Country::new("US"))
+            .filter(|r| r.vantage == VantageKind::Dasu)
+            .map(|r| r.latency.ms())
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&in_lat) > 2.0 * mean(&us_lat));
+    }
+
+    #[test]
+    fn demand_summaries_mostly_observed() {
+        let ds = tiny();
+        let observed = ds
+            .records
+            .iter()
+            .filter(|r| r.demand_no_bt.is_some())
+            .count();
+        assert!(observed as f64 > 0.95 * ds.records.len() as f64);
+    }
+}

@@ -1,0 +1,326 @@
+//! Generative market archetypes.
+//!
+//! The real study used the Google retail-plan survey; that dataset is no
+//! longer distributed, so (per the substitution rule in DESIGN.md) we
+//! generate catalogues from parameterised *archetypes*. An archetype
+//! captures the handful of degrees of freedom that drive every analysis in
+//! the paper: how much the entry-level service costs, how steeply price
+//! rises with capacity, how far up the tier ladder goes, and how noisy /
+//! pathological the pricing is.
+//!
+//! The defaults below are chosen so that the generated 99-country survey
+//! matches the published aggregates: upgrade costs under $0.10/Mbps in
+//! developed Asia, ~$0.50 in North America, above $10 for three quarters of
+//! Africa (Table 5), and a correlation census with roughly 66% of markets
+//! above r = 0.8 and 81% above r = 0.4 (§6).
+
+use crate::catalog::PlanCatalog;
+use crate::plan::{Plan, Technology};
+use bb_types::{Bandwidth, Country, MoneyPpp, Region};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing one country's retail broadband market.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarketArchetype {
+    /// Country this archetype instantiates.
+    pub country: Country,
+    /// Region, for the Table 5 aggregation.
+    pub region: Region,
+    /// Target monthly price of the cheapest ≥ 1 Mbps plan (USD PPP).
+    pub access_price: f64,
+    /// Target cost of +1 Mbps of capacity (USD PPP per month).
+    pub cost_per_mbps: f64,
+    /// Slowest advertised tier (Mbps).
+    pub min_tier_mbps: f64,
+    /// Fastest advertised tier (Mbps).
+    pub max_tier_mbps: f64,
+    /// Number of distinct plans to generate (≥ 2).
+    pub n_plans: usize,
+    /// Log-space sigma of multiplicative price noise. Around 0.05 produces
+    /// the strongly-correlated markets of §6; 0.4+ produces the weakly
+    /// correlated tail.
+    pub price_noise: f64,
+    /// Fraction of plans sold over impaired (wireless/satellite) links.
+    pub wireless_share: f64,
+    /// Fraction of plans carrying a monthly traffic cap.
+    pub capped_share: f64,
+    /// Cap size in GB per Mbps of plan capacity (market convention;
+    /// ~80 GB/Mbps makes caps bind only for heavy users, as in most real
+    /// 2011–13 markets).
+    pub cap_gb_per_mbps: f64,
+    /// Add a slow-but-expensive dedicated line (the Afghanistan case of
+    /// §6), which depresses the price~capacity correlation.
+    pub dedicated_outlier: bool,
+}
+
+impl MarketArchetype {
+    /// A sane developed-market baseline to customise from.
+    pub fn developed(country: Country, region: Region) -> Self {
+        MarketArchetype {
+            country,
+            region,
+            access_price: 20.0,
+            cost_per_mbps: 0.6,
+            min_tier_mbps: 1.0,
+            max_tier_mbps: 100.0,
+            n_plans: 12,
+            price_noise: 0.05,
+            wireless_share: 0.05,
+            capped_share: 0.1,
+            cap_gb_per_mbps: 80.0,
+            dedicated_outlier: false,
+        }
+    }
+
+    /// A developing-market baseline: expensive access, steep upgrade costs,
+    /// a short tier ladder, noisier pricing.
+    pub fn developing(country: Country, region: Region) -> Self {
+        MarketArchetype {
+            country,
+            region,
+            access_price: 70.0,
+            cost_per_mbps: 12.0,
+            min_tier_mbps: 0.25,
+            max_tier_mbps: 8.0,
+            n_plans: 6,
+            price_noise: 0.15,
+            wireless_share: 0.35,
+            capped_share: 0.5,
+            cap_gb_per_mbps: 80.0,
+            dedicated_outlier: false,
+        }
+    }
+
+    /// The archetype as it would look `years` later under organic market
+    /// evolution: entry prices drift down a few percent a year, the cost
+    /// per megabit falls fast (technology), and the top of the ladder
+    /// grows. Negative `years` rewinds. This powers the §10 extension on
+    /// national broadband plans ("it may be possible to explore the
+    /// potential benefits of national broadband deployment plans").
+    pub fn evolved(&self, years: i32) -> MarketArchetype {
+        let mut m = self.clone();
+        m.access_price = (self.access_price * 0.94f64.powi(years)).max(1.0);
+        m.cost_per_mbps = (self.cost_per_mbps * 0.80f64.powi(years)).max(0.01);
+        m.max_tier_mbps = self.max_tier_mbps * 1.35f64.powi(years);
+        // Ladders gain a rung roughly every other year.
+        if years > 0 {
+            m.n_plans = (self.n_plans + years as usize / 2).min(20);
+        }
+        m
+    }
+
+    /// A subsidised variant: a national plan that halves the entry price
+    /// and guarantees a service floor of `floor_mbps` (regulated entry
+    /// tier).
+    pub fn subsidised(&self, floor_mbps: f64) -> MarketArchetype {
+        let mut m = self.clone();
+        m.access_price = (self.access_price * 0.5).max(1.0);
+        m.min_tier_mbps = m.min_tier_mbps.max(floor_mbps);
+        if m.max_tier_mbps <= m.min_tier_mbps {
+            m.max_tier_mbps = m.min_tier_mbps * 8.0;
+        }
+        m
+    }
+
+    /// Instantiate a catalogue from this archetype.
+    ///
+    /// Tier capacities are geometrically spaced from `min_tier_mbps` to
+    /// `max_tier_mbps` and snapped to "marketing" values (one significant
+    /// digit, the way real plans are advertised). Prices follow
+    /// `access_price + cost_per_mbps · (capacity − 1 Mbps)` with
+    /// multiplicative log-normal noise.
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> PlanCatalog {
+        assert!(self.n_plans >= 2, "an archetype needs at least two plans");
+        assert!(
+            self.max_tier_mbps > self.min_tier_mbps,
+            "tier ladder is empty"
+        );
+        let ratio = (self.max_tier_mbps / self.min_tier_mbps).powf(1.0 / (self.n_plans - 1) as f64);
+        let mut plans = Vec::with_capacity(self.n_plans + 1);
+        for i in 0..self.n_plans {
+            let raw_mbps = self.min_tier_mbps * ratio.powi(i as i32);
+            let mbps = snap_to_marketing_tier(raw_mbps);
+            let base = self.access_price + self.cost_per_mbps * (mbps - 1.0).max(0.0)
+                + if mbps < 1.0 {
+                    // Sub-megabit plans discount off the access price.
+                    -self.access_price * (1.0 - mbps) * 0.4
+                } else {
+                    0.0
+                };
+            let noise = (rng.gen::<f64>() - 0.5) * 2.0; // uniform in [-1, 1)
+            let price = (base * (self.price_noise * noise).exp()).max(1.0);
+            let technology = if rng.gen::<f64>() < self.wireless_share {
+                Technology::Wireless
+            } else if mbps >= 50.0 {
+                Technology::Fiber
+            } else if mbps >= 10.0 {
+                Technology::Cable
+            } else {
+                Technology::Dsl
+            };
+            let cap_gb = if rng.gen::<f64>() < self.capped_share {
+                // Caps sized so that (by default) only heavy users feel
+                // them — real-world caps bind a minority (Chetty et al.).
+                Some((mbps * self.cap_gb_per_mbps).clamp(
+                    self.cap_gb_per_mbps / 2.0,
+                    25.0 * self.cap_gb_per_mbps,
+                ))
+            } else {
+                None
+            };
+            plans.push(Plan {
+                download: Bandwidth::from_mbps(mbps),
+                upload: Bandwidth::from_mbps((mbps / 8.0).max(0.1)),
+                monthly_price: MoneyPpp::from_usd(price),
+                cap_gb,
+                technology,
+                dedicated: false,
+            });
+        }
+        if self.dedicated_outlier {
+            // A dedicated line: slow, very expensive — §6's correlation
+            // killer.
+            plans.push(Plan {
+                download: Bandwidth::from_mbps(self.min_tier_mbps.max(0.5)),
+                upload: Bandwidth::from_mbps(self.min_tier_mbps.max(0.5)),
+                monthly_price: MoneyPpp::from_usd(
+                    self.access_price + self.cost_per_mbps * self.max_tier_mbps * 2.0,
+                ),
+                cap_gb: None,
+                technology: Technology::Dsl,
+                dedicated: true,
+            });
+        }
+        PlanCatalog::new(self.country, plans)
+    }
+}
+
+/// Round a capacity to a value an ISP would actually advertise: one or two
+/// leading digits from the set a marketing department would pick.
+fn snap_to_marketing_tier(mbps: f64) -> f64 {
+    const LADDER: [f64; 28] = [
+        0.128, 0.25, 0.5, 0.768, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0, 16.0,
+        18.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 75.0, 100.0, 150.0, 200.0, 300.0,
+    ];
+    let mut best = LADDER[0];
+    let mut best_d = f64::INFINITY;
+    for &l in &LADDER {
+        let d = (l.ln() - mbps.ln()).abs();
+        if d < best_d {
+            best_d = d;
+            best = l;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(2014)
+    }
+
+    #[test]
+    fn developed_market_hits_targets() {
+        let a = MarketArchetype::developed(Country::new("US"), Region::NorthAmerica);
+        let cat = a.instantiate(&mut rng());
+        let access = cat.price_of_access().unwrap().usd();
+        assert!(
+            (access / 20.0 - 1.0).abs() < 0.5,
+            "access price {access} should be near $20"
+        );
+        let cost = cat.upgrade_cost().expect("clean market is correlated");
+        assert!(
+            cost.usd() > 0.3 && cost.usd() < 1.2,
+            "upgrade cost {cost} should be near $0.60"
+        );
+    }
+
+    #[test]
+    fn developing_market_is_expensive() {
+        let a = MarketArchetype::developing(Country::new("GH"), Region::Africa);
+        let cat = a.instantiate(&mut rng());
+        let access = cat.price_of_access().unwrap().usd();
+        assert!(access > 50.0, "access price {access}");
+        let cost = cat.upgrade_cost().unwrap();
+        assert!(cost.usd() > 5.0, "upgrade cost {cost}");
+        assert!(cat.fastest().download <= Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn dedicated_outlier_depresses_correlation() {
+        let mut clean = MarketArchetype::developing(Country::new("AF"), Region::AsiaDeveloping);
+        clean.n_plans = 5;
+        let mut outlier = clean.clone();
+        outlier.dedicated_outlier = true;
+        let r_clean = clean
+            .instantiate(&mut rng())
+            .price_capacity_correlation()
+            .unwrap();
+        let r_outlier = outlier
+            .instantiate(&mut rng())
+            .price_capacity_correlation()
+            .unwrap();
+        assert!(r_outlier < r_clean, "{r_outlier} !< {r_clean}");
+    }
+
+    #[test]
+    fn instantiation_is_deterministic_per_seed() {
+        let a = MarketArchetype::developed(Country::new("DE"), Region::Europe);
+        let c1 = a.instantiate(&mut rng());
+        let c2 = a.instantiate(&mut rng());
+        assert_eq!(c1.plans, c2.plans);
+    }
+
+    #[test]
+    fn marketing_tiers_look_real() {
+        assert_eq!(snap_to_marketing_tier(0.9), 1.0);
+        assert_eq!(snap_to_marketing_tier(17.0), 18.0);
+        assert_eq!(snap_to_marketing_tier(90.0), 100.0);
+        assert_eq!(snap_to_marketing_tier(0.4), 0.5);
+    }
+
+    #[test]
+    fn tier_ladder_spans_requested_range() {
+        let a = MarketArchetype::developed(Country::new("JP"), Region::AsiaDeveloped);
+        let cat = a.instantiate(&mut rng());
+        let ladder = cat.capacity_ladder();
+        assert!(ladder.first().unwrap().mbps() <= 2.0);
+        assert!(ladder.last().unwrap().mbps() >= 75.0);
+    }
+
+    #[test]
+    fn evolution_moves_prices_down_and_tiers_up() {
+        let base = MarketArchetype::developing(Country::new("GH"), Region::Africa);
+        let later = base.evolved(3);
+        assert!(later.access_price < base.access_price);
+        assert!(later.cost_per_mbps < base.cost_per_mbps * 0.6);
+        assert!(later.max_tier_mbps > base.max_tier_mbps * 2.0);
+        // Rewinding goes the other way.
+        let earlier = base.evolved(-2);
+        assert!(earlier.access_price > base.access_price);
+        assert!(earlier.max_tier_mbps < base.max_tier_mbps);
+    }
+
+    #[test]
+    fn subsidy_halves_entry_and_floors_the_ladder() {
+        let base = MarketArchetype::developing(Country::new("BW"), Region::Africa);
+        let plan = base.subsidised(1.0);
+        assert!((plan.access_price - base.access_price * 0.5).abs() < 1e-9);
+        assert!(plan.min_tier_mbps >= 1.0);
+        assert!(plan.max_tier_mbps > plan.min_tier_mbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two plans")]
+    fn degenerate_archetype_rejected() {
+        let mut a = MarketArchetype::developed(Country::new("US"), Region::NorthAmerica);
+        a.n_plans = 1;
+        let _ = a.instantiate(&mut rng());
+    }
+}

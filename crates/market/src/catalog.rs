@@ -1,0 +1,215 @@
+//! A country's plan catalogue and the market features derived from it.
+
+use crate::plan::Plan;
+use bb_stats::regression::{ols, OlsFit};
+use bb_types::{Bandwidth, Country, MoneyPpp};
+use serde::{Deserialize, Serialize};
+
+/// All retail plans observed in one country's market.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanCatalog {
+    /// The country this catalogue describes.
+    pub country: Country,
+    /// The plans, in no particular order.
+    pub plans: Vec<Plan>,
+}
+
+impl PlanCatalog {
+    /// Create a catalogue.
+    ///
+    /// # Panics
+    /// Panics on an empty plan list — a market with no plans cannot be
+    /// analysed and should be excluded upstream, exactly like countries
+    /// missing from the Google survey were.
+    pub fn new(country: Country, plans: Vec<Plan>) -> Self {
+        assert!(!plans.is_empty(), "catalogue for {country} has no plans");
+        PlanCatalog { country, plans }
+    }
+
+    /// Number of plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Always false (construction rejects empty catalogues).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The cheapest plan offering at least `capacity`, if any.
+    pub fn cheapest_at_least(&self, capacity: Bandwidth) -> Option<&Plan> {
+        self.plans
+            .iter()
+            .filter(|p| p.at_least(capacity))
+            .min_by_key(|p| p.monthly_price)
+    }
+
+    /// The paper's **price of broadband access**: "the monthly cost (USD
+    /// PPP) of the cheapest service with a capacity of at least 1 Mbps"
+    /// (§5). `None` when the market offers nothing at 1 Mbps.
+    pub fn price_of_access(&self) -> Option<MoneyPpp> {
+        self.cheapest_at_least(Bandwidth::from_mbps(1.0))
+            .map(|p| p.monthly_price)
+    }
+
+    /// The plan whose capacity is nearest to `capacity` (log-scale
+    /// distance), used to map a median measured capacity onto a "typical"
+    /// service, as in Table 4's *Nearest tier* column.
+    pub fn nearest_tier(&self, capacity: Bandwidth) -> &Plan {
+        self.plans
+            .iter()
+            .min_by(|a, b| {
+                let da = log_distance(a.download, capacity);
+                let db = log_distance(b.download, capacity);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("catalogue is non-empty")
+    }
+
+    /// OLS fit of monthly price (USD PPP) on download capacity (Mbps)
+    /// across all plans. `None` when the fit is undefined (fewer than two
+    /// plans, or all plans at one capacity).
+    pub fn price_capacity_fit(&self) -> Option<OlsFit> {
+        let x: Vec<f64> = self.plans.iter().map(|p| p.download.mbps()).collect();
+        let y: Vec<f64> = self.plans.iter().map(|p| p.monthly_price.usd()).collect();
+        ols(&x, &y)
+    }
+
+    /// The paper's **cost of increasing capacity**: the slope of the
+    /// price~capacity regression, in dollars per Mbps per month — but only
+    /// "for markets where price and capacity are at least moderately
+    /// correlated (r > 0.4)" (§6). Slopes that come out non-positive (a
+    /// pathological market) are also rejected.
+    pub fn upgrade_cost(&self) -> Option<MoneyPpp> {
+        let fit = self.price_capacity_fit()?;
+        if !fit.moderately_correlated() || fit.slope <= 0.0 {
+            return None;
+        }
+        Some(MoneyPpp::from_usd(fit.slope))
+    }
+
+    /// Pearson correlation between price and capacity across the
+    /// catalogue's plans (the §6 census statistic).
+    pub fn price_capacity_correlation(&self) -> Option<f64> {
+        self.price_capacity_fit().map(|f| f.r)
+    }
+
+    /// Capacities available in this market, sorted ascending.
+    pub fn capacity_ladder(&self) -> Vec<Bandwidth> {
+        let mut v: Vec<Bandwidth> = self.plans.iter().map(|p| p.download).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The fastest advertised plan.
+    pub fn fastest(&self) -> &Plan {
+        self.plans
+            .iter()
+            .max_by_key(|p| p.download)
+            .expect("catalogue is non-empty")
+    }
+}
+
+fn log_distance(a: Bandwidth, b: Bandwidth) -> f64 {
+    (a.bps().max(1.0).ln() - b.bps().max(1.0).ln()).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Technology;
+
+    fn us_like() -> PlanCatalog {
+        PlanCatalog::new(
+            Country::new("US"),
+            vec![
+                Plan::simple(1.0, 20.0, Technology::Dsl),
+                Plan::simple(6.0, 35.0, Technology::Dsl),
+                Plan::simple(18.0, 53.0, Technology::Cable),
+                Plan::simple(50.0, 80.0, Technology::Cable),
+                Plan::simple(100.0, 115.0, Technology::Fiber),
+            ],
+        )
+    }
+
+    #[test]
+    fn price_of_access_is_cheapest_1mbps() {
+        assert_eq!(us_like().price_of_access(), Some(MoneyPpp::from_usd(20.0)));
+    }
+
+    #[test]
+    fn price_of_access_none_when_market_too_slow() {
+        let c = PlanCatalog::new(
+            Country::new("XX"),
+            vec![Plan::simple(0.5, 100.0, Technology::Dsl)],
+        );
+        assert_eq!(c.price_of_access(), None);
+    }
+
+    #[test]
+    fn cheapest_at_least_respects_capacity() {
+        let c = us_like();
+        let p = c.cheapest_at_least(Bandwidth::from_mbps(10.0)).unwrap();
+        assert_eq!(p.download, Bandwidth::from_mbps(18.0));
+        assert!(c.cheapest_at_least(Bandwidth::from_mbps(500.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_tier_matches_table4_logic() {
+        // Table 4: US median capacity 17.6 Mbps → nearest tier 18 Mbps.
+        let c = us_like();
+        let tier = c.nearest_tier(Bandwidth::from_mbps(17.6));
+        assert_eq!(tier.download, Bandwidth::from_mbps(18.0));
+    }
+
+    #[test]
+    fn upgrade_cost_is_regression_slope() {
+        let c = us_like();
+        let fit = c.price_capacity_fit().unwrap();
+        assert!(fit.strongly_correlated(), "r = {}", fit.r);
+        let cost = c.upgrade_cost().unwrap();
+        // Slope of these five points is a bit under $1/Mbps.
+        assert!(cost.usd() > 0.5 && cost.usd() < 1.5, "cost = {cost}");
+    }
+
+    #[test]
+    fn uncorrelated_market_has_no_upgrade_cost() {
+        // The Afghanistan case of §6: price unrelated to capacity.
+        let c = PlanCatalog::new(
+            Country::new("AF"),
+            vec![
+                Plan::simple(1.0, 80.0, Technology::Dsl),
+                Plan::simple(2.0, 30.0, Technology::Wireless),
+                Plan::simple(0.5, 120.0, Technology::Dsl),
+                Plan::simple(4.0, 25.0, Technology::Wireless),
+            ],
+        );
+        let r = c.price_capacity_correlation().unwrap();
+        assert!(r < 0.4, "r = {r}");
+        assert_eq!(c.upgrade_cost(), None);
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_deduplicated() {
+        let c = PlanCatalog::new(
+            Country::new("ZZ"),
+            vec![
+                Plan::simple(4.0, 30.0, Technology::Dsl),
+                Plan::simple(1.0, 20.0, Technology::Dsl),
+                Plan::simple(4.0, 35.0, Technology::Cable),
+            ],
+        );
+        assert_eq!(
+            c.capacity_ladder(),
+            vec![Bandwidth::from_mbps(1.0), Bandwidth::from_mbps(4.0)]
+        );
+        assert_eq!(c.fastest().download, Bandwidth::from_mbps(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no plans")]
+    fn empty_catalogue_rejected() {
+        let _ = PlanCatalog::new(Country::new("XX"), vec![]);
+    }
+}

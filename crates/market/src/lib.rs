@@ -1,0 +1,30 @@
+//! # bb-market — retail broadband markets
+//!
+//! Models the paper's third dataset: the Google "Policy by the Numbers"
+//! survey of 1,523 retail plans across 99 countries (§2.1), and the two
+//! derived market features the study treats as causal variables:
+//!
+//! * the **price of broadband access** — "the monthly cost (USD PPP) of the
+//!   cheapest service with a capacity of at least 1 Mbps" (§5);
+//! * the **cost of increasing capacity** — the slope of an OLS fit of
+//!   monthly price on capacity, used only "where price and capacity are at
+//!   least moderately correlated (r > 0.4)" (§6).
+//!
+//! [`plan`] defines individual retail plans, [`catalog`] a country's plan
+//! ladder and the derived features, [`survey`] the cross-country collection
+//! with the Table 5 regional aggregation, and [`archetype`] a generator
+//! that produces realistic catalogues for the 99 country archetypes of the
+//! synthetic world (the substitution DESIGN.md documents).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetype;
+pub mod catalog;
+pub mod plan;
+pub mod survey;
+
+pub use archetype::MarketArchetype;
+pub use catalog::PlanCatalog;
+pub use plan::{Plan, Technology};
+pub use survey::MarketSurvey;

@@ -1,0 +1,147 @@
+//! Retail broadband plans.
+
+use bb_types::{Bandwidth, MoneyPpp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Access technology of a plan.
+///
+/// The paper notes that "whether or not a service is wireless or has a
+/// monthly traffic cap would also affect the relationship between price and
+/// capacity" (§6), and identifies satellite/wireless operators behind the
+/// high-latency and high-loss tails of its population (§2.2) — so the plan
+/// model carries the technology explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// Digital subscriber line.
+    Dsl,
+    /// Cable (DOCSIS).
+    Cable,
+    /// Fibre to the home/premises.
+    Fiber,
+    /// Terrestrial wireless (WiMAX, cellular).
+    Wireless,
+    /// Satellite.
+    Satellite,
+}
+
+impl Technology {
+    /// True for technologies whose physical layer inflates latency and loss
+    /// (the satellite/wireless tail of Figs. 1b and 1c).
+    pub fn is_impaired(self) -> bool {
+        matches!(self, Technology::Wireless | Technology::Satellite)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technology::Dsl => "DSL",
+            Technology::Cable => "cable",
+            Technology::Fiber => "fiber",
+            Technology::Wireless => "wireless",
+            Technology::Satellite => "satellite",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One retail broadband plan as carried by the survey: advertised download
+/// and upload rates, monthly price (already PPP-normalised), optional
+/// monthly traffic cap, technology, and whether the line is dedicated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Advertised download capacity.
+    pub download: Bandwidth,
+    /// Advertised upload capacity.
+    pub upload: Bandwidth,
+    /// Monthly price in PPP-adjusted USD.
+    pub monthly_price: MoneyPpp,
+    /// Monthly traffic cap in gigabytes, if any.
+    pub cap_gb: Option<f64>,
+    /// Access technology.
+    pub technology: Technology,
+    /// Dedicated (non-shared) line — the Afghanistan example of §6, where a
+    /// dedicated DSL line is slower *and* more expensive than alternatives.
+    pub dedicated: bool,
+}
+
+impl Plan {
+    /// Convenience constructor for an ordinary shared, uncapped plan.
+    pub fn simple(download_mbps: f64, price_usd_ppp: f64, technology: Technology) -> Plan {
+        Plan {
+            download: Bandwidth::from_mbps(download_mbps),
+            upload: Bandwidth::from_mbps((download_mbps / 8.0).max(0.1)),
+            monthly_price: MoneyPpp::from_usd(price_usd_ppp),
+            cap_gb: None,
+            technology,
+            dedicated: false,
+        }
+    }
+
+    /// Price per Mbps of download capacity.
+    pub fn price_per_mbps(&self) -> MoneyPpp {
+        let mbps = self.download.mbps();
+        assert!(mbps > 0.0, "plan with zero capacity");
+        self.monthly_price / mbps
+    }
+
+    /// True when the plan delivers at least `capacity`.
+    pub fn at_least(&self, capacity: Bandwidth) -> bool {
+        self.download >= capacity
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}/mo",
+            self.technology, self.download, self.monthly_price
+        )?;
+        if let Some(cap) = self.cap_gb {
+            write!(f, " (cap {cap} GB)")?;
+        }
+        if self.dedicated {
+            write!(f, " [dedicated]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_per_mbps() {
+        let p = Plan::simple(10.0, 50.0, Technology::Cable);
+        assert_eq!(p.price_per_mbps(), MoneyPpp::from_usd(5.0));
+    }
+
+    #[test]
+    fn at_least_capacity() {
+        let p = Plan::simple(4.0, 30.0, Technology::Dsl);
+        assert!(p.at_least(Bandwidth::from_mbps(1.0)));
+        assert!(p.at_least(Bandwidth::from_mbps(4.0)));
+        assert!(!p.at_least(Bandwidth::from_mbps(4.1)));
+    }
+
+    #[test]
+    fn impaired_technologies() {
+        assert!(Technology::Satellite.is_impaired());
+        assert!(Technology::Wireless.is_impaired());
+        assert!(!Technology::Fiber.is_impaired());
+        assert!(!Technology::Dsl.is_impaired());
+    }
+
+    #[test]
+    fn display_includes_cap_and_dedicated() {
+        let mut p = Plan::simple(1.0, 150.0, Technology::Dsl);
+        p.cap_gb = Some(20.0);
+        p.dedicated = true;
+        let s = p.to_string();
+        assert!(s.contains("cap 20 GB"), "{s}");
+        assert!(s.contains("dedicated"), "{s}");
+    }
+}

@@ -1,0 +1,270 @@
+//! The cross-country market survey and its aggregations.
+//!
+//! [`MarketSurvey`] is the analogue of the Google "Policy by the Numbers"
+//! compilation: one catalogue per country, tagged with its region. It
+//! answers the three market-level questions of §6:
+//!
+//! * the distribution of upgrade costs across countries (Fig. 10);
+//! * the share of countries per region whose upgrade cost exceeds $1, $5
+//!   and $10 per Mbps (Table 5);
+//! * the correlation census ("in the majority of these markets (66%) there
+//!   is a strong correlation (> 0.8) … and in 81% there is at least
+//!   moderate correlation (> 0.4)").
+
+use crate::catalog::PlanCatalog;
+use bb_types::{Country, MoneyPpp, Region};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One country's entry in the survey.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarketEntry {
+    /// Region, for Table 5 aggregation.
+    pub region: Region,
+    /// The country's plan catalogue.
+    pub catalog: PlanCatalog,
+}
+
+/// A survey of retail broadband markets across countries.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MarketSurvey {
+    entries: BTreeMap<Country, MarketEntry>,
+}
+
+/// One row of Table 5: the share of a region's countries whose upgrade
+/// cost exceeds each threshold.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegionCostRow {
+    /// Region label (includes the synthetic "Asia (all)" aggregate).
+    pub region: String,
+    /// Number of countries in the region with a usable upgrade cost.
+    pub n_countries: usize,
+    /// Share with cost > $1 per Mbps per month.
+    pub share_above_1: f64,
+    /// Share with cost > $5.
+    pub share_above_5: f64,
+    /// Share with cost > $10.
+    pub share_above_10: f64,
+}
+
+/// Result of the §6 correlation census.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationCensus {
+    /// Number of markets with a defined correlation.
+    pub n_markets: usize,
+    /// Share with r > 0.8.
+    pub share_strong: f64,
+    /// Share with r > 0.4.
+    pub share_moderate: f64,
+}
+
+impl MarketSurvey {
+    /// Create an empty survey.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a country's catalogue.
+    pub fn insert(&mut self, region: Region, catalog: PlanCatalog) {
+        self.entries
+            .insert(catalog.country, MarketEntry { region, catalog });
+    }
+
+    /// Number of countries surveyed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no countries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of plans across all catalogues (the survey the paper
+    /// uses carries 1,523 plans across 99 countries).
+    pub fn n_plans(&self) -> usize {
+        self.entries.values().map(|e| e.catalog.len()).sum()
+    }
+
+    /// Look up one country's entry.
+    pub fn get(&self, country: Country) -> Option<&MarketEntry> {
+        self.entries.get(&country)
+    }
+
+    /// Iterate over `(country, entry)` in country order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Country, &MarketEntry)> {
+        self.entries.iter()
+    }
+
+    /// Price of access per country (countries without a ≥ 1 Mbps plan are
+    /// omitted).
+    pub fn access_prices(&self) -> BTreeMap<Country, MoneyPpp> {
+        self.entries
+            .iter()
+            .filter_map(|(c, e)| e.catalog.price_of_access().map(|p| (*c, p)))
+            .collect()
+    }
+
+    /// Upgrade cost per country (only markets passing the r > 0.4 bar).
+    pub fn upgrade_costs(&self) -> BTreeMap<Country, MoneyPpp> {
+        self.entries
+            .iter()
+            .filter_map(|(c, e)| e.catalog.upgrade_cost().map(|u| (*c, u)))
+            .collect()
+    }
+
+    /// The §6 correlation census over all markets with a defined
+    /// price~capacity correlation.
+    pub fn correlation_census(&self) -> CorrelationCensus {
+        let rs: Vec<f64> = self
+            .entries
+            .values()
+            .filter_map(|e| e.catalog.price_capacity_correlation())
+            .collect();
+        let n = rs.len();
+        let count = |thr: f64| rs.iter().filter(|r| **r > thr).count() as f64;
+        CorrelationCensus {
+            n_markets: n,
+            share_strong: if n == 0 { 0.0 } else { count(0.8) / n as f64 },
+            share_moderate: if n == 0 { 0.0 } else { count(0.4) / n as f64 },
+        }
+    }
+
+    /// Table 5: per-region shares of countries whose upgrade cost exceeds
+    /// $1 / $5 / $10 per Mbps, including the "Asia (all)" aggregate row.
+    /// Regions with no usable market are omitted.
+    pub fn table5(&self) -> Vec<RegionCostRow> {
+        let costs = self.upgrade_costs();
+        let mut per_region: BTreeMap<Region, Vec<f64>> = BTreeMap::new();
+        let mut asia_all: Vec<f64> = Vec::new();
+        for (country, cost) in &costs {
+            let region = self.entries[country].region;
+            per_region.entry(region).or_default().push(cost.usd());
+            if region.is_asia() {
+                asia_all.push(cost.usd());
+            }
+        }
+        let row = |label: String, vals: &[f64]| {
+            let n = vals.len() as f64;
+            let share = |thr: f64| vals.iter().filter(|v| **v > thr).count() as f64 / n;
+            RegionCostRow {
+                region: label,
+                n_countries: vals.len(),
+                share_above_1: share(1.0),
+                share_above_5: share(5.0),
+                share_above_10: share(10.0),
+            }
+        };
+        let mut rows = Vec::new();
+        for region in Region::ALL {
+            if let Some(vals) = per_region.get(&region) {
+                rows.push(row(region.name().to_string(), vals));
+                // Insert the aggregate row right after the first Asia row,
+                // matching the paper's table layout.
+                if region == Region::AsiaDeveloped && !asia_all.is_empty() {
+                    rows.push(row("Asia (all)".to_string(), &asia_all));
+                }
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Plan, Technology};
+
+    fn catalog(code: &str, plans: Vec<Plan>) -> PlanCatalog {
+        PlanCatalog::new(Country::new(code), plans)
+    }
+
+    fn cheap_market(code: &str) -> PlanCatalog {
+        catalog(
+            code,
+            vec![
+                Plan::simple(1.0, 20.0, Technology::Dsl),
+                Plan::simple(10.0, 24.0, Technology::Fiber),
+                Plan::simple(100.0, 60.0, Technology::Fiber),
+            ],
+        )
+    }
+
+    fn expensive_market(code: &str) -> PlanCatalog {
+        catalog(
+            code,
+            vec![
+                Plan::simple(0.5, 80.0, Technology::Dsl),
+                Plan::simple(1.0, 100.0, Technology::Dsl),
+                Plan::simple(2.0, 150.0, Technology::Dsl),
+                Plan::simple(4.0, 250.0, Technology::Wireless),
+            ],
+        )
+    }
+
+    fn survey() -> MarketSurvey {
+        let mut s = MarketSurvey::new();
+        s.insert(Region::AsiaDeveloped, cheap_market("JP"));
+        s.insert(Region::NorthAmerica, cheap_market("US"));
+        s.insert(Region::Africa, expensive_market("BW"));
+        s.insert(Region::AsiaDeveloping, expensive_market("IN"));
+        s
+    }
+
+    #[test]
+    fn counts() {
+        let s = survey();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.n_plans(), 14);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn access_prices_follow_catalogues() {
+        let s = survey();
+        let prices = s.access_prices();
+        assert_eq!(prices[&Country::new("JP")], MoneyPpp::from_usd(20.0));
+        assert_eq!(prices[&Country::new("BW")], MoneyPpp::from_usd(100.0));
+    }
+
+    #[test]
+    fn upgrade_costs_split_by_market() {
+        let s = survey();
+        let costs = s.upgrade_costs();
+        assert!(costs[&Country::new("JP")].usd() < 1.0);
+        assert!(costs[&Country::new("BW")].usd() > 10.0);
+    }
+
+    #[test]
+    fn table5_shares() {
+        let s = survey();
+        let rows = s.table5();
+        let africa = rows.iter().find(|r| r.region == "Africa").unwrap();
+        assert_eq!(africa.share_above_10, 1.0);
+        let na = rows.iter().find(|r| r.region == "North America").unwrap();
+        assert_eq!(na.share_above_1, 0.0);
+        // The aggregate row exists and sits between the Asia sub-rows.
+        let idx_dev = rows.iter().position(|r| r.region == "Asia (developed)").unwrap();
+        assert_eq!(rows[idx_dev + 1].region, "Asia (all)");
+        let asia_all = &rows[idx_dev + 1];
+        assert_eq!(asia_all.n_countries, 2);
+        assert_eq!(asia_all.share_above_10, 0.5);
+    }
+
+    #[test]
+    fn census_counts_thresholds() {
+        let s = survey();
+        let census = s.correlation_census();
+        assert_eq!(census.n_markets, 4);
+        assert!(census.share_moderate >= census.share_strong);
+        assert!(census.share_strong > 0.0);
+    }
+
+    #[test]
+    fn empty_survey() {
+        let s = MarketSurvey::new();
+        assert!(s.is_empty());
+        assert!(s.table5().is_empty());
+        assert_eq!(s.correlation_census().n_markets, 0);
+    }
+}

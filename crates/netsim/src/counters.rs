@@ -1,0 +1,183 @@
+//! Traffic byte counters, as the collection clients actually see them.
+//!
+//! Dasu reads usage either from **UPnP gateway counters** — which are
+//! 32-bit and wrap (the "issues with UPnP counters raised in other works"
+//! the paper cites: DiCioccio et al., Sánchez et al.) — or from
+//! **`netstat` byte counters** on hosts directly connected to the modem.
+//! This module models both, plus the wrap- and reset-aware delta
+//! reconstruction the analysis pipeline applies to raw readings.
+
+/// A gateway's cumulative WAN byte counter exposed over UPnP: internally
+/// 64-bit truth, externally a wrapping 32-bit register.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpnpCounter {
+    total: u64,
+}
+
+impl UpnpCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `bytes` of WAN traffic.
+    pub fn add(&mut self, bytes: u64) {
+        self.total = self.total.wrapping_add(bytes);
+    }
+
+    /// The value a UPnP `GetTotalBytesReceived` call returns: the low 32
+    /// bits of the true total.
+    pub fn read(&self) -> u32 {
+        (self.total & 0xFFFF_FFFF) as u32
+    }
+
+    /// Device reboot: the register clears.
+    pub fn reset(&mut self) {
+        self.total = 0;
+    }
+
+    /// True cumulative bytes (not observable by a client; used by tests).
+    pub fn ground_truth(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A host's `netstat`-style cumulative counter: 64-bit, effectively never
+/// wraps, but still resets on reboot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetstatCounter {
+    total: u64,
+}
+
+impl NetstatCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `bytes` of traffic.
+    pub fn add(&mut self, bytes: u64) {
+        self.total = self.total.saturating_add(bytes);
+    }
+
+    /// Read the cumulative value.
+    pub fn read(&self) -> u64 {
+        self.total
+    }
+
+    /// Host reboot: the counter clears.
+    pub fn reset(&mut self) {
+        self.total = 0;
+    }
+}
+
+/// Reconstruct per-interval byte deltas from consecutive 32-bit UPnP
+/// readings, distinguishing *wraps* from *resets*.
+///
+/// A counter that moved backwards has either wrapped (the unsigned
+/// difference is small — the traffic since the last poll) or reset (the
+/// unsigned difference is huge — nearly 2³²). The heuristic: a wrapping
+/// delta above `max_plausible` bytes per interval is treated as a reset and
+/// the new reading itself is taken as the delta (traffic since boot).
+///
+/// Returns one delta per consecutive pair, i.e. `reads.len() - 1` values.
+pub fn upnp_deltas(reads: &[u32], max_plausible: u64) -> Vec<u64> {
+    assert!(max_plausible > 0, "max_plausible must be positive");
+    let mut out = Vec::with_capacity(reads.len().saturating_sub(1));
+    for pair in reads.windows(2) {
+        let delta = pair[1].wrapping_sub(pair[0]) as u64;
+        if delta <= max_plausible {
+            out.push(delta);
+        } else {
+            // Implausibly large wrap ⇒ the register reset mid-interval; the
+            // best available estimate is the bytes accumulated since boot.
+            out.push(pair[1] as u64);
+        }
+    }
+    out
+}
+
+/// The largest byte count a link of `capacity_bps` can carry in
+/// `interval_secs` — the natural `max_plausible` bound for
+/// [`upnp_deltas`], with a 2x safety factor for timing jitter.
+pub fn max_plausible_bytes(capacity_bps: f64, interval_secs: f64) -> u64 {
+    (capacity_bps * interval_secs / 8.0 * 2.0).max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upnp_truncates_to_32_bits() {
+        let mut c = UpnpCounter::new();
+        c.add(u32::MAX as u64);
+        assert_eq!(c.read(), u32::MAX);
+        c.add(1);
+        assert_eq!(c.read(), 0, "register wraps");
+        assert_eq!(c.ground_truth(), 1 << 32);
+    }
+
+    #[test]
+    fn deltas_survive_wraparound() {
+        // Poll just before and just after the register wraps.
+        let reads = [u32::MAX - 1000, 500u32.wrapping_sub(0)];
+        let deltas = upnp_deltas(&reads, 10_000);
+        assert_eq!(deltas, vec![1501]);
+    }
+
+    #[test]
+    fn resets_are_detected() {
+        // Counter at 3 GB resets to 0 and accumulates 200 bytes by the next
+        // poll: the unsigned wrap delta would be ~1.3 GB (implausible on a
+        // 30-second interval), so the reading itself is used.
+        let before = 3_000_000_000u32;
+        let reads = [before, 200];
+        let max_plausible = max_plausible_bytes(100e6, 30.0); // 100 Mbps link
+        let deltas = upnp_deltas(&reads, max_plausible);
+        assert_eq!(deltas, vec![200]);
+    }
+
+    #[test]
+    fn plausible_wrap_is_not_mistaken_for_reset() {
+        // On a 100 Mbps link, 40 MB in 30 s is plausible; ensure a wrap of
+        // that size is kept.
+        let reads = [u32::MAX - 10_000_000, 30_000_000];
+        let max_plausible = max_plausible_bytes(100e6, 30.0);
+        let deltas = upnp_deltas(&reads, max_plausible);
+        assert_eq!(deltas, vec![40_000_001]);
+    }
+
+    #[test]
+    fn netstat_counter_is_monotone() {
+        let mut c = NetstatCounter::new();
+        c.add(10);
+        c.add(20);
+        assert_eq!(c.read(), 30);
+        c.reset();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn a_full_poll_cycle_round_trips() {
+        // Simulate 100 polls of a counter fed ~20 MB between polls and
+        // verify reconstruction matches ground truth despite wraps.
+        let mut counter = UpnpCounter::new();
+        let mut reads = vec![counter.read()];
+        let mut truth = Vec::new();
+        for i in 0..100u64 {
+            let bytes = 20_000_000 + i * 37; // vary a little
+            counter.add(bytes);
+            truth.push(bytes);
+            reads.push(counter.read());
+        }
+        let deltas = upnp_deltas(&reads, max_plausible_bytes(100e6, 30.0));
+        assert_eq!(deltas, truth);
+    }
+
+    #[test]
+    fn delta_count_matches_windows() {
+        assert!(upnp_deltas(&[5], 100).is_empty());
+        assert_eq!(upnp_deltas(&[1, 2, 3], 100).len(), 2);
+    }
+}

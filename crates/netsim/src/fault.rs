@@ -1,0 +1,191 @@
+//! Fault injection.
+//!
+//! Following the smoltcp convention of exposing adverse-condition knobs,
+//! this module lets examples and ablation benches degrade a simulated
+//! population: added latency, added loss, dropped counter samples, and a
+//! token-bucket shaper that models an ISP throttling a link below its
+//! advertised capacity.
+
+use crate::link::AccessLink;
+use bb_types::{Bandwidth, Latency, LossRate};
+use rand::Rng;
+
+/// A fault-injection plan applied to a link or a collected series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Extra path latency.
+    pub extra_latency: Latency,
+    /// Extra packet loss.
+    pub extra_loss: LossRate,
+    /// Probability that any given counter sample is lost (client crash,
+    /// poll timeout).
+    pub sample_drop_prob: f64,
+    /// Shape the link to this rate, if set (ISP throttling).
+    pub shape_to: Option<Bandwidth>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub const NONE: FaultPlan = FaultPlan {
+        extra_latency: Latency::ZERO,
+        extra_loss: LossRate::ZERO,
+        sample_drop_prob: 0.0,
+        shape_to: None,
+    };
+
+    /// A satellite-like degradation: +600 ms, +1.5% loss.
+    pub fn satellite() -> FaultPlan {
+        FaultPlan {
+            extra_latency: Latency::from_ms(600.0),
+            extra_loss: LossRate::from_percent(1.5),
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Apply the plan to a link.
+    pub fn apply(&self, link: &AccessLink) -> AccessLink {
+        let mut degraded = link.degraded(self.extra_latency, self.extra_loss);
+        if let Some(rate) = self.shape_to {
+            degraded.capacity = degraded.capacity.min(rate);
+        }
+        degraded
+    }
+
+    /// Apply sample dropping to a series of counter samples.
+    pub fn drop_samples<T, R: Rng + ?Sized>(&self, samples: Vec<T>, rng: &mut R) -> Vec<T> {
+        if self.sample_drop_prob <= 0.0 {
+            return samples;
+        }
+        samples
+            .into_iter()
+            .filter(|_| rng.gen::<f64>() >= self.sample_drop_prob)
+            .collect()
+    }
+}
+
+/// A token bucket, for rate-shaping experiments.
+///
+/// Tokens are bytes; the bucket refills continuously at `rate` and holds at
+/// most `burst` bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TokenBucket {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_time: f64,
+}
+
+impl TokenBucket {
+    /// Create a full bucket.
+    ///
+    /// # Panics
+    /// Panics unless rate and burst are positive.
+    pub fn new(rate: Bandwidth, burst_bytes: f64) -> Self {
+        assert!(!rate.is_zero(), "shaper rate must be positive");
+        assert!(burst_bytes > 0.0, "burst must be positive");
+        TokenBucket {
+            rate_bytes_per_sec: rate.bps() / 8.0,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_time: 0.0,
+        }
+    }
+
+    /// Offer `bytes` at absolute time `now` (seconds, monotone); returns
+    /// the bytes admitted (the rest are dropped/deferred by the caller).
+    pub fn admit(&mut self, now: f64, bytes: f64) -> f64 {
+        assert!(now >= self.last_time, "time went backwards");
+        self.tokens =
+            (self.tokens + (now - self.last_time) * self.rate_bytes_per_sec).min(self.burst_bytes);
+        self.last_time = now;
+        let granted = bytes.min(self.tokens);
+        self.tokens -= granted;
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn link() -> AccessLink {
+        AccessLink::new(
+            Bandwidth::from_mbps(10.0),
+            Latency::from_ms(50.0),
+            LossRate::from_percent(0.1),
+        )
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let l = link();
+        assert_eq!(FaultPlan::NONE.apply(&l), l);
+    }
+
+    #[test]
+    fn satellite_plan_degrades() {
+        let d = FaultPlan::satellite().apply(&link());
+        assert_eq!(d.base_rtt, Latency::from_ms(650.0));
+        assert!((d.loss.percent() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shaping_caps_capacity() {
+        let plan = FaultPlan {
+            shape_to: Some(Bandwidth::from_mbps(2.0)),
+            ..FaultPlan::NONE
+        };
+        assert_eq!(plan.apply(&link()).capacity, Bandwidth::from_mbps(2.0));
+        // Shaping never raises capacity.
+        let plan_high = FaultPlan {
+            shape_to: Some(Bandwidth::from_mbps(100.0)),
+            ..FaultPlan::NONE
+        };
+        assert_eq!(plan_high.apply(&link()).capacity, Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn sample_dropping_is_probabilistic() {
+        let plan = FaultPlan {
+            sample_drop_prob: 0.5,
+            ..FaultPlan::NONE
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let kept = plan.drop_samples((0..10_000).collect::<Vec<_>>(), &mut rng);
+        let frac = kept.len() as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "kept {frac}");
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate() {
+        // 1 Mbps shaper = 125 kB/s; offer 1 MB every second.
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(1.0), 125_000.0);
+        let mut admitted = 0.0;
+        for s in 1..=10 {
+            admitted += tb.admit(s as f64, 1_000_000.0);
+        }
+        // Bucket admits at most burst + rate*time.
+        assert!(admitted <= 125_000.0 * 11.0);
+        assert!(admitted >= 125_000.0 * 10.0 * 0.99);
+    }
+
+    #[test]
+    fn token_bucket_allows_bursts() {
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(1.0), 500_000.0);
+        // A cold bucket admits a full burst instantly.
+        assert_eq!(tb.admit(0.0, 500_000.0), 500_000.0);
+        // And then nothing until it refills.
+        assert_eq!(tb.admit(0.0, 1.0), 0.0);
+        assert!(tb.admit(1.0, 1_000_000.0) <= 125_000.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn bucket_rejects_time_travel() {
+        let mut tb = TokenBucket::new(Bandwidth::from_mbps(1.0), 1000.0);
+        tb.admit(5.0, 10.0);
+        tb.admit(4.0, 10.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! The access link.
+
+use bb_types::{Bandwidth, Latency, LossRate};
+
+/// A residential access link: the bottleneck between a subscriber and the
+/// wider Internet.
+///
+/// The model carries exactly the three service characteristics the paper
+/// measures per connection (maximum download capacity, average latency to
+/// nearby servers, average packet-loss rate) plus a simple M/M/1-shaped
+/// queueing term so that a loaded link exhibits higher RTTs — which is what
+/// an NDT probe run *through* the link actually observes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessLink {
+    /// Maximum download capacity (what an unloaded bulk transfer achieves).
+    pub capacity: Bandwidth,
+    /// Maximum upload capacity. Residential links are asymmetric;
+    /// [`AccessLink::new`] defaults this to an ADSL-like 1:8 ratio, and
+    /// [`AccessLink::with_upload`] overrides it from the plan's advertised
+    /// rate.
+    pub up_capacity: Bandwidth,
+    /// Base round-trip time to nearby content at zero load.
+    pub base_rtt: Latency,
+    /// Average packet-loss rate on the path.
+    pub loss: LossRate,
+}
+
+impl AccessLink {
+    /// Build a link with a default asymmetric (1:8) upload capacity.
+    pub fn new(capacity: Bandwidth, base_rtt: Latency, loss: LossRate) -> Self {
+        assert!(
+            !capacity.is_zero(),
+            "a link with zero capacity cannot carry traffic"
+        );
+        AccessLink {
+            capacity,
+            up_capacity: capacity / 8.0,
+            base_rtt,
+            loss,
+        }
+    }
+
+    /// Override the upload capacity (from the plan's advertised rate).
+    pub fn with_upload(mut self, up_capacity: Bandwidth) -> Self {
+        assert!(
+            !up_capacity.is_zero(),
+            "a link with zero upload capacity cannot ACK, let alone send"
+        );
+        self.up_capacity = up_capacity;
+        self
+    }
+
+    /// Effective RTT at a given utilisation in `[0, 1)`: base RTT plus an
+    /// M/M/1-style queueing term that grows as `u / (1 - u)`, capped so the
+    /// model stays finite at saturation.
+    ///
+    /// The queueing constant is sized so that a half-loaded link adds about
+    /// one base-RTT of delay, and a saturated link at most `QUEUE_CAP`
+    /// times the base — bufferbloat-ish but bounded.
+    pub fn rtt_at_load(&self, utilization: f64) -> Latency {
+        const QUEUE_CAP: f64 = 8.0;
+        let u = utilization.clamp(0.0, 0.99);
+        let factor = (u / (1.0 - u)).min(QUEUE_CAP);
+        Latency::from_ms(self.base_rtt.ms() * (1.0 + factor))
+    }
+
+    /// A degraded copy of this link (fault injection): extra latency and
+    /// additional loss, both additive.
+    pub fn degraded(&self, extra_rtt: Latency, extra_loss: LossRate) -> AccessLink {
+        AccessLink {
+            capacity: self.capacity,
+            up_capacity: self.up_capacity,
+            base_rtt: self.base_rtt + extra_rtt,
+            loss: LossRate::from_fraction(
+                (self.loss.fraction() + extra_loss.fraction()).min(1.0),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> AccessLink {
+        AccessLink::new(
+            Bandwidth::from_mbps(10.0),
+            Latency::from_ms(50.0),
+            LossRate::from_percent(0.1),
+        )
+    }
+
+    #[test]
+    fn rtt_grows_with_load() {
+        let l = link();
+        assert_eq!(l.rtt_at_load(0.0), Latency::from_ms(50.0));
+        let half = l.rtt_at_load(0.5);
+        assert!((half.ms() - 100.0).abs() < 1e-9, "{half}");
+        let nearly_full = l.rtt_at_load(0.99);
+        assert!(nearly_full > half);
+        // Bounded at saturation.
+        assert!(nearly_full.ms() <= 50.0 * 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn degradation_is_additive_and_clamped() {
+        let l = link();
+        let d = l.degraded(Latency::from_ms(450.0), LossRate::from_percent(1.0));
+        assert_eq!(d.base_rtt, Latency::from_ms(500.0));
+        assert!((d.loss.percent() - 1.1).abs() < 1e-9);
+        assert_eq!(d.capacity, l.capacity);
+        // Loss cannot exceed 100%.
+        let worst = l.degraded(Latency::ZERO, LossRate::from_fraction(1.0));
+        assert_eq!(worst.loss.fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_rejected() {
+        let _ = AccessLink::new(Bandwidth::ZERO, Latency::from_ms(10.0), LossRate::ZERO);
+    }
+
+    #[test]
+    fn upload_defaults_to_one_eighth_and_can_be_overridden() {
+        let l = link();
+        assert_eq!(l.up_capacity, Bandwidth::from_mbps(10.0 / 8.0));
+        let sym = l.with_upload(Bandwidth::from_mbps(10.0));
+        assert_eq!(sym.up_capacity, Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero upload")]
+    fn zero_upload_rejected() {
+        let _ = link().with_upload(Bandwidth::ZERO);
+    }
+}

@@ -1,0 +1,139 @@
+//! TCP throughput modelling.
+//!
+//! The Mathis et al. macroscopic model bounds the steady-state throughput
+//! of a single loss-responsive TCP flow:
+//!
+//! ```text
+//! rate ≤ (MSS / RTT) · C / √p
+//! ```
+//!
+//! with `C ≈ 1.22` for periodic loss. This is the causal mechanism behind
+//! the paper's §7 findings: connections with very high latency (> 512 ms)
+//! or loss (> 1%) *cannot* sustain high per-flow rates, so demanding
+//! applications degrade or get abandoned and measured demand drops.
+
+use crate::link::AccessLink;
+use bb_types::{Bandwidth, Latency, LossRate};
+
+/// Standard Ethernet-path maximum segment size, in bytes.
+pub const MSS_BYTES: f64 = 1460.0;
+
+/// The Mathis constant for periodic loss.
+pub const MATHIS_C: f64 = 1.22;
+
+/// When measured loss is below this floor the flow is treated as limited by
+/// other factors (receive window, capacity) rather than loss; prevents the
+/// model from predicting infinite throughput on clean links.
+pub const LOSS_FLOOR: f64 = 1e-6;
+
+/// Mathis upper bound on one TCP flow's throughput over a path with the
+/// given RTT and loss rate.
+pub fn mathis_throughput(rtt: Latency, loss: LossRate) -> Bandwidth {
+    assert!(rtt.ms() > 0.0, "TCP throughput needs a positive RTT");
+    let p = loss.fraction().max(LOSS_FLOOR);
+    let bits_per_sec = (MSS_BYTES * 8.0 / rtt.secs()) * MATHIS_C / p.sqrt();
+    Bandwidth::from_bps(bits_per_sec)
+}
+
+/// Achievable aggregate rate for `flows` parallel TCP flows over `link`,
+/// requesting up to `desired` and assuming the link is otherwise carrying
+/// `background_utilization` of its capacity.
+///
+/// The aggregate is capped by three things, matching reality in order:
+/// the application's own desire, the Mathis bound times the flow count,
+/// and the residual link capacity. The RTT used for the Mathis bound is the
+/// *loaded* RTT, so heavy background traffic also hurts loss-responsive
+/// flows (self-induced bufferbloat).
+pub fn achievable_rate(
+    link: &AccessLink,
+    desired: Bandwidth,
+    flows: u32,
+    background_utilization: f64,
+) -> Bandwidth {
+    assert!(flows > 0, "need at least one flow");
+    let rtt = link.rtt_at_load(background_utilization);
+    let per_flow = mathis_throughput(rtt, link.loss);
+    let tcp_bound = per_flow * flows as f64;
+    let residual = link.capacity * (1.0 - background_utilization.clamp(0.0, 1.0)).max(0.05);
+    desired.min(tcp_bound).min(residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(cap_mbps: f64, rtt_ms: f64, loss_pct: f64) -> AccessLink {
+        AccessLink::new(
+            Bandwidth::from_mbps(cap_mbps),
+            Latency::from_ms(rtt_ms),
+            LossRate::from_percent(loss_pct),
+        )
+    }
+
+    #[test]
+    fn mathis_known_value() {
+        // MSS 1460 B, RTT 100 ms, loss 0.1%:
+        // (1460·8/0.1) · 1.22/√0.001 = 116 800 · 38.58… ≈ 4.506 Mbps.
+        let r = mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(0.1));
+        assert!((r.mbps() - 4.506).abs() < 0.01, "{r}");
+    }
+
+    #[test]
+    fn monotone_in_rtt_and_loss() {
+        let base = mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(0.1));
+        let slower =
+            mathis_throughput(Latency::from_ms(600.0), LossRate::from_percent(0.1));
+        let lossier =
+            mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(1.0));
+        assert!(slower < base);
+        assert!(lossier < base);
+    }
+
+    #[test]
+    fn clean_link_is_capacity_limited() {
+        let l = link(10.0, 20.0, 0.0);
+        let got = achievable_rate(&l, Bandwidth::from_mbps(100.0), 4, 0.0);
+        assert_eq!(got, Bandwidth::from_mbps(10.0), "capacity is the cap");
+    }
+
+    #[test]
+    fn lossy_link_is_tcp_limited() {
+        // 1% loss and 600 ms RTT: a single flow manages ~0.24 Mbps, so even
+        // 2 flows cannot fill a 10 Mbps pipe.
+        let l = link(10.0, 600.0, 1.0);
+        let got = achievable_rate(&l, Bandwidth::from_mbps(10.0), 2, 0.0);
+        assert!(got.mbps() < 1.0, "{got}");
+    }
+
+    #[test]
+    fn many_flows_beat_the_loss_penalty() {
+        // The BitTorrent effect: 30 flows can saturate where 2 cannot.
+        let l = link(10.0, 200.0, 0.5);
+        let few = achievable_rate(&l, Bandwidth::from_mbps(10.0), 2, 0.0);
+        let many = achievable_rate(&l, Bandwidth::from_mbps(10.0), 30, 0.0);
+        assert!(many > few);
+        assert!(many.mbps() > 5.0, "{many}");
+    }
+
+    #[test]
+    fn desired_rate_caps_everything() {
+        let l = link(100.0, 20.0, 0.0);
+        let got = achievable_rate(&l, Bandwidth::from_kbps(500.0), 1, 0.0);
+        assert_eq!(got, Bandwidth::from_kbps(500.0));
+    }
+
+    #[test]
+    fn background_load_shrinks_residual() {
+        let l = link(10.0, 20.0, 0.0);
+        let idle = achievable_rate(&l, Bandwidth::from_mbps(10.0), 8, 0.0);
+        let busy = achievable_rate(&l, Bandwidth::from_mbps(10.0), 8, 0.8);
+        assert!(busy < idle);
+        assert!(busy.mbps() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive RTT")]
+    fn zero_rtt_rejected() {
+        let _ = mathis_throughput(Latency::ZERO, LossRate::ZERO);
+    }
+}

@@ -1,0 +1,164 @@
+//! CSV export of exhibits.
+//!
+//! Each exhibit kind maps to a flat CSV with a stable header so downstream
+//! plotting tools (gnuplot, pandas) can regenerate the paper's figures
+//! pixel-for-pixel from the repository's output directory.
+
+use bb_study::exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentTable};
+use std::fmt::Write as _;
+
+/// Escape one CSV field (quotes fields containing separators or quotes).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// CDF figure → `series,x,cdf` rows.
+pub fn cdf_to_csv(f: &CdfFigure) -> String {
+    let mut out = String::from("series,x,cdf\n");
+    for s in &f.series {
+        for (x, y) in &s.points {
+            let _ = writeln!(out, "{},{x},{y}", field(&s.label));
+        }
+    }
+    out
+}
+
+/// Binned figure → `series,x,mean,ci_lo,ci_hi,n` rows.
+pub fn binned_to_csv(f: &BinnedFigure) -> String {
+    let mut out = String::from("series,x,mean,ci_lo,ci_hi,n\n");
+    for s in &f.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                field(&s.label),
+                p.x,
+                p.mean,
+                p.ci_lo,
+                p.ci_hi,
+                p.n
+            );
+        }
+    }
+    out
+}
+
+/// Experiment table → `control,treatment,n_pairs,percent_holds,p_value,significant` rows.
+pub fn experiment_to_csv(t: &ExperimentTable) -> String {
+    let mut out = String::from("control,treatment,n_pairs,percent_holds,p_value,significant\n");
+    for r in &t.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            field(&r.control),
+            field(&r.treatment),
+            r.n_pairs,
+            r.percent_holds,
+            r.p_value,
+            r.significant
+        );
+    }
+    out
+}
+
+/// Bar figure → `group,bar,value,ci_lo,ci_hi,n` rows.
+pub fn bar_to_csv(f: &BarFigure) -> String {
+    let mut out = String::from("group,bar,value,ci_lo,ci_hi,n\n");
+    for g in &f.groups {
+        for b in &g.bars {
+            let (lo, hi) = b.ci.unwrap_or((f64::NAN, f64::NAN));
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                field(&g.label),
+                field(&b.label),
+                b.value,
+                lo,
+                hi,
+                b.n
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_study::exhibit::*;
+
+    #[test]
+    fn cdf_rows() {
+        let f = CdfFigure {
+            id: "x".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            log_x: false,
+            series: vec![CdfSeries {
+                label: "a,b".into(), // needs quoting
+                n: 2,
+                median: 1.5,
+                points: vec![(1.0, 0.5), (2.0, 1.0)],
+            }],
+        };
+        let csv = cdf_to_csv(&f);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,cdf");
+        assert_eq!(lines[1], "\"a,b\",1,0.5");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn experiment_rows() {
+        let t = ExperimentTable {
+            id: "t1".into(),
+            title: "T".into(),
+            control_label: "c".into(),
+            treatment_label: "t".into(),
+            rows: vec![ExperimentRow {
+                control: "(0, 64]".into(),
+                treatment: "(64, 128]".into(),
+                n_pairs: 10,
+                percent_holds: 63.5,
+                p_value: 0.00825,
+                significant: true,
+            }],
+        };
+        let csv = experiment_to_csv(&t);
+        assert!(
+            csv.contains("\"(0, 64]\",\"(64, 128]\",10,63.5,0.00825,true"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn quoting_rules() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn bar_rows_handle_missing_ci() {
+        let f = BarFigure {
+            id: "b".into(),
+            title: "B".into(),
+            y_label: "y".into(),
+            groups: vec![BarGroup {
+                label: "g".into(),
+                bars: vec![Bar {
+                    label: "x".into(),
+                    value: 2.0,
+                    ci: None,
+                    n: 5,
+                }],
+            }],
+        };
+        let csv = bar_to_csv(&f);
+        assert!(csv.contains("g,x,2,NaN,NaN,5"));
+    }
+}

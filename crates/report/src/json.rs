@@ -1,0 +1,150 @@
+//! JSON export of exhibits (via `serde_json`).
+//!
+//! The exhibit types in `bb-study` are plain data but deliberately free of
+//! serde derives (the analysis crate has no serialisation concern); this
+//! module maps them onto `serde_json::Value` trees with stable field names.
+
+use bb_study::exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentTable};
+use serde_json::{json, Value};
+
+/// CDF figure as JSON.
+pub fn cdf_to_json(f: &CdfFigure) -> Value {
+    json!({
+        "kind": "cdf",
+        "id": f.id,
+        "title": f.title,
+        "x_label": f.x_label,
+        "log_x": f.log_x,
+        "series": f.series.iter().map(|s| json!({
+            "label": s.label,
+            "n": s.n,
+            "median": s.median,
+            "points": s.points,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Binned figure as JSON.
+pub fn binned_to_json(f: &BinnedFigure) -> Value {
+    json!({
+        "kind": "binned",
+        "id": f.id,
+        "title": f.title,
+        "x_label": f.x_label,
+        "y_label": f.y_label,
+        "series": f.series.iter().map(|s| json!({
+            "label": s.label,
+            "r_log": s.r_log,
+            "points": s.points.iter().map(|p| json!({
+                "x": p.x, "mean": p.mean, "ci_lo": p.ci_lo, "ci_hi": p.ci_hi, "n": p.n,
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Experiment table as JSON.
+pub fn experiment_to_json(t: &ExperimentTable) -> Value {
+    json!({
+        "kind": "experiment",
+        "id": t.id,
+        "title": t.title,
+        "rows": t.rows.iter().map(|r| json!({
+            "control": r.control,
+            "treatment": r.treatment,
+            "n_pairs": r.n_pairs,
+            "percent_holds": r.percent_holds,
+            "p_value": r.p_value,
+            "significant": r.significant,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Bar figure as JSON.
+pub fn bar_to_json(f: &BarFigure) -> Value {
+    json!({
+        "kind": "bars",
+        "id": f.id,
+        "title": f.title,
+        "y_label": f.y_label,
+        "groups": f.groups.iter().map(|g| json!({
+            "label": g.label,
+            "bars": g.bars.iter().map(|b| json!({
+                "label": b.label,
+                "value": b.value,
+                "ci": b.ci.map(|(lo, hi)| vec![lo, hi]),
+                "n": b.n,
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_study::exhibit::*;
+
+    #[test]
+    fn cdf_round_trips_through_serde() {
+        let f = CdfFigure {
+            id: "fig1a".into(),
+            title: "Capacity".into(),
+            x_label: "Mbps".into(),
+            log_x: true,
+            series: vec![CdfSeries {
+                label: "all".into(),
+                n: 3,
+                median: 2.0,
+                points: vec![(1.0, 0.33), (2.0, 0.66), (3.0, 1.0)],
+            }],
+        };
+        let v = cdf_to_json(&f);
+        assert_eq!(v["id"], "fig1a");
+        assert_eq!(v["series"][0]["n"], 3);
+        assert_eq!(v["series"][0]["points"][2][1], 1.0);
+        // It serialises to a string and parses back.
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn experiment_json_fields() {
+        let t = ExperimentTable {
+            id: "table7".into(),
+            title: "latency".into(),
+            control_label: "c".into(),
+            treatment_label: "t".into(),
+            rows: vec![ExperimentRow {
+                control: "(512, 2048]".into(),
+                treatment: "(0, 64]".into(),
+                n_pairs: 100,
+                percent_holds: 63.5,
+                p_value: 0.00825,
+                significant: true,
+            }],
+        };
+        let v = experiment_to_json(&t);
+        assert_eq!(v["rows"][0]["percent_holds"], 63.5);
+        assert_eq!(v["rows"][0]["significant"], true);
+    }
+
+    #[test]
+    fn bar_json_null_ci() {
+        let f = BarFigure {
+            id: "f9".into(),
+            title: "b".into(),
+            y_label: "Mbps".into(),
+            groups: vec![BarGroup {
+                label: "US 8-16".into(),
+                bars: vec![Bar {
+                    label: "8-16".into(),
+                    value: 1.2,
+                    ci: None,
+                    n: 40,
+                }],
+            }],
+        };
+        let v = bar_to_json(&f);
+        assert!(v["groups"][0]["bars"][0]["ci"].is_null());
+    }
+}

@@ -1,0 +1,162 @@
+//! Markdown rendering of exhibits.
+//!
+//! `EXPERIMENTS.md` and the harness's comparison report are Markdown;
+//! this module renders exhibits as GitHub-flavoured tables so those
+//! documents can embed any exhibit without hand-formatting.
+
+use bb_study::exhibit::{BinnedFigure, ExperimentTable};
+use bb_study::robustness::SweepRow;
+use std::fmt::Write as _;
+
+/// Escape a cell for a Markdown table.
+fn cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+/// Experiment table → Markdown.
+pub fn experiment_table(t: &ExperimentTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} | {} | pairs | % H holds | p-value |",
+        cell(&t.control_label), cell(&t.treatment_label));
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for r in &t.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.1}%{} | {:.3e} |",
+            cell(&r.control),
+            cell(&r.treatment),
+            r.n_pairs,
+            r.percent_holds,
+            r.asterisk(),
+            r.p_value
+        );
+    }
+    out
+}
+
+/// Binned figure → Markdown (one table per series).
+pub fn binned_figure(f: &BinnedFigure) -> String {
+    let mut out = String::new();
+    for s in &f.series {
+        match s.r_log {
+            Some(r) => {
+                let _ = writeln!(out, "**{}** (r = {:.3})\n", cell(&s.label), r);
+            }
+            None => {
+                let _ = writeln!(out, "**{}**\n", cell(&s.label));
+            }
+        }
+        let _ = writeln!(out, "| {} | mean {} | 95% CI | n |", cell(&f.x_label), cell(&f.y_label));
+        let _ = writeln!(out, "|---|---|---|---|");
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "| {:.3} | {:.4} | [{:.4}, {:.4}] | {} |",
+                p.x, p.mean, p.ci_lo, p.ci_hi, p.n
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Robustness sweep → Markdown.
+pub fn sweep_table(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| experiment | runs | min % | mean % | max % | significant | pairs |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1} | {:.1} | {:.1} | {}/{} | {} |",
+            cell(&r.experiment),
+            r.n_runs,
+            r.min,
+            r.mean,
+            r.max,
+            r.n_significant,
+            r.n_runs,
+            r.total_pairs
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_study::exhibit::*;
+
+    #[test]
+    fn experiment_markdown_shape() {
+        let t = ExperimentTable {
+            id: "x".into(),
+            title: "T".into(),
+            control_label: "Control".into(),
+            treatment_label: "Treatment".into(),
+            rows: vec![ExperimentRow {
+                control: "(0, 64]".into(),
+                treatment: "(64, 128]".into(),
+                n_pairs: 42,
+                percent_holds: 63.5,
+                p_value: 8.25e-3,
+                significant: true,
+            }],
+        };
+        let md = experiment_table(&t);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("| 42 | 63.5% | 8.250e-3 |"), "{md}");
+    }
+
+    #[test]
+    fn pipes_are_escaped() {
+        let t = ExperimentTable {
+            id: "x".into(),
+            title: "T".into(),
+            control_label: "a|b".into(),
+            treatment_label: "t".into(),
+            rows: vec![],
+        };
+        assert!(experiment_table(&t).contains("a\\|b"));
+    }
+
+    #[test]
+    fn binned_markdown_carries_r() {
+        let f = BinnedFigure {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![BinnedSeries {
+                label: "s".into(),
+                r_log: Some(0.87),
+                points: vec![BinnedPoint {
+                    x: 1.0,
+                    mean: 2.0,
+                    ci_lo: 1.5,
+                    ci_hi: 2.5,
+                    n: 9,
+                }],
+            }],
+        };
+        let md = binned_figure(&f);
+        assert!(md.contains("r = 0.870"));
+        assert!(md.contains("| 1.000 | 2.0000 | [1.5000, 2.5000] | 9 |"));
+    }
+
+    #[test]
+    fn sweep_markdown() {
+        let rows = vec![bb_study::robustness::SweepRow {
+            experiment: "table1".into(),
+            n_runs: 3,
+            min: 60.0,
+            mean: 65.0,
+            max: 70.0,
+            n_significant: 3,
+            total_pairs: 300,
+        }];
+        let md = sweep_table(&rows);
+        assert!(md.contains("| table1 | 3 | 60.0 | 65.0 | 70.0 | 3/3 | 300 |"));
+    }
+}

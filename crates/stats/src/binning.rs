@@ -1,0 +1,142 @@
+//! Generic binned aggregation.
+//!
+//! Figures 2, 3 and 6 of the paper all have the same structure: classify
+//! users by a key (a capacity bin), collect a per-user value (mean or peak
+//! demand), and report the per-bin average with its 95% confidence
+//! interval. [`BinnedSeries`] captures that pattern once.
+
+use crate::ci::{mean_ci, MeanCi};
+use std::collections::BTreeMap;
+
+/// Values grouped by an ordered bin key.
+#[derive(Clone, Debug)]
+pub struct BinnedSeries<K: Ord + Clone> {
+    bins: BTreeMap<K, Vec<f64>>,
+}
+
+impl<K: Ord + Clone> Default for BinnedSeries<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone> BinnedSeries<K> {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        BinnedSeries {
+            bins: BTreeMap::new(),
+        }
+    }
+
+    /// Add one observation under `key`.
+    pub fn push(&mut self, key: K, value: f64) {
+        self.bins.entry(key).or_default().push(value);
+    }
+
+    /// Build from an iterator of `(key, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, f64)>) -> Self {
+        let mut s = Self::new();
+        for (k, v) in pairs {
+            s.push(k, v);
+        }
+        s
+    }
+
+    /// Number of non-empty bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total number of observations across all bins.
+    pub fn n_total(&self) -> usize {
+        self.bins.values().map(Vec::len).sum()
+    }
+
+    /// The raw values in one bin, if present.
+    pub fn values(&self, key: &K) -> Option<&[f64]> {
+        self.bins.get(key).map(Vec::as_slice)
+    }
+
+    /// Iterate over `(key, values)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &[f64])> {
+        self.bins.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Drop bins with fewer than `min` observations.
+    ///
+    /// The paper applies exactly this filter: "we do not include data on a
+    /// particular tier for a country with less than 30 users" (§5).
+    pub fn filter_min_count(mut self, min: usize) -> Self {
+        self.bins.retain(|_, v| v.len() >= min);
+        self
+    }
+
+    /// Per-bin mean with a confidence interval, in key order — the rows of
+    /// a binned figure.
+    pub fn mean_cis(&self, confidence: f64) -> Vec<(K, MeanCi)> {
+        self.bins
+            .iter()
+            .map(|(k, v)| (k.clone(), mean_ci(v, confidence)))
+            .collect()
+    }
+
+    /// Per-bin means in key order (no interval).
+    pub fn means(&self) -> Vec<(K, f64)> {
+        self.bins
+            .iter()
+            .map(|(k, v)| (k.clone(), crate::descriptive::mean(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_and_means() {
+        let s = BinnedSeries::from_pairs([(1u8, 2.0), (1, 4.0), (2, 10.0)]);
+        assert_eq!(s.n_bins(), 2);
+        assert_eq!(s.n_total(), 3);
+        assert_eq!(s.values(&1), Some([2.0, 4.0].as_slice()));
+        let means = s.means();
+        assert_eq!(means, vec![(1, 3.0), (2, 10.0)]);
+    }
+
+    #[test]
+    fn keys_come_out_ordered() {
+        let s = BinnedSeries::from_pairs([(3u8, 1.0), (1, 1.0), (2, 1.0)]);
+        let keys: Vec<u8> = s.means().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn min_count_filter() {
+        let mut s = BinnedSeries::new();
+        for i in 0..30 {
+            s.push("big", i as f64);
+        }
+        s.push("small", 1.0);
+        let filtered = s.filter_min_count(30);
+        assert_eq!(filtered.n_bins(), 1);
+        assert!(filtered.values(&"big").is_some());
+        assert!(filtered.values(&"small").is_none());
+    }
+
+    #[test]
+    fn cis_match_direct_computation() {
+        let s = BinnedSeries::from_pairs([(0u8, 1.0), (0, 2.0), (0, 3.0)]);
+        let cis = s.mean_cis(0.95);
+        assert_eq!(cis.len(), 1);
+        let direct = crate::ci::mean_ci(&[1.0, 2.0, 3.0], 0.95);
+        assert_eq!(cis[0].1, direct);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s: BinnedSeries<u8> = BinnedSeries::new();
+        assert_eq!(s.n_bins(), 0);
+        assert_eq!(s.n_total(), 0);
+        assert!(s.mean_cis(0.95).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Percentile bootstrap.
+//!
+//! Used for statistics with no convenient closed-form interval (e.g. the
+//! median usage ratios quoted in §3.2) and by the ablation benches to
+//! cross-check the t-based intervals.
+
+use crate::descriptive::quantile;
+use rand::Rng;
+
+/// A bootstrap confidence interval for an arbitrary statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapCi {
+    /// Statistic evaluated on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap confidence interval of `statistic` over `data`.
+///
+/// Draws `resamples` resamples with replacement using `rng`, evaluates the
+/// statistic on each, and returns the `(1-confidence)/2` and
+/// `1-(1-confidence)/2` percentiles of the bootstrap distribution.
+///
+/// # Panics
+/// Panics on an empty sample, zero resamples, or a confidence level outside
+/// `(0, 1)`.
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[f64],
+    confidence: f64,
+    resamples: usize,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "bootstrap needs at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let estimate = statistic(data);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    BootstrapCi {
+        estimate,
+        lo: quantile(&stats, alpha),
+        hi: quantile(&stats, 1.0 - alpha),
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, median};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mean_interval_brackets_truth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // Uniform-ish sample centred near 0.5.
+        let data: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let ci = bootstrap_ci(&mut rng, &data, 0.95, 2000, mean);
+        assert!(ci.lo < 0.5 && ci.hi > 0.5, "[{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo < ci.estimate && ci.estimate < ci.hi);
+        // Interval should be tight for n = 500.
+        assert!(ci.hi - ci.lo < 0.1);
+    }
+
+    #[test]
+    fn works_for_median() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let data: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(&mut rng, &data, 0.9, 1000, median);
+        assert_eq!(ci.estimate, 51.0);
+        assert!(ci.contains_est());
+    }
+
+    impl BootstrapCi {
+        fn contains_est(&self) -> bool {
+            self.lo <= self.estimate && self.estimate <= self.hi
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&mut ChaCha8Rng::seed_from_u64(1), &data, 0.95, 200, mean);
+        let b = bootstrap_ci(&mut ChaCha8Rng::seed_from_u64(1), &data, 0.95, 200, mean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = bootstrap_ci(&mut rng, &[], 0.95, 10, mean);
+    }
+}

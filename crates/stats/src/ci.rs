@@ -1,0 +1,151 @@
+//! Student-t confidence intervals for the mean.
+//!
+//! Every binned figure in the paper carries "error bars \[that\] represent
+//! the 95% confidence interval of the mean"; [`mean_ci`] computes exactly
+//! that interval.
+
+use crate::descriptive::{mean, stddev};
+use crate::dist::StudentT;
+
+/// A confidence interval for a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanCi {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub confidence: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// True when the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// True when this interval and `other` overlap — the informal check the
+    /// paper applies when deciding whether an upgrade "likely had no
+    /// significant impact on usage" (§3.2).
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Compute a t-based confidence interval for the mean of `data`.
+///
+/// A single observation yields a degenerate interval at the point estimate
+/// (there is no dispersion information).
+///
+/// # Panics
+/// Panics on an empty slice or a confidence level outside `(0, 1)`.
+pub fn mean_ci(data: &[f64], confidence: f64) -> MeanCi {
+    assert!(!data.is_empty(), "confidence interval of empty slice");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let m = mean(data);
+    let n = data.len();
+    if n == 1 {
+        return MeanCi {
+            mean: m,
+            lo: m,
+            hi: m,
+            confidence,
+            n,
+        };
+    }
+    let sem = stddev(data) / (n as f64).sqrt();
+    let t_star = StudentT::new((n - 1) as f64).two_sided_critical(confidence);
+    MeanCi {
+        mean: m,
+        lo: m - t_star * sem,
+        hi: m + t_star * sem,
+        confidence,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_interval() {
+        // Sample of 9 with mean 10 and sd 3: t*(8, 95%) = 2.306004.
+        let data = [7.0, 8.0, 8.5, 9.5, 10.0, 10.5, 11.5, 12.0, 13.0];
+        let ci = mean_ci(&data, 0.95);
+        let m = mean(&data);
+        let half = StudentT::new(8.0).two_sided_critical(0.95) * stddev(&data) / 3.0;
+        assert!((ci.mean - m).abs() < 1e-12);
+        assert!((ci.half_width() - half).abs() < 1e-9);
+        assert!(ci.contains(m));
+    }
+
+    #[test]
+    fn singleton_is_degenerate() {
+        let ci = mean_ci(&[5.0], 0.95);
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn zero_variance_data() {
+        let ci = mean_ci(&[3.0, 3.0, 3.0, 3.0], 0.95);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ci90 = mean_ci(&data, 0.90);
+        let ci99 = mean_ci(&data, 0.99);
+        assert!(ci99.half_width() > ci90.half_width());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = MeanCi {
+            mean: 1.0,
+            lo: 0.5,
+            hi: 1.5,
+            confidence: 0.95,
+            n: 10,
+        };
+        let b = MeanCi {
+            mean: 1.4,
+            lo: 1.2,
+            hi: 1.6,
+            confidence: 0.95,
+            n: 10,
+        };
+        let c = MeanCi {
+            mean: 3.0,
+            lo: 2.5,
+            hi: 3.5,
+            confidence: 0.95,
+            n: 10,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn empty_rejected() {
+        let _ = mean_ci(&[], 0.95);
+    }
+}

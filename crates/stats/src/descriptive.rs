@@ -1,0 +1,199 @@
+//! Descriptive statistics: means, variances, quantiles, summaries.
+
+/// Arithmetic mean.
+///
+/// # Panics
+/// Panics on an empty slice — an empty population has no mean and silently
+/// returning 0 or NaN would corrupt downstream aggregates.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty slice");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator), via Welford's algorithm for
+/// numerical stability.
+///
+/// Returns 0 for a single observation.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn variance(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "variance of empty slice");
+    if data.len() == 1 {
+        return 0.0;
+    }
+    let mut mean_acc = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in data.iter().enumerate() {
+        let delta = x - mean_acc;
+        mean_acc += delta / (i as f64 + 1.0);
+        m2 += delta * (x - mean_acc);
+    }
+    m2 / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Quantile with linear interpolation between order statistics (the common
+/// "type 7" definition used by NumPy and R's default).
+///
+/// `q` must be in `[0, 1]`; `q = 0.95` is the paper's "peak demand"
+/// percentile.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data that is already sorted ascending (no copy).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// A five-number-style summary plus mean and count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "summary of empty slice");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: mean(data),
+            sd: stddev(data),
+        }
+    }
+
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), 5.0);
+        // Sample variance with n-1: sum of squared deviations is 32, /7.
+        assert!((variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stddev(&data) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive two-pass with squares would lose precision here.
+        let data: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 10) as f64).collect();
+        let v = variance(&data);
+        let expect = variance(&(0..1000).map(|i| (i % 10) as f64).collect::<Vec<_>>());
+        assert!((v - expect).abs() < 1e-6, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        // 95th percentile of [1..=4]: pos = 2.85 → 3.85.
+        assert!((quantile(&data, 0.95) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&data), 5.0);
+    }
+
+    #[test]
+    fn quantile_singleton() {
+        assert_eq!(quantile(&[3.3], 0.95), 3.3);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&data);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_rejects_empty() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn quantile_rejects_bad_level() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,194 @@
+//! The binomial distribution — the null model of every natural experiment
+//! in the paper ("if neither variable has an impact on the other, then
+//! their interaction would be random", §2.3).
+
+use crate::special::{inc_beta, ln_gamma};
+use rand::Rng;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]` and `n ≥ 1`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(n >= 1, "need at least one trial");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p must be in [0,1], got {p}"
+        );
+        Binomial { n, p }
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn prob(&self) -> f64 {
+        self.p
+    }
+
+    /// Natural log of the probability mass function at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        assert!(k <= self.n, "k = {k} exceeds n = {}", self.n);
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        ln_gamma(n + 1.0) - ln_gamma(kf + 1.0) - ln_gamma(n - kf + 1.0)
+            + kf * self.p.ln()
+            + (n - kf) * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass function at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `P(X ≤ k)`, via the regularized incomplete beta function:
+    /// `P(X ≤ k) = I_{1-p}(n-k, k+1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        inc_beta((self.n - k) as f64, (k + 1) as f64, 1.0 - self.p)
+    }
+
+    /// Upper tail `P(X ≥ k)`, exact through the incomplete beta function:
+    /// `P(X ≥ k) = I_p(k, n-k+1)` for `k ≥ 1`.
+    ///
+    /// This is the p-value of the one-tailed binomial test and stays
+    /// accurate down to magnitudes like the paper's `1.13e-36`.
+    pub fn sf_at_least(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        inc_beta(k as f64, (self.n - k + 1) as f64, self.p)
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draw one sample (number of successes in `n` Bernoulli trials).
+    ///
+    /// Direct simulation; the experiments sample at most a few thousand
+    /// trials so no BTPE-style rejection sampler is warranted.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (0..self.n).filter(|_| rng.gen_bool(self.p)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3);
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // P(X = 3), n = 10, p = 0.5 is C(10,3)/1024 = 120/1024.
+        let b = Binomial::new(10, 0.5);
+        assert!((b.pmf(3) - 120.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let b = Binomial::new(30, 0.42);
+        for k in 1..=30 {
+            let total = b.cdf(k - 1) + b.sf_at_least(k);
+            assert!((total - 1.0).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sf_matches_brute_force() {
+        let b = Binomial::new(25, 0.5);
+        for k in 0..=25 {
+            let brute: f64 = (k..=25).map(|j| b.pmf(j)).sum();
+            assert!((b.sf_at_least(k) - brute).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn deep_tail_is_finite_and_tiny() {
+        // Order of magnitude of the paper's Table 1: n in the hundreds,
+        // observed share ~70% ⇒ p-values like 1e-36. With n = 1000 and
+        // k = 703 the exact tail under p = 0.5 is ~4.7e-38.
+        let b = Binomial::new(1000, 0.5);
+        let p = b.sf_at_least(703);
+        assert!(p > 0.0 && p < 1e-30, "p = {p}");
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let always = Binomial::new(5, 1.0);
+        assert_eq!(always.sf_at_least(5), 1.0);
+        assert_eq!(always.cdf(4), 0.0);
+        let never = Binomial::new(5, 0.0);
+        assert_eq!(never.sf_at_least(1), 0.0);
+        assert_eq!(never.cdf(0), 1.0);
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.25);
+        assert_eq!(b.mean(), 25.0);
+        assert_eq!(b.variance(), 18.75);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let b = Binomial::new(50, 0.6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mean: f64 =
+            (0..20_000).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 30.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = Binomial::new(0, 0.5);
+    }
+}

@@ -1,0 +1,252 @@
+//! Heavy-tailed and memoryless continuous distributions used by the world
+//! model: log-normal (demand appetites, incomes), Pareto (session sizes),
+//! exponential (session inter-arrivals).
+
+use super::Normal;
+use rand::Rng;
+
+/// A log-normal distribution: `ln X ~ N(mu, sigma)`.
+///
+/// The world model draws user demand *appetites* and incomes from
+/// log-normals — both are classic log-normal quantities, and the heavy
+/// upper tail is what produces the small population of very demanding
+/// users visible in the paper's CDFs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Create from the parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Create from a target *median* and the multiplicative spread `sigma`
+    /// (log-space standard deviation). The median of a log-normal is
+    /// `exp(mu)`, which makes this the most intuitive constructor for
+    /// calibrating world-model parameters.
+    ///
+    /// # Panics
+    /// Panics unless `median > 0`.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.norm.mean().exp()
+    }
+
+    /// Mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.norm.mean() + self.norm.sd().powi(2) / 2.0).exp()
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.norm.cdf(x.ln())
+        }
+    }
+
+    /// Quantile (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.norm.quantile(p).exp()
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// A Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Session/flow sizes in residential traffic are famously heavy-tailed;
+/// the simulator uses a Pareto body for bulk-transfer sizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "x_min must be positive, got {x_min}");
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        Pareto { x_min, alpha }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (self.x_min / x).powf(self.alpha)
+        }
+    }
+
+    /// Mean, which only exists for `alpha > 1`.
+    pub fn mean(&self) -> Option<f64> {
+        if self.alpha > 1.0 {
+            Some(self.alpha * self.x_min / (self.alpha - 1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Quantile (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "Pareto quantile needs p in [0,1)");
+        self.x_min / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    /// Draw one sample by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen() yields [0,1); using 1-u keeps the argument in (0,1].
+        let u: f64 = rng.gen();
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+}
+
+/// An exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used for Poisson session inter-arrival times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create from a rate.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be positive, got {lambda}"
+        );
+        Exponential { lambda }
+    }
+
+    /// Create from a mean (`1/lambda`).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        Self::new(1.0 / mean)
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    /// Draw one sample by inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn lognormal_median_constructor() {
+        let d = LogNormal::from_median(7.4, 1.1);
+        assert!((d.median() - 7.4).abs() < 1e-12);
+        assert!((d.cdf(7.4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_sampling_median() {
+        let d = LogNormal::from_median(10.0, 0.8);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..40_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[20_000];
+        assert!((med / 10.0 - 1.0).abs() < 0.05, "median {med}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_quantile_round_trip() {
+        let d = LogNormal::new(1.0, 0.5);
+        for &p in &[0.05, 0.5, 0.95] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pareto_tail_exponent() {
+        let d = Pareto::new(2.0, 1.5);
+        // P(X > 4) = (2/4)^1.5.
+        assert!((1.0 - d.cdf(4.0) - 0.5f64.powf(1.5)).abs() < 1e-12);
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.mean(), Some(6.0));
+        assert_eq!(Pareto::new(1.0, 0.9).mean(), None);
+    }
+
+    #[test]
+    fn pareto_samples_respect_scale() {
+        let d = Pareto::new(5.0, 2.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(4.0);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        let mut r = rng();
+        let mean: f64 = (0..50_000).map(|_| d.sample(&mut r)).sum::<f64>() / 50_000.0;
+        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn exponential_cdf() {
+        let d = Exponential::new(1.0);
+        assert!((d.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x_min must be positive")]
+    fn pareto_rejects_zero_scale() {
+        let _ = Pareto::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+}

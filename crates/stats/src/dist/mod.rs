@@ -1,0 +1,16 @@
+//! Probability distributions.
+//!
+//! Each distribution offers the analytic pieces the study needs (CDF,
+//! survival function, quantiles where used) plus deterministic sampling
+//! through any [`rand::Rng`] — the simulator seeds a reproducible ChaCha
+//! generator, so every experiment in the repository is replayable.
+
+mod binomial;
+mod continuous;
+mod normal;
+mod student_t;
+
+pub use binomial::Binomial;
+pub use continuous::{Exponential, LogNormal, Pareto};
+pub use normal::Normal;
+pub use student_t::StudentT;

@@ -1,0 +1,138 @@
+//! Student's t distribution — used for the confidence intervals drawn as
+//! error bars on every figure of the paper.
+
+use crate::special::inc_beta;
+
+/// Student's t distribution with `nu` degrees of freedom.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Create a t distribution.
+    ///
+    /// # Panics
+    /// Panics unless `nu > 0`.
+    pub fn new(nu: f64) -> Self {
+        assert!(nu.is_finite() && nu > 0.0, "need nu > 0, got {nu}");
+        StudentT { nu }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.nu / (self.nu + t * t);
+        let tail = 0.5 * inc_beta(self.nu / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Survival function `P(T > t)`.
+    pub fn sf(&self, t: f64) -> f64 {
+        self.cdf(-t)
+    }
+
+    /// Quantile (inverse CDF), found by monotone bisection on the CDF.
+    ///
+    /// Bisection is deliberate: it is exact-by-construction against our own
+    /// CDF, branch-free over all `nu`, and quantiles are only computed a
+    /// handful of times per experiment.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "t quantile requires p in (0,1), got {p}");
+        if (p - 0.5).abs() < 1e-16 {
+            return 0.0;
+        }
+        // Bracket the root; t quantiles grow slowly, 1e6 covers any p we
+        // can represent distinguishably from 0 and 1.
+        let (mut lo, mut hi) = (-1e6, 1e6);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// The two-sided critical value `t*` such that
+    /// `P(|T| ≤ t*) = confidence`. This is the multiplier for the
+    /// "95% confidence interval of the mean" error bars used throughout the
+    /// paper's figures.
+    pub fn two_sided_critical(&self, confidence: f64) -> f64 {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1), got {confidence}"
+        );
+        self.quantile(0.5 + confidence / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry() {
+        let t = StudentT::new(7.0);
+        for &x in &[0.0, 0.5, 1.3, 4.0] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // With nu = 1 (Cauchy): CDF(1) = 0.75.
+        let cauchy = StudentT::new(1.0);
+        assert!((cauchy.cdf(1.0) - 0.75).abs() < 1e-12);
+        // nu = 10: P(T < 1.812461) ≈ 0.95 (classic table value).
+        let t10 = StudentT::new(10.0);
+        assert!((t10.cdf(1.812_461_122_811_676) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let t = StudentT::new(5.0);
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.975, 0.999] {
+            let x = t.quantile(p);
+            assert!((t.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // t*(df=4, 95%) = 2.776445; t*(df=29, 95%) = 2.045230.
+        assert!((StudentT::new(4.0).two_sided_critical(0.95) - 2.776_445).abs() < 1e-5);
+        assert!((StudentT::new(29.0).two_sided_critical(0.95) - 2.045_230).abs() < 1e-5);
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_dof() {
+        let t = StudentT::new(1e6);
+        assert!((t.two_sided_critical(0.95) - 1.959_964).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need nu > 0")]
+    fn zero_dof_rejected() {
+        let _ = StudentT::new(0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Six of the paper's twelve figures are CDF plots; [`Ecdf`] is the common
+//! representation behind all of them. It stores the sorted sample once and
+//! answers point evaluations, quantiles, and produces plottable step
+//! points.
+
+use crate::descriptive::quantile_sorted;
+
+/// An empirical CDF over a sample of `f64` observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample (copied and sorted).
+    ///
+    /// # Panics
+    /// Panics on an empty sample or NaN values.
+    pub fn new(sample: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = sample.into_iter().collect();
+        assert!(!sorted.is_empty(), "ECDF of empty sample");
+        assert!(
+            sorted.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        Ecdf { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x)` — the fraction of observations ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we test
+        // with `<= x` (the slice is sorted ascending).
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Sample quantile at level `q ∈ [0, 1]` (type-7 interpolation).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Median of the sample.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// The sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The fraction of observations strictly greater than `x`.
+    pub fn frac_above(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Points `(x, F(x))` suitable for plotting the CDF as a line.
+    ///
+    /// Emits one point per distinct observation (deduplicated), so the
+    /// result is monotone in both coordinates.
+    pub fn plot_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => points.push((x, y)),
+            }
+        }
+        points
+    }
+
+    /// Downsample the CDF to at most `max_points` plot points, always
+    /// retaining the first and last. Used when rendering dense CDFs.
+    pub fn plot_points_downsampled(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least two points");
+        let full = self.plot_points();
+        if full.len() <= max_points {
+            return full;
+        }
+        let step = (full.len() - 1) as f64 / (max_points - 1) as f64;
+        (0..max_points)
+            .map(|i| full[(i as f64 * step).round() as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::new([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new([4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(e.median(), 2.5);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 4.0);
+    }
+
+    #[test]
+    fn frac_above() {
+        let e = Ecdf::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Fraction strictly above 3 is 2/5.
+        assert!((e.frac_above(3.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plot_points_are_monotone_and_deduplicated() {
+        let e = Ecdf::new([1.0, 1.0, 2.0, 2.0, 2.0, 5.0]);
+        let pts = e.plot_points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 2.0 / 6.0));
+        assert_eq!(pts[1], (2.0, 5.0 / 6.0));
+        assert_eq!(pts[2], (5.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn downsampling_keeps_ends() {
+        let e = Ecdf::new((0..1000).map(|i| i as f64));
+        let pts = e.plot_points_downsampled(10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[9].0, 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = Ecdf::new(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new([1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper compares distributions visually (Figs. 4, 7, 11, 12: "the
+//! CDF sits to the right"). The KS statistic makes those comparisons
+//! quantitative: the maximum vertical gap between two empirical CDFs, with
+//! the classical asymptotic p-value. Used by the §7 India analyses and by
+//! the regression tests that pin CDF separations.
+
+use crate::ecdf::Ecdf;
+
+/// Result of a two-sample KS test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup_x |F1(x) − F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Smirnov's limiting distribution).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsTest {
+    /// Significant at α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Two-sample KS test over raw samples.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> KsTest {
+    assert!(
+        !sample1.is_empty() && !sample2.is_empty(),
+        "KS test needs two non-empty samples"
+    );
+    let e1 = Ecdf::new(sample1.iter().copied());
+    let e2 = Ecdf::new(sample2.iter().copied());
+    ks_from_ecdfs(&e1, &e2)
+}
+
+/// Two-sample KS test over pre-built ECDFs.
+pub fn ks_from_ecdfs(e1: &Ecdf, e2: &Ecdf) -> KsTest {
+    // Sweep the merged set of jump points; the supremum of the difference
+    // of right-continuous step functions is attained at a jump.
+    let mut d: f64 = 0.0;
+    for &x in e1.sorted_values().iter().chain(e2.sorted_values()) {
+        d = d.max((e1.eval(x) - e2.eval(x)).abs());
+    }
+    let n1 = e1.len();
+    let n2 = e2.len();
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    KsTest {
+        statistic: d,
+        p_value: ks_sf(en * d).clamp(0.0, 1.0),
+        n1,
+        n2,
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2 k² λ²}`.
+///
+/// For small λ that alternating series converges hopelessly slowly, so the
+/// Jacobi-theta transformed series is used there instead.
+pub fn ks_sf(lambda: f64) -> f64 {
+    if lambda <= 1e-8 {
+        return 1.0;
+    }
+    if lambda < 1.18 {
+        // Q(λ) = 1 − (√(2π)/λ) Σ_{k≥1} e^{−(2k−1)² π² / (8λ²)}.
+        let mut cdf = 0.0;
+        for k in 1..=20 {
+            let m = (2 * k - 1) as f64;
+            cdf += (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
+        }
+        cdf *= (2.0 * std::f64::consts::PI).sqrt() / lambda;
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+        assert!(!t.significant());
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.statistic, 1.0);
+    }
+
+    #[test]
+    fn same_distribution_usually_not_significant() {
+        let d = Normal::new(0.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a: Vec<f64> = (0..300).map(|_| d.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..300).map(|_| d.sample(&mut rng)).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(!t.significant(), "D = {}, p = {}", t.statistic, t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_is_detected() {
+        let d1 = Normal::new(0.0, 1.0);
+        let d2 = Normal::new(1.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a: Vec<f64> = (0..300).map(|_| d1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..300).map(|_| d2.sample(&mut rng)).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.significant());
+        assert!(t.statistic > 0.3, "D = {}", t.statistic);
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Q(λ) table values: Q(1.36) ≈ 0.0505 (the classic 5% critical value).
+        assert!((ks_sf(1.36) - 0.0505).abs() < 5e-3, "{}", ks_sf(1.36));
+        assert!((ks_sf(1e-9) - 1.0).abs() < 1e-6);
+        assert!(ks_sf(3.0) < 1e-6);
+        // The two branches agree where they meet.
+        assert!((ks_sf(1.1799) - ks_sf(1.1801)).abs() < 5e-4);
+        // Monotone decreasing.
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let q = ks_sf(i as f64 * 0.1);
+            assert!(q <= prev + 1e-12, "lambda {}", i as f64 * 0.1);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn statistic_symmetry() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0];
+        let t1 = ks_two_sample(&a, &b);
+        let t2 = ks_two_sample(&b, &a);
+        assert_eq!(t1.statistic, t2.statistic);
+        assert_eq!(t1.p_value, t2.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+}

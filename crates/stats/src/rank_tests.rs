@@ -1,0 +1,226 @@
+//! Rank and goodness-of-fit tests.
+//!
+//! * [`chi_squared_gof`] — Pearson's χ² goodness-of-fit. §2.3 of the paper
+//!   cites Paxson's warning that "with a large enough sample of throws, an
+//!   unbiased coin could fail to pass a χ² test", which motivates the
+//!   practical-importance guard; this implementation lets the repository
+//!   demonstrate that exact phenomenon (see the calibration tests).
+//! * [`mann_whitney_u`] — the Mann–Whitney U test, a rank-based
+//!   alternative to the matched sign test: it compares whole outcome
+//!   distributions rather than per-pair signs, and serves as a robustness
+//!   cross-check on experiment outcomes.
+
+use crate::corr::average_ranks;
+use crate::special::{inc_gamma_upper, std_normal_sf};
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChiSquaredTest {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub dof: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl ChiSquaredTest {
+    /// Significant at α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Pearson's χ² goodness-of-fit of `observed` counts against `expected`
+/// counts.
+///
+/// # Panics
+/// Panics when the slices differ in length, have fewer than two cells, or
+/// any expected count is non-positive.
+pub fn chi_squared_gof(observed: &[f64], expected: &[f64]) -> ChiSquaredTest {
+    assert_eq!(observed.len(), expected.len(), "cell counts differ");
+    assert!(observed.len() >= 2, "need at least two cells");
+    assert!(
+        expected.iter().all(|e| *e > 0.0),
+        "expected counts must be positive"
+    );
+    let statistic: f64 = observed
+        .iter()
+        .zip(expected)
+        .map(|(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    let dof = observed.len() - 1;
+    ChiSquaredTest {
+        statistic,
+        dof,
+        // χ²_k is Gamma(k/2, 2): upper tail = Q(k/2, x/2).
+        p_value: inc_gamma_upper(dof as f64 / 2.0, statistic / 2.0),
+    }
+}
+
+/// Result of a Mann–Whitney U test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MannWhitneyTest {
+    /// The U statistic of the *second* (treatment) sample.
+    pub u: f64,
+    /// One-sided p-value for "treatment tends to exceed control"
+    /// (normal approximation with tie correction).
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl MannWhitneyTest {
+    /// Significant at α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+
+    /// The common-language effect size: the probability that a random
+    /// treatment observation exceeds a random control observation.
+    pub fn prob_superiority(&self) -> f64 {
+        self.u / (self.n1 as f64 * self.n2 as f64)
+    }
+}
+
+/// One-sided Mann–Whitney U: is `treatment` stochastically larger than
+/// `control`?
+///
+/// Uses the normal approximation with tie correction — fine for the
+/// sample sizes in this study (tens and up).
+///
+/// # Panics
+/// Panics when either sample is empty.
+pub fn mann_whitney_u(control: &[f64], treatment: &[f64]) -> MannWhitneyTest {
+    assert!(
+        !control.is_empty() && !treatment.is_empty(),
+        "Mann–Whitney needs two non-empty samples"
+    );
+    let n1 = control.len();
+    let n2 = treatment.len();
+    let pooled: Vec<f64> = control.iter().chain(treatment).copied().collect();
+    let ranks = average_ranks(&pooled);
+    let r2: f64 = ranks[n1..].iter().sum();
+    let u2 = r2 - (n2 * (n2 + 1)) as f64 / 2.0;
+
+    let n = (n1 + n2) as f64;
+    let mean_u = n1 as f64 * n2 as f64 / 2.0;
+    // Tie correction to the variance.
+    let mut tie_term = 0.0;
+    {
+        let mut sorted = pooled.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in MW input"));
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i) as f64;
+            tie_term += t * t * t - t;
+            i = j;
+        }
+    }
+    let var_u =
+        (n1 as f64 * n2 as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)).max(1.0));
+    let p_value = if var_u <= 0.0 {
+        // All observations tied: no evidence either way.
+        1.0
+    } else {
+        // Continuity-corrected z for the one-sided alternative U2 > mean.
+        std_normal_sf((u2 - mean_u - 0.5) / var_u.sqrt())
+    };
+    MannWhitneyTest {
+        u: u2,
+        p_value: p_value.clamp(0.0, 1.0),
+        n1,
+        n2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_squared_known_value() {
+        // Classic die example: observed [5,8,9,8,10,20] vs fair 10s:
+        // χ² = 2.5+0.4+0.1+0.4+0+10 = 13.4, dof 5, p ≈ 0.0199.
+        let t = chi_squared_gof(&[5.0, 8.0, 9.0, 8.0, 10.0, 20.0], &[10.0; 6]);
+        assert!((t.statistic - 13.4).abs() < 1e-12);
+        assert_eq!(t.dof, 5);
+        assert!((t.p_value - 0.0199).abs() < 1e-3, "p = {}", t.p_value);
+        assert!(t.significant());
+    }
+
+    #[test]
+    fn chi_squared_perfect_fit() {
+        let t = chi_squared_gof(&[10.0, 20.0, 30.0], &[10.0, 20.0, 30.0]);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paxsons_large_sample_pathology() {
+        // §2.3's point: a 50.5%-heads coin is *practically* fair, yet with
+        // a million throws χ² rejects it decisively…
+        let n = 1_000_000.0;
+        let observed = [n * 0.505, n * 0.495];
+        let expected = [n * 0.5, n * 0.5];
+        let big = chi_squared_gof(&observed, &expected);
+        assert!(big.significant(), "p = {}", big.p_value);
+        // …while the same deviation at a realistic sample size does not.
+        let n = 1_000.0;
+        let small = chi_squared_gof(&[n * 0.505, n * 0.495], &[n * 0.5, n * 0.5]);
+        assert!(!small.significant(), "p = {}", small.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shift() {
+        let control: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let treatment: Vec<f64> = (0..60).map(|i| i as f64 + 20.0).collect();
+        let t = mann_whitney_u(&control, &treatment);
+        assert!(t.significant(), "p = {}", t.p_value);
+        assert!(t.prob_superiority() > 0.7);
+    }
+
+    #[test]
+    fn mann_whitney_null_is_flat() {
+        let control: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        let treatment: Vec<f64> = (0..100).map(|i| ((i * 53 + 11) % 101) as f64).collect();
+        let t = mann_whitney_u(&control, &treatment);
+        assert!(!t.significant(), "p = {}", t.p_value);
+        assert!((t.prob_superiority() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn mann_whitney_all_ties() {
+        let t = mann_whitney_u(&[1.0; 10], &[1.0; 10]);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        assert!((t.prob_superiority() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mann_whitney_direction() {
+        // Treatment LOWER: one-sided p should be large.
+        let control = [10.0, 11.0, 12.0, 13.0];
+        let treatment = [1.0, 2.0, 3.0, 4.0];
+        let t = mann_whitney_u(&control, &treatment);
+        assert!(t.p_value > 0.9);
+        assert!(t.prob_superiority() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two cells")]
+    fn chi_squared_rejects_single_cell() {
+        let _ = chi_squared_gof(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn mann_whitney_rejects_empty() {
+        let _ = mann_whitney_u(&[], &[1.0]);
+    }
+}

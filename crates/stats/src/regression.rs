@@ -1,0 +1,162 @@
+//! Ordinary least squares for simple (one-predictor) linear regression.
+//!
+//! §6 of the paper estimates the "cost of increasing capacity" in each
+//! market by regressing monthly plan price on plan capacity and using the
+//! slope ($ per Mbps per month) wherever the correlation is at least
+//! moderate (r > 0.4).
+
+use crate::corr::pearson;
+
+/// Result of a simple OLS fit `y = intercept + slope · x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation of x and y.
+    pub r: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard error of the slope estimate (undefined for n ≤ 2, reported
+    /// as 0 there).
+    pub slope_stderr: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// True when the fit meets the paper's "at least moderate correlation"
+    /// bar (|r| > 0.4) for using the slope as an upgrade-cost estimate.
+    pub fn moderately_correlated(&self) -> bool {
+        self.r.abs() > 0.4
+    }
+
+    /// True when the fit meets the paper's "strong correlation" bar
+    /// (|r| > 0.8).
+    pub fn strongly_correlated(&self) -> bool {
+        self.r.abs() > 0.8
+    }
+}
+
+/// Fit `y = a + b·x` by ordinary least squares.
+///
+/// Returns `None` when there are fewer than two points or `x` is constant
+/// (the slope would be undefined). A constant `y` is fine and produces a
+/// zero slope with `r = 0`.
+pub fn ols(x: &[f64], y: &[f64]) -> Option<OlsFit> {
+    assert_eq!(x.len(), y.len(), "regression inputs differ in length");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        sxx += dx * dx;
+        sxy += dx * (y[i] - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(x, y).unwrap_or(0.0);
+
+    // Residual variance and slope standard error.
+    let slope_stderr = if n > 2 {
+        let ss_res: f64 = (0..n)
+            .map(|i| {
+                let e = y[i] - (intercept + slope * x[i]);
+                e * e
+            })
+            .sum();
+        (ss_res / (nf - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+
+    Some(OlsFit {
+        slope,
+        intercept,
+        r,
+        r_squared: r * r,
+        slope_stderr,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r - 1.0).abs() < 1e-12);
+        assert!(fit.slope_stderr < 1e-10);
+        assert_eq!(fit.predict(10.0), 21.0);
+    }
+
+    #[test]
+    fn noisy_fit_matches_reference() {
+        // Cross-checked with scipy.stats.linregress.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 8.1, 9.8];
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 1.96).abs() < 1e-10, "slope {}", fit.slope);
+        assert!(
+            (fit.intercept - 0.14).abs() < 1e-10,
+            "intercept {}",
+            fit.intercept
+        );
+        assert!(fit.r > 0.998, "r {}", fit.r);
+    }
+
+    #[test]
+    fn constant_x_is_rejected() {
+        assert_eq!(ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r, 0.0);
+        assert!(!fit.moderately_correlated());
+    }
+
+    #[test]
+    fn correlation_thresholds() {
+        let fit = OlsFit {
+            slope: 1.0,
+            intercept: 0.0,
+            r: 0.85,
+            r_squared: 0.7225,
+            slope_stderr: 0.1,
+            n: 10,
+        };
+        assert!(fit.strongly_correlated());
+        assert!(fit.moderately_correlated());
+        let weak = OlsFit { r: 0.3, ..fit };
+        assert!(!weak.moderately_correlated());
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert_eq!(ols(&[1.0], &[1.0]), None);
+    }
+}

@@ -1,0 +1,293 @@
+//! Unit-safe bandwidth values.
+//!
+//! All rates in the workspace are carried as [`Bandwidth`], stored internally
+//! in bits per second as an `f64`. The paper mixes kbps (usage medians),
+//! Mbps (capacities) and implicit bytes-per-interval (gateway counters);
+//! funnelling everything through one type removes an entire class of unit
+//! bugs.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A network data rate, stored in bits per second.
+///
+/// `Bandwidth` is totally ordered (NaN is forbidden by construction from the
+/// public constructors) and supports the arithmetic needed by the simulator:
+/// addition, subtraction (saturating at zero), and scaling by a dimensionless
+/// factor. Dividing two bandwidths yields the dimensionless ratio used for
+/// link-utilisation computations.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bits_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth { bits_per_sec: 0.0 };
+
+    /// Construct from bits per second.
+    ///
+    /// # Panics
+    /// Panics if `bps` is negative or not finite — bandwidths are physical
+    /// quantities and every construction site should provide a real value.
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps} bps");
+        Bandwidth { bits_per_sec: bps }
+    }
+
+    /// Construct from kilobits per second.
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::from_bps(kbps * 1e3)
+    }
+
+    /// Construct from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::from_bps(mbps * 1e6)
+    }
+
+    /// Construct from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bps(gbps * 1e9)
+    }
+
+    /// The rate implied by transferring `bytes` over `secs` seconds.
+    pub fn from_bytes_over(bytes: u64, secs: f64) -> Self {
+        assert!(secs > 0.0, "interval must be positive");
+        Self::from_bps(bytes as f64 * 8.0 / secs)
+    }
+
+    /// Value in bits per second.
+    pub fn bps(self) -> f64 {
+        self.bits_per_sec
+    }
+
+    /// Value in kilobits per second.
+    pub fn kbps(self) -> f64 {
+        self.bits_per_sec / 1e3
+    }
+
+    /// Value in megabits per second.
+    pub fn mbps(self) -> f64 {
+        self.bits_per_sec / 1e6
+    }
+
+    /// Bytes transferred at this rate over `secs` seconds.
+    pub fn bytes_over(self, secs: f64) -> f64 {
+        self.bits_per_sec * secs / 8.0
+    }
+
+    /// The smaller of two rates (e.g. offered load capped by link capacity).
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.bits_per_sec <= other.bits_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rates.
+    pub fn max(self, other: Bandwidth) -> Bandwidth {
+        if self.bits_per_sec >= other.bits_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when the rate is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.bits_per_sec == 0.0
+    }
+
+    /// Utilisation of `capacity` by this rate, clamped to `[0, 1]`.
+    ///
+    /// Returns 0 when the capacity is zero (an unusable link is never
+    /// "utilised").
+    pub fn utilization_of(self, capacity: Bandwidth) -> f64 {
+        if capacity.is_zero() {
+            0.0
+        } else {
+            (self.bits_per_sec / capacity.bits_per_sec).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl Eq for Bandwidth {}
+
+impl PartialOrd for Bandwidth {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bandwidth {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Constructors forbid NaN, so total order is safe.
+        self.bits_per_sec
+            .partial_cmp(&other.bits_per_sec)
+            .expect("bandwidth is never NaN")
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth {
+            bits_per_sec: self.bits_per_sec + rhs.bits_per_sec,
+        }
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.bits_per_sec += rhs.bits_per_sec;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    /// Saturating subtraction: rates never go negative.
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth {
+            bits_per_sec: (self.bits_per_sec - rhs.bits_per_sec).max(0.0),
+        }
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth::from_bps(self.bits_per_sec * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth::from_bps(self.bits_per_sec / rhs)
+    }
+}
+
+impl Div<Bandwidth> for Bandwidth {
+    type Output = f64;
+    /// Ratio of two rates (dimensionless).
+    fn div(self, rhs: Bandwidth) -> f64 {
+        self.bits_per_sec / rhs.bits_per_sec
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bandwidth({})", self)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    /// Human-readable rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.bits_per_sec;
+        if bps >= 1e9 {
+            write!(f, "{:.2} Gbps", bps / 1e9)
+        } else if bps >= 1e6 {
+            write!(f, "{:.2} Mbps", bps / 1e6)
+        } else if bps >= 1e3 {
+            write!(f, "{:.1} kbps", bps / 1e3)
+        } else {
+            write!(f, "{:.0} bps", bps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Bandwidth::from_kbps(1000.0), Bandwidth::from_mbps(1.0));
+        assert_eq!(Bandwidth::from_mbps(1000.0), Bandwidth::from_gbps(1.0));
+        assert_eq!(Bandwidth::from_bps(1e6).mbps(), 1.0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        // 30 seconds at 8 Mbps is 30 MB.
+        let bw = Bandwidth::from_mbps(8.0);
+        assert_eq!(bw.bytes_over(30.0), 30e6);
+        let back = Bandwidth::from_bytes_over(30_000_000, 30.0);
+        assert!((back.mbps() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Bandwidth::from_mbps(10.0),
+            Bandwidth::from_kbps(100.0),
+            Bandwidth::ZERO,
+            Bandwidth::from_mbps(1.0)];
+        v.sort();
+        assert_eq!(v[0], Bandwidth::ZERO);
+        assert_eq!(v[3], Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let small = Bandwidth::from_kbps(10.0);
+        let big = Bandwidth::from_mbps(1.0);
+        assert_eq!(small - big, Bandwidth::ZERO);
+        assert_eq!(big - small, Bandwidth::from_kbps(990.0));
+    }
+
+    #[test]
+    fn utilization_clamps_and_handles_zero_capacity() {
+        let cap = Bandwidth::from_mbps(10.0);
+        assert_eq!(Bandwidth::from_mbps(5.0).utilization_of(cap), 0.5);
+        assert_eq!(Bandwidth::from_mbps(20.0).utilization_of(cap), 1.0);
+        assert_eq!(Bandwidth::from_mbps(5.0).utilization_of(Bandwidth::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn negative_rate_rejected() {
+        let _ = Bandwidth::from_bps(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn nan_rate_rejected() {
+        let _ = Bandwidth::from_bps(f64::NAN);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(Bandwidth::from_mbps(7.4).to_string(), "7.40 Mbps");
+        assert_eq!(Bandwidth::from_kbps(95.0).to_string(), "95.0 kbps");
+        assert_eq!(Bandwidth::from_gbps(1.5).to_string(), "1.50 Gbps");
+        assert_eq!(Bandwidth::from_bps(12.0).to_string(), "12 bps");
+    }
+
+    #[test]
+    fn sum_of_rates() {
+        let total: Bandwidth = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|m| Bandwidth::from_mbps(*m))
+            .sum();
+        assert!((total.mbps() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Bandwidth::from_mbps(2.0);
+        let b = Bandwidth::from_mbps(3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,542 @@
+//! The binning schemes used throughout the paper.
+//!
+//! * [`CapacityBin`] — the `(100 kbps · 2^(k-1), 100 kbps · 2^k]` capacity
+//!   classes of §3 and Table 2;
+//! * [`ServiceTier`] — the cross-market tiers of §5 (<1, 1–8, 8–16, 16–32,
+//!   >32 Mbps);
+//! * [`UpgradeTier`] — the upgrade-matrix tiers of Fig. 5
+//!   (0.25–1, 1–4, 4–16, 16–64, 64–256 Mbps);
+//! * [`PriceBin`] — the price-of-access groups of Table 3;
+//! * [`CostClass`] — the upgrade-cost classes of Table 6;
+//! * [`LatencyBin`] — the exponentially sized latency bins of Table 7;
+//! * [`LossBin`] — the packet-loss bins of Table 8.
+
+use crate::{Bandwidth, Latency, LossRate, MoneyPpp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A capacity class `k`, covering `(100 kbps · 2^(k-1), 100 kbps · 2^k]`.
+///
+/// `k = 1` covers (100 kbps, 200 kbps]; `k = 10` covers
+/// (25.6 Mbps, 51.2 Mbps]. Capacities at or below 100 kbps fall into the
+/// floor bin `k = 0` (the paper's population has essentially no such users).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CapacityBin(pub u8);
+
+/// The base of the exponential capacity-binning scheme: 100 kbps.
+pub const CAPACITY_BIN_BASE: f64 = 100e3;
+
+impl CapacityBin {
+    /// Classify a capacity into its bin.
+    pub fn of(capacity: Bandwidth) -> CapacityBin {
+        let bps = capacity.bps();
+        if bps <= CAPACITY_BIN_BASE {
+            return CapacityBin(0);
+        }
+        // Smallest k with 100 kbps * 2^k >= bps.
+        let k = (bps / CAPACITY_BIN_BASE).log2().ceil() as u8;
+        CapacityBin(k)
+    }
+
+    /// Exclusive lower edge of the bin.
+    pub fn lower(self) -> Bandwidth {
+        if self.0 == 0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::from_bps(CAPACITY_BIN_BASE * f64::powi(2.0, self.0 as i32 - 1))
+        }
+    }
+
+    /// Inclusive upper edge of the bin.
+    pub fn upper(self) -> Bandwidth {
+        Bandwidth::from_bps(CAPACITY_BIN_BASE * f64::powi(2.0, self.0 as i32))
+    }
+
+    /// Geometric midpoint of the bin, used as the x-coordinate when plotting
+    /// binned series on a log axis.
+    pub fn midpoint(self) -> Bandwidth {
+        let lo = if self.0 == 0 {
+            CAPACITY_BIN_BASE / 2.0
+        } else {
+            self.lower().bps()
+        };
+        Bandwidth::from_bps((lo * self.upper().bps()).sqrt())
+    }
+
+    /// The next-faster bin (`k + 1`); the "treatment" group when this bin is
+    /// the control in the Table 2 experiments.
+    pub fn next(self) -> CapacityBin {
+        CapacityBin(self.0 + 1)
+    }
+
+    /// True if `capacity` falls inside this bin.
+    pub fn contains(self, capacity: Bandwidth) -> bool {
+        CapacityBin::of(capacity) == self
+    }
+}
+
+impl fmt::Debug for CapacityBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CapacityBin({self})")
+    }
+}
+
+impl fmt::Display for CapacityBin {
+    /// Renders like the paper's Table 2 rows, e.g. `(3.2, 6.4]` (Mbps).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1}]", self.lower().mbps(), self.upper().mbps())
+    }
+}
+
+/// Cross-market service tiers used in §5 (Figs. 7–9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServiceTier {
+    /// Below 1 Mbps.
+    Below1,
+    /// 1–8 Mbps.
+    From1To8,
+    /// 8–16 Mbps.
+    From8To16,
+    /// 16–32 Mbps.
+    From16To32,
+    /// Above 32 Mbps.
+    Above32,
+}
+
+impl ServiceTier {
+    /// All tiers in ascending order.
+    pub const ALL: [ServiceTier; 5] = [
+        ServiceTier::Below1,
+        ServiceTier::From1To8,
+        ServiceTier::From8To16,
+        ServiceTier::From16To32,
+        ServiceTier::Above32,
+    ];
+
+    /// Classify a capacity into its tier.
+    pub fn of(capacity: Bandwidth) -> ServiceTier {
+        let m = capacity.mbps();
+        if m < 1.0 {
+            ServiceTier::Below1
+        } else if m < 8.0 {
+            ServiceTier::From1To8
+        } else if m < 16.0 {
+            ServiceTier::From8To16
+        } else if m < 32.0 {
+            ServiceTier::From16To32
+        } else {
+            ServiceTier::Above32
+        }
+    }
+
+    /// Label as printed in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceTier::Below1 => "<1 Mbps",
+            ServiceTier::From1To8 => "1-8 Mbps",
+            ServiceTier::From8To16 => "8-16 Mbps",
+            ServiceTier::From16To32 => "16-32 Mbps",
+            ServiceTier::Above32 => ">32 Mbps",
+        }
+    }
+}
+
+impl fmt::Display for ServiceTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tiers of the Fig. 5 upgrade matrix: 0.25–1, 1–4, 4–16, 16–64, 64–256 Mbps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UpgradeTier(pub u8);
+
+impl UpgradeTier {
+    /// All five tiers of Fig. 5.
+    pub const ALL: [UpgradeTier; 5] = [
+        UpgradeTier(0),
+        UpgradeTier(1),
+        UpgradeTier(2),
+        UpgradeTier(3),
+        UpgradeTier(4),
+    ];
+
+    /// Classify a capacity, if it falls within 0.25–256 Mbps.
+    pub fn of(capacity: Bandwidth) -> Option<UpgradeTier> {
+        let m = capacity.mbps();
+        if !(0.25..=256.0).contains(&m) {
+            return None;
+        }
+        // Tier i covers (0.25 * 4^i, 0.25 * 4^(i+1)] Mbps with the lowest
+        // tier inclusive of its lower edge.
+        for (i, t) in UpgradeTier::ALL.iter().enumerate() {
+            if m <= 0.25 * f64::powi(4.0, i as i32 + 1) {
+                let _ = t;
+                return Some(UpgradeTier(i as u8));
+            }
+        }
+        Some(UpgradeTier(4))
+    }
+
+    /// Lower edge in Mbps (exclusive, except for the first tier).
+    pub fn lower_mbps(self) -> f64 {
+        0.25 * f64::powi(4.0, self.0 as i32)
+    }
+
+    /// Upper edge in Mbps (inclusive).
+    pub fn upper_mbps(self) -> f64 {
+        0.25 * f64::powi(4.0, self.0 as i32 + 1)
+    }
+
+    /// Label as printed on the Fig. 5 x-axis, e.g. `4-16`.
+    pub fn label(self) -> String {
+        fn edge(v: f64) -> String {
+            if v < 1.0 {
+                format!("{v}")
+            } else {
+                format!("{}", v as u64)
+            }
+        }
+        format!("{}-{}", edge(self.lower_mbps()), edge(self.upper_mbps()))
+    }
+}
+
+impl fmt::Display for UpgradeTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Price-of-access groups of Table 3 (monthly cost of the cheapest ≥1 Mbps
+/// service, USD PPP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PriceBin {
+    /// Up to $25 per month (Germany, Japan, the US…).
+    UpTo25,
+    /// ($25, $60] per month (Mexico, New Zealand, the Philippines…).
+    From25To60,
+    /// Above $60 per month (Botswana, Saudi Arabia, Iran…).
+    Above60,
+}
+
+impl PriceBin {
+    /// All bins in ascending order of price.
+    pub const ALL: [PriceBin; 3] = [PriceBin::UpTo25, PriceBin::From25To60, PriceBin::Above60];
+
+    /// Classify a monthly access price.
+    pub fn of(price: MoneyPpp) -> PriceBin {
+        let usd = price.usd();
+        if usd <= 25.0 {
+            PriceBin::UpTo25
+        } else if usd <= 60.0 {
+            PriceBin::From25To60
+        } else {
+            PriceBin::Above60
+        }
+    }
+
+    /// Label as printed in Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriceBin::UpTo25 => "($0, $25]",
+            PriceBin::From25To60 => "($25, $60]",
+            PriceBin::Above60 => "($60, inf)",
+        }
+    }
+}
+
+impl fmt::Display for PriceBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Upgrade-cost classes of Table 6: monthly price of +1 Mbps of capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CostClass {
+    /// Up to $0.50 per Mbps per month.
+    UpTo50c,
+    /// ($0.50, $1.00] per Mbps per month.
+    From50cTo1,
+    /// Above $1.00 per Mbps per month.
+    Above1,
+}
+
+impl CostClass {
+    /// All classes in ascending order of cost.
+    pub const ALL: [CostClass; 3] = [CostClass::UpTo50c, CostClass::From50cTo1, CostClass::Above1];
+
+    /// Classify a per-Mbps upgrade cost.
+    pub fn of(cost_per_mbps: MoneyPpp) -> CostClass {
+        let usd = cost_per_mbps.usd();
+        if usd <= 0.5 {
+            CostClass::UpTo50c
+        } else if usd <= 1.0 {
+            CostClass::From50cTo1
+        } else {
+            CostClass::Above1
+        }
+    }
+
+    /// Label as printed in Table 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostClass::UpTo50c => "($0, $0.50]",
+            CostClass::From50cTo1 => "($0.50, $1.00]",
+            CostClass::Above1 => "($1.00, inf)",
+        }
+    }
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Exponentially sized latency bins of Table 7 (milliseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LatencyBin {
+    /// (0, 64] ms.
+    UpTo64,
+    /// (64, 128] ms.
+    From64To128,
+    /// (128, 256] ms.
+    From128To256,
+    /// (256, 512] ms.
+    From256To512,
+    /// (512, 2048] ms — the "problematically high" control group.
+    From512To2048,
+    /// Above 2048 ms (excluded from the Table 7 comparisons).
+    Above2048,
+}
+
+impl LatencyBin {
+    /// The bins that appear in Table 7, ascending.
+    pub const TABLE7: [LatencyBin; 5] = [
+        LatencyBin::UpTo64,
+        LatencyBin::From64To128,
+        LatencyBin::From128To256,
+        LatencyBin::From256To512,
+        LatencyBin::From512To2048,
+    ];
+
+    /// Classify an average latency.
+    pub fn of(latency: Latency) -> LatencyBin {
+        let ms = latency.ms();
+        if ms <= 64.0 {
+            LatencyBin::UpTo64
+        } else if ms <= 128.0 {
+            LatencyBin::From64To128
+        } else if ms <= 256.0 {
+            LatencyBin::From128To256
+        } else if ms <= 512.0 {
+            LatencyBin::From256To512
+        } else if ms <= 2048.0 {
+            LatencyBin::From512To2048
+        } else {
+            LatencyBin::Above2048
+        }
+    }
+
+    /// Label as printed in Table 7 (ms).
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyBin::UpTo64 => "(0, 64]",
+            LatencyBin::From64To128 => "(64, 128]",
+            LatencyBin::From128To256 => "(128, 256]",
+            LatencyBin::From256To512 => "(256, 512]",
+            LatencyBin::From512To2048 => "(512, 2048]",
+            LatencyBin::Above2048 => "(2048, inf)",
+        }
+    }
+}
+
+impl fmt::Display for LatencyBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Packet-loss bins of Table 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LossBin {
+    /// (0, 0.01] % — essentially lossless.
+    UpTo0_01,
+    /// (0.01, 0.1] %.
+    From0_01To0_1,
+    /// (0.1, 1] %.
+    From0_1To1,
+    /// (1, 15] % — the "very high loss" control group.
+    From1To15,
+    /// Above 15 % (excluded from the Table 8 comparisons).
+    Above15,
+}
+
+impl LossBin {
+    /// The bins used in Table 8, ascending.
+    pub const TABLE8: [LossBin; 4] = [
+        LossBin::UpTo0_01,
+        LossBin::From0_01To0_1,
+        LossBin::From0_1To1,
+        LossBin::From1To15,
+    ];
+
+    /// Classify an average loss rate.
+    pub fn of(loss: LossRate) -> LossBin {
+        let pct = loss.percent();
+        if pct <= 0.01 {
+            LossBin::UpTo0_01
+        } else if pct <= 0.1 {
+            LossBin::From0_01To0_1
+        } else if pct <= 1.0 {
+            LossBin::From0_1To1
+        } else if pct <= 15.0 {
+            LossBin::From1To15
+        } else {
+            LossBin::Above15
+        }
+    }
+
+    /// Label as printed in Table 8 (percent).
+    pub fn label(self) -> &'static str {
+        match self {
+            LossBin::UpTo0_01 => "(0, 0.01%]",
+            LossBin::From0_01To0_1 => "(0.01%, 0.1%]",
+            LossBin::From0_1To1 => "(0.1%, 1%]",
+            LossBin::From1To15 => "(1%, 15%]",
+            LossBin::Above15 => "(15%, inf)",
+        }
+    }
+}
+
+impl fmt::Display for LossBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: f64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    #[test]
+    fn capacity_bins_match_paper_edges() {
+        // Table 2 rows: (3.2, 6.4] is a bin; check edge behaviour.
+        let bin = CapacityBin::of(mbps(6.4));
+        assert_eq!(bin.lower(), mbps(3.2));
+        assert_eq!(bin.upper(), mbps(6.4));
+        // Exclusive lower edge: exactly 3.2 Mbps falls in the bin below.
+        assert_eq!(CapacityBin::of(mbps(3.2)).upper(), mbps(3.2));
+        // Just above the lower edge is inside.
+        assert!(bin.contains(mbps(3.3)));
+    }
+
+    #[test]
+    fn capacity_bin_k_indices() {
+        assert_eq!(CapacityBin::of(Bandwidth::from_kbps(150.0)), CapacityBin(1));
+        assert_eq!(CapacityBin::of(Bandwidth::from_kbps(100.0)), CapacityBin(0));
+        assert_eq!(CapacityBin::of(Bandwidth::from_kbps(50.0)), CapacityBin(0));
+        assert_eq!(CapacityBin::of(mbps(25.6)), CapacityBin(8));
+        assert_eq!(CapacityBin::of(mbps(25.7)), CapacityBin(9));
+    }
+
+    #[test]
+    fn capacity_bin_next_is_adjacent() {
+        let b = CapacityBin::of(mbps(5.0));
+        assert_eq!(b.next().lower(), b.upper());
+    }
+
+    #[test]
+    fn capacity_bin_midpoint_inside() {
+        for k in 1..12u8 {
+            let b = CapacityBin(k);
+            let m = b.midpoint();
+            assert!(m > b.lower() && m <= b.upper(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn capacity_bin_display() {
+        assert_eq!(CapacityBin::of(mbps(5.0)).to_string(), "(3.2, 6.4]");
+    }
+
+    #[test]
+    fn service_tiers() {
+        assert_eq!(ServiceTier::of(mbps(0.5)), ServiceTier::Below1);
+        assert_eq!(ServiceTier::of(mbps(4.2)), ServiceTier::From1To8);
+        assert_eq!(ServiceTier::of(mbps(12.0)), ServiceTier::From8To16);
+        assert_eq!(ServiceTier::of(mbps(17.6)), ServiceTier::From16To32);
+        assert_eq!(ServiceTier::of(mbps(100.0)), ServiceTier::Above32);
+        assert_eq!(ServiceTier::of(mbps(1.0)), ServiceTier::From1To8);
+    }
+
+    #[test]
+    fn upgrade_tiers_cover_fig5_axis() {
+        assert_eq!(UpgradeTier::of(mbps(0.5)), Some(UpgradeTier(0)));
+        assert_eq!(UpgradeTier::of(mbps(2.0)), Some(UpgradeTier(1)));
+        assert_eq!(UpgradeTier::of(mbps(10.0)), Some(UpgradeTier(2)));
+        assert_eq!(UpgradeTier::of(mbps(50.0)), Some(UpgradeTier(3)));
+        assert_eq!(UpgradeTier::of(mbps(200.0)), Some(UpgradeTier(4)));
+        assert_eq!(UpgradeTier::of(mbps(0.1)), None);
+        assert_eq!(UpgradeTier::of(mbps(300.0)), None);
+        assert_eq!(UpgradeTier(0).label(), "0.25-1");
+        assert_eq!(UpgradeTier(2).label(), "4-16");
+    }
+
+    #[test]
+    fn price_bins_match_table3() {
+        assert_eq!(PriceBin::of(MoneyPpp::from_usd(20.0)), PriceBin::UpTo25);
+        assert_eq!(PriceBin::of(MoneyPpp::from_usd(25.0)), PriceBin::UpTo25);
+        assert_eq!(PriceBin::of(MoneyPpp::from_usd(53.0)), PriceBin::From25To60);
+        assert_eq!(PriceBin::of(MoneyPpp::from_usd(100.0)), PriceBin::Above60);
+    }
+
+    #[test]
+    fn cost_classes_match_table6() {
+        assert_eq!(CostClass::of(MoneyPpp::from_usd(0.1)), CostClass::UpTo50c);
+        assert_eq!(CostClass::of(MoneyPpp::from_usd(0.75)), CostClass::From50cTo1);
+        assert_eq!(CostClass::of(MoneyPpp::from_usd(12.0)), CostClass::Above1);
+    }
+
+    #[test]
+    fn latency_bins_match_table7() {
+        assert_eq!(LatencyBin::of(Latency::from_ms(50.0)), LatencyBin::UpTo64);
+        assert_eq!(
+            LatencyBin::of(Latency::from_ms(100.0)),
+            LatencyBin::From64To128
+        );
+        assert_eq!(
+            LatencyBin::of(Latency::from_ms(600.0)),
+            LatencyBin::From512To2048
+        );
+        assert_eq!(
+            LatencyBin::of(Latency::from_ms(3000.0)),
+            LatencyBin::Above2048
+        );
+    }
+
+    #[test]
+    fn loss_bins_match_table8() {
+        assert_eq!(LossBin::of(LossRate::from_percent(0.005)), LossBin::UpTo0_01);
+        assert_eq!(
+            LossBin::of(LossRate::from_percent(0.05)),
+            LossBin::From0_01To0_1
+        );
+        assert_eq!(LossBin::of(LossRate::from_percent(0.5)), LossBin::From0_1To1);
+        assert_eq!(LossBin::of(LossRate::from_percent(5.0)), LossBin::From1To15);
+        assert_eq!(LossBin::of(LossRate::from_percent(20.0)), LossBin::Above15);
+    }
+
+    #[test]
+    fn bins_are_ordered() {
+        assert!(PriceBin::UpTo25 < PriceBin::Above60);
+        assert!(LatencyBin::UpTo64 < LatencyBin::From512To2048);
+        assert!(LossBin::UpTo0_01 < LossBin::From1To15);
+        assert!(CapacityBin(3) < CapacityBin(4));
+    }
+}

@@ -1,0 +1,235 @@
+//! Countries, regions and development status.
+//!
+//! A [`Country`] is a two-letter ISO-3166-style code; it is deliberately a
+//! cheap `Copy` identifier — descriptive attributes (GDP per capita, PPP
+//! factors, plan catalogues) are attached by the dataset and market crates.
+//! [`Region`] follows the aggregation used by Table 5 of the paper, which
+//! splits Asia into developed and developing sub-groups "given the diversity
+//! of economies within the area".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A country identifier: two uppercase ASCII letters (ISO 3166-1 alpha-2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Country([u8; 2]);
+
+impl Country {
+    /// Build a country code from a two-letter string.
+    ///
+    /// Lowercase input is accepted and normalised to uppercase.
+    ///
+    /// # Panics
+    /// Panics unless the input is exactly two ASCII letters. Use the
+    /// [`FromStr`] implementation for fallible parsing.
+    pub fn new(code: &str) -> Self {
+        code.parse()
+            .unwrap_or_else(|e| panic!("invalid country code {code:?}: {e}"))
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Construction guarantees ASCII, so this cannot fail.
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+}
+
+/// Error produced when parsing an invalid country code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidCountryCode;
+
+impl fmt::Display for InvalidCountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "country codes are exactly two ASCII letters")
+    }
+}
+
+impl std::error::Error for InvalidCountryCode {}
+
+impl FromStr for Country {
+    type Err = InvalidCountryCode;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return Err(InvalidCountryCode);
+        }
+        Ok(Country([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+}
+
+impl fmt::Debug for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Country({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Geographic/economic region, following Table 5 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Africa.
+    Africa,
+    /// Developed Asian economies (Japan, South Korea, Hong Kong, Singapore…).
+    AsiaDeveloped,
+    /// Developing Asian economies (the IMF classification the paper cites).
+    AsiaDeveloping,
+    /// Central America and the Caribbean.
+    CentralAmericaCaribbean,
+    /// Europe.
+    Europe,
+    /// Middle East.
+    MiddleEast,
+    /// North America (US, Canada).
+    NorthAmerica,
+    /// Oceania (not shown in Table 5 but present in the 99-country survey).
+    Oceania,
+    /// South America.
+    SouthAmerica,
+}
+
+impl Region {
+    /// All regions, in the display order of Table 5 (plus Oceania).
+    pub const ALL: [Region; 9] = [
+        Region::Africa,
+        Region::AsiaDeveloped,
+        Region::AsiaDeveloping,
+        Region::CentralAmericaCaribbean,
+        Region::Europe,
+        Region::MiddleEast,
+        Region::NorthAmerica,
+        Region::Oceania,
+        Region::SouthAmerica,
+    ];
+
+    /// Human-readable name as printed in Table 5.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Africa => "Africa",
+            Region::AsiaDeveloped => "Asia (developed)",
+            Region::AsiaDeveloping => "Asia (developing)",
+            Region::CentralAmericaCaribbean => "Central America/Caribbean",
+            Region::Europe => "Europe",
+            Region::MiddleEast => "Middle East",
+            Region::NorthAmerica => "North America",
+            Region::Oceania => "Oceania",
+            Region::SouthAmerica => "South America",
+        }
+    }
+
+    /// True for the "Asia (all)" aggregate row of Table 5.
+    pub fn is_asia(self) -> bool {
+        matches!(self, Region::AsiaDeveloped | Region::AsiaDeveloping)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IMF-style development classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DevelopmentStatus {
+    /// Advanced economy.
+    Developed,
+    /// Emerging / developing economy.
+    Developing,
+}
+
+impl Region {
+    /// The default development status of economies in this region.
+    ///
+    /// This is only a coarse default used by generators; individual country
+    /// profiles may override it (e.g. Israel in the Middle East).
+    pub fn default_development(self) -> DevelopmentStatus {
+        match self {
+            Region::AsiaDeveloped | Region::Europe | Region::NorthAmerica | Region::Oceania => {
+                DevelopmentStatus::Developed
+            }
+            _ => DevelopmentStatus::Developing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalises_case() {
+        assert_eq!(Country::new("us"), Country::new("US"));
+        assert_eq!(Country::new("jp").as_str(), "JP");
+    }
+
+    #[test]
+    fn parse_rejects_bad_codes() {
+        assert!("USA".parse::<Country>().is_err());
+        assert!("U".parse::<Country>().is_err());
+        assert!("U1".parse::<Country>().is_err());
+        assert!("".parse::<Country>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn new_panics_on_bad_code() {
+        let _ = Country::new("U.S.");
+    }
+
+    #[test]
+    fn country_is_usable_as_map_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(Country::new("BW"), 67usize);
+        m.insert(Country::new("SA"), 120);
+        m.insert(Country::new("US"), 3759);
+        m.insert(Country::new("JP"), 73);
+        assert_eq!(m[&Country::new("US")], 3759);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn region_names_match_table5() {
+        assert_eq!(Region::AsiaDeveloping.name(), "Asia (developing)");
+        assert_eq!(
+            Region::CentralAmericaCaribbean.name(),
+            "Central America/Caribbean"
+        );
+    }
+
+    #[test]
+    fn asia_aggregate() {
+        assert!(Region::AsiaDeveloped.is_asia());
+        assert!(Region::AsiaDeveloping.is_asia());
+        assert!(!Region::Europe.is_asia());
+    }
+
+    #[test]
+    fn default_development_statuses() {
+        assert_eq!(
+            Region::Africa.default_development(),
+            DevelopmentStatus::Developing
+        );
+        assert_eq!(
+            Region::NorthAmerica.default_development(),
+            DevelopmentStatus::Developed
+        );
+    }
+
+    #[test]
+    fn all_regions_distinct() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = Region::ALL.iter().collect();
+        assert_eq!(set.len(), Region::ALL.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Identifiers for users and access networks.
+
+use crate::Country;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stable identifier for a subscriber (end host or gateway) in a dataset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UserId({})", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Identifies an access network.
+///
+/// The paper identifies a network by the tuple *(ISP name, network prefix,
+/// geolocated city)* when tracking users that move between networks (§3.2).
+/// We keep the same shape with integer surrogates for prefix and city.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NetworkId {
+    /// Country the network operates in.
+    pub country: Country,
+    /// ISP name surrogate (index into the market's provider list).
+    pub isp: u16,
+    /// Routing-prefix surrogate.
+    pub prefix: u32,
+    /// Geolocated-city surrogate.
+    pub city: u16,
+}
+
+impl NetworkId {
+    /// Build a network identifier.
+    pub fn new(country: Country, isp: u16, prefix: u32, city: u16) -> Self {
+        NetworkId {
+            country,
+            isp,
+            prefix,
+            city,
+        }
+    }
+
+    /// True when two identifiers denote the same ISP in the same city
+    /// (used to distinguish service *upgrades within* a provider from
+    /// *moves across* providers).
+    pub fn same_operator(&self, other: &NetworkId) -> bool {
+        self.country == other.country && self.isp == other.isp && self.city == other.city
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/isp{}/pfx{}/city{}",
+            self.country, self.isp, self.prefix, self.city
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_identity_tuple() {
+        let us = Country::new("US");
+        let a = NetworkId::new(us, 1, 100, 7);
+        let b = NetworkId::new(us, 1, 200, 7);
+        let c = NetworkId::new(us, 2, 100, 7);
+        assert_ne!(a, b, "different prefixes are different networks");
+        assert!(a.same_operator(&b));
+        assert!(!a.same_operator(&c));
+    }
+
+    #[test]
+    fn ids_are_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(UserId(1), "a");
+        m.insert(UserId(2), "b");
+        assert_eq!(m[&UserId(2)], "b");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(42).to_string(), "u42");
+        let n = NetworkId::new(Country::new("JP"), 3, 12, 1);
+        assert_eq!(n.to_string(), "JP/isp3/pfx12/city1");
+    }
+}

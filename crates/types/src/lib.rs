@@ -1,0 +1,35 @@
+//! # bb-types — core domain types for the broadband-market study
+//!
+//! This crate defines the strongly-typed vocabulary shared by every other
+//! crate in the `needwant` workspace: bandwidth, latency, packet-loss rates,
+//! purchasing-power-parity (PPP) money, countries and regions, the binning
+//! schemes used throughout the paper (capacity classes of `100 kbps · 2^k`,
+//! service tiers, price/latency/loss bins), the 30-second measurement time
+//! axis, and the identifiers used to track users and access networks.
+//!
+//! Everything here is a plain value type: `Copy` where cheap, `serde`-aware,
+//! and with no behaviour beyond unit-safe arithmetic and classification.
+//! Keeping the vocabulary in one dependency-free crate prevents unit bugs
+//! (bits vs bytes, monthly vs yearly money, raw vs PPP dollars) from creeping
+//! into the simulator or the analysis pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod bins;
+pub mod geo;
+pub mod ids;
+pub mod money;
+pub mod quality;
+pub mod time;
+pub mod usage;
+
+pub use bandwidth::Bandwidth;
+pub use bins::{CapacityBin, CostClass, LatencyBin, LossBin, PriceBin, ServiceTier, UpgradeTier};
+pub use geo::{Country, DevelopmentStatus, Region};
+pub use ids::{NetworkId, UserId};
+pub use money::{MoneyPpp, PppConverter};
+pub use quality::{Latency, LossRate};
+pub use time::{SlotIdx, TimeAxis, Year, SLOT_SECS};
+pub use usage::{DemandMetric, DemandSummary};

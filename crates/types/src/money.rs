@@ -1,0 +1,250 @@
+//! Money normalised by purchasing power parity (PPP).
+//!
+//! The paper converts every monthly price to US dollars and then adjusts by
+//! the country's PPP-to-market-exchange ratio (§2.1), so that "$25 per
+//! month" means the same real burden in every market. [`MoneyPpp`] carries
+//! such a normalised monthly amount; [`PppConverter`] performs the
+//! local-currency → USD-PPP conversion the way the Google/IMF data does.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A monthly amount of money in PPP-adjusted US dollars.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoneyPpp {
+    usd: f64,
+}
+
+impl MoneyPpp {
+    /// Zero dollars.
+    pub const ZERO: MoneyPpp = MoneyPpp { usd: 0.0 };
+
+    /// Construct from a PPP-adjusted USD amount.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite amounts.
+    pub fn from_usd(usd: f64) -> Self {
+        assert!(usd.is_finite() && usd >= 0.0, "invalid amount: {usd} USD");
+        MoneyPpp { usd }
+    }
+
+    /// Amount in PPP-adjusted USD.
+    pub fn usd(self) -> f64 {
+        self.usd
+    }
+
+    /// This amount as a fraction of `income` (e.g. monthly GDP per capita).
+    ///
+    /// Returns `None` when the income is zero.
+    pub fn fraction_of(self, income: MoneyPpp) -> Option<f64> {
+        if income.usd == 0.0 {
+            None
+        } else {
+            Some(self.usd / income.usd)
+        }
+    }
+
+    /// The smaller of two amounts.
+    pub fn min(self, other: MoneyPpp) -> MoneyPpp {
+        if self.usd <= other.usd {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for MoneyPpp {}
+
+impl PartialOrd for MoneyPpp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MoneyPpp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.usd.partial_cmp(&other.usd).expect("money is never NaN")
+    }
+}
+
+impl Add for MoneyPpp {
+    type Output = MoneyPpp;
+    fn add(self, rhs: MoneyPpp) -> MoneyPpp {
+        MoneyPpp {
+            usd: self.usd + rhs.usd,
+        }
+    }
+}
+
+impl Sub for MoneyPpp {
+    type Output = MoneyPpp;
+    /// Saturating subtraction: amounts never go negative.
+    fn sub(self, rhs: MoneyPpp) -> MoneyPpp {
+        MoneyPpp {
+            usd: (self.usd - rhs.usd).max(0.0),
+        }
+    }
+}
+
+impl Mul<f64> for MoneyPpp {
+    type Output = MoneyPpp;
+    fn mul(self, rhs: f64) -> MoneyPpp {
+        MoneyPpp::from_usd(self.usd * rhs)
+    }
+}
+
+impl Div<f64> for MoneyPpp {
+    type Output = MoneyPpp;
+    fn div(self, rhs: f64) -> MoneyPpp {
+        MoneyPpp::from_usd(self.usd / rhs)
+    }
+}
+
+impl Div<MoneyPpp> for MoneyPpp {
+    type Output = f64;
+    fn div(self, rhs: MoneyPpp) -> f64 {
+        self.usd / rhs.usd
+    }
+}
+
+impl Sum for MoneyPpp {
+    fn sum<I: Iterator<Item = MoneyPpp>>(iter: I) -> MoneyPpp {
+        iter.fold(MoneyPpp::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for MoneyPpp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MoneyPpp({self})")
+    }
+}
+
+impl fmt::Display for MoneyPpp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.2}", self.usd)
+    }
+}
+
+/// Converts local-currency prices to PPP-adjusted US dollars.
+///
+/// The Google "Policy by the Numbers" survey carries a market exchange rate
+/// (local per USD) and a PPP conversion factor (local per international
+/// dollar); where the survey lacked the latter the paper fell back to IMF
+/// data. The normalised price is `local / ppp_factor`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PppConverter {
+    /// Market exchange rate: units of local currency per nominal USD.
+    pub market_rate: f64,
+    /// PPP conversion factor: units of local currency per international dollar.
+    pub ppp_factor: f64,
+}
+
+impl PppConverter {
+    /// Build a converter.
+    ///
+    /// # Panics
+    /// Panics unless both rates are positive and finite.
+    pub fn new(market_rate: f64, ppp_factor: f64) -> Self {
+        assert!(
+            market_rate.is_finite() && market_rate > 0.0,
+            "invalid market rate: {market_rate}"
+        );
+        assert!(
+            ppp_factor.is_finite() && ppp_factor > 0.0,
+            "invalid PPP factor: {ppp_factor}"
+        );
+        PppConverter {
+            market_rate,
+            ppp_factor,
+        }
+    }
+
+    /// Identity converter for prices already quoted in USD PPP.
+    pub fn identity() -> Self {
+        PppConverter::new(1.0, 1.0)
+    }
+
+    /// Convert a local-currency amount to PPP-adjusted USD.
+    pub fn to_ppp(self, local_amount: f64) -> MoneyPpp {
+        MoneyPpp::from_usd(local_amount / self.ppp_factor)
+    }
+
+    /// Convert a local-currency amount to *nominal* (market-rate) USD.
+    pub fn to_nominal_usd(self, local_amount: f64) -> f64 {
+        local_amount / self.market_rate
+    }
+
+    /// PPP-to-market ratio. Values above 1 mean the currency buys more at
+    /// home than the market rate suggests (typical of developing economies).
+    pub fn ppp_to_market_ratio(self) -> f64 {
+        self.market_rate / self.ppp_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_uses_ppp_factor() {
+        // A currency at 100 local per USD but 50 local per intl-dollar:
+        // 5000 local is nominally $50 but $100 PPP.
+        let c = PppConverter::new(100.0, 50.0);
+        assert_eq!(c.to_ppp(5000.0), MoneyPpp::from_usd(100.0));
+        assert_eq!(c.to_nominal_usd(5000.0), 50.0);
+        assert_eq!(c.ppp_to_market_ratio(), 2.0);
+    }
+
+    #[test]
+    fn identity_converter_passes_through() {
+        let c = PppConverter::identity();
+        assert_eq!(c.to_ppp(25.0), MoneyPpp::from_usd(25.0));
+    }
+
+    #[test]
+    fn fraction_of_income() {
+        // Botswana row of Table 4: $100/month on $14,993/yr GDP pc → 8.0%.
+        let price = MoneyPpp::from_usd(100.0);
+        let monthly_income = MoneyPpp::from_usd(14_993.0 / 12.0);
+        let frac = price.fraction_of(monthly_income).unwrap();
+        assert!((frac - 0.080).abs() < 0.001, "got {frac}");
+        assert_eq!(price.fraction_of(MoneyPpp::ZERO), None);
+    }
+
+    #[test]
+    fn money_arithmetic() {
+        let a = MoneyPpp::from_usd(30.0);
+        let b = MoneyPpp::from_usd(20.0);
+        assert_eq!(a + b, MoneyPpp::from_usd(50.0));
+        assert_eq!(b - a, MoneyPpp::ZERO);
+        assert_eq!(a - b, MoneyPpp::from_usd(10.0));
+        assert_eq!(a * 2.0, MoneyPpp::from_usd(60.0));
+        assert_eq!(a / b, 1.5);
+    }
+
+    #[test]
+    fn money_orders_and_sums() {
+        let v: MoneyPpp = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|x| MoneyPpp::from_usd(*x))
+            .sum();
+        assert_eq!(v, MoneyPpp::from_usd(60.0));
+        assert!(MoneyPpp::from_usd(25.0) < MoneyPpp::from_usd(60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid amount")]
+    fn negative_money_rejected() {
+        let _ = MoneyPpp::from_usd(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PPP factor")]
+    fn zero_ppp_factor_rejected() {
+        let _ = PppConverter::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Connection-quality values: round-trip latency and packet-loss rate.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+/// A round-trip latency, stored in milliseconds.
+///
+/// The paper reports latency to the nearest NDT measurement server and, in
+/// §7.1, to popular web sites; both are RTTs in milliseconds.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Latency {
+    millis: f64,
+}
+
+impl Latency {
+    /// Zero latency (useful as an accumulator seed).
+    pub const ZERO: Latency = Latency { millis: 0.0 };
+
+    /// Construct from milliseconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid latency: {ms} ms");
+        Latency { millis: ms }
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_ms(s * 1e3)
+    }
+
+    /// Value in milliseconds.
+    pub fn ms(self) -> f64 {
+        self.millis
+    }
+
+    /// Value in seconds (used by TCP throughput formulas).
+    pub fn secs(self) -> f64 {
+        self.millis / 1e3
+    }
+
+    /// The larger of two latencies.
+    pub fn max(self, other: Latency) -> Latency {
+        if self.millis >= other.millis {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Latency {}
+
+impl PartialOrd for Latency {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Latency {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.millis
+            .partial_cmp(&other.millis)
+            .expect("latency is never NaN")
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        Latency {
+            millis: self.millis + rhs.millis,
+        }
+    }
+}
+
+impl fmt::Debug for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Latency({self})")
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.millis >= 1000.0 {
+            write!(f, "{:.2} s", self.millis / 1e3)
+        } else {
+            write!(f, "{:.1} ms", self.millis)
+        }
+    }
+}
+
+/// An average packet-loss rate, stored as a fraction in `[0, 1]`.
+///
+/// The paper works with loss percentages (e.g. "loss rates above 1%"); the
+/// [`LossRate::percent`] accessor matches that presentation while the
+/// internal fraction feeds the TCP throughput model directly.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossRate {
+    fraction: f64,
+}
+
+impl LossRate {
+    /// No loss.
+    pub const ZERO: LossRate = LossRate { fraction: 0.0 };
+
+    /// Construct from a fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the value is outside `[0, 1]` or not finite.
+    pub fn from_fraction(f: f64) -> Self {
+        assert!(
+            f.is_finite() && (0.0..=1.0).contains(&f),
+            "invalid loss rate: {f}"
+        );
+        LossRate { fraction: f }
+    }
+
+    /// Construct from a percentage in `[0, 100]`.
+    pub fn from_percent(pct: f64) -> Self {
+        Self::from_fraction(pct / 100.0)
+    }
+
+    /// Loss as a fraction in `[0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.fraction
+    }
+
+    /// Loss as a percentage in `[0, 100]`.
+    pub fn percent(self) -> f64 {
+        self.fraction * 100.0
+    }
+
+    /// True when the rate is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.fraction == 0.0
+    }
+}
+
+impl Eq for LossRate {}
+
+impl PartialOrd for LossRate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LossRate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.fraction
+            .partial_cmp(&other.fraction)
+            .expect("loss rate is never NaN")
+    }
+}
+
+impl fmt::Debug for LossRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LossRate({self})")
+    }
+}
+
+impl fmt::Display for LossRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_units() {
+        assert_eq!(Latency::from_secs(0.1).ms(), 100.0);
+        assert_eq!(Latency::from_ms(250.0).secs(), 0.25);
+    }
+
+    #[test]
+    fn latency_orders() {
+        assert!(Latency::from_ms(100.0) < Latency::from_ms(500.0));
+        assert_eq!(
+            Latency::from_ms(20.0).max(Latency::from_ms(30.0)),
+            Latency::from_ms(30.0)
+        );
+    }
+
+    #[test]
+    fn latency_display() {
+        assert_eq!(Latency::from_ms(95.5).to_string(), "95.5 ms");
+        assert_eq!(Latency::from_ms(1500.0).to_string(), "1.50 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latency")]
+    fn negative_latency_rejected() {
+        let _ = Latency::from_ms(-5.0);
+    }
+
+    #[test]
+    fn loss_percent_round_trip() {
+        let l = LossRate::from_percent(1.5);
+        assert!((l.fraction() - 0.015).abs() < 1e-12);
+        assert!((l.percent() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_orders() {
+        assert!(LossRate::from_percent(0.01) < LossRate::from_percent(1.0));
+        assert!(LossRate::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loss rate")]
+    fn loss_above_one_rejected() {
+        let _ = LossRate::from_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loss rate")]
+    fn loss_negative_rejected() {
+        let _ = LossRate::from_percent(-0.1);
+    }
+}

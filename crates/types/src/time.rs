@@ -1,0 +1,172 @@
+//! The measurement time axis.
+//!
+//! Dasu samples traffic counters "at approximately 30 second intervals"
+//! (§2.1); we therefore quantise simulated time into 30-second *slots*.
+//! A [`TimeAxis`] describes a contiguous observation window within a year;
+//! [`SlotIdx`] addresses a slot within it. FCC gateway data is hourly, i.e.
+//! 120 slots per bin — the aggregation lives in `bb-netsim::collect`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds per measurement slot.
+pub const SLOT_SECS: f64 = 30.0;
+
+/// Slots per hour (FCC gateways report hourly byte counts).
+pub const SLOTS_PER_HOUR: usize = 120;
+
+/// Slots per day.
+pub const SLOTS_PER_DAY: usize = 2880;
+
+/// An observation year of the longitudinal panel (§4 compares 2011–2013).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Year(pub u16);
+
+impl Year {
+    /// The three panel years of the paper's longitudinal study.
+    pub const PANEL: [Year; 3] = [Year(2011), Year(2012), Year(2013)];
+}
+
+impl fmt::Debug for Year {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Year({})", self.0)
+    }
+}
+
+impl fmt::Display for Year {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of a 30-second slot within an observation window.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SlotIdx(pub u32);
+
+impl SlotIdx {
+    /// Start time of the slot, in seconds from the window origin.
+    pub fn start_secs(self) -> f64 {
+        self.0 as f64 * SLOT_SECS
+    }
+
+    /// Hour-of-day of this slot, assuming the window starts at midnight.
+    pub fn hour_of_day(self) -> u8 {
+        ((self.0 as usize % SLOTS_PER_DAY) / SLOTS_PER_HOUR) as u8
+    }
+
+    /// Day index (0-based) of this slot within the window.
+    pub fn day(self) -> u32 {
+        self.0 / SLOTS_PER_DAY as u32
+    }
+}
+
+/// A contiguous observation window: `days` days of 30-second slots,
+/// starting at local midnight of day 0 in a given [`Year`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeAxis {
+    /// The panel year this window belongs to.
+    pub year: Year,
+    /// Number of observed days.
+    pub days: u32,
+}
+
+impl TimeAxis {
+    /// Create a window of `days` days in `year`.
+    ///
+    /// # Panics
+    /// Panics when `days` is zero — an empty window has no slots and every
+    /// downstream percentile would be undefined.
+    pub fn new(year: Year, days: u32) -> Self {
+        assert!(days > 0, "observation window must span at least one day");
+        TimeAxis { year, days }
+    }
+
+    /// Total number of slots in the window.
+    pub fn n_slots(&self) -> u32 {
+        self.days * SLOTS_PER_DAY as u32
+    }
+
+    /// Iterate over all slot indices.
+    pub fn slots(&self) -> impl Iterator<Item = SlotIdx> {
+        (0..self.n_slots()).map(SlotIdx)
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.n_slots() as f64 * SLOT_SECS
+    }
+}
+
+/// Smooth diurnal activity multiplier.
+///
+/// Residential traffic peaks in the evening; the FCC data is collected
+/// "evenly throughout the 24-hour period" while Dasu sampling is "partially
+/// biased towards peak usage hours" (§3.1). This profile is the common
+/// ground truth both vantage points observe.
+///
+/// Returns a multiplier with mean exactly 1 over the day, lowest ≈ 0.36
+/// around 04:00–05:00 and highest ≈ 1.9 around 21:00.
+pub fn diurnal_multiplier(hour: u8) -> f64 {
+    debug_assert!(hour < 24);
+    // Typical residential downstream profile (relative load per hour).
+    const PROFILE: [f64; 24] = [
+        0.85, 0.65, 0.50, 0.40, 0.35, 0.35, 0.40, 0.55, 0.70, 0.80, 0.85, 0.90, 0.95, 0.95, 0.95,
+        1.00, 1.10, 1.25, 1.45, 1.65, 1.80, 1.85, 1.70, 1.30,
+    ];
+    const MEAN: f64 = 23.25 / 24.0;
+    PROFILE[hour as usize % 24] / MEAN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_arithmetic() {
+        let axis = TimeAxis::new(Year(2012), 2);
+        assert_eq!(axis.n_slots(), 2 * 2880);
+        assert_eq!(axis.duration_secs(), 2.0 * 86_400.0);
+        assert_eq!(SlotIdx(0).hour_of_day(), 0);
+        assert_eq!(SlotIdx(120).hour_of_day(), 1);
+        assert_eq!(SlotIdx(2880).hour_of_day(), 0);
+        assert_eq!(SlotIdx(2880).day(), 1);
+        assert_eq!(SlotIdx(2).start_secs(), 60.0);
+    }
+
+    #[test]
+    fn slots_iterator_counts() {
+        let axis = TimeAxis::new(Year(2011), 1);
+        assert_eq!(axis.slots().count(), 2880);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn empty_window_rejected() {
+        let _ = TimeAxis::new(Year(2011), 0);
+    }
+
+    #[test]
+    fn diurnal_peaks_in_evening() {
+        let evening = diurnal_multiplier(21);
+        let night = diurnal_multiplier(4);
+        assert!(evening > 1.4, "evening multiplier {evening}");
+        assert!(night < 0.6, "night multiplier {night}");
+        // Every hour positive.
+        for h in 0..24 {
+            assert!(diurnal_multiplier(h) > 0.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_mean_near_one() {
+        let mean: f64 = (0..24).map(diurnal_multiplier).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn panel_years() {
+        assert_eq!(Year::PANEL.len(), 3);
+        assert_eq!(Year::PANEL[0], Year(2011));
+        assert!(Year(2011) < Year(2013));
+    }
+}

@@ -1,0 +1,129 @@
+//! Demand summaries.
+//!
+//! The paper describes user demand with two metrics (§3.1): the *average*
+//! volume of traffic generated, and the *peak* — defined as the
+//! 95th-percentile value of the 30-second downlink time series. Both are
+//! carried as [`Bandwidth`] values in a [`DemandSummary`].
+
+use crate::Bandwidth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean and peak (95th-percentile) downlink demand for one user over one
+/// observation window.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DemandSummary {
+    /// Average volume of traffic generated, expressed as a rate.
+    pub mean: Bandwidth,
+    /// 95th percentile of the 30-second demand time series.
+    pub peak: Bandwidth,
+}
+
+impl DemandSummary {
+    /// A summary with zero demand (an idle or unobserved user).
+    pub const IDLE: DemandSummary = DemandSummary {
+        mean: Bandwidth::ZERO,
+        peak: Bandwidth::ZERO,
+    };
+
+    /// Build a summary.
+    ///
+    /// # Panics
+    /// Panics when `peak < mean`: the 95th percentile of a non-negative
+    /// series can never be below its mean by more than the top-5% mass, and
+    /// in our pipeline peak ≥ mean always holds; violating it indicates the
+    /// caller mixed up the fields.
+    pub fn new(mean: Bandwidth, peak: Bandwidth) -> Self {
+        assert!(
+            peak >= mean || peak.is_zero(),
+            "peak ({peak}) below mean ({mean}): swapped arguments?"
+        );
+        DemandSummary { mean, peak }
+    }
+
+    /// Select one of the two metrics.
+    pub fn metric(&self, which: DemandMetric) -> Bandwidth {
+        match which {
+            DemandMetric::Mean => self.mean,
+            DemandMetric::Peak => self.peak,
+        }
+    }
+
+    /// Peak utilisation of a link with the given capacity, in `[0, 1]`.
+    pub fn peak_utilization(&self, capacity: Bandwidth) -> f64 {
+        self.peak.utilization_of(capacity)
+    }
+}
+
+impl fmt::Display for DemandSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean {} / p95 {}", self.mean, self.peak)
+    }
+}
+
+/// Which of the two demand metrics an analysis uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum DemandMetric {
+    /// Average usage.
+    Mean,
+    /// 95th-percentile usage.
+    Peak,
+}
+
+impl DemandMetric {
+    /// Both metrics, in the order the paper reports them.
+    pub const BOTH: [DemandMetric; 2] = [DemandMetric::Mean, DemandMetric::Peak];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DemandMetric::Mean => "Average usage",
+            DemandMetric::Peak => "Peak usage",
+        }
+    }
+}
+
+impl fmt::Display for DemandMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accessors() {
+        let s = DemandSummary::new(Bandwidth::from_kbps(95.0), Bandwidth::from_kbps(192.0));
+        assert_eq!(s.metric(DemandMetric::Mean), Bandwidth::from_kbps(95.0));
+        assert_eq!(s.metric(DemandMetric::Peak), Bandwidth::from_kbps(192.0));
+    }
+
+    #[test]
+    fn peak_utilization() {
+        let s = DemandSummary::new(Bandwidth::from_mbps(1.0), Bandwidth::from_mbps(4.0));
+        assert_eq!(s.peak_utilization(Bandwidth::from_mbps(8.0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "swapped arguments")]
+    fn swapped_fields_detected() {
+        let _ = DemandSummary::new(Bandwidth::from_mbps(4.0), Bandwidth::from_mbps(1.0));
+    }
+
+    #[test]
+    fn idle_is_zero() {
+        assert!(DemandSummary::IDLE.mean.is_zero());
+        assert_eq!(
+            DemandSummary::IDLE.peak_utilization(Bandwidth::from_mbps(10.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(DemandMetric::Mean.label(), "Average usage");
+        assert_eq!(DemandMetric::Peak.label(), "Peak usage");
+    }
+}

@@ -1,0 +1,75 @@
+//! The §10 extension: how different *categories* of users are shaped by
+//! the same markets — streamers, browsers, downloaders and gamers.
+//!
+//! ```text
+//! cargo run --release --example personas
+//! ```
+
+use needwant::dataset::{Persona, World, WorldConfig};
+use needwant::study::ext;
+use needwant::types::ServiceTier;
+
+fn main() {
+    let mut cfg = WorldConfig::small(2718);
+    cfg.user_scale = 10.0;
+    cfg.days = 3;
+    cfg.fcc_users = 0;
+    let ds = World::with_countries(cfg, &["US", "DE", "GB", "JP", "BR", "MX"]).generate();
+
+    // 1. Demand by persona.
+    println!("demand by user category ({} users):\n", ds.dasu().count());
+    println!(
+        "{:<12} {:>6}  {:>18}  {:>16}",
+        "persona", "users", "mean demand", "BitTorrent share"
+    );
+    for row in ext::persona_breakdown(&ds) {
+        println!(
+            "{:<12} {:>6}  {:>11.2} Mbps [{:.2}, {:.2}]  {:>13.0}%",
+            row.persona.label(),
+            row.n_users,
+            row.mean_demand_mbps,
+            row.ci.0,
+            row.ci.1,
+            row.bt_share * 100.0
+        );
+    }
+
+    // 2. Do streamers pick faster plans? (Need drives the tier choice.)
+    println!("\ntier choice by persona:");
+    for persona in Persona::ALL {
+        let mut counts = std::collections::BTreeMap::new();
+        let mut total = 0usize;
+        for r in ds.dasu().filter(|r| r.persona == persona) {
+            *counts.entry(ServiceTier::of(r.capacity)).or_insert(0usize) += 1;
+            total += 1;
+        }
+        if total == 0 {
+            continue;
+        }
+        let above_16 = ServiceTier::ALL
+            .iter()
+            .filter(|t| **t >= ServiceTier::From16To32)
+            .map(|t| counts.get(t).copied().unwrap_or(0))
+            .sum::<usize>();
+        println!(
+            "  {:<12} {:>4} users, {:>4.0}% on tiers of 16+ Mbps",
+            persona.label(),
+            total,
+            100.0 * above_16 as f64 / total as f64
+        );
+    }
+
+    // 3. The matched experiment: the label survives the confounders.
+    match ext::persona_experiment(&ds) {
+        Some(row) => println!(
+            "\nmatched streamers-vs-browsers: streamers use more {:.1}% of the time (p = {:.2e}, {} pairs)",
+            row.percent_holds, row.p_value, row.n_pairs
+        ),
+        None => println!("\n(too few matched streamer/browser pairs at this scale)"),
+    }
+
+    println!("\nThe paper treats users 'as a homogeneous consumer group' and");
+    println!("flags exactly this breakdown as future work (§10); here the");
+    println!("persona shapes the application mix and duty cycle, and the");
+    println!("same need/want/afford machinery produces the differences.");
+}

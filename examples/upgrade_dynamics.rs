@@ -1,0 +1,90 @@
+//! Track individual movers across service upgrades (§3.2, Figs. 4 & 5).
+//!
+//! Generates a world with a high mover fraction, then walks the upgrade
+//! observations: how much did each user's demand change, by initial tier,
+//! and how often did the upgrade "pay off" (demand actually rose)?
+//!
+//! ```text
+//! cargo run --release --example upgrade_dynamics
+//! ```
+
+use needwant::dataset::{World, WorldConfig};
+use needwant::stats::hypothesis::{binomial_test, Tail};
+use needwant::types::{DemandMetric, UpgradeTier};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut cfg = WorldConfig::small(314);
+    cfg.user_scale = 10.0;
+    cfg.days = 3;
+    cfg.fcc_users = 0;
+    cfg.upgrade_fraction = 0.6; // most users observed across an upgrade
+    let ds = World::with_countries(cfg, &["US", "DE", "GB", "JP", "BR"]).generate();
+
+    println!("{} users observed on both a slow and a fast network\n", ds.upgrades.len());
+
+    // Per initial tier: mean demand change and share of movers who rose.
+    let mut by_tier: BTreeMap<UpgradeTier, Vec<(f64, f64)>> = BTreeMap::new();
+    for up in &ds.upgrades {
+        let (Some(from), Some(before), Some(after)) = (
+            UpgradeTier::of(up.before.capacity),
+            up.before.demand_no_bt,
+            up.after.demand_no_bt,
+        ) else {
+            continue;
+        };
+        by_tier.entry(from).or_default().push((
+            before.metric(DemandMetric::Peak).mbps(),
+            after.metric(DemandMetric::Peak).mbps(),
+        ));
+    }
+
+    println!(
+        "{:<12} {:>7}  {:>12}  {:>12}  {:>10}",
+        "from tier", "movers", "peak before", "peak after", "% rising"
+    );
+    for (tier, moves) in &by_tier {
+        if moves.len() < 5 {
+            continue;
+        }
+        let before: f64 = moves.iter().map(|(b, _)| b).sum::<f64>() / moves.len() as f64;
+        let after: f64 = moves.iter().map(|(_, a)| a).sum::<f64>() / moves.len() as f64;
+        let rising = moves.iter().filter(|(b, a)| a > b).count();
+        println!(
+            "{:<12} {:>7}  {:>9.2} Mb  {:>9.2} Mb  {:>9.0}%",
+            tier.label(),
+            moves.len(),
+            before,
+            after,
+            100.0 * rising as f64 / moves.len() as f64
+        );
+    }
+
+    // The Table 1 sign test over all movers.
+    let mut holds = 0u64;
+    let mut trials = 0u64;
+    for moves in by_tier.values() {
+        for (b, a) in moves {
+            if a != b {
+                trials += 1;
+                if a > b {
+                    holds += 1;
+                }
+            }
+        }
+    }
+    if trials > 0 {
+        let t = binomial_test(holds, trials, 0.5, Tail::Greater);
+        println!(
+            "\noverall: peak demand rises for {:.1}% of movers (p = {:.2e}) — the",
+            t.share_percent(),
+            t.p_value
+        );
+        println!("paper's Table 1 reports 70.3% with p = 1.13e-36 on its larger sample.");
+    }
+
+    println!("\nNote the gradient: upgrades from the slowest tiers unlock");
+    println!("pent-up demand (capacity was the binding constraint); upgrades");
+    println!("between already-fast tiers change little, because demand there");
+    println!("is bounded by the era's applications, not the pipe (§3.2, §9).");
+}

@@ -1,0 +1,252 @@
+//! `needwant` — command-line front end to the reproduction.
+//!
+//! ```text
+//! needwant survey                         # the 99-market retail survey
+//! needwant generate --csv users.csv       # dump per-user records
+//! needwant exhibit fig1a                  # compute & print one exhibit
+//! needwant exhibit table7
+//! needwant sweep --seeds 5                # robustness across seeds
+//! ```
+//!
+//! Common options: `--seed S`, `--scale N`, `--days D`, `--fcc N`.
+
+use needwant::dataset::{Dataset, World, WorldConfig};
+use needwant::report::text;
+use needwant::study::{robustness, StudyReport};
+use std::process::exit;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        exit(2);
+    }
+    let command = args.remove(0);
+
+    // Shared world options.
+    let mut cfg = WorldConfig::small(20141105);
+    cfg.user_scale = 4.0;
+    cfg.days = 3;
+    cfg.fcc_users = 300;
+    let mut csv_path: Option<String> = None;
+    let mut n_seeds: u64 = 5;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => cfg.seed = parse(&val(), "--seed"),
+            "--scale" => cfg.user_scale = parse(&val(), "--scale"),
+            "--days" => cfg.days = parse(&val(), "--days"),
+            "--fcc" => cfg.fcc_users = parse(&val(), "--fcc"),
+            "--seeds" => n_seeds = parse(&val(), "--seeds"),
+            "--csv" => csv_path = Some(val()),
+            "--help" | "-h" => {
+                usage();
+                exit(0);
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+    }
+
+    match command.as_str() {
+        "survey" => survey(&cfg),
+        "generate" => generate(&cfg, csv_path.as_deref()),
+        "exhibit" => {
+            let Some(id) = positional.first() else {
+                eprintln!("usage: needwant exhibit <id>   (e.g. fig1a, table1, table7)");
+                exit(2);
+            };
+            exhibit(&cfg, id);
+        }
+        "sweep" => sweep(&cfg, n_seeds),
+        other => {
+            eprintln!("unknown command {other}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} got an unparsable value: {s}");
+        exit(2);
+    })
+}
+
+fn usage() {
+    eprintln!("usage: needwant <survey|generate|exhibit <id>|sweep> [options]");
+    eprintln!("  options: --seed S --scale N --days D --fcc N --csv FILE --seeds N");
+}
+
+fn build(cfg: &WorldConfig) -> (World, Dataset) {
+    let world = World::new(cfg.clone());
+    let ds = world.generate();
+    (world, ds)
+}
+
+fn survey(cfg: &WorldConfig) {
+    let (_, ds) = build(cfg);
+    println!(
+        "{} markets, {} plans\n",
+        ds.survey.len(),
+        ds.survey.n_plans()
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>8}",
+        "country", "access $/mo", "upgrade $/Mb", "plans"
+    );
+    for (country, entry) in ds.survey.iter() {
+        let access = entry
+            .catalog
+            .price_of_access()
+            .map(|p| format!("{:.0}", p.usd()))
+            .unwrap_or_else(|| "—".into());
+        let upgrade = entry
+            .catalog
+            .upgrade_cost()
+            .map(|p| format!("{:.2}", p.usd()))
+            .unwrap_or_else(|| "r<0.4".into());
+        println!(
+            "{:<8} {:>12} {:>14} {:>8}",
+            country.to_string(),
+            access,
+            upgrade,
+            entry.catalog.len()
+        );
+    }
+    println!("\nTable 5 (regional upgrade-cost shares):");
+    for row in ds.survey.table5() {
+        println!(
+            "  {:<28} >$1: {:>3.0}%  >$5: {:>3.0}%  >$10: {:>3.0}%  ({} countries)",
+            row.region,
+            row.share_above_1 * 100.0,
+            row.share_above_5 * 100.0,
+            row.share_above_10 * 100.0,
+            row.n_countries
+        );
+    }
+}
+
+fn generate(cfg: &WorldConfig, csv_path: Option<&str>) {
+    let (_, ds) = build(cfg);
+    let mut csv = String::from(
+        "user,country,year,vantage,capacity_mbps,latency_ms,loss_pct,mean_mbps,peak_mbps,\
+         plan_mbps,plan_price,access_price,capped,bt_user,persona\n",
+    );
+    for r in &ds.records {
+        let (mean, peak) = r
+            .demand_no_bt
+            .map(|d| (d.mean.mbps(), d.peak.mbps()))
+            .unwrap_or((f64::NAN, f64::NAN));
+        csv.push_str(&format!(
+            "{},{},{},{:?},{:.4},{:.1},{:.4},{:.5},{:.5},{:.3},{:.2},{:.2},{},{},{}\n",
+            r.user.0,
+            r.country,
+            r.year,
+            r.vantage,
+            r.capacity.mbps(),
+            r.latency.ms(),
+            r.loss.percent(),
+            mean,
+            peak,
+            r.plan_capacity.mbps(),
+            r.plan_price.usd(),
+            r.access_price.usd(),
+            r.plan_capped,
+            r.is_bt_user,
+            r.persona,
+        ));
+    }
+    match csv_path {
+        Some(path) => {
+            std::fs::write(path, &csv).unwrap_or_else(|e| {
+                eprintln!("writing {path}: {e}");
+                exit(1);
+            });
+            eprintln!("wrote {} records to {path}", ds.records.len());
+        }
+        None => print!("{csv}"),
+    }
+}
+
+fn exhibit(cfg: &WorldConfig, id: &str) {
+    let (world, ds) = build(cfg);
+    let report = StudyReport::run(&ds, &world.profiles, 30);
+    let out = match id {
+        "fig1a" => text::render_cdf_figure(&report.fig1.0),
+        "fig1b" => text::render_cdf_figure(&report.fig1.1),
+        "fig1c" => text::render_cdf_figure(&report.fig1.2),
+        "fig2a" => text::render_binned_figure(&report.fig2[0]),
+        "fig2b" => text::render_binned_figure(&report.fig2[1]),
+        "fig2c" => text::render_binned_figure(&report.fig2[2]),
+        "fig2d" => text::render_binned_figure(&report.fig2[3]),
+        "fig3a" => text::render_binned_figure(&report.fig3[0]),
+        "fig3b" => text::render_binned_figure(&report.fig3[1]),
+        "fig4a" => text::render_cdf_figure(&report.fig4[0]),
+        "fig4b" => text::render_cdf_figure(&report.fig4[1]),
+        "fig5a" => text::render_bar_figure(&report.fig5[0]),
+        "fig5b" => text::render_bar_figure(&report.fig5[1]),
+        "fig5c" => text::render_bar_figure(&report.fig5[2]),
+        "fig5d" => text::render_bar_figure(&report.fig5[3]),
+        "fig6a" => text::render_binned_figure(&report.fig6[0]),
+        "fig6b" => text::render_binned_figure(&report.fig6[1]),
+        "fig6c" => text::render_binned_figure(&report.fig6[2]),
+        "fig6d" => text::render_binned_figure(&report.fig6[3]),
+        "fig7a" => text::render_cdf_figure(&report.fig7[0]),
+        "fig7b" => text::render_cdf_figure(&report.fig7[1]),
+        "fig9" => text::render_bar_figure(&report.fig9),
+        "fig10" => text::render_cdf_figure(&report.fig10.0),
+        "fig11" => text::render_cdf_figure(&report.fig11),
+        "fig12" => text::render_cdf_figure(&report.fig12),
+        "table1" => text::render_experiment_table(&report.table1),
+        "table2" | "table2_dasu" => text::render_experiment_table(&report.table2.0),
+        "table2_fcc" => text::render_experiment_table(&report.table2.1),
+        "table3" => text::render_experiment_table(&report.table3),
+        "table6a" => text::render_experiment_table(&report.table6[0]),
+        "table6b" => text::render_experiment_table(&report.table6[1]),
+        "table7" => text::render_experiment_table(&report.table7),
+        "table8" => text::render_experiment_table(&report.table8),
+        other if other.starts_with("fig8") => {
+            let idx = other.as_bytes().get(4).map(|b| (b - b'a') as usize);
+            match idx.and_then(|i| report.fig8.get(i)) {
+                Some(f) => text::render_cdf_figure(f),
+                None => {
+                    eprintln!("no {other} in this dataset (too few users per tier)");
+                    exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown exhibit {other} (try fig1a…fig12, table1…table8)");
+            exit(2);
+        }
+    };
+    print!("{out}");
+}
+
+fn sweep(cfg: &WorldConfig, n_seeds: u64) {
+    eprintln!("sweeping {n_seeds} seeds at scale {}…", cfg.user_scale);
+    let rows = robustness::seed_sweep(cfg, n_seeds);
+    print!("{}", robustness::render_sweep(&rows));
+    let unstable: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.stable())
+        .map(|r| r.experiment.as_str())
+        .collect();
+    if unstable.is_empty() {
+        println!("\nall headline findings stable across seeds");
+    } else {
+        println!("\nnot stable at this scale: {}", unstable.join(", "));
+    }
+}

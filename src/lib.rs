@@ -1,0 +1,31 @@
+//! # needwant — facade crate
+//!
+//! A full reproduction of *"Need, Want, Can Afford — Broadband Markets and
+//! the Behavior of Users"* (Bischof, Bustamante, Stanojevic; ACM IMC 2014).
+//!
+//! This crate re-exports the workspace's public API so that downstream users
+//! can depend on a single crate:
+//!
+//! * [`types`] — unit-safe domain values (bandwidth, latency, loss, PPP money,
+//!   countries, the paper's binning schemes);
+//! * [`stats`] — the from-scratch statistics substrate;
+//! * [`market`] — retail broadband plan catalogues and pricing analyses;
+//! * [`netsim`] — the event-driven access-link and session simulator;
+//! * [`causal`] — the natural-experiment (matching + sign test) engine;
+//! * [`dataset`] — the synthetic world model and population generator;
+//! * [`study`] — the paper's analysis pipeline (every table and figure);
+//! * [`report`] — rendering of exhibits as text, CSV and JSON.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use bb_causal as causal;
+pub use bb_dataset as dataset;
+pub use bb_market as market;
+pub use bb_netsim as netsim;
+pub use bb_report as report;
+pub use bb_stats as stats;
+pub use bb_study as study;
+pub use bb_types as types;

@@ -1,0 +1,75 @@
+//! Reproducibility: every dataset and every exhibit is a pure function of
+//! the seed. These tests guard the property EXPERIMENTS.md depends on.
+
+use needwant::dataset::{World, WorldConfig};
+use needwant::study::sec3;
+
+fn small_world(seed: u64) -> World {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.user_scale = 0.6;
+    cfg.days = 1;
+    cfg.fcc_users = 25;
+    World::with_countries(cfg, &["US", "JP", "IN"])
+}
+
+#[test]
+fn same_seed_same_dataset() {
+    let a = small_world(11).generate();
+    let b = small_world(11).generate();
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.user, rb.user);
+        assert_eq!(ra.country, rb.country);
+        assert_eq!(ra.capacity, rb.capacity);
+        assert_eq!(ra.latency, rb.latency);
+        assert_eq!(ra.loss, rb.loss);
+        assert_eq!(ra.demand_with_bt, rb.demand_with_bt);
+        assert_eq!(ra.demand_no_bt, rb.demand_no_bt);
+        assert_eq!(ra.plan_price, rb.plan_price);
+    }
+    assert_eq!(a.upgrades.len(), b.upgrades.len());
+}
+
+#[test]
+fn same_seed_same_exhibits() {
+    let a = small_world(13).generate();
+    let b = small_world(13).generate();
+    assert_eq!(sec3::figure2(&a), sec3::figure2(&b));
+    let ta = sec3::table1(&a);
+    let tb = sec3::table1(&b);
+    assert_eq!(ta.rows.len(), tb.rows.len());
+    for (ra, rb) in ta.rows.iter().zip(&tb.rows) {
+        assert_eq!(ra.percent_holds, rb.percent_holds);
+        assert_eq!(ra.p_value, rb.p_value);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = small_world(1).generate();
+    let b = small_world(2).generate();
+    // Same structure…
+    assert_eq!(a.records.len(), b.records.len());
+    // …but different draws.
+    let differing = a
+        .records
+        .iter()
+        .zip(&b.records)
+        .filter(|(ra, rb)| ra.capacity != rb.capacity)
+        .count();
+    assert!(
+        differing > a.records.len() / 4,
+        "only {differing} of {} records differ",
+        a.records.len()
+    );
+}
+
+#[test]
+fn seed_controls_the_survey_too() {
+    let a = small_world(5).generate();
+    let b = small_world(5).generate();
+    for (ca, cb) in a.survey.iter().zip(b.survey.iter()) {
+        assert_eq!(ca.0, cb.0);
+        assert_eq!(ca.1.catalog.plans, cb.1.catalog.plans);
+    }
+}

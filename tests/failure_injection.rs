@@ -1,0 +1,134 @@
+//! Failure injection: the pipeline must degrade gracefully, never panic,
+//! when fed worlds the paper's analysis would also struggle with —
+//! degraded path quality everywhere, markets with pathological pricing,
+//! populations too thin for matching.
+
+use needwant::dataset::{World, WorldConfig};
+use needwant::market::{MarketSurvey, Plan, PlanCatalog, Technology};
+use needwant::netsim::fault::FaultPlan;
+use needwant::netsim::link::AccessLink;
+use needwant::netsim::probe::NdtProbe;
+use needwant::study::{sec3, sec4, sec6, sec7, StudyReport};
+use needwant::types::{Bandwidth, Country, Latency, LossRate, Region};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn tiny_population_produces_empty_but_valid_tables() {
+    // A couple of users per country: nearly every matched experiment
+    // should come back empty rather than panicking.
+    let mut cfg = WorldConfig::small(3);
+    cfg.user_scale = 0.05;
+    cfg.days = 1;
+    cfg.fcc_users = 2;
+    cfg.upgrade_fraction = 0.0;
+    let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+    let ds = world.generate();
+    let report = StudyReport::run(&ds, &world.profiles, 30);
+    // Experiments with no pairs must simply report no rows.
+    assert!(report.table1.rows.is_empty() || report.table1.rows[0].n_pairs > 0);
+    assert!(report.india_vs_us.is_none() || report.india_vs_us.as_ref().unwrap().n_pairs >= 8);
+    // Population exhibits still exist.
+    assert!(report.fig1.3.median_capacity_mbps > 0.0);
+}
+
+#[test]
+fn degraded_world_still_analyzable() {
+    // Push every link through a satellite-like fault plan by raising the
+    // whole world's path-quality parameters.
+    let mut cfg = WorldConfig::small(17);
+    cfg.user_scale = 2.0;
+    cfg.days = 1;
+    let mut world = World::with_countries(cfg, &["US", "DE", "JP"]);
+    for p in &mut world.profiles {
+        p.rtt_median_ms = 900.0;
+        p.loss_median_pct = 3.0;
+    }
+    let ds = world.generate();
+    let report = StudyReport::run(&ds, &world.profiles, 10);
+    // The world is uniformly terrible: demand exists but is suppressed.
+    let s = &report.fig1.3;
+    assert!(s.median_latency_ms > 400.0, "median {}", s.median_latency_ms);
+    assert!(s.frac_loss_above_1pct > 0.5);
+    // The per-year experiment still runs (or declines gracefully).
+    let _ = sec4::year_experiment(&ds);
+}
+
+#[test]
+fn zero_correlation_market_is_excluded_not_fatal() {
+    let mut survey = MarketSurvey::new();
+    // Pathological market: price unrelated to capacity.
+    survey.insert(
+        Region::Africa,
+        PlanCatalog::new(
+            Country::new("XX"),
+            vec![
+                Plan::simple(1.0, 80.0, Technology::Dsl),
+                Plan::simple(8.0, 20.0, Technology::Wireless),
+                Plan::simple(2.0, 55.0, Technology::Dsl),
+                Plan::simple(16.0, 60.0, Technology::Cable),
+            ],
+        ),
+    );
+    assert!(survey.upgrade_costs().is_empty(), "r < 0.4 must exclude it");
+    let census = survey.correlation_census();
+    assert_eq!(census.n_markets, 1);
+    assert_eq!(census.share_moderate, 0.0);
+    assert!(survey.table5().is_empty(), "no usable market, no Table 5 rows");
+}
+
+#[test]
+fn probe_survives_the_worst_links() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let probe = NdtProbe::default();
+    for (cap, rtt, loss) in [
+        (0.05, 2500.0, 28.0), // barely-working satellite
+        (1000.0, 1.0, 0.0),   // pristine fiber
+        (0.1, 1.0, 0.0),      // tiny but clean
+    ] {
+        let link = AccessLink::new(
+            Bandwidth::from_mbps(cap),
+            Latency::from_ms(rtt),
+            LossRate::from_percent(loss),
+        );
+        let r = probe.run_averaged(&link, 3, &mut rng);
+        assert!(r.download.bps() > 0.0);
+        assert!(r.avg_rtt.ms() > 0.0);
+        assert!(r.loss.fraction() <= 1.0);
+    }
+}
+
+#[test]
+fn fault_plans_compose_without_overflow() {
+    let link = AccessLink::new(
+        Bandwidth::from_mbps(10.0),
+        Latency::from_ms(50.0),
+        LossRate::from_percent(0.5),
+    );
+    // Stack degradations until loss saturates; must clamp, not overflow.
+    let mut degraded = link;
+    for _ in 0..10 {
+        degraded = FaultPlan::satellite().apply(&degraded);
+    }
+    assert!(degraded.loss.fraction() <= 1.0);
+    assert!(degraded.base_rtt.ms() > 5000.0);
+}
+
+#[test]
+fn single_country_world_skips_cross_market_experiments() {
+    let mut cfg = WorldConfig::small(23);
+    cfg.user_scale = 2.0;
+    cfg.days = 1;
+    cfg.fcc_users = 0;
+    let world = World::with_countries(cfg, &["US"]);
+    let ds = world.generate();
+    // The price experiment needs multiple price bins; with one market the
+    // treatment side is empty and the table must come back rowless.
+    let t3 = needwant::study::sec5::table3(&ds);
+    assert!(t3.rows.is_empty());
+    // Capacity experiments within the single market still work.
+    let (dasu, _) = sec3::table2(&ds);
+    let _ = dasu; // may or may not have rows at this size; must not panic
+    let _ = sec6::table6(&ds);
+    let _ = sec7::table7(&ds);
+}

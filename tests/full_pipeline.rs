@@ -1,0 +1,257 @@
+//! End-to-end integration: generate a moderately sized world once, run the
+//! complete analysis pipeline, and assert the paper's qualitative findings
+//! hold — direction, ordering, and significance, per DESIGN.md's success
+//! criteria.
+
+use needwant::dataset::{Dataset, World, WorldConfig};
+use needwant::study::StudyReport;
+use std::sync::OnceLock;
+
+fn world() -> World {
+    let mut cfg = WorldConfig::small(20141105);
+    cfg.user_scale = 5.0;
+    cfg.days = 3;
+    cfg.fcc_users = 350;
+    World::new(cfg)
+}
+
+fn report() -> &'static (Dataset, StudyReport) {
+    static R: OnceLock<(Dataset, StudyReport)> = OnceLock::new();
+    R.get_or_init(|| {
+        let w = world();
+        let ds = w.generate();
+        let report = StudyReport::run(&ds, &w.profiles, 20);
+        (ds, report)
+    })
+}
+
+#[test]
+fn dataset_has_global_coverage() {
+    let (ds, _) = report();
+    assert!(ds.records.len() > 800, "{} records", ds.records.len());
+    assert!(ds.n_countries() > 60, "{} countries", ds.n_countries());
+    assert_eq!(ds.survey.len(), 99, "the survey covers 99 markets");
+    assert!(
+        ds.survey.n_plans() > 600,
+        "{} plans across catalogues",
+        ds.survey.n_plans()
+    );
+}
+
+#[test]
+fn fig1_population_matches_paper_bands() {
+    let (_, r) = report();
+    let s = &r.fig1.3;
+    // Paper: median 7.4 Mbps; we ask for the right order of magnitude.
+    assert!(
+        s.median_capacity_mbps > 2.0 && s.median_capacity_mbps < 25.0,
+        "median capacity {}",
+        s.median_capacity_mbps
+    );
+    // Paper: typical latency ~100 ms, 5% above 500 ms.
+    assert!(
+        s.median_latency_ms > 40.0 && s.median_latency_ms < 200.0,
+        "median latency {}",
+        s.median_latency_ms
+    );
+    assert!(
+        s.frac_latency_above_500ms > 0.005 && s.frac_latency_above_500ms < 0.2,
+        "latency tail {}",
+        s.frac_latency_above_500ms
+    );
+    // Paper: ~14% of users above 1% loss.
+    assert!(
+        s.frac_loss_above_1pct > 0.03 && s.frac_loss_above_1pct < 0.35,
+        "loss tail {}",
+        s.frac_loss_above_1pct
+    );
+}
+
+#[test]
+fn fig2_strong_correlation_and_diminishing_returns() {
+    let (_, r) = report();
+    for fig in &r.fig2 {
+        let series = &fig.series[0];
+        let rr = series.r_log.expect("correlation defined");
+        assert!(rr > 0.75, "{}: r = {rr}", fig.id);
+        // Diminishing returns: usage spans far fewer decades than capacity.
+        let first = series.points.first().unwrap();
+        let last = series.points.last().unwrap();
+        assert!(
+            last.mean / first.mean < 0.5 * last.x / first.x,
+            "{}: usage ratio {} vs capacity ratio {}",
+            fig.id,
+            last.mean / first.mean,
+            last.x / first.x
+        );
+    }
+}
+
+#[test]
+fn fig3_dasu_and_fcc_peaks_agree() {
+    let (_, r) = report();
+    let peak_fig = &r.fig3[1];
+    let fcc = &peak_fig.series[0];
+    let dasu = &peak_fig.series[1];
+    // Shared bins should agree within a factor of ~2.5 at the peak metric
+    // (the paper: "peak usage is nearly identical for both groups").
+    let mut compared = 0;
+    for pf in &fcc.points {
+        if let Some(pd) = dasu.points.iter().find(|p| (p.x - pf.x).abs() < 1e-9) {
+            if pf.n >= 10 && pd.n >= 10 {
+                let ratio = (pf.mean / pd.mean).max(pd.mean / pf.mean);
+                assert!(ratio < 2.5, "bin {}: FCC {} vs Dasu {}", pf.x, pf.mean, pd.mean);
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared >= 3, "only {compared} shared bins");
+}
+
+#[test]
+fn table1_upgrades_are_conclusive() {
+    let (_, r) = report();
+    assert_eq!(r.table1.rows.len(), 2);
+    for row in &r.table1.rows {
+        assert!(row.n_pairs > 100, "{} pairs", row.n_pairs);
+        assert!(
+            row.percent_holds > 58.0 && row.percent_holds < 90.0,
+            "{}: {}%",
+            row.control,
+            row.percent_holds
+        );
+        assert!(row.significant);
+    }
+    // Peak responds more strongly than mean, as in the paper (70.3 > 66.8).
+    assert!(r.table1.rows[1].percent_holds >= r.table1.rows[0].percent_holds - 3.0);
+}
+
+#[test]
+fn table2_direction_holds_where_the_paper_found_it() {
+    let (_, r) = report();
+    let dasu = &r.table2.0;
+    assert!(dasu.rows.len() >= 4, "{} rows", dasu.rows.len());
+    let pooled: f64 = dasu
+        .rows
+        .iter()
+        .map(|row| row.percent_holds * row.n_pairs as f64)
+        .sum::<f64>()
+        / dasu.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+    assert!(pooled > 55.0, "pooled Dasu %H = {pooled}");
+    let fcc = &r.table2.1;
+    if !fcc.rows.is_empty() {
+        let pooled: f64 = fcc
+            .rows
+            .iter()
+            .map(|row| row.percent_holds * row.n_pairs as f64)
+            .sum::<f64>()
+            / fcc.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+        assert!(pooled > 55.0, "pooled FCC %H = {pooled}");
+    }
+}
+
+#[test]
+fn fig6_per_tier_demand_is_stable_across_years() {
+    let (_, r) = report();
+    let fig = &r.fig6[3]; // p95 no BT
+    assert!(fig.series.len() == 3, "{} yearly series", fig.series.len());
+    // Median cross-year per-bin ratio stays well below the cross-bin range.
+    let (a, b) = (&fig.series[0], &fig.series[2]);
+    let mut ratios: Vec<f64> = Vec::new();
+    for pa in &a.points {
+        if pa.n < 8 {
+            continue;
+        }
+        if let Some(pb) = b.points.iter().find(|p| p.x == pa.x && p.n >= 8) {
+            ratios.push((pb.mean / pa.mean).max(pa.mean / pb.mean));
+        }
+    }
+    assert!(ratios.len() >= 3, "{} shared bins", ratios.len());
+    ratios.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let median = ratios[ratios.len() / 2];
+    assert!(median < 2.2, "median cross-year ratio {median} (ratios {ratios:?})");
+}
+
+#[test]
+fn table5_regional_shape() {
+    let (_, r) = report();
+    let find = |name: &str| r.table5.iter().find(|row| row.region == name).unwrap();
+    let africa = find("Africa");
+    let na = find("North America");
+    let asia_dev = find("Asia (developed)");
+    let europe = find("Europe");
+    assert!(africa.share_above_10 > 0.5);
+    assert_eq!(na.share_above_1, 0.0);
+    assert_eq!(asia_dev.share_above_1, 0.0);
+    assert!(europe.share_above_5 <= 0.25);
+    // Census: most markets correlated, but not all (the paper's 66%/81%).
+    assert!(r.census.share_strong > 0.5 && r.census.share_strong < 0.95);
+    assert!(r.census.share_moderate > r.census.share_strong);
+}
+
+#[test]
+fn quality_experiments_point_the_right_way() {
+    let (_, r) = report();
+    // Latency table: lower latency → more usage, pooled.
+    if !r.table7.rows.is_empty() {
+        let pooled: f64 = r
+            .table7
+            .rows
+            .iter()
+            .map(|row| row.percent_holds * row.n_pairs as f64)
+            .sum::<f64>()
+            / r.table7.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+        assert!(pooled > 52.0, "latency pooled {pooled}");
+    }
+    // Loss table: lower loss → more usage, pooled.
+    assert!(!r.table8.rows.is_empty());
+    let pooled: f64 = r
+        .table8
+        .rows
+        .iter()
+        .map(|row| row.percent_holds * row.n_pairs as f64)
+        .sum::<f64>()
+        / r.table8.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+    assert!(pooled > 52.0, "loss pooled {pooled}");
+}
+
+#[test]
+fn india_vs_us_matches_section_7_1() {
+    let (_, r) = report();
+    if let Some(row) = &r.india_vs_us {
+        assert!(
+            row.percent_holds > 52.0,
+            "India should impose lower demand: {}%",
+            row.percent_holds
+        );
+    }
+    // India's latency CDF sits far right of the rest (Fig. 11).
+    let ndt_india = r.fig11.series.iter().find(|s| s.label == "NDT India");
+    let ndt_other = r.fig11.series.iter().find(|s| s.label == "NDT Other");
+    if let (Some(i), Some(o)) = (ndt_india, ndt_other) {
+        assert!(i.median > 2.0 * o.median, "india {} vs other {}", i.median, o.median);
+    }
+}
+
+#[test]
+fn every_exhibit_is_present() {
+    let (_, r) = report();
+    assert!(!r.fig1.0.series.is_empty());
+    assert!(r.fig2.iter().all(|f| !f.series[0].points.is_empty()));
+    assert!(r.fig3.iter().all(|f| f.series.len() == 2));
+    assert!(!r.table1.rows.is_empty());
+    assert!(r.fig4.iter().all(|f| f.series.len() == 2));
+    assert!(r.fig5.iter().any(|f| !f.groups.is_empty()));
+    assert!(!r.table2.0.rows.is_empty());
+    assert!(r.fig6.iter().all(|f| !f.series.is_empty()));
+    assert!(!r.table3.rows.is_empty());
+    assert_eq!(r.table4.len(), 4);
+    assert_eq!(r.fig7[0].series.len(), 4);
+    assert!(!r.fig8.is_empty());
+    assert!(!r.fig9.groups.is_empty());
+    assert!(r.fig10.0.series[0].n > 50);
+    assert!(!r.table5.is_empty());
+    assert!(r.table6.iter().any(|t| !t.rows.is_empty()));
+    assert!(!r.table8.rows.is_empty());
+    assert_eq!(r.fig12.series.len(), 2);
+}
