@@ -33,7 +33,8 @@ fn capacity_units() -> (Vec<bb_causal::Unit>, Vec<bb_causal::Unit>) {
         OutcomeSpec::PEAK_NO_BT,
     );
     let t = to_units(
-        ds.dasu().filter(|r| CapacityBin::of(r.capacity) == bin.next()),
+        ds.dasu()
+            .filter(|r| CapacityBin::of(r.capacity) == bin.next()),
         ConfounderSet::ForCapacityExperiment,
         OutcomeSpec::PEAK_NO_BT,
     );
@@ -45,10 +46,22 @@ fn ablate_caliper(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_caliper");
     for frac in [0.10f64, 0.25, 0.50] {
         let calipers = vec![
-            Caliper { relative: frac, absolute_floor: 20.0 },
-            Caliper { relative: frac, absolute_floor: 0.05 },
-            Caliper { relative: frac, absolute_floor: 2.0 },
-            Caliper { relative: frac, absolute_floor: 0.3 },
+            Caliper {
+                relative: frac,
+                absolute_floor: 20.0,
+            },
+            Caliper {
+                relative: frac,
+                absolute_floor: 0.05,
+            },
+            Caliper {
+                relative: frac,
+                absolute_floor: 2.0,
+            },
+            Caliper {
+                relative: frac,
+                absolute_floor: 0.3,
+            },
         ];
         let pairs = match_pairs(&control, &treatment, &calipers);
         // Outcome side-channel: pair yield per caliper width.

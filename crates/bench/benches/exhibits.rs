@@ -26,7 +26,9 @@ fn bench_fig2(c: &mut Criterion) {
 
 fn bench_fig3(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig3_fcc_vs_dasu", |b| b.iter(|| black_box(sec3::figure3(ds))));
+    c.bench_function("fig3_fcc_vs_dasu", |b| {
+        b.iter(|| black_box(sec3::figure3(ds)))
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -38,7 +40,9 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_fig4(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig4_mover_cdfs", |b| b.iter(|| black_box(sec3::figure4(ds))));
+    c.bench_function("fig4_mover_cdfs", |b| {
+        b.iter(|| black_box(sec3::figure4(ds)))
+    });
 }
 
 fn bench_fig5(c: &mut Criterion) {
@@ -57,7 +61,9 @@ fn bench_table2(c: &mut Criterion) {
 
 fn bench_fig6(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig6_longitudinal", |b| b.iter(|| black_box(sec4::figure6(ds))));
+    c.bench_function("fig6_longitudinal", |b| {
+        b.iter(|| black_box(sec4::figure6(ds)))
+    });
 }
 
 fn bench_table3(c: &mut Criterion) {
@@ -77,7 +83,9 @@ fn bench_table4(c: &mut Criterion) {
 
 fn bench_fig7_fig8_fig9(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig7_market_cdfs", |b| b.iter(|| black_box(sec5::figure7(ds))));
+    c.bench_function("fig7_market_cdfs", |b| {
+        b.iter(|| black_box(sec5::figure7(ds)))
+    });
     c.bench_function("fig8_utilization_by_tier", |b| {
         b.iter(|| black_box(sec5::figure8(ds, 30)))
     });

@@ -26,13 +26,22 @@ fn bench_special_functions(c: &mut Criterion) {
         b.iter(|| black_box(inc_beta(black_box(450.0), black_box(191.0), black_box(0.5))))
     });
     c.bench_function("stats_binomial_test", |b| {
-        b.iter(|| black_box(binomial_test(black_box(450), black_box(640), 0.5, Tail::Greater)))
+        b.iter(|| {
+            black_box(binomial_test(
+                black_box(450),
+                black_box(640),
+                0.5,
+                Tail::Greater,
+            ))
+        })
     });
 }
 
 fn bench_descriptive(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let data: Vec<f64> = (0..20_000).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+    let data: Vec<f64> = (0..20_000)
+        .map(|_| rand::Rng::gen::<f64>(&mut rng))
+        .collect();
     c.bench_function("stats_p95_quantile_20k", |b| {
         b.iter(|| black_box(quantile(black_box(&data), 0.95)))
     });
@@ -91,7 +100,11 @@ fn bench_matching(c: &mut Criterion) {
         let loss = 0.05 + rand::Rng::gen::<f64>(rng) * 0.4;
         let price = 18.0 + rand::Rng::gen::<f64>(rng) * 12.0;
         let upgrade = 0.4 + rand::Rng::gen::<f64>(rng) * 0.8;
-        Unit::new(id, vec![lat, loss, price, upgrade], rand::Rng::gen::<f64>(rng))
+        Unit::new(
+            id,
+            vec![lat, loss, price, upgrade],
+            rand::Rng::gen::<f64>(rng),
+        )
     };
     let control: Vec<Unit> = (0..500).map(|i| unit(i, &mut rng)).collect();
     let treatment: Vec<Unit> = (0..500).map(|i| unit(1000 + i, &mut rng)).collect();

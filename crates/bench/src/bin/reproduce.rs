@@ -4,28 +4,42 @@
 //!
 //! ```text
 //! cargo run --release -p bb-bench --bin reproduce -- [--scale N] [--days D] [--seed S] [--out DIR]
+//!     [--threads T] [--shards S] [--users U]
 //! ```
 //!
 //! Outputs: rendered text exhibits on stdout plus `DIR/` with one `.txt`,
 //! `.csv` and `.json` file per exhibit, and `DIR/experiments.md` with the
 //! paper-vs-measured comparison (the source of the repository's
 //! `EXPERIMENTS.md`).
+//!
+//! `--threads`/`--shards` parallelise world generation through
+//! `bb-engine`; the output is bit-identical for every plan. `--users U`
+//! switches to the streaming scale path: the panel is never materialised —
+//! `~U` users are folded shard by shard into `bb_study::StreamStudy`
+//! sketches, and the headline exhibits (Fig. 1, Fig. 2, Fig. 7) are
+//! rendered from the merged sketches in bounded memory.
 
 use bb_bench::REPRO_SEED;
-use bb_dataset::{World, WorldConfig};
+use bb_dataset::{builtin_world, World, WorldConfig};
+use bb_engine::ShardPlan;
 use bb_report::csv;
 use bb_report::gnuplot;
 use bb_report::json;
 use bb_report::text;
-use bb_study::StudyReport;
+use bb_study::{StreamStudy, StudyReport};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 fn main() {
     let args = Args::parse();
+    let plan = args.plan();
+    if let Some(users) = args.users {
+        run_streaming(&args, plan, users);
+        return;
+    }
     eprintln!(
-        "generating world: seed {}, user scale {}, {} days, {} FCC gateways",
-        args.seed, args.scale, args.days, args.fcc_users
+        "generating world: seed {}, user scale {}, {} days, {} FCC gateways ({} shards / {} threads)",
+        args.seed, args.scale, args.days, args.fcc_users, plan.shards, plan.threads
     );
     let mut cfg = WorldConfig::paper_scale(args.seed);
     cfg.user_scale = args.scale;
@@ -33,7 +47,7 @@ fn main() {
     cfg.fcc_users = args.fcc_users;
     let world = World::new(cfg);
     let t0 = std::time::Instant::now();
-    let dataset = world.generate();
+    let dataset = world.generate_with(plan);
     eprintln!(
         "generated {} user records ({} Dasu / {} FCC), {} movers, {} markets in {:.1?}",
         dataset.records.len(),
@@ -60,7 +74,12 @@ fn main() {
         &text::render_experiment_table(&extensions),
     );
     let mut comparison = comparison_markdown(&report);
-    comparison.push_str(&extensions_markdown(&extensions, &separations, &personas, &uploads));
+    comparison.push_str(&extensions_markdown(
+        &extensions,
+        &separations,
+        &personas,
+        &uploads,
+    ));
     if args.sweep_seeds > 0 {
         eprintln!("running robustness sweep over {} seeds…", args.sweep_seeds);
         // A reduced world per seed keeps the sweep affordable.
@@ -80,10 +99,90 @@ fn main() {
         md.push('\n');
         comparison.push_str(&md);
     }
-    std::fs::write(args.out.join("experiments.md"), &comparison)
-        .expect("write experiments.md");
+    std::fs::write(args.out.join("experiments.md"), &comparison).expect("write experiments.md");
     println!("{comparison}");
     eprintln!("wrote exhibits to {}", args.out.display());
+}
+
+/// The `--users U` scale path: stream ~U users through the mergeable
+/// sketch study without materialising the panel.
+fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
+    let mut cfg = WorldConfig::paper_scale(args.seed);
+    cfg.days = args.days;
+    cfg.fcc_users = args.fcc_users;
+    // Pick the per-country scale that makes the world ~U users strong.
+    let total_weight: f64 = builtin_world().iter().map(|p| p.user_weight).sum();
+    cfg.user_scale = (users.saturating_sub(args.fcc_users as u64)) as f64 / total_weight.max(1e-9);
+    let world = World::new(cfg);
+    let exact_users = world.n_users();
+    eprintln!(
+        "streaming {exact_users} users: seed {}, {} days, {} shards / {} threads",
+        args.seed, args.days, plan.shards, plan.threads
+    );
+    let t0 = std::time::Instant::now();
+    let (_, study) = world.fold_users(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "streamed {} users ({} Dasu / {} FCC, {} movers) in {:.1?} — {:.0} users/sec",
+        study.users,
+        study.dasu_users,
+        study.fcc_users,
+        study.movers,
+        elapsed,
+        study.users as f64 / elapsed.as_secs_f64()
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    for f in study.figure1().iter().chain(study.figure7().iter()) {
+        write(
+            &args.out,
+            &format!("{}.txt", f.id),
+            &text::render_cdf_figure(f),
+        );
+        write(&args.out, &format!("{}.csv", f.id), &csv::cdf_to_csv(f));
+        write(&args.out, &format!("{}.gp", f.id), &gnuplot::cdf_script(f));
+        write(
+            &args.out,
+            &format!("{}.json", f.id),
+            &serde_json::to_string_pretty(&json::cdf_to_json(f)).expect("serialise"),
+        );
+    }
+    for f in &study.figure2() {
+        write(
+            &args.out,
+            &format!("{}.txt", f.id),
+            &text::render_binned_figure(f),
+        );
+        write(&args.out, &format!("{}.csv", f.id), &csv::binned_to_csv(f));
+        write(
+            &args.out,
+            &format!("{}.json", f.id),
+            &serde_json::to_string_pretty(&json::binned_to_json(f)).expect("serialise"),
+        );
+    }
+    if let Some(stats) = study.population_stats() {
+        println!("# Streaming scale run\n");
+        println!("| quantity | paper | measured |");
+        println!("|---|---|---|");
+        println!("| users streamed | — | {} |", study.users);
+        println!(
+            "| median download capacity | 7.4 Mbps | {:.1} Mbps |",
+            stats.median_capacity_mbps
+        );
+        println!(
+            "| share below 1 Mbps | ~10% | {:.0}% |",
+            stats.frac_below_1mbps * 100.0
+        );
+        println!(
+            "| median latency | ~100 ms | {:.0} ms |",
+            stats.median_latency_ms
+        );
+        println!(
+            "| share with loss > 1% | ~14% | {:.1}% |",
+            stats.frac_loss_above_1pct * 100.0
+        );
+    }
+    eprintln!("wrote streaming exhibits to {}", args.out.display());
 }
 
 struct Args {
@@ -93,6 +192,9 @@ struct Args {
     fcc_users: usize,
     out: PathBuf,
     sweep_seeds: u64,
+    threads: usize,
+    shards: Option<usize>,
+    users: Option<u64>,
 }
 
 impl Args {
@@ -104,6 +206,9 @@ impl Args {
             fcc_users: WorldConfig::paper_scale(0).fcc_users,
             out: PathBuf::from("results"),
             sweep_seeds: 0,
+            threads: 1,
+            shards: None,
+            users: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -117,12 +222,13 @@ impl Args {
                 "--days" => args.days = val().parse().expect("--days takes an integer"),
                 "--fcc" => args.fcc_users = val().parse().expect("--fcc takes an integer"),
                 "--out" => args.out = PathBuf::from(val()),
-                "--sweep" => {
-                    args.sweep_seeds = val().parse().expect("--sweep takes a seed count")
-                }
+                "--sweep" => args.sweep_seeds = val().parse().expect("--sweep takes a seed count"),
+                "--threads" => args.threads = val().parse().expect("--threads takes an integer"),
+                "--shards" => args.shards = Some(val().parse().expect("--shards takes an integer")),
+                "--users" => args.users = Some(val().parse().expect("--users takes an integer")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: reproduce [--seed S] [--scale N] [--days D] [--fcc N] [--out DIR] [--sweep N]"
+                        "usage: reproduce [--seed S] [--scale N] [--days D] [--fcc N] [--out DIR] [--sweep N] [--threads T] [--shards S] [--users U]"
                     );
                     std::process::exit(0);
                 }
@@ -130,6 +236,14 @@ impl Args {
             }
         }
         args
+    }
+
+    /// The shard plan the flags imply. Output never depends on it.
+    fn plan(&self) -> ShardPlan {
+        match self.shards {
+            Some(shards) => ShardPlan::new(shards, self.threads),
+            None => ShardPlan::for_threads(self.threads),
+        }
     }
 }
 
@@ -155,7 +269,11 @@ fn write_exhibits(r: &StudyReport, out: &Path) {
     }
     // Binned figures.
     for f in r.fig2.iter().chain(r.fig3.iter()).chain(r.fig6.iter()) {
-        write(out, &format!("{}.txt", f.id), &text::render_binned_figure(f));
+        write(
+            out,
+            &format!("{}.txt", f.id),
+            &text::render_binned_figure(f),
+        );
         write(out, &format!("{}.csv", f.id), &csv::binned_to_csv(f));
         write(out, &format!("{}.gp", f.id), &gnuplot::binned_script(f));
         write(
@@ -177,7 +295,11 @@ fn write_exhibits(r: &StudyReport, out: &Path) {
     }
     // Experiment tables.
     for t in r.experiment_tables() {
-        write(out, &format!("{}.txt", t.id), &text::render_experiment_table(t));
+        write(
+            out,
+            &format!("{}.txt", t.id),
+            &text::render_experiment_table(t),
+        );
         write(out, &format!("{}.csv", t.id), &csv::experiment_to_csv(t));
         write(
             out,
@@ -265,7 +387,10 @@ fn comparison_markdown(r: &StudyReport) -> String {
     let _ = writeln!(md, "## Table 1 — individual upgrades (§3.2)\n");
     let _ = writeln!(md, "| metric | paper %H (p) | measured %H (p) | pairs |");
     let _ = writeln!(md, "|---|---|---|---|");
-    let paper_t1 = [("Average usage", 66.8, 1.94e-25), ("Peak usage", 70.3, 1.13e-36)];
+    let paper_t1 = [
+        ("Average usage", 66.8, 1.94e-25),
+        ("Peak usage", 70.3, 1.13e-36),
+    ];
     for ((label, ph, pp), row) in paper_t1.iter().zip(&r.table1.rows) {
         let _ = writeln!(
             md,
@@ -326,9 +451,15 @@ fn comparison_markdown(r: &StudyReport) -> String {
 
     // Table 3.
     let _ = writeln!(md, "## Table 3 — price of access (§5)\n");
-    let _ = writeln!(md, "| comparison | paper %H (p) | measured %H (p) | pairs |");
+    let _ = writeln!(
+        md,
+        "| comparison | paper %H (p) | measured %H (p) | pairs |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
-    let paper_t3 = [("($0,$25] vs ($25,$60]", 63.4, 8.89e-22), ("($0,$25] vs ($60,∞)", 72.2, 5.40e-10)];
+    let paper_t3 = [
+        ("($0,$25] vs ($25,$60]", 63.4, 8.89e-22),
+        ("($0,$25] vs ($60,∞)", 72.2, 5.40e-10),
+    ];
     for (i, row) in r.table3.rows.iter().enumerate() {
         let (label, ph, pp) = paper_t3.get(i).copied().unwrap_or(("extra", 0.0, 1.0));
         let _ = writeln!(
@@ -392,7 +523,10 @@ fn comparison_markdown(r: &StudyReport) -> String {
         r.census.share_strong * 100.0,
         r.census.share_moderate * 100.0
     );
-    let _ = writeln!(md, "| region | paper >$1/$5/$10 | measured >$1/$5/$10 | countries |");
+    let _ = writeln!(
+        md,
+        "| region | paper >$1/$5/$10 | measured >$1/$5/$10 | countries |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
     let paper_t5: &[(&str, &str)] = &[
         ("Africa", "100/84/74"),
@@ -431,7 +565,10 @@ fn comparison_markdown(r: &StudyReport) -> String {
     ];
     for ((label, paper_rows), table) in paper_t6.iter().zip(&r.table6) {
         let _ = writeln!(md, "### {label}\n");
-        let _ = writeln!(md, "| comparison | paper %H (p) | measured %H (p) | pairs |");
+        let _ = writeln!(
+            md,
+            "| comparison | paper %H (p) | measured %H (p) | pairs |"
+        );
         let _ = writeln!(md, "|---|---|---|---|");
         for (i, row) in table.rows.iter().enumerate() {
             let (ph, pp) = paper_rows.get(i).copied().unwrap_or((0.0, 1.0));
@@ -446,8 +583,16 @@ fn comparison_markdown(r: &StudyReport) -> String {
 
     // Table 7.
     let _ = writeln!(md, "## Table 7 — latency (§7.1)\n");
-    let paper_t7 = [(63.5, 0.00825), (63.4, 0.00620), (59.4, 0.00766), (56.3, 0.0330)];
-    let _ = writeln!(md, "| treatment bin | paper %H (p) | measured %H (p) | pairs |");
+    let paper_t7 = [
+        (63.5, 0.00825),
+        (63.4, 0.00620),
+        (59.4, 0.00766),
+        (56.3, 0.0330),
+    ];
+    let _ = writeln!(
+        md,
+        "| treatment bin | paper %H (p) | measured %H (p) | pairs |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
     for (i, row) in r.table7.rows.iter().enumerate() {
         let (ph, pp) = paper_t7.get(i).copied().unwrap_or((0.0, 1.0));
@@ -477,7 +622,10 @@ fn comparison_markdown(r: &StudyReport) -> String {
         (58.9, 2.16e-5),
         (53.8, 0.0360),
     ];
-    let _ = writeln!(md, "| comparison | paper %H (p) | measured %H (p) | pairs |");
+    let _ = writeln!(
+        md,
+        "| comparison | paper %H (p) | measured %H (p) | pairs |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
     for (i, row) in r.table8.rows.iter().enumerate() {
         let (ph, pp) = paper_t8.get(i).copied().unwrap_or((0.0, 1.0));
@@ -529,7 +677,10 @@ fn extensions_markdown(
         let _ = writeln!(md);
     }
     if !personas.is_empty() {
-        let _ = writeln!(md, "| persona | users | mean demand (Mbps) | BitTorrent share |");
+        let _ = writeln!(
+            md,
+            "| persona | users | mean demand (Mbps) | BitTorrent share |"
+        );
         let _ = writeln!(md, "|---|---|---|---|");
         for row in personas {
             let _ = writeln!(

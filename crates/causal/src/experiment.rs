@@ -186,11 +186,15 @@ mod tests {
         let control = units(&[2.0, 2.0, 2.0, 2.0], 0);
         let treatment = units(&[1.0, 1.0, 1.0, 1.0], 100);
         let higher = NaturalExperiment::new("h", vec![Caliper::PAPER]);
-        let lower = higher
-            .clone()
-            .with_direction(Direction::TreatmentLower);
-        assert_eq!(higher.run(&control, &treatment).unwrap().percent_holds(), 0.0);
-        assert_eq!(lower.run(&control, &treatment).unwrap().percent_holds(), 100.0);
+        let lower = higher.clone().with_direction(Direction::TreatmentLower);
+        assert_eq!(
+            higher.run(&control, &treatment).unwrap().percent_holds(),
+            0.0
+        );
+        assert_eq!(
+            lower.run(&control, &treatment).unwrap().percent_holds(),
+            100.0
+        );
     }
 
     #[test]
@@ -226,9 +230,7 @@ mod tests {
     fn table_style_fields() {
         // Mimic a Table 2 row: 59.9% of 1000 pairs in favour.
         let n = 1000;
-        let control: Vec<Unit> = (0..n)
-            .map(|i| Unit::new(i, vec![100.0], 0.0))
-            .collect();
+        let control: Vec<Unit> = (0..n).map(|i| Unit::new(i, vec![100.0], 0.0)).collect();
         let treatment: Vec<Unit> = (0..n)
             .map(|i| {
                 let outcome = if i < 599 { 1.0 } else { -1.0 };

@@ -125,7 +125,11 @@ pub fn pair_distance(control: &Unit, treatment: &Unit, calipers: &[Caliper]) -> 
             return None;
         }
         let width = cal.width_at(a.abs().max(b.abs()));
-        let norm = if width > 0.0 { (a - b).abs() / width } else { 0.0 };
+        let norm = if width > 0.0 {
+            (a - b).abs() / width
+        } else {
+            0.0
+        };
         sum_sq += norm * norm;
     }
     Some(sum_sq.sqrt())
@@ -175,8 +179,9 @@ mod tests {
     #[test]
     fn pairs_are_disjoint() {
         let control: Vec<Unit> = (0..50).map(|i| unit(i, &[i as f64 + 100.0], 0.0)).collect();
-        let treatment: Vec<Unit> =
-            (0..50).map(|i| unit(1000 + i, &[i as f64 + 101.0], 1.0)).collect();
+        let treatment: Vec<Unit> = (0..50)
+            .map(|i| unit(1000 + i, &[i as f64 + 101.0], 1.0))
+            .collect();
         let pairs = match_pairs(&control, &treatment, &paper_calipers(1));
         let mut controls: Vec<u64> = pairs.iter().map(|p| p.control_id).collect();
         let mut treats: Vec<u64> = pairs.iter().map(|p| p.treatment_id).collect();
@@ -213,12 +218,7 @@ mod tests {
         // The same relative offset in two very different units should give
         // the same distance contribution.
         let cal = [Caliper::PAPER];
-        let a = pair_distance(
-            &unit(1, &[1000.0], 0.0),
-            &unit(2, &[1100.0], 0.0),
-            &cal,
-        )
-        .unwrap();
+        let a = pair_distance(&unit(1, &[1000.0], 0.0), &unit(2, &[1100.0], 0.0), &cal).unwrap();
         let b = pair_distance(&unit(3, &[1.0], 0.0), &unit(4, &[1.1], 0.0), &cal).unwrap();
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }

@@ -187,8 +187,9 @@ mod tests {
     fn detects_a_clear_effect() {
         // Treated outcomes are uniformly +1 at matched covariates.
         let control: Vec<Unit> = (0..40).map(|i| unit(i, i as f64, i as f64)).collect();
-        let treatment: Vec<Unit> =
-            (0..40).map(|i| unit(100 + i, i as f64, i as f64 + 1.0)).collect();
+        let treatment: Vec<Unit> = (0..40)
+            .map(|i| unit(100 + i, i as f64, i as f64 + 1.0))
+            .collect();
         let q = StratifiedQed::new("effect");
         let out = q.run(&control, &treatment).unwrap();
         assert!(out.percent_holds() > 90.0, "{}", out.percent_holds());
@@ -220,8 +221,14 @@ mod tests {
         let treatment: Vec<Unit> = (0..50)
             .map(|i| unit(1000 + i, (i * 2) as f64, 1.0))
             .collect();
-        let coarse = StratifiedQed::new("c").with_buckets(2).run(&control, &treatment).unwrap();
-        let fine = StratifiedQed::new("f").with_buckets(10).run(&control, &treatment).unwrap();
+        let coarse = StratifiedQed::new("c")
+            .with_buckets(2)
+            .run(&control, &treatment)
+            .unwrap();
+        let fine = StratifiedQed::new("f")
+            .with_buckets(10)
+            .run(&control, &treatment)
+            .unwrap();
         assert!(fine.n_strata > coarse.n_strata);
         assert!(fine.n_pairs <= coarse.n_pairs);
     }
@@ -239,9 +246,12 @@ mod tests {
 
     #[test]
     fn pairs_stay_within_their_stratum() {
-        let control: Vec<Unit> = (0..60).map(|i| unit(i, (i % 6) as f64 * 10.0, 0.0)).collect();
-        let treatment: Vec<Unit> =
-            (0..60).map(|i| unit(1000 + i, (i % 6) as f64 * 10.0, 1.0)).collect();
+        let control: Vec<Unit> = (0..60)
+            .map(|i| unit(i, (i % 6) as f64 * 10.0, 0.0))
+            .collect();
+        let treatment: Vec<Unit> = (0..60)
+            .map(|i| unit(1000 + i, (i % 6) as f64 * 10.0, 1.0))
+            .collect();
         let q = StratifiedQed::new("s").with_buckets(6);
         let out = q.run(&control, &treatment).unwrap();
         for p in &out.pairs {

@@ -75,9 +75,7 @@ impl ConfounderSet {
                 Some(vec![latency, loss, access, upgrade])
             }
             ConfounderSet::ForPriceExperiment => Some(vec![capacity, latency, loss]),
-            ConfounderSet::ForUpgradeCostExperiment => {
-                Some(vec![capacity, latency, loss, access])
-            }
+            ConfounderSet::ForUpgradeCostExperiment => Some(vec![capacity, latency, loss, access]),
             ConfounderSet::ForLatencyExperiment => Some(vec![capacity, loss, access]),
             ConfounderSet::ForLossExperiment => Some(vec![capacity, latency, access]),
             ConfounderSet::ForCountryComparison => Some(vec![capacity]),
@@ -221,7 +219,9 @@ mod tests {
     #[test]
     fn missing_upgrade_cost_blocks_most_sets() {
         let r = record(None);
-        assert!(ConfounderSet::ForCapacityExperiment.covariates(&r).is_none());
+        assert!(ConfounderSet::ForCapacityExperiment
+            .covariates(&r)
+            .is_none());
         // …but not the sets that don't use it.
         assert!(ConfounderSet::ForUpgradeCostExperiment
             .covariates(&r)

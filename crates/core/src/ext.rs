@@ -306,8 +306,7 @@ mod tests {
             cfg.user_scale = 30.0;
             cfg.days = 2;
             cfg.fcc_users = 0;
-            let mut world =
-                World::with_countries(cfg, &["US", "DE", "RU", "CN", "BR", "IN", "MX"]);
+            let mut world = World::with_countries(cfg, &["US", "DE", "RU", "CN", "BR", "IN", "MX"]);
             for p in &mut world.profiles {
                 p.user_weight = 4.0;
                 // Caps off so persona/market signals are undiluted; the
@@ -324,7 +323,7 @@ mod tests {
         static DS: OnceLock<Dataset> = OnceLock::new();
         DS.get_or_init(|| {
             let mut cfg = WorldConfig::small(889);
-            cfg.user_scale = 7.0;
+            cfg.user_scale = 14.0;
             cfg.days = 2;
             cfg.fcc_users = 0;
             let mut world = World::with_countries(cfg, &["US"]);
@@ -354,9 +353,7 @@ mod tests {
         let rows = persona_breakdown(dataset());
         assert!(rows.len() >= 3, "{} personas", rows.len());
         let get = |p: Persona| rows.iter().find(|r| r.persona == p);
-        if let (Some(streamer), Some(browser)) =
-            (get(Persona::Streamer), get(Persona::Browser))
-        {
+        if let (Some(streamer), Some(browser)) = (get(Persona::Streamer), get(Persona::Browser)) {
             assert!(
                 streamer.mean_demand_mbps > browser.mean_demand_mbps,
                 "streamers {} vs browsers {}",
@@ -388,7 +385,11 @@ mod tests {
     #[test]
     fn ks_separations_flag_india() {
         let sep = cdf_separations(dataset()).expect("India present");
-        assert!(sep.latency.significant(), "latency D = {}", sep.latency.statistic);
+        assert!(
+            sep.latency.significant(),
+            "latency D = {}",
+            sep.latency.statistic
+        );
         assert!(sep.latency.statistic > 0.5);
         assert!(sep.loss.statistic > 0.2, "loss D = {}", sep.loss.statistic);
     }
@@ -421,7 +422,10 @@ mod tests {
     fn bt_users_are_upload_heavy() {
         let rows = upload_breakdown(dataset());
         assert_eq!(rows.len(), 2);
-        let bt = rows.iter().find(|r| r.group.contains("BitTorrent")).unwrap();
+        let bt = rows
+            .iter()
+            .find(|r| r.group.contains("BitTorrent"))
+            .unwrap();
         let other = rows.iter().find(|r| r.group.contains("other")).unwrap();
         assert!(bt.n_users > 50 && other.n_users > 50);
         assert!(

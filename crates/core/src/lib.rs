@@ -26,6 +26,9 @@
 //! * [`ext`] — beyond the paper: usage caps, user personas, KS
 //!   quantification of the India CDFs, and the natural-experiment vs
 //!   quasi-experimental-design comparison of §8;
+//! * [`stream`] — [`stream::StreamStudy`]: the headline exhibits as
+//!   mergeable streaming sketches, for million-user runs that never
+//!   materialise the panel;
 //! * [`robustness`] — seed sweeps: the findings' error bars on themselves.
 
 #![forbid(unsafe_code)]
@@ -42,6 +45,8 @@ pub mod sec4;
 pub mod sec5;
 pub mod sec6;
 pub mod sec7;
+pub mod stream;
 
 pub use exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentTable};
 pub use full::StudyReport;
+pub use stream::StreamStudy;

@@ -78,7 +78,9 @@ pub fn seed_sweep(base: &WorldConfig, n_seeds: u64) -> Vec<SweepRow> {
 
     for i in 0..n_seeds {
         let mut cfg = base.clone();
-        cfg.seed = base.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        cfg.seed = base
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let ds = World::new(cfg).generate();
 
         let t1 = sec3::table1(&ds);

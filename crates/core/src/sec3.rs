@@ -98,10 +98,7 @@ pub fn figure2(dataset: &Dataset) -> [BinnedFigure; 4] {
 pub fn figure3(dataset: &Dataset) -> [BinnedFigure; 2] {
     let us = Country::new("US");
     let fcc: Vec<&UserRecord> = dataset.fcc().collect();
-    let dasu_us: Vec<&UserRecord> = dataset
-        .dasu()
-        .filter(|r| r.country == us)
-        .collect();
+    let dasu_us: Vec<&UserRecord> = dataset.dasu().filter(|r| r.country == us).collect();
     let build = |id: &str, title: &str, fcc_outcome: OutcomeSpec, dasu_outcome: OutcomeSpec| {
         usage_figure(
             id,
@@ -181,8 +178,7 @@ pub fn table1(dataset: &Dataset) -> ExperimentTable {
     }
     ExperimentTable {
         id: "table1".into(),
-        title: "Demand increase when an individual user moves to a higher-capacity network"
-            .into(),
+        title: "Demand increase when an individual user moves to a higher-capacity network".into(),
         control_label: "Metric (control: slower network)".into(),
         treatment_label: "Treatment: faster network".into(),
         rows,
@@ -262,11 +258,7 @@ pub fn figure5(dataset: &Dataset) -> [BarFigure; 4] {
             .collect();
         for ((from, to), ci) in cis {
             groups[from.0 as usize].bars.push(Bar {
-                label: format!(
-                    "{} to {} Mbps",
-                    to.lower_mbps(),
-                    to.upper_mbps()
-                ),
+                label: format!("{} to {} Mbps", to.lower_mbps(), to.upper_mbps()),
                 value: ci.mean,
                 ci: Some((ci.lo, ci.hi)),
                 n: ci.n,
@@ -299,9 +291,7 @@ pub fn table2(dataset: &Dataset) -> (ExperimentTable, ExperimentTable) {
     };
     let fcc_units = |bin: CapacityBin| -> Vec<Unit> {
         to_units(
-            dataset
-                .fcc()
-                .filter(|r| CapacityBin::of(r.capacity) == bin),
+            dataset.fcc().filter(|r| CapacityBin::of(r.capacity) == bin),
             ConfounderSet::ForCapacityExperiment,
             OutcomeSpec::PEAK_WITH_BT,
         )

@@ -148,7 +148,12 @@ mod tests {
         let ds = dataset();
         let figs = figure6(&ds);
         for fig in &figs {
-            assert!(fig.series.len() >= 2, "{}: {} series", fig.id, fig.series.len());
+            assert!(
+                fig.series.len() >= 2,
+                "{}: {} series",
+                fig.id,
+                fig.series.len()
+            );
         }
         // Per-tier demand is roughly constant across years: compare 2011
         // and 2013 means in shared bins of the no-BT p95 panel; the bulk of

@@ -298,8 +298,7 @@ mod tests {
         let jp = &rows[3];
         assert!(bw.price_share_of_income > 3.0 * us.price_share_of_income);
         assert!(
-            (jp.price_share_of_income - us.price_share_of_income).abs()
-                < us.price_share_of_income,
+            (jp.price_share_of_income - us.price_share_of_income).abs() < us.price_share_of_income,
             "US and Japan spend a similar share"
         );
     }
@@ -312,7 +311,10 @@ mod tests {
         assert_eq!(utils.series.len(), 4);
         // Median capacity ascending BW..JP; median utilisation descending.
         let cap_medians: Vec<f64> = caps.series.iter().map(|s| s.median).collect();
-        assert!(cap_medians.windows(2).all(|w| w[0] <= w[1]), "{cap_medians:?}");
+        assert!(
+            cap_medians.windows(2).all(|w| w[0] <= w[1]),
+            "{cap_medians:?}"
+        );
         let bw_util = utils.series[0].median;
         let jp_util = utils.series[3].median;
         assert!(
@@ -353,7 +355,9 @@ mod tests {
         cfg.fcc_users = 0;
         let mut world = World::with_countries(
             cfg,
-            &["US", "DE", "RU", "PT", "CN", "TR", "MX", "SA", "IN", "BW", "IR"],
+            &[
+                "US", "DE", "RU", "PT", "CN", "TR", "MX", "SA", "IN", "BW", "IR",
+            ],
         );
         for p in &mut world.profiles {
             // Balanced sides with extra mass where the affordability

@@ -58,8 +58,18 @@ pub fn census(dataset: &Dataset) -> CorrelationCensus {
 /// demand (a) including and (b) excluding BitTorrent.
 pub fn table6(dataset: &Dataset) -> [ExperimentTable; 2] {
     [
-        cost_table(dataset, OutcomeSpec::MEAN_WITH_BT, "table6a", "w/ BitTorrent"),
-        cost_table(dataset, OutcomeSpec::MEAN_NO_BT, "table6b", "w/o BitTorrent"),
+        cost_table(
+            dataset,
+            OutcomeSpec::MEAN_WITH_BT,
+            "table6a",
+            "w/ BitTorrent",
+        ),
+        cost_table(
+            dataset,
+            OutcomeSpec::MEAN_NO_BT,
+            "table6b",
+            "w/o BitTorrent",
+        ),
     ]
 }
 
@@ -151,7 +161,11 @@ mod tests {
         let europe = find("Europe").expect("Europe present");
         let asia_dev = find("Asia (developed)").expect("dev Asia present");
         // Table 5's striking pattern.
-        assert!(africa.share_above_10 > 0.5, "Africa {}", africa.share_above_10);
+        assert!(
+            africa.share_above_10 > 0.5,
+            "Africa {}",
+            africa.share_above_10
+        );
         assert_eq!(na.share_above_1, 0.0, "North America all under $1");
         assert!(europe.share_above_5 < 0.25);
         assert_eq!(asia_dev.share_above_1, 0.0);
@@ -177,8 +191,7 @@ mod tests {
         cfg.user_scale = 30.0;
         cfg.days = 2;
         cfg.fcc_users = 0;
-        let mut world =
-            World::with_countries(cfg, &["US", "JP", "KR", "DE", "MX", "BR", "SA"]);
+        let mut world = World::with_countries(cfg, &["US", "JP", "KR", "DE", "MX", "BR", "SA"]);
         for p in &mut world.profiles {
             p.user_weight = 4.0; // balanced classes
         }

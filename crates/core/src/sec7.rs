@@ -22,9 +22,7 @@ pub fn table7(dataset: &Dataset) -> ExperimentTable {
     let calipers = ConfounderSet::ForLatencyExperiment.calipers();
     let units_for = |bin: LatencyBin| {
         to_units(
-            dataset
-                .dasu()
-                .filter(|r| LatencyBin::of(r.latency) == bin),
+            dataset.dasu().filter(|r| LatencyBin::of(r.latency) == bin),
             ConfounderSet::ForLatencyExperiment,
             OutcomeSpec::PEAK_NO_BT,
         )

@@ -3,9 +3,9 @@
 //! matched sign test must hover around 50% — any systematic deviation
 //! would mean the matching itself manufactures effects.
 
+use bb_causal::match_pairs;
 use bb_dataset::{World, WorldConfig};
 use bb_study::confounders::{to_units, ConfounderSet, OutcomeSpec};
-use bb_causal::match_pairs;
 
 #[test]
 fn matched_null_experiment_is_unbiased() {
@@ -15,15 +15,29 @@ fn matched_null_experiment_is_unbiased() {
     cfg.days = 2;
     cfg.fcc_users = 0;
     let ds = World::with_countries(cfg, &["US", "DE"]).generate();
-    let units = to_units(ds.dasu(), ConfounderSet::ForPriceExperiment, OutcomeSpec::PEAK_NO_BT);
+    let units = to_units(
+        ds.dasu(),
+        ConfounderSet::ForPriceExperiment,
+        OutcomeSpec::PEAK_NO_BT,
+    );
     let (a, b): (Vec<_>, Vec<_>) = units.into_iter().enumerate().partition(|(i, _)| i % 2 == 0);
     let a: Vec<_> = a.into_iter().map(|(_, u)| u).collect();
     let b: Vec<_> = b.into_iter().map(|(_, u)| u).collect();
     let pairs = match_pairs(&a, &b, &ConfounderSet::ForPriceExperiment.calipers());
-    let holds = pairs.iter().filter(|p| p.treatment_outcome > p.control_outcome).count();
-    let ties = pairs.iter().filter(|p| p.treatment_outcome == p.control_outcome).count();
+    let holds = pairs
+        .iter()
+        .filter(|p| p.treatment_outcome > p.control_outcome)
+        .count();
+    let ties = pairs
+        .iter()
+        .filter(|p| p.treatment_outcome == p.control_outcome)
+        .count();
     let share = holds as f64 / (pairs.len() - ties).max(1) as f64;
-    assert!(pairs.len() > 200, "want a well-powered null, got {}", pairs.len());
+    assert!(
+        pairs.len() > 200,
+        "want a well-powered null, got {}",
+        pairs.len()
+    );
     assert!(
         (share - 0.5).abs() < 0.06,
         "null experiment should sit near 50%, got {:.1}% over {} pairs",
@@ -39,8 +53,14 @@ fn matched_null_experiment_is_unbiased() {
     for skip in [0usize, 75, 150, 225, 300, 370] {
         let small: Vec<_> = b.iter().skip(skip).take(60).cloned().collect();
         let pairs = match_pairs(&big, &small, &ConfounderSet::ForPriceExperiment.calipers());
-        holds += pairs.iter().filter(|p| p.treatment_outcome > p.control_outcome).count();
-        informative += pairs.iter().filter(|p| p.treatment_outcome != p.control_outcome).count();
+        holds += pairs
+            .iter()
+            .filter(|p| p.treatment_outcome > p.control_outcome)
+            .count();
+        informative += pairs
+            .iter()
+            .filter(|p| p.treatment_outcome != p.control_outcome)
+            .count();
     }
     let share = holds as f64 / informative.max(1) as f64;
     assert!(

@@ -83,9 +83,8 @@ impl AgentSampler {
             // larger share of income (Table 4: 8.0% in Botswana vs 1.3% in
             // the US) — the people in a broadband dataset are those who
             // can pay. Tilt the median share by relative income.
-            budget_share_median: (0.022
-                * (4150.0 / monthly_income.usd().max(1.0)).powf(0.5))
-            .clamp(0.01, 0.35),
+            budget_share_median: (0.022 * (4150.0 / monthly_income.usd().max(1.0)).powf(0.5))
+                .clamp(0.01, 0.35),
             // Dasu is distributed as a BitTorrent extension (§2.1), so a
             // large share of its users torrent at least sometimes.
             bt_user_prob: 0.55,
@@ -156,7 +155,10 @@ pub fn choose_plan<'a>(agent: &Agent, catalog: &'a PlanCatalog) -> &'a Plan {
         residential.clone()
     };
 
-    let affordable: Vec<&&Plan> = all.iter().filter(|p| p.monthly_price <= agent.budget).collect();
+    let affordable: Vec<&&Plan> = all
+        .iter()
+        .filter(|p| p.monthly_price <= agent.budget)
+        .collect();
     if affordable.is_empty() {
         // Grudging subscriber: cheapest plan in the market.
         return all
@@ -304,12 +306,10 @@ mod tests {
         assert!(mean_budget > 30.0 && mean_budget < 400.0, "{mean_budget}");
         // A healthy share of BitTorrent users (Dasu population).
         // Persona multipliers scale the base 0.55 to ~0.52 on average.
-        let bt_frac =
-            agents.iter().filter(|a| a.bt_user).count() as f64 / agents.len() as f64;
+        let bt_frac = agents.iter().filter(|a| a.bt_user).count() as f64 / agents.len() as f64;
         assert!((bt_frac - 0.52).abs() < 0.06, "{bt_frac}");
         // All personas appear.
-        let personas: std::collections::BTreeSet<_> =
-            agents.iter().map(|a| a.persona).collect();
+        let personas: std::collections::BTreeSet<_> = agents.iter().map(|a| a.persona).collect();
         assert_eq!(personas.len(), 4);
     }
 

@@ -111,64 +111,664 @@ pub fn builtin_world() -> Vec<CountryProfile> {
     let mut world = vec![
         // === The Table 4 case study ===
         // Botswana: $100/mo typical, ~0.512 Mbps services, 8% of income.
-        profile("BW", Africa, 14_993.0, 95.0, 150.0, (0.5, 2.0), 4, 140.0, 0.8, 1.2, 0.9),
+        profile(
+            "BW",
+            Africa,
+            14_993.0,
+            95.0,
+            150.0,
+            (0.5, 2.0),
+            4,
+            140.0,
+            0.8,
+            1.2,
+            0.9,
+        ),
         // Saudi Arabia: ~4 Mbps cluster, $79 typical, expensive upgrades.
-        profile("SA", MiddleEast, 29_114.0, 60.0, 6.5, (1.0, 20.0), 6, 100.0, 0.25, 2.0, 1.6),
+        profile(
+            "SA",
+            MiddleEast,
+            29_114.0,
+            60.0,
+            6.5,
+            (1.0, 20.0),
+            6,
+            100.0,
+            0.25,
+            2.0,
+            1.6,
+        ),
         // United States: wide ladder 1..100+, $20 access, ~$0.55/Mbps.
-        profile("US", NorthAmerica, 49_797.0, 20.0, 0.55, (1.0, 120.0), 14, 45.0, 0.05, 2.2, 50.0),
+        profile(
+            "US",
+            NorthAmerica,
+            49_797.0,
+            20.0,
+            0.55,
+            (1.0, 120.0),
+            14,
+            45.0,
+            0.05,
+            2.2,
+            50.0,
+        ),
         // Japan: cheap fast plans ($40 for 100 Mbps), few slow ones.
-        profile("JP", AsiaDeveloped, 34_532.0, 22.0, 0.09, (10.0, 200.0), 10, 35.0, 0.02, 2.2, 1.0),
+        profile(
+            "JP",
+            AsiaDeveloped,
+            34_532.0,
+            22.0,
+            0.09,
+            (10.0, 200.0),
+            10,
+            35.0,
+            0.02,
+            2.2,
+            1.0,
+        ),
         // === Countries named elsewhere in the paper ===
-        profile("DE", Europe, 43_000.0, 22.0, 0.7, (1.0, 100.0), 12, 40.0, 0.04, 2.0, 4.0),
-        profile("CA", NorthAmerica, 42_000.0, 24.0, 0.6, (1.0, 100.0), 12, 50.0, 0.05, 2.0, 3.0),
-        profile("KR", AsiaDeveloped, 32_000.0, 20.0, 0.07, (10.0, 200.0), 10, 30.0, 0.02, 2.4, 1.2),
-        profile("HK", AsiaDeveloped, 51_000.0, 18.0, 0.06, (10.0, 300.0), 10, 30.0, 0.02, 2.4, 0.8),
-        profile("SG", AsiaDeveloped, 60_000.0, 20.0, 0.08, (10.0, 200.0), 9, 32.0, 0.02, 2.4, 0.6),
+        profile(
+            "DE",
+            Europe,
+            43_000.0,
+            22.0,
+            0.7,
+            (1.0, 100.0),
+            12,
+            40.0,
+            0.04,
+            2.0,
+            4.0,
+        ),
+        profile(
+            "CA",
+            NorthAmerica,
+            42_000.0,
+            24.0,
+            0.6,
+            (1.0, 100.0),
+            12,
+            50.0,
+            0.05,
+            2.0,
+            3.0,
+        ),
+        profile(
+            "KR",
+            AsiaDeveloped,
+            32_000.0,
+            20.0,
+            0.07,
+            (10.0, 200.0),
+            10,
+            30.0,
+            0.02,
+            2.4,
+            1.2,
+        ),
+        profile(
+            "HK",
+            AsiaDeveloped,
+            51_000.0,
+            18.0,
+            0.06,
+            (10.0, 300.0),
+            10,
+            30.0,
+            0.02,
+            2.4,
+            0.8,
+        ),
+        profile(
+            "SG",
+            AsiaDeveloped,
+            60_000.0,
+            20.0,
+            0.08,
+            (10.0, 200.0),
+            9,
+            32.0,
+            0.02,
+            2.4,
+            0.6,
+        ),
         // India: cheap-ish upgrades (within 25% of the US, §7.1) but $67
         // access and a long, lossy path profile.
-        profile("IN", AsiaDeveloping, 5_100.0, 67.0, 0.6, (0.5, 16.0), 8, 280.0, 1.4, 1.8, 6.0),
+        profile(
+            "IN",
+            AsiaDeveloping,
+            5_100.0,
+            67.0,
+            0.6,
+            (0.5, 16.0),
+            8,
+            280.0,
+            1.4,
+            1.8,
+            6.0,
+        ),
         // China: upgrades below $1/Mbps (§6 footnote).
-        profile("CN", AsiaDeveloping, 9_300.0, 30.0, 0.8, (1.0, 50.0), 9, 85.0, 0.3, 1.7, 4.0),
-        profile("MX", CentralAmericaCaribbean, 16_500.0, 40.0, 3.0, (1.0, 20.0), 7, 70.0, 0.2, 1.7, 2.0),
-        profile("NZ", Oceania, 32_000.0, 35.0, 1.2, (1.0, 100.0), 10, 60.0, 0.05, 2.0, 0.7),
-        profile("PH", AsiaDeveloping, 6_300.0, 45.0, 12.0, (0.5, 10.0), 6, 115.0, 0.6, 1.5, 1.5),
-        profile("IR", MiddleEast, 17_000.0, 130.0, 18.0, (0.25, 4.0), 5, 130.0, 0.7, 1.4, 1.0),
-        profile("GH", Africa, 3_900.0, 75.0, 25.0, (0.25, 4.0), 5, 160.0, 1.0, 1.3, 0.6),
-        profile("UG", Africa, 1_700.0, 85.0, 40.0, (0.25, 2.0), 4, 175.0, 1.5, 1.2, 0.5),
-        profile("PY", SouthAmerica, 7_800.0, 55.0, 110.0, (0.25, 4.0), 5, 120.0, 0.6, 1.3, 0.5),
-        profile("CI", Africa, 2_900.0, 80.0, 130.0, (0.25, 2.0), 4, 170.0, 1.2, 1.2, 0.4),
-        profile("AF", AsiaDeveloping, 1_900.0, 90.0, 30.0, (0.25, 2.0), 5, 210.0, 1.8, 1.1, 0.3),
+        profile(
+            "CN",
+            AsiaDeveloping,
+            9_300.0,
+            30.0,
+            0.8,
+            (1.0, 50.0),
+            9,
+            85.0,
+            0.3,
+            1.7,
+            4.0,
+        ),
+        profile(
+            "MX",
+            CentralAmericaCaribbean,
+            16_500.0,
+            40.0,
+            3.0,
+            (1.0, 20.0),
+            7,
+            70.0,
+            0.2,
+            1.7,
+            2.0,
+        ),
+        profile(
+            "NZ",
+            Oceania,
+            32_000.0,
+            35.0,
+            1.2,
+            (1.0, 100.0),
+            10,
+            60.0,
+            0.05,
+            2.0,
+            0.7,
+        ),
+        profile(
+            "PH",
+            AsiaDeveloping,
+            6_300.0,
+            45.0,
+            12.0,
+            (0.5, 10.0),
+            6,
+            115.0,
+            0.6,
+            1.5,
+            1.5,
+        ),
+        profile(
+            "IR",
+            MiddleEast,
+            17_000.0,
+            130.0,
+            18.0,
+            (0.25, 4.0),
+            5,
+            130.0,
+            0.7,
+            1.4,
+            1.0,
+        ),
+        profile(
+            "GH",
+            Africa,
+            3_900.0,
+            75.0,
+            25.0,
+            (0.25, 4.0),
+            5,
+            160.0,
+            1.0,
+            1.3,
+            0.6,
+        ),
+        profile(
+            "UG",
+            Africa,
+            1_700.0,
+            85.0,
+            40.0,
+            (0.25, 2.0),
+            4,
+            175.0,
+            1.5,
+            1.2,
+            0.5,
+        ),
+        profile(
+            "PY",
+            SouthAmerica,
+            7_800.0,
+            55.0,
+            110.0,
+            (0.25, 4.0),
+            5,
+            120.0,
+            0.6,
+            1.3,
+            0.5,
+        ),
+        profile(
+            "CI",
+            Africa,
+            2_900.0,
+            80.0,
+            130.0,
+            (0.25, 2.0),
+            4,
+            170.0,
+            1.2,
+            1.2,
+            0.4,
+        ),
+        profile(
+            "AF",
+            AsiaDeveloping,
+            1_900.0,
+            90.0,
+            30.0,
+            (0.25, 2.0),
+            5,
+            210.0,
+            1.8,
+            1.1,
+            0.3,
+        ),
         // === Other major markets for global shape ===
-        profile("GB", Europe, 37_000.0, 21.0, 0.8, (1.0, 100.0), 12, 38.0, 0.04, 2.1, 4.0),
-        profile("FR", Europe, 36_500.0, 20.0, 0.5, (1.0, 100.0), 12, 40.0, 0.04, 2.1, 3.5),
-        profile("IT", Europe, 33_000.0, 25.0, 0.85, (1.0, 50.0), 10, 45.0, 0.06, 1.9, 2.5),
-        profile("ES", Europe, 31_000.0, 28.0, 0.9, (1.0, 100.0), 10, 45.0, 0.05, 1.9, 2.5),
-        profile("SE", Europe, 42_500.0, 22.0, 0.3, (2.0, 200.0), 11, 35.0, 0.03, 2.3, 1.2),
-        profile("NL", Europe, 44_000.0, 23.0, 0.4, (2.0, 150.0), 11, 33.0, 0.03, 2.3, 1.2),
-        profile("PL", Europe, 22_000.0, 24.0, 0.95, (1.0, 60.0), 9, 55.0, 0.08, 1.8, 1.5),
-        profile("PT", Europe, 26_000.0, 26.0, 0.9, (1.0, 100.0), 10, 48.0, 0.05, 1.9, 1.0),
-        profile("RU", Europe, 24_000.0, 18.0, 1.0, (1.0, 60.0), 9, 80.0, 0.15, 1.8, 3.0),
-        profile("BR", SouthAmerica, 15_000.0, 35.0, 3.5, (0.5, 30.0), 8, 85.0, 0.3, 1.7, 3.5),
-        profile("AR", SouthAmerica, 18_500.0, 38.0, 4.0, (0.5, 20.0), 7, 90.0, 0.3, 1.6, 1.5),
-        profile("CL", SouthAmerica, 21_000.0, 33.0, 0.9, (1.0, 40.0), 8, 100.0, 0.2, 1.7, 1.0),
-        profile("AU", Oceania, 43_000.0, 30.0, 1.0, (1.0, 100.0), 11, 65.0, 0.05, 2.0, 2.0),
-        profile("TR", Europe, 18_000.0, 28.0, 2.0, (1.0, 30.0), 8, 68.0, 0.2, 1.7, 1.5),
-        profile("EG", Africa, 10_500.0, 38.0, 4.5, (0.5, 8.0), 6, 105.0, 0.5, 1.4, 1.2),
-        profile("ZA", Africa, 11_500.0, 45.0, 12.0, (0.5, 10.0), 6, 115.0, 0.5, 1.4, 1.0),
-        profile("NG", Africa, 5_400.0, 70.0, 30.0, (0.25, 4.0), 5, 165.0, 1.2, 1.3, 1.0),
-        profile("KE", Africa, 2_800.0, 60.0, 4.6, (0.25, 4.0), 5, 150.0, 1.0, 1.3, 0.7),
-        profile("ID", AsiaDeveloping, 9_000.0, 42.0, 11.0, (0.5, 10.0), 6, 120.0, 0.6, 1.5, 1.8),
-        profile("TH", AsiaDeveloping, 14_000.0, 30.0, 2.0, (1.0, 30.0), 8, 90.0, 0.3, 1.7, 1.2),
-        profile("VN", AsiaDeveloping, 5_000.0, 35.0, 8.0, (0.5, 16.0), 7, 105.0, 0.4, 1.5, 1.0),
-        profile("MY", AsiaDeveloping, 23_000.0, 32.0, 2.2, (1.0, 30.0), 8, 100.0, 0.2, 1.7, 0.8),
-        profile("IL", MiddleEast, 32_000.0, 24.0, 0.9, (1.0, 100.0), 10, 70.0, 0.06, 2.0, 0.7),
-        profile("AE", MiddleEast, 58_000.0, 55.0, 3.0, (1.0, 50.0), 8, 90.0, 0.1, 1.9, 0.6),
-        profile("QA", MiddleEast, 93_000.0, 60.0, 4.0, (1.0, 50.0), 7, 95.0, 0.1, 1.9, 0.4),
-        profile("JO", MiddleEast, 11_000.0, 50.0, 7.0, (0.5, 8.0), 6, 130.0, 0.4, 1.4, 0.4),
-        profile("CR", CentralAmericaCaribbean, 13_000.0, 38.0, 6.0, (0.5, 10.0), 6, 110.0, 0.3, 1.6, 0.4),
-        profile("JM", CentralAmericaCaribbean, 8_800.0, 48.0, 9.0, (0.5, 8.0), 5, 130.0, 0.5, 1.4, 0.3),
-        profile("PA", CentralAmericaCaribbean, 16_000.0, 36.0, 5.0, (0.5, 10.0), 6, 115.0, 0.3, 1.6, 0.3),
-        profile("GT", CentralAmericaCaribbean, 7_300.0, 52.0, 12.0, (0.25, 4.0), 5, 140.0, 0.6, 1.3, 0.3),
+        profile(
+            "GB",
+            Europe,
+            37_000.0,
+            21.0,
+            0.8,
+            (1.0, 100.0),
+            12,
+            38.0,
+            0.04,
+            2.1,
+            4.0,
+        ),
+        profile(
+            "FR",
+            Europe,
+            36_500.0,
+            20.0,
+            0.5,
+            (1.0, 100.0),
+            12,
+            40.0,
+            0.04,
+            2.1,
+            3.5,
+        ),
+        profile(
+            "IT",
+            Europe,
+            33_000.0,
+            25.0,
+            0.85,
+            (1.0, 50.0),
+            10,
+            45.0,
+            0.06,
+            1.9,
+            2.5,
+        ),
+        profile(
+            "ES",
+            Europe,
+            31_000.0,
+            28.0,
+            0.9,
+            (1.0, 100.0),
+            10,
+            45.0,
+            0.05,
+            1.9,
+            2.5,
+        ),
+        profile(
+            "SE",
+            Europe,
+            42_500.0,
+            22.0,
+            0.3,
+            (2.0, 200.0),
+            11,
+            35.0,
+            0.03,
+            2.3,
+            1.2,
+        ),
+        profile(
+            "NL",
+            Europe,
+            44_000.0,
+            23.0,
+            0.4,
+            (2.0, 150.0),
+            11,
+            33.0,
+            0.03,
+            2.3,
+            1.2,
+        ),
+        profile(
+            "PL",
+            Europe,
+            22_000.0,
+            24.0,
+            0.95,
+            (1.0, 60.0),
+            9,
+            55.0,
+            0.08,
+            1.8,
+            1.5,
+        ),
+        profile(
+            "PT",
+            Europe,
+            26_000.0,
+            26.0,
+            0.9,
+            (1.0, 100.0),
+            10,
+            48.0,
+            0.05,
+            1.9,
+            1.0,
+        ),
+        profile(
+            "RU",
+            Europe,
+            24_000.0,
+            18.0,
+            1.0,
+            (1.0, 60.0),
+            9,
+            80.0,
+            0.15,
+            1.8,
+            3.0,
+        ),
+        profile(
+            "BR",
+            SouthAmerica,
+            15_000.0,
+            35.0,
+            3.5,
+            (0.5, 30.0),
+            8,
+            85.0,
+            0.3,
+            1.7,
+            3.5,
+        ),
+        profile(
+            "AR",
+            SouthAmerica,
+            18_500.0,
+            38.0,
+            4.0,
+            (0.5, 20.0),
+            7,
+            90.0,
+            0.3,
+            1.6,
+            1.5,
+        ),
+        profile(
+            "CL",
+            SouthAmerica,
+            21_000.0,
+            33.0,
+            0.9,
+            (1.0, 40.0),
+            8,
+            100.0,
+            0.2,
+            1.7,
+            1.0,
+        ),
+        profile(
+            "AU",
+            Oceania,
+            43_000.0,
+            30.0,
+            1.0,
+            (1.0, 100.0),
+            11,
+            65.0,
+            0.05,
+            2.0,
+            2.0,
+        ),
+        profile(
+            "TR",
+            Europe,
+            18_000.0,
+            28.0,
+            2.0,
+            (1.0, 30.0),
+            8,
+            68.0,
+            0.2,
+            1.7,
+            1.5,
+        ),
+        profile(
+            "EG",
+            Africa,
+            10_500.0,
+            38.0,
+            4.5,
+            (0.5, 8.0),
+            6,
+            105.0,
+            0.5,
+            1.4,
+            1.2,
+        ),
+        profile(
+            "ZA",
+            Africa,
+            11_500.0,
+            45.0,
+            12.0,
+            (0.5, 10.0),
+            6,
+            115.0,
+            0.5,
+            1.4,
+            1.0,
+        ),
+        profile(
+            "NG",
+            Africa,
+            5_400.0,
+            70.0,
+            30.0,
+            (0.25, 4.0),
+            5,
+            165.0,
+            1.2,
+            1.3,
+            1.0,
+        ),
+        profile(
+            "KE",
+            Africa,
+            2_800.0,
+            60.0,
+            4.6,
+            (0.25, 4.0),
+            5,
+            150.0,
+            1.0,
+            1.3,
+            0.7,
+        ),
+        profile(
+            "ID",
+            AsiaDeveloping,
+            9_000.0,
+            42.0,
+            11.0,
+            (0.5, 10.0),
+            6,
+            120.0,
+            0.6,
+            1.5,
+            1.8,
+        ),
+        profile(
+            "TH",
+            AsiaDeveloping,
+            14_000.0,
+            30.0,
+            2.0,
+            (1.0, 30.0),
+            8,
+            90.0,
+            0.3,
+            1.7,
+            1.2,
+        ),
+        profile(
+            "VN",
+            AsiaDeveloping,
+            5_000.0,
+            35.0,
+            8.0,
+            (0.5, 16.0),
+            7,
+            105.0,
+            0.4,
+            1.5,
+            1.0,
+        ),
+        profile(
+            "MY",
+            AsiaDeveloping,
+            23_000.0,
+            32.0,
+            2.2,
+            (1.0, 30.0),
+            8,
+            100.0,
+            0.2,
+            1.7,
+            0.8,
+        ),
+        profile(
+            "IL",
+            MiddleEast,
+            32_000.0,
+            24.0,
+            0.9,
+            (1.0, 100.0),
+            10,
+            70.0,
+            0.06,
+            2.0,
+            0.7,
+        ),
+        profile(
+            "AE",
+            MiddleEast,
+            58_000.0,
+            55.0,
+            3.0,
+            (1.0, 50.0),
+            8,
+            90.0,
+            0.1,
+            1.9,
+            0.6,
+        ),
+        profile(
+            "QA",
+            MiddleEast,
+            93_000.0,
+            60.0,
+            4.0,
+            (1.0, 50.0),
+            7,
+            95.0,
+            0.1,
+            1.9,
+            0.4,
+        ),
+        profile(
+            "JO",
+            MiddleEast,
+            11_000.0,
+            50.0,
+            7.0,
+            (0.5, 8.0),
+            6,
+            130.0,
+            0.4,
+            1.4,
+            0.4,
+        ),
+        profile(
+            "CR",
+            CentralAmericaCaribbean,
+            13_000.0,
+            38.0,
+            6.0,
+            (0.5, 10.0),
+            6,
+            110.0,
+            0.3,
+            1.6,
+            0.4,
+        ),
+        profile(
+            "JM",
+            CentralAmericaCaribbean,
+            8_800.0,
+            48.0,
+            9.0,
+            (0.5, 8.0),
+            5,
+            130.0,
+            0.5,
+            1.4,
+            0.3,
+        ),
+        profile(
+            "PA",
+            CentralAmericaCaribbean,
+            16_000.0,
+            36.0,
+            5.0,
+            (0.5, 10.0),
+            6,
+            115.0,
+            0.3,
+            1.6,
+            0.3,
+        ),
+        profile(
+            "GT",
+            CentralAmericaCaribbean,
+            7_300.0,
+            52.0,
+            12.0,
+            (0.25, 4.0),
+            5,
+            140.0,
+            0.6,
+            1.3,
+            0.3,
+        ),
     ];
 
     // Filler countries per region, with deterministic parameter spreads.
@@ -183,10 +783,7 @@ pub fn builtin_world() -> Vec<CountryProfile> {
         (CentralAmericaCaribbean, 4, 9_000.0, 45.0, 5.0),
         (Oceania, 3, 15_000.0, 40.0, 4.0),
     ];
-    if let Some(afghanistan) = world
-        .iter_mut()
-        .find(|p| p.country == Country::new("AF"))
-    {
+    if let Some(afghanistan) = world.iter_mut().find(|p| p.country == Country::new("AF")) {
         // §6's worked example: "in Afghanistan, it is possible to sign up
         // for a dedicated (not shared) DSL connection that is slower and
         // more expensive than alternatives, lowering the correlation
@@ -200,10 +797,7 @@ pub fn builtin_world() -> Vec<CountryProfile> {
     // reject its upgrade-cost estimate, but the paper explicitly compares
     // India's upgrade cost to the US's (§7.1), so its pricing is cleaner
     // than its peers'.
-    if let Some(india) = world
-        .iter_mut()
-        .find(|p| p.country == Country::new("IN"))
-    {
+    if let Some(india) = world.iter_mut().find(|p| p.country == Country::new("IN")) {
         india.market.price_noise = 0.06;
     }
 
@@ -312,10 +906,7 @@ mod tests {
             m.sort_by(|a, b| a.partial_cmp(b).unwrap());
             m[m.len() / 2]
         };
-        let india = w
-            .iter()
-            .find(|p| p.country == Country::new("IN"))
-            .unwrap();
+        let india = w.iter().find(|p| p.country == Country::new("IN")).unwrap();
         assert!(
             india.rtt_median_ms > 2.0 * global_median,
             "India at {} ms vs global median {} ms",

@@ -3,6 +3,7 @@
 use crate::agent::{choose_plan, Agent, AgentSampler};
 use crate::country::{builtin_world, CountryProfile, APPETITE_GROWTH_PER_YEAR};
 use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
+use bb_engine::{run_sharded, stream_rng, Mergeable, ShardPlan};
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
 use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
 use bb_netsim::link::AccessLink;
@@ -12,6 +13,10 @@ use bb_stats::dist::LogNormal;
 use bb_types::{Country, Latency, LossRate, NetworkId, TimeAxis, UserId, Year};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Stream id of the per-user RNG streams (market instantiation draws from
+/// the sequential master RNG instead; see [`World::generate_with`]).
+const USER_STREAM: u64 = 1;
 
 /// Knobs controlling the size and shape of a generated dataset.
 #[derive(Clone, Debug)]
@@ -71,6 +76,18 @@ impl WorldConfig {
     }
 }
 
+/// One contiguous block of the flat user index space: users
+/// `[previous end, end)` belong to this profile/catalogue/vantage.
+struct Cohort<'a> {
+    profile: &'a CountryProfile,
+    catalog: PlanCatalog,
+    /// Exclusive end of this cohort's user indices.
+    end: u64,
+    vantage: VantageKind,
+    /// BitTorrent-share override (the FCC gateway cohort).
+    bt_override: Option<f64>,
+}
+
 /// A world: profiles plus configuration.
 #[derive(Clone, Debug)]
 pub struct World {
@@ -99,87 +116,151 @@ impl World {
         World { profiles, config }
     }
 
-    /// Generate the dataset.
+    /// Generate the dataset serially (single shard, calling thread).
     pub fn generate(&self) -> Dataset {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut survey = MarketSurvey::new();
-        let mut catalogs: Vec<(usize, PlanCatalog)> = Vec::new();
-        for (i, p) in self.profiles.iter().enumerate() {
-            let catalog = p.market.instantiate(&mut rng);
-            survey.insert(p.region, catalog.clone());
-            catalogs.push((i, catalog));
-        }
+        self.generate_with(ShardPlan::serial())
+    }
 
-        let mut records = Vec::new();
-        let mut upgrades = Vec::new();
-        let mut next_user = 0u64;
-
-        for (pi, catalog) in &catalogs {
-            let profile = &self.profiles[*pi];
-            let n_users = (profile.user_weight * self.config.user_scale).round().max(1.0) as usize;
-            for _ in 0..n_users {
-                let user = UserId(next_user);
-                next_user += 1;
-                let year = self.config.years[rng.gen_range(0..self.config.years.len())];
-                let agent = self.sample_subscriber(profile, catalog, year, None, &mut rng);
-                let (record, link, plan_idx) = self.observe_user(
-                    user,
-                    profile,
-                    catalog,
-                    &agent,
-                    year,
-                    VantageKind::Dasu,
-                    &mut rng,
-                );
-                // Movers: re-observe a fraction of users after an upgrade.
-                if rng.gen::<f64>() < self.config.upgrade_fraction {
-                    if let Some(up) =
-                        self.observe_upgrade(&record, profile, catalog, &agent, link, plan_idx, &mut rng)
-                    {
-                        upgrades.push(up);
-                    }
-                }
+    /// Generate the dataset under a shard plan.
+    ///
+    /// Market catalogues come from a short sequential master stream; every
+    /// user is then a pure function of `(seed, user_index)` through their
+    /// own [`stream_rng`] stream, so the result is **bit-identical for any
+    /// shard and thread count** — `generate_with(ShardPlan::new(8, 4))`
+    /// returns exactly what [`World::generate`] returns.
+    pub fn generate_with(&self, plan: ShardPlan) -> Dataset {
+        let (survey, cohorts) = self.build_market();
+        let total = cohorts.last().map_or(0, |c| c.end);
+        let (records, upgrades) = run_sharded(total, plan, |_, range| {
+            let mut records = Vec::with_capacity((range.end - range.start) as usize);
+            let mut upgrades = Vec::new();
+            for user_index in range {
+                let (record, upgrade) = self.observe_indexed(user_index, &cohorts);
                 records.push(record);
+                upgrades.extend(upgrade);
             }
-        }
-
-        // The FCC cohort: US gateways.
-        if let Some(us_idx) = self
-            .profiles
-            .iter()
-            .position(|p| p.country == Country::new("US"))
-        {
-            let catalog = &catalogs.iter().find(|(i, _)| *i == us_idx).expect("US catalog").1;
-            let profile = &self.profiles[us_idx];
-            for _ in 0..self.config.fcc_users {
-                let user = UserId(next_user);
-                next_user += 1;
-                let year = self.config.years[rng.gen_range(0..self.config.years.len())];
-                let agent = self.sample_subscriber(
-                    profile,
-                    catalog,
-                    year,
-                    Some(self.config.fcc_bt_prob),
-                    &mut rng,
-                );
-                let (record, _, _) = self.observe_user(
-                    user,
-                    profile,
-                    catalog,
-                    &agent,
-                    year,
-                    VantageKind::Fcc,
-                    &mut rng,
-                );
-                records.push(record);
-            }
-        }
-
+            (records, upgrades)
+        });
         Dataset {
             records,
             upgrades,
             survey,
         }
+    }
+
+    /// Stream every user of the world through a mergeable accumulator
+    /// without materialising the panel: each shard folds its users into an
+    /// `init()` accumulator, and the partials merge in shard order. Memory
+    /// is O(accumulator × shards) however many users the config implies —
+    /// this is the entry point for the million-user scale runs.
+    pub fn fold_users<A, I, F>(&self, plan: ShardPlan, init: I, absorb: F) -> (MarketSurvey, A)
+    where
+        A: Mergeable + Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>) + Sync,
+    {
+        let (survey, cohorts) = self.build_market();
+        let total = cohorts.last().map_or(0, |c| c.end);
+        let folded = run_sharded(total, plan, |_, range| {
+            let mut acc = init();
+            for user_index in range {
+                let (record, upgrade) = self.observe_indexed(user_index, &cohorts);
+                absorb(&mut acc, &record, upgrade.as_ref());
+            }
+            acc
+        });
+        (survey, folded)
+    }
+
+    /// Total users (Dasu + FCC) the current config implies.
+    pub fn n_users(&self) -> u64 {
+        let (_, cohorts) = self.build_market();
+        cohorts.last().map_or(0, |c| c.end)
+    }
+
+    /// Instantiate every market from the master stream and lay the user
+    /// cohorts out over a flat index space: Dasu users country by country,
+    /// then the US-only FCC gateway cohort.
+    fn build_market(&self) -> (MarketSurvey, Vec<Cohort<'_>>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut survey = MarketSurvey::new();
+        let mut cohorts: Vec<Cohort<'_>> = Vec::with_capacity(self.profiles.len() + 1);
+        let mut end = 0u64;
+        let mut us: Option<(usize, PlanCatalog)> = None;
+        for (i, profile) in self.profiles.iter().enumerate() {
+            let catalog = profile.market.instantiate(&mut rng);
+            survey.insert(profile.region, catalog.clone());
+            if profile.country == Country::new("US") {
+                us = Some((i, catalog.clone()));
+            }
+            end += (profile.user_weight * self.config.user_scale)
+                .round()
+                .max(1.0) as u64;
+            cohorts.push(Cohort {
+                profile,
+                catalog,
+                end,
+                vantage: VantageKind::Dasu,
+                bt_override: None,
+            });
+        }
+        if let Some((us_idx, catalog)) = us {
+            end += self.config.fcc_users as u64;
+            cohorts.push(Cohort {
+                profile: &self.profiles[us_idx],
+                catalog,
+                end,
+                vantage: VantageKind::Fcc,
+                bt_override: Some(self.config.fcc_bt_prob),
+            });
+        }
+        (survey, cohorts)
+    }
+
+    /// Observe the user at `user_index` — a pure function of
+    /// `(config.seed, user_index)` given the instantiated markets.
+    fn observe_indexed(
+        &self,
+        user_index: u64,
+        cohorts: &[Cohort<'_>],
+    ) -> (UserRecord, Option<UpgradeObservation>) {
+        let cohort = &cohorts[cohorts.partition_point(|c| c.end <= user_index)];
+        let mut rng = stream_rng(self.config.seed, USER_STREAM, user_index);
+        let user = UserId(user_index);
+        let year = self.config.years[rng.gen_range(0..self.config.years.len())];
+        let agent = self.sample_subscriber(
+            cohort.profile,
+            &cohort.catalog,
+            year,
+            cohort.bt_override,
+            &mut rng,
+        );
+        let (record, link, plan_idx) = self.observe_user(
+            user,
+            cohort.profile,
+            &cohort.catalog,
+            &agent,
+            year,
+            cohort.vantage,
+            &mut rng,
+        );
+        // Movers: re-observe a fraction of Dasu users after an upgrade.
+        let upgrade = if cohort.vantage == VantageKind::Dasu
+            && rng.gen::<f64>() < self.config.upgrade_fraction
+        {
+            self.observe_upgrade(
+                &record,
+                cohort.profile,
+                &cohort.catalog,
+                &agent,
+                link,
+                plan_idx,
+                &mut rng,
+            )
+        } else {
+            None
+        };
+        (record, upgrade)
     }
 
     /// Sample an agent who is actually *in* the broadband market.
@@ -387,12 +468,7 @@ impl World {
 
         let network = NetworkId::new(
             profile.country,
-            (catalog
-                .plans
-                .iter()
-                .position(|p| p == plan)
-                .unwrap_or(0)
-                % 4) as u16,
+            (catalog.plans.iter().position(|p| p == plan).unwrap_or(0) % 4) as u16,
             rng.gen_range(0..1 << 16),
             rng.gen_range(0..24),
         );
@@ -411,9 +487,7 @@ impl World {
             demand_no_bt,
             plan_capacity: plan.download,
             plan_price: plan.monthly_price,
-            access_price: catalog
-                .price_of_access()
-                .unwrap_or(plan.monthly_price),
+            access_price: catalog.price_of_access().unwrap_or(plan.monthly_price),
             upgrade_cost: catalog.upgrade_cost(),
             is_bt_user: agent.bt_user,
             upload_mean,
@@ -467,11 +541,11 @@ impl World {
             before_link.base_rtt,
             before_link.loss,
         )
-        .with_upload(
-            (after_plan.upload * provisioning).max(bb_types::Bandwidth::from_kbps(64.0)),
-        );
+        .with_upload((after_plan.upload * provisioning).max(bb_types::Bandwidth::from_kbps(64.0)));
         // Demand growth drives the upgrade (see the doc comment).
-        let growth = LogNormal::from_median(1.7, 0.85).sample(rng).clamp(0.35, 10.0);
+        let growth = LogNormal::from_median(1.7, 0.85)
+            .sample(rng)
+            .clamp(0.35, 10.0);
         let grown_agent = Agent {
             appetite: (agent.appetite * growth).min(bb_types::Bandwidth::from_mbps(200.0)),
             ..*agent
@@ -527,6 +601,62 @@ mod tests {
             assert_eq!(ra.capacity, rb.capacity);
             assert_eq!(ra.demand_no_bt, rb.demand_no_bt);
         }
+    }
+
+    #[test]
+    fn sharded_generation_is_bit_identical() {
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let serial = world.generate();
+        for plan in [
+            ShardPlan::new(8, 1),
+            ShardPlan::new(8, 4),
+            ShardPlan::new(64, 3),
+        ] {
+            let sharded = world.generate_with(plan);
+            assert_eq!(serial.records.len(), sharded.records.len());
+            assert_eq!(serial.upgrades.len(), sharded.upgrades.len());
+            for (a, b) in serial.records.iter().zip(&sharded.records) {
+                assert_eq!(a.user, b.user);
+                assert_eq!(a.capacity, b.capacity);
+                assert_eq!(a.latency, b.latency);
+                assert_eq!(a.loss, b.loss);
+                assert_eq!(a.demand_with_bt, b.demand_with_bt);
+                assert_eq!(a.demand_no_bt, b.demand_no_bt);
+            }
+            for (a, b) in serial.upgrades.iter().zip(&sharded.upgrades) {
+                assert_eq!(a.user, b.user);
+                assert_eq!(a.after.capacity, b.after.capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_users_sees_every_record_once() {
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let full = world.generate();
+        let (survey, (n_records, n_upgrades, cap_sum)) = world.fold_users(
+            ShardPlan::new(8, 4),
+            || (Vec::new(), Vec::new(), Vec::new()),
+            |acc, record, upgrade| {
+                acc.0.push(1u64);
+                acc.1.extend(upgrade.map(|_| 1u64));
+                acc.2.push(record.capacity.mbps());
+            },
+        );
+        assert_eq!(n_records.len(), full.records.len());
+        assert_eq!(n_upgrades.len(), full.upgrades.len());
+        let direct: Vec<f64> = full.records.iter().map(|r| r.capacity.mbps()).collect();
+        assert_eq!(cap_sum, direct, "same records in the same order");
+        assert_eq!(survey.len(), full.survey.len());
+        assert_eq!(world.n_users() as usize, full.records.len());
     }
 
     #[test]

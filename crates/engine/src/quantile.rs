@@ -1,0 +1,211 @@
+//! Bounded-relative-error streaming quantiles.
+//!
+//! A logarithmically-bucketed sketch in the GK/DDSketch family: values are
+//! classified into geometric buckets `(γ^(i-1), γ^i]` with
+//! `γ = (1+α)/(1-α)`, and a quantile query returns the representative of
+//! the bucket containing the requested order statistic. Because bucket
+//! counts are exact integers, merging is exactly associative and
+//! commutative, and the answer to any query is **bit-identical** however
+//! the stream was partitioned — the property the sharded engine needs.
+//!
+//! Guarantee: for any quantile `q`, the returned estimate `v̂` and the true
+//! order statistic `v` satisfy `|v̂ − v| ≤ α·v` (values below
+//! [`QuantileSketch::MIN_POSITIVE`] are treated as zero).
+
+use crate::merge::Mergeable;
+use std::collections::BTreeMap;
+
+/// Mergeable α-relative-error quantile sketch for non-negative values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    /// Configured relative accuracy α ∈ (0, 1).
+    alpha: f64,
+    /// ln γ, cached.
+    ln_gamma: f64,
+    /// Geometric bucket counts, keyed by bucket index.
+    buckets: BTreeMap<i32, u64>,
+    /// Observations below [`Self::MIN_POSITIVE`].
+    zeros: u64,
+    /// Exact extremes (min over positives only).
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// Values below this threshold count as zero.
+    pub const MIN_POSITIVE: f64 = 1e-12;
+
+    /// A sketch with relative accuracy `alpha` (e.g. `0.01` → 1 %).
+    pub fn with_accuracy(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative accuracy must be in (0,1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Total observations absorbed.
+    pub fn count(&self) -> u64 {
+        self.zeros + self.buckets.values().sum::<u64>()
+    }
+
+    /// Number of distinct buckets in use (sketch size is O(buckets)).
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Absorb one non-negative observation (negatives clamp to zero).
+    pub fn push(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "QuantileSketch::push({value})");
+        if value < Self::MIN_POSITIVE {
+            self.zeros += 1;
+            return;
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let index = (value.ln() / self.ln_gamma).ceil() as i32;
+        *self.buckets.entry(index).or_insert(0) += 1;
+    }
+
+    /// The representative value of bucket `index`: the midpoint that
+    /// bounds relative error by α for every value in the bucket.
+    fn representative(&self, index: i32) -> f64 {
+        // 2γ^i/(γ+1) = γ^i (1−α).
+        (self.ln_gamma * index as f64).exp() * (1.0 - self.alpha)
+    }
+
+    /// Estimate the `q`-quantile (q ∈ [0, 1]) of the absorbed stream.
+    /// Returns `None` on an empty sketch.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the targeted order statistic (0-based).
+        let rank = (q * (n - 1) as f64).floor() as u64;
+        if rank < self.zeros {
+            return Some(0.0);
+        }
+        let mut cumulative = self.zeros;
+        for (&index, &count) in &self.buckets {
+            cumulative += count;
+            if cumulative > rank {
+                return Some(self.representative(index));
+            }
+        }
+        // Numerically unreachable; the last bucket always covers rank n-1.
+        Some(self.representative(*self.buckets.keys().last()?))
+    }
+
+    /// Exact smallest positive observation (None if all zero/empty).
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Exact largest observation (None if all zero/empty).
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// Iterate `(bucket representative, count)` in ascending value order,
+    /// with zeros reported first under representative 0.0.
+    pub fn bucket_points(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let zeros = (self.zeros > 0).then_some((0.0, self.zeros));
+        zeros.into_iter().chain(
+            self.buckets
+                .iter()
+                .map(|(&i, &c)| (self.representative(i), c)),
+        )
+    }
+}
+
+impl Mergeable for QuantileSketch {
+    fn merge(&mut self, other: Self) {
+        assert!(
+            (self.alpha - other.alpha).abs() < f64::EPSILON,
+            "merging sketches of different accuracy ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        for (index, count) in other.buckets {
+            *self.buckets.entry(index).or_insert(0) += count;
+        }
+        self.zeros += other.zeros;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn error_stays_within_alpha() {
+        let alpha = 0.02;
+        let mut sketch = QuantileSketch::with_accuracy(alpha);
+        let mut values: Vec<f64> = (1..2000u32)
+            .map(|i| ((i as f64 * 0.618).fract() * 12.0).exp() * 1e-3)
+            .collect();
+        values.iter().for_each(|&v| sketch.push(v));
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let est = sketch.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= alpha * exact * (1.0 + 1e-9) + 1e-12,
+                "q={q}: est {est} exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_and_empty_behave() {
+        let mut sketch = QuantileSketch::with_accuracy(0.05);
+        assert_eq!(sketch.quantile(0.5), None);
+        sketch.push(0.0);
+        sketch.push(0.0);
+        sketch.push(10.0);
+        assert_eq!(sketch.count(), 3);
+        assert_eq!(sketch.quantile(0.0), Some(0.0));
+        let p100 = sketch.quantile(1.0).unwrap();
+        assert!((p100 - 10.0).abs() <= 0.05 * 10.0 * 1.000001);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut whole = QuantileSketch::with_accuracy(0.01);
+        let mut left = QuantileSketch::with_accuracy(0.01);
+        let mut right = QuantileSketch::with_accuracy(0.01);
+        for i in 0..1000 {
+            let v = (i as f64 * 0.7331).fract() * 500.0;
+            whole.push(v);
+            if i % 2 == 0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left, whole);
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic mergeable reservoir sampling.
+//!
+//! Classic reservoir sampling draws replacement decisions from a running
+//! RNG, which makes the sample depend on arrival order — fatal for a
+//! sharded engine that must produce identical output under any
+//! partitioning. This is the *bottom-k* formulation instead: every item is
+//! assigned a priority by hashing `(seed, item_id)`, and the reservoir
+//! keeps the k items with the smallest priorities. Selection is a pure
+//! function of the item set and the seed, so merging is exactly
+//! associative and commutative, and a fixed seed pins the sample forever.
+
+use crate::merge::Mergeable;
+use crate::rng::splitmix64;
+
+/// Mergeable deterministic k-sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BottomK {
+    seed: u64,
+    k: usize,
+    /// `(priority, item_id, value)` sorted ascending; at most `k` entries.
+    entries: Vec<(u64, u64, f64)>,
+}
+
+impl BottomK {
+    /// Reservoir of size `k`, keyed by `seed`.
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k > 0, "reservoir size must be positive");
+        BottomK {
+            seed,
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The priority of `item_id` under this seed.
+    fn priority(&self, item_id: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(item_id))
+    }
+
+    /// Offer `(item_id, value)`; kept iff its priority ranks bottom-k.
+    /// `item_id` must be unique across the stream (user ids are).
+    pub fn offer(&mut self, item_id: u64, value: f64) {
+        let entry = (self.priority(item_id), item_id, value);
+        let pos = self.entries.partition_point(|e| *e < entry);
+        if pos >= self.k {
+            return;
+        }
+        self.entries.insert(pos, entry);
+        self.entries.truncate(self.k);
+    }
+
+    /// The sampled values, in priority order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|&(_, _, v)| v)
+    }
+
+    /// The sampled `(item_id, value)` pairs, in priority order.
+    pub fn items(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.entries.iter().map(|&(_, id, v)| (id, v))
+    }
+
+    /// Current sample size (≤ k).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the sample empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Mergeable for BottomK {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.seed, other.seed,
+            "merging reservoirs of different seeds"
+        );
+        assert_eq!(self.k, other.k, "merging reservoirs of different sizes");
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (
+            self.entries.iter().peekable(),
+            other.entries.iter().peekable(),
+        );
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            if x <= y {
+                merged.push(x);
+                a.next();
+            } else {
+                merged.push(y);
+                b.next();
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        merged.truncate(self.k);
+        self.entries = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_a_pure_function_of_the_item_set() {
+        let items: Vec<(u64, f64)> = (0..500).map(|i| (i, i as f64 * 0.5)).collect();
+        let mut forward = BottomK::new(9, 32);
+        let mut backward = BottomK::new(9, 32);
+        items.iter().for_each(|&(id, v)| forward.offer(id, v));
+        items
+            .iter()
+            .rev()
+            .for_each(|&(id, v)| backward.offer(id, v));
+        assert_eq!(forward, backward);
+        assert_eq!(forward.len(), 32);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut whole = BottomK::new(5, 16);
+        let mut left = BottomK::new(5, 16);
+        let mut right = BottomK::new(5, 16);
+        for i in 0..300u64 {
+            let v = (i as f64).sqrt();
+            whole.offer(i, v);
+            if i % 3 == 0 {
+                left.offer(i, v);
+            } else {
+                right.offer(i, v);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_samples() {
+        let mut a = BottomK::new(1, 8);
+        let mut b = BottomK::new(2, 8);
+        for i in 0..200u64 {
+            a.offer(i, i as f64);
+            b.offer(i, i as f64);
+        }
+        let va: Vec<f64> = a.values().collect();
+        let vb: Vec<f64> = b.values().collect();
+        assert_ne!(va, vb);
+    }
+}

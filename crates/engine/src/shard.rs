@@ -1,0 +1,176 @@
+//! Shard scheduling: scoped worker threads, order-stable merging.
+//!
+//! `run_sharded(n, plan, work)` partitions item indices `0..n` into
+//! contiguous shards, executes `work(shard_index, range)` on a pool of
+//! scoped threads (workers claim shards through an atomic cursor), and
+//! folds the shard results **in shard index order**. As long as `work` is
+//! a pure function of its range — which the per-item streams of
+//! [`crate::rng`] guarantee for simulation workloads — the merged result
+//! is bit-identical for every `(shards, threads)` combination, including
+//! the fully serial one.
+
+use crate::merge::Mergeable;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How to partition and execute a population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of contiguous index shards (≥ 1).
+    pub shards: usize,
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+}
+
+impl ShardPlan {
+    /// Single shard on the calling thread — the seed pipeline's behaviour.
+    pub fn serial() -> Self {
+        ShardPlan {
+            shards: 1,
+            threads: 1,
+        }
+    }
+
+    /// A plan with both knobs clamped to at least 1.
+    pub fn new(shards: usize, threads: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            threads: threads.max(1),
+        }
+    }
+
+    /// A plan for `threads` workers with a 4× shard oversubscription so the
+    /// atomic cursor can balance uneven shard costs.
+    pub fn for_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ShardPlan {
+            shards: if threads == 1 { 1 } else { threads * 4 },
+            threads,
+        }
+    }
+
+    /// The contiguous index ranges this plan cuts `0..n_items` into.
+    /// Every shard is non-empty except when `n_items == 0`, which yields a
+    /// single empty shard so accumulators still get constructed.
+    pub fn ranges(&self, n_items: u64) -> Vec<Range<u64>> {
+        let shards = (self.shards as u64).min(n_items).max(1);
+        let base = n_items / shards;
+        let remainder = n_items % shards;
+        let mut ranges = Vec::with_capacity(shards as usize);
+        let mut start = 0;
+        for shard in 0..shards {
+            let len = base + u64::from(shard < remainder);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+}
+
+/// Execute `work` over every shard of `0..n_items` under `plan` and fold
+/// the results in shard order. See the module docs for the determinism
+/// contract.
+pub fn run_sharded<A, F>(n_items: u64, plan: ShardPlan, work: F) -> A
+where
+    A: Mergeable + Send,
+    F: Fn(usize, Range<u64>) -> A + Sync,
+{
+    let ranges = plan.ranges(n_items);
+    let n_shards = ranges.len();
+    let threads = plan.threads.min(n_shards);
+
+    let partials: Vec<Option<A>> = if threads <= 1 {
+        ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| Some(work(index, range)))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<A>>> = (0..n_shards).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n_shards {
+                        break;
+                    }
+                    let result = work(index, ranges[index].clone());
+                    *slots[index].lock().expect("shard slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("shard slot poisoned"))
+            .collect()
+    };
+
+    partials
+        .into_iter()
+        .map(|partial| partial.expect("every shard produces a result"))
+        .reduce(|mut acc, next| {
+            acc.merge(next);
+            acc
+        })
+        .expect("at least one shard")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::ExactMoments;
+    use crate::rng::stream_rng;
+    use rand::Rng;
+
+    fn simulate(range: Range<u64>) -> (Vec<u64>, ExactMoments) {
+        let mut ids = Vec::new();
+        let mut moments = ExactMoments::new();
+        for item in range {
+            let mut rng = stream_rng(99, 1, item);
+            ids.push(item);
+            moments.push(rng.gen::<f64>() * 100.0);
+        }
+        (ids, moments)
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for (n, plan) in [
+            (0u64, ShardPlan::new(4, 2)),
+            (1, ShardPlan::new(8, 4)),
+            (7, ShardPlan::new(3, 2)),
+            (100, ShardPlan::for_threads(4)),
+        ] {
+            let ranges = plan.ranges(n);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "complete");
+        }
+    }
+
+    #[test]
+    fn every_plan_produces_identical_results() {
+        let reference = run_sharded(1000, ShardPlan::serial(), |_, r| simulate(r));
+        for plan in [
+            ShardPlan::new(8, 1),
+            ShardPlan::new(8, 4),
+            ShardPlan::new(64, 3),
+            ShardPlan::for_threads(4),
+        ] {
+            let got = run_sharded(1000, plan, |_, r| simulate(r));
+            assert_eq!(got, reference, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn zero_items_still_initialises() {
+        let (ids, moments) = run_sharded(0, ShardPlan::new(8, 4), |_, r| simulate(r));
+        assert!(ids.is_empty());
+        assert_eq!(moments.count(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests of the sketch layer: the algebraic laws the sharded
+//! runner relies on (merge associativity/commutativity), the quantile
+//! sketch's configured error bound against exact order statistics, and the
+//! seed-stability of the deterministic reservoir.
+
+use bb_engine::{BottomK, ExactMoments, Log2Histogram, Mergeable, QuantileSketch};
+use proptest::prelude::*;
+
+fn sketch_of(alpha: f64, values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::with_accuracy(alpha);
+    values.iter().for_each(|&v| s.push(v));
+    s
+}
+
+proptest! {
+    #[test]
+    fn quantile_merge_is_commutative(
+        a in prop::collection::vec(0.0f64..1e6, 0..200),
+        b in prop::collection::vec(0.0f64..1e6, 0..200)
+    ) {
+        let (sa, sb) = (sketch_of(0.01, &a), sketch_of(0.01, &b));
+        let mut ab = sa.clone();
+        ab.merge(sb.clone());
+        let mut ba = sb;
+        ba.merge(sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantile_merge_is_associative(
+        a in prop::collection::vec(0.0f64..1e6, 0..120),
+        b in prop::collection::vec(0.0f64..1e6, 0..120),
+        c in prop::collection::vec(0.0f64..1e6, 0..120)
+    ) {
+        let (sa, sb, sc) = (sketch_of(0.02, &a), sketch_of(0.02, &b), sketch_of(0.02, &c));
+        let mut left = sa.clone();
+        left.merge(sb.clone());
+        left.merge(sc.clone());
+        let mut right_tail = sb;
+        right_tail.merge(sc);
+        let mut right = sa;
+        right.merge(right_tail);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn quantile_error_is_within_alpha(
+        mut values in prop::collection::vec(1e-6f64..1e9, 1..400),
+        q in 0.0f64..1.0
+    ) {
+        let alpha = 0.01;
+        let sketch = sketch_of(alpha, &values);
+        let estimate = sketch.quantile(q).expect("non-empty");
+        values.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let exact = values[(q * (values.len() - 1) as f64).floor() as usize];
+        prop_assert!(
+            (estimate - exact).abs() <= alpha * exact * (1.0 + 1e-9) + 1e-12,
+            "q={} estimate {} exact {}", q, estimate, exact
+        );
+    }
+
+    #[test]
+    fn quantile_merge_equals_single_stream_under_any_split(
+        values in prop::collection::vec(0.0f64..1e6, 0..300),
+        split in 0usize..300
+    ) {
+        let whole = sketch_of(0.01, &values);
+        let cut = split.min(values.len());
+        let mut left = sketch_of(0.01, &values[..cut]);
+        left.merge(sketch_of(0.01, &values[cut..]));
+        prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0.001f64..1e5, 0..200),
+        b in prop::collection::vec(0.001f64..1e5, 0..200)
+    ) {
+        let fill = |vals: &[f64]| {
+            let mut h = Log2Histogram::new();
+            vals.iter().for_each(|&v| h.push(v, 0.1));
+            h
+        };
+        let (ha, hb) = (fill(&a), fill(&b));
+        let mut ab = ha.clone();
+        ab.merge(hb.clone());
+        let mut ba = hb;
+        ba.merge(ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn moments_are_partition_invariant(
+        values in prop::collection::vec(-1e4f64..1e4, 1..300),
+        split in 0usize..300
+    ) {
+        let mut whole = ExactMoments::new();
+        values.iter().for_each(|&v| whole.push(v));
+        let cut = split.min(values.len());
+        let mut left = ExactMoments::new();
+        values[..cut].iter().for_each(|&v| left.push(v));
+        let mut right = ExactMoments::new();
+        values[cut..].iter().for_each(|&v| right.push(v));
+        left.merge(right);
+        // Bit-identical, not approximately equal: the accumulator state is
+        // integer sums.
+        prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn reservoir_is_seed_stable_and_order_free(
+        ids in prop::collection::vec(0u64..1_000_000, 0..300),
+        seed in 0u64..1000
+    ) {
+        let mut forward = BottomK::new(seed, 16);
+        let mut backward = BottomK::new(seed, 16);
+        for &id in &ids {
+            forward.offer(id, id as f64 * 0.5);
+        }
+        for &id in ids.iter().rev() {
+            backward.offer(id, id as f64 * 0.5);
+        }
+        // Same item set, any order, same seed → identical sample.
+        prop_assert_eq!(forward.clone(), backward);
+        // And re-running from scratch reproduces it exactly.
+        let mut again = BottomK::new(seed, 16);
+        ids.iter().for_each(|&id| again.offer(id, id as f64 * 0.5));
+        prop_assert_eq!(forward, again);
+    }
+
+    #[test]
+    fn reservoir_merge_equals_single_stream(
+        ids in prop::collection::vec(0u64..1_000_000, 0..300),
+        split in 0usize..300
+    ) {
+        let mut whole = BottomK::new(7, 24);
+        ids.iter().for_each(|&id| whole.offer(id, id as f64));
+        let cut = split.min(ids.len());
+        let mut left = BottomK::new(7, 24);
+        ids[..cut].iter().for_each(|&id| left.offer(id, id as f64));
+        let mut right = BottomK::new(7, 24);
+        ids[cut..].iter().for_each(|&id| right.offer(id, id as f64));
+        left.merge(right);
+        prop_assert_eq!(left, whole);
+    }
+}

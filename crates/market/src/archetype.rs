@@ -141,7 +141,8 @@ impl MarketArchetype {
         for i in 0..self.n_plans {
             let raw_mbps = self.min_tier_mbps * ratio.powi(i as i32);
             let mbps = snap_to_marketing_tier(raw_mbps);
-            let base = self.access_price + self.cost_per_mbps * (mbps - 1.0).max(0.0)
+            let base = self.access_price
+                + self.cost_per_mbps * (mbps - 1.0).max(0.0)
                 + if mbps < 1.0 {
                     // Sub-megabit plans discount off the access price.
                     -self.access_price * (1.0 - mbps) * 0.4
@@ -162,10 +163,10 @@ impl MarketArchetype {
             let cap_gb = if rng.gen::<f64>() < self.capped_share {
                 // Caps sized so that (by default) only heavy users feel
                 // them — real-world caps bind a minority (Chetty et al.).
-                Some((mbps * self.cap_gb_per_mbps).clamp(
-                    self.cap_gb_per_mbps / 2.0,
-                    25.0 * self.cap_gb_per_mbps,
-                ))
+                Some(
+                    (mbps * self.cap_gb_per_mbps)
+                        .clamp(self.cap_gb_per_mbps / 2.0, 25.0 * self.cap_gb_per_mbps),
+                )
             } else {
                 None
             };

@@ -244,7 +244,10 @@ mod tests {
         let na = rows.iter().find(|r| r.region == "North America").unwrap();
         assert_eq!(na.share_above_1, 0.0);
         // The aggregate row exists and sits between the Asia sub-rows.
-        let idx_dev = rows.iter().position(|r| r.region == "Asia (developed)").unwrap();
+        let idx_dev = rows
+            .iter()
+            .position(|r| r.region == "Asia (developed)")
+            .unwrap();
         assert_eq!(rows[idx_dev + 1].region, "Asia (all)");
         let asia_all = &rows[idx_dev + 1];
         assert_eq!(asia_all.n_countries, 2);

@@ -66,7 +66,7 @@ impl AppClass {
         match self {
             AppClass::Web => Some(0.15),
             AppClass::Video => Some(0.75), // players stall/downshift below ~3/4 of target
-            AppClass::Bulk => Some(0.05), // users do give up on crawling downloads
+            AppClass::Bulk => Some(0.05),  // users do give up on crawling downloads
             AppClass::BitTorrent => None,
             AppClass::Background => None,
         }

@@ -201,9 +201,8 @@ impl UsageSeries {
         }
 
         // Reconstruct deltas; UPnP readings may have wrapped.
-        let max_plausible = |gap: usize| {
-            max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS)
-        };
+        let max_plausible =
+            |gap: usize| max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS);
         let mut bins = Vec::new();
         for w in polls.windows(2) {
             let (i0, d0, u0, x0) = w[0];
@@ -410,13 +409,9 @@ mod tests {
         let cap = Bandwidth::from_mbps(10.0);
         for source in [CounterSource::Upnp, CounterSource::Netstat] {
             let mut rng = ChaCha8Rng::seed_from_u64(20);
-            let direct = UsageSeries::collect(
-                &t,
-                Vantage::DasuEndHost { uptime: 0.95 },
-                &mut rng,
-            )
-            .demand(BtFilter::Include)
-            .unwrap();
+            let direct = UsageSeries::collect(&t, Vantage::DasuEndHost { uptime: 0.95 }, &mut rng)
+                .demand(BtFilter::Include)
+                .unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(20);
             let via = UsageSeries::collect_via_counters(&t, 0.95, source, cap, &mut rng)
                 .demand(BtFilter::Include)

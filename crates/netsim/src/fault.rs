@@ -143,7 +143,10 @@ mod tests {
             shape_to: Some(Bandwidth::from_mbps(100.0)),
             ..FaultPlan::NONE
         };
-        assert_eq!(plan_high.apply(&link()).capacity, Bandwidth::from_mbps(10.0));
+        assert_eq!(
+            plan_high.apply(&link()).capacity,
+            Bandwidth::from_mbps(10.0)
+        );
     }
 
     #[test]

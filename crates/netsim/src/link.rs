@@ -71,9 +71,7 @@ impl AccessLink {
             capacity: self.capacity,
             up_capacity: self.up_capacity,
             base_rtt: self.base_rtt + extra_rtt,
-            loss: LossRate::from_fraction(
-                (self.loss.fraction() + extra_loss.fraction()).min(1.0),
-            ),
+            loss: LossRate::from_fraction((self.loss.fraction() + extra_loss.fraction()).min(1.0)),
         }
     }
 }

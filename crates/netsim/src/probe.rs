@@ -96,10 +96,8 @@ impl NdtProbe {
             // Normal approximation to Binomial(window, p), clamped.
             let mean = self.loss_window as f64 * p;
             let sd = (self.loss_window as f64 * p * (1.0 - p)).sqrt();
-            (Normal::new(mean, sd.max(1e-9)).sample(rng).round()).clamp(
-                0.0,
-                self.loss_window as f64,
-            ) as u32
+            (Normal::new(mean, sd.max(1e-9)).sample(rng).round())
+                .clamp(0.0, self.loss_window as f64) as u32
         };
         let loss = LossRate::from_fraction(lost as f64 / self.loss_window as f64);
 
@@ -207,7 +205,11 @@ mod tests {
     fn rtt_reflects_load_and_base() {
         let l = link(10.0, 100.0, 0.01);
         let r = NdtProbe::default().run_averaged(&l, 3, &mut rng(3));
-        assert!(r.avg_rtt.ms() > 100.0 && r.avg_rtt.ms() < 1000.0, "{}", r.avg_rtt);
+        assert!(
+            r.avg_rtt.ms() > 100.0 && r.avg_rtt.ms() < 1000.0,
+            "{}",
+            r.avg_rtt
+        );
     }
 
     #[test]

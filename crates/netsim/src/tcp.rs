@@ -81,10 +81,8 @@ mod tests {
     #[test]
     fn monotone_in_rtt_and_loss() {
         let base = mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(0.1));
-        let slower =
-            mathis_throughput(Latency::from_ms(600.0), LossRate::from_percent(0.1));
-        let lossier =
-            mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(1.0));
+        let slower = mathis_throughput(Latency::from_ms(600.0), LossRate::from_percent(0.1));
+        let lossier = mathis_throughput(Latency::from_ms(100.0), LossRate::from_percent(1.0));
         assert!(slower < base);
         assert!(lossier < base);
     }

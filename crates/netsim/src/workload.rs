@@ -311,8 +311,7 @@ fn run_process<R: Rng + ?Sized>(
             // demand distribution continuous instead of quantised at the
             // application ceilings.
             let jitter = 1.0 + 0.12 * (rng.gen::<f64>() - 0.5);
-            let desired =
-                effective_desired(class, link.capacity).unwrap_or(link.capacity) * jitter;
+            let desired = effective_desired(class, link.capacity).unwrap_or(link.capacity) * jitter;
             let rate = achievable_rate(link, desired, class.flows(), 0.0);
             // Quality feedback: degrade or abandon sessions whose achievable
             // rate is far below what the application needs.
@@ -509,9 +508,11 @@ mod tests {
             uncapped.total_bytes()
         );
         // Total cannot exceed cap plus the residual throttle allowance.
-        let throttle_budget = Bandwidth::from_kbps(THROTTLE_RATE_KBPS)
-            .bytes_over(capped.axis.duration_secs());
-        assert!(capped.total_bytes() <= cap + throttle_budget + link.capacity.bytes_over(SLOT_SECS));
+        let throttle_budget =
+            Bandwidth::from_kbps(THROTTLE_RATE_KBPS).bytes_over(capped.axis.duration_secs());
+        assert!(
+            capped.total_bytes() <= cap + throttle_budget + link.capacity.bytes_over(SLOT_SECS)
+        );
     }
 
     #[test]
@@ -579,9 +580,6 @@ mod tests {
         }
         let evening: f64 = (19..23).map(|h| by_hour[h]).sum();
         let night: f64 = (2..6).map(|h| by_hour[h]).sum();
-        assert!(
-            evening > night * 1.5,
-            "evening {evening} vs night {night}"
-        );
+        assert!(evening > night * 1.5, "evening {evening} vs night {night}");
     }
 }

@@ -14,4 +14,6 @@ pub mod json;
 pub mod markdown;
 pub mod text;
 
-pub use text::{render_bar_figure, render_binned_figure, render_cdf_figure, render_experiment_table};
+pub use text::{
+    render_bar_figure, render_binned_figure, render_cdf_figure, render_experiment_table,
+};

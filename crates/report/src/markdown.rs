@@ -16,8 +16,12 @@ fn cell(s: &str) -> String {
 /// Experiment table → Markdown.
 pub fn experiment_table(t: &ExperimentTable) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "| {} | {} | pairs | % H holds | p-value |",
-        cell(&t.control_label), cell(&t.treatment_label));
+    let _ = writeln!(
+        out,
+        "| {} | {} | pairs | % H holds | p-value |",
+        cell(&t.control_label),
+        cell(&t.treatment_label)
+    );
     let _ = writeln!(out, "|---|---|---|---|---|");
     for r in &t.rows {
         let _ = writeln!(
@@ -46,7 +50,12 @@ pub fn binned_figure(f: &BinnedFigure) -> String {
                 let _ = writeln!(out, "**{}**\n", cell(&s.label));
             }
         }
-        let _ = writeln!(out, "| {} | mean {} | 95% CI | n |", cell(&f.x_label), cell(&f.y_label));
+        let _ = writeln!(
+            out,
+            "| {} | mean {} | 95% CI | n |",
+            cell(&f.x_label),
+            cell(&f.y_label)
+        );
         let _ = writeln!(out, "|---|---|---|---|");
         for p in &s.points {
             let _ = writeln!(
@@ -63,7 +72,10 @@ pub fn binned_figure(f: &BinnedFigure) -> String {
 /// Robustness sweep → Markdown.
 pub fn sweep_table(rows: &[SweepRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "| experiment | runs | min % | mean % | max % | significant | pairs |");
+    let _ = writeln!(
+        out,
+        "| experiment | runs | min % | mean % | max % | significant | pairs |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|---|---|");
     for r in rows {
         let _ = writeln!(

@@ -102,13 +102,13 @@ pub fn render_cdf_figure(f: &CdfFigure) -> String {
         let y = 1.0 - i as f64 / (PLOT_HEIGHT - 1) as f64;
         let _ = writeln!(out, "{y:>4.2} |{}|", row.iter().collect::<String>());
     }
+    let _ = writeln!(out, "      {:<28}{:>31}", format_num(lo), format_num(hi));
     let _ = writeln!(
         out,
-        "      {:<28}{:>31}",
-        format_num(lo),
-        format_num(hi)
+        "      x: {}{}",
+        f.x_label,
+        if f.log_x { " (log)" } else { "" }
     );
-    let _ = writeln!(out, "      x: {}{}", f.x_label, if f.log_x { " (log)" } else { "" });
     for (si, s) in f.series.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -246,7 +246,10 @@ mod tests {
         let s = render_experiment_table(&table());
         assert!(s.contains("59.9%"), "{s}");
         assert!(s.contains("52.9%*"), "{s}");
-        assert!(s.contains("8.01") && s.contains("e-8") || s.contains("e-08"), "{s}");
+        assert!(
+            s.contains("8.01") && s.contains("e-8") || s.contains("e-08"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -181,8 +181,7 @@ mod tests {
     fn sampling_matches_mean() {
         let b = Binomial::new(50, 0.6);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mean: f64 =
-            (0..20_000).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
         assert!((mean - 30.0).abs() < 0.2, "mean {mean}");
     }
 

@@ -107,8 +107,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
         assert!((var - 4.0).abs() < 0.08, "var {var}");
     }

@@ -52,7 +52,10 @@ impl StudentT {
     /// # Panics
     /// Panics unless `p ∈ (0, 1)`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "t quantile requires p in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "t quantile requires p in (0,1), got {p}"
+        );
         if (p - 0.5).abs() < 1e-16 {
             return 0.0;
         }

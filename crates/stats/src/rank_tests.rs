@@ -123,8 +123,7 @@ pub fn mann_whitney_u(control: &[f64], treatment: &[f64]) -> MannWhitneyTest {
             i = j;
         }
     }
-    let var_u =
-        (n1 as f64 * n2 as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)).max(1.0));
+    let var_u = (n1 as f64 * n2 as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)).max(1.0));
     let p_value = if var_u <= 0.0 {
         // All observations tied: no evidence either way.
         1.0

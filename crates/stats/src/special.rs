@@ -51,8 +51,14 @@ pub fn ln_beta(a: f64, b: f64) -> f64 {
 /// Uses the symmetry `I_x(a,b) = 1 - I_{1-x}(b,a)` to keep the continued
 /// fraction in its rapidly-converging region.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta requires a, b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0,1], got {x}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta requires a, b > 0 (a={a}, b={b})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "inc_beta requires x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -302,10 +308,7 @@ mod tests {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!(
-            (a - b).abs() <= tol * b.abs().max(1.0),
-            "{a} vs {b}"
-        );
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
     }
 
     #[test]

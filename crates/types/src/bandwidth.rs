@@ -34,7 +34,10 @@ impl Bandwidth {
     /// Panics if `bps` is negative or not finite — bandwidths are physical
     /// quantities and every construction site should provide a real value.
     pub fn from_bps(bps: f64) -> Self {
-        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps} bps");
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "invalid bandwidth: {bps} bps"
+        );
         Bandwidth { bits_per_sec: bps }
     }
 
@@ -229,10 +232,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [Bandwidth::from_mbps(10.0),
+        let mut v = [
+            Bandwidth::from_mbps(10.0),
             Bandwidth::from_kbps(100.0),
             Bandwidth::ZERO,
-            Bandwidth::from_mbps(1.0)];
+            Bandwidth::from_mbps(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], Bandwidth::ZERO);
         assert_eq!(v[3], Bandwidth::from_mbps(10.0));
@@ -251,7 +256,10 @@ mod tests {
         let cap = Bandwidth::from_mbps(10.0);
         assert_eq!(Bandwidth::from_mbps(5.0).utilization_of(cap), 0.5);
         assert_eq!(Bandwidth::from_mbps(20.0).utilization_of(cap), 1.0);
-        assert_eq!(Bandwidth::from_mbps(5.0).utilization_of(Bandwidth::ZERO), 0.0);
+        assert_eq!(
+            Bandwidth::from_mbps(5.0).utilization_of(Bandwidth::ZERO),
+            0.0
+        );
     }
 
     #[test]

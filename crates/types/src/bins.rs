@@ -84,7 +84,12 @@ impl fmt::Debug for CapacityBin {
 impl fmt::Display for CapacityBin {
     /// Renders like the paper's Table 2 rows, e.g. `(3.2, 6.4]` (Mbps).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:.1}, {:.1}]", self.lower().mbps(), self.upper().mbps())
+        write!(
+            f,
+            "({:.1}, {:.1}]",
+            self.lower().mbps(),
+            self.upper().mbps()
+        )
     }
 }
 
@@ -499,7 +504,10 @@ mod tests {
     #[test]
     fn cost_classes_match_table6() {
         assert_eq!(CostClass::of(MoneyPpp::from_usd(0.1)), CostClass::UpTo50c);
-        assert_eq!(CostClass::of(MoneyPpp::from_usd(0.75)), CostClass::From50cTo1);
+        assert_eq!(
+            CostClass::of(MoneyPpp::from_usd(0.75)),
+            CostClass::From50cTo1
+        );
         assert_eq!(CostClass::of(MoneyPpp::from_usd(12.0)), CostClass::Above1);
     }
 
@@ -522,12 +530,18 @@ mod tests {
 
     #[test]
     fn loss_bins_match_table8() {
-        assert_eq!(LossBin::of(LossRate::from_percent(0.005)), LossBin::UpTo0_01);
+        assert_eq!(
+            LossBin::of(LossRate::from_percent(0.005)),
+            LossBin::UpTo0_01
+        );
         assert_eq!(
             LossBin::of(LossRate::from_percent(0.05)),
             LossBin::From0_01To0_1
         );
-        assert_eq!(LossBin::of(LossRate::from_percent(0.5)), LossBin::From0_1To1);
+        assert_eq!(
+            LossBin::of(LossRate::from_percent(0.5)),
+            LossBin::From0_1To1
+        );
         assert_eq!(LossBin::of(LossRate::from_percent(5.0)), LossBin::From1To15);
         assert_eq!(LossBin::of(LossRate::from_percent(20.0)), LossBin::Above15);
     }

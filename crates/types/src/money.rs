@@ -67,7 +67,9 @@ impl PartialOrd for MoneyPpp {
 
 impl Ord for MoneyPpp {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.usd.partial_cmp(&other.usd).expect("money is never NaN")
+        self.usd
+            .partial_cmp(&other.usd)
+            .expect("money is never NaN")
     }
 }
 

@@ -36,10 +36,7 @@ fn main() {
         let ds = world.generate();
         let mx = Country::new("MX");
 
-        let mut caps: Vec<f64> = ds
-            .in_country(mx)
-            .map(|r| r.capacity.mbps())
-            .collect();
+        let mut caps: Vec<f64> = ds.in_country(mx).map(|r| r.capacity.mbps()).collect();
         caps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median_cap = caps[caps.len() / 2];
 

@@ -21,7 +21,10 @@ fn main() {
     cfg.upgrade_fraction = 0.6; // most users observed across an upgrade
     let ds = World::with_countries(cfg, &["US", "DE", "GB", "JP", "BR"]).generate();
 
-    println!("{} users observed on both a slow and a fast network\n", ds.upgrades.len());
+    println!(
+        "{} users observed on both a slow and a fast network\n",
+        ds.upgrades.len()
+    );
 
     // Per initial tier: mean demand change and share of movers who rose.
     let mut by_tier: BTreeMap<UpgradeTier, Vec<(f64, f64)>> = BTreeMap::new();

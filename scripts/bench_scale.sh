@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Scale benchmark for the bb-engine sharded generation path.
+#
+# Streams 10k / 100k / 1M users through `reproduce --users` at 1 thread and
+# at N threads (N = all cores), records wall time and users/sec for each
+# cell, and writes the results to BENCH_engine.json in the repo root.
+#
+# Usage: scripts/bench_scale.sh [max_users] [days]
+#   max_users  largest population to run (default 1000000; pass 100000 to
+#              keep the run short on slow machines)
+#   days       observation-window length per user (default 1 — the knob
+#              scales per-user cost, not engine behaviour)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MAX_USERS="${1:-1000000}"
+DAYS="${2:-1}"
+THREADS="$(nproc)"
+OUT="BENCH_engine.json"
+BIN=target/release/reproduce
+
+echo "building release binary…" >&2
+cargo build --release -p bb-bench --bin reproduce >&2
+
+run_cell() {
+    local users="$1" threads="$2"
+    local dir t0 t1 elapsed rate
+    dir="$(mktemp -d)"
+    t0=$(date +%s.%N)
+    "$BIN" --users "$users" --days "$DAYS" --threads "$threads" \
+        --out "$dir" >/dev/null 2>&1
+    t1=$(date +%s.%N)
+    rm -rf "$dir"
+    elapsed=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+    rate=$(awk -v u="$users" -v e="$elapsed" 'BEGIN { printf "%.1f", u / e }')
+    echo "    users=$users threads=$threads: ${elapsed}s (${rate} users/sec)" >&2
+    printf '{"users": %s, "threads": %s, "seconds": %s, "users_per_sec": %s}' \
+        "$users" "$threads" "$elapsed" "$rate"
+}
+
+echo "benchmarking on $THREADS core(s), days=$DAYS…" >&2
+CELLS=()
+for users in 10000 100000 1000000; do
+    [ "$users" -gt "$MAX_USERS" ] && continue
+    CELLS+=("$(run_cell "$users" 1)")
+    if [ "$THREADS" -gt 1 ]; then
+        CELLS+=("$(run_cell "$users" "$THREADS")")
+    fi
+done
+CELLS_JOINED=$(printf '%s,\n    ' "${CELLS[@]}")
+CELLS_JOINED="${CELLS_JOINED%,*}"
+
+if [ "$THREADS" -gt 1 ]; then
+    NOTE="compare threads=1 vs threads=$THREADS cells for the sharded speedup"
+else
+    NOTE="single-core host: multi-thread cells omitted — speedup is not measurable here (output is thread-count-invariant by construction, so rerun on a multi-core host for scaling numbers)"
+fi
+
+cat > "$OUT" <<EOF
+{
+  "bench": "bb-engine sharded generation (reproduce --users U --threads T)",
+  "host_cores": $THREADS,
+  "days": $DAYS,
+  "note": "$NOTE",
+  "cells": [
+    $CELLS_JOINED
+  ]
+}
+EOF
+echo "wrote $OUT" >&2

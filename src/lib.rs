@@ -12,6 +12,8 @@
 //! * [`market`] — retail broadband plan catalogues and pricing analyses;
 //! * [`netsim`] — the event-driven access-link and session simulator;
 //! * [`causal`] — the natural-experiment (matching + sign test) engine;
+//! * [`engine`] — the sharded deterministic execution engine and its
+//!   mergeable streaming-sketch accumulators;
 //! * [`dataset`] — the synthetic world model and population generator;
 //! * [`study`] — the paper's analysis pipeline (every table and figure);
 //! * [`report`] — rendering of exhibits as text, CSV and JSON.
@@ -23,6 +25,7 @@
 
 pub use bb_causal as causal;
 pub use bb_dataset as dataset;
+pub use bb_engine as engine;
 pub use bb_market as market;
 pub use bb_netsim as netsim;
 pub use bb_report as report;

@@ -48,7 +48,11 @@ fn degraded_world_still_analyzable() {
     let report = StudyReport::run(&ds, &world.profiles, 10);
     // The world is uniformly terrible: demand exists but is suppressed.
     let s = &report.fig1.3;
-    assert!(s.median_latency_ms > 400.0, "median {}", s.median_latency_ms);
+    assert!(
+        s.median_latency_ms > 400.0,
+        "median {}",
+        s.median_latency_ms
+    );
     assert!(s.frac_loss_above_1pct > 0.5);
     // The per-year experiment still runs (or declines gracefully).
     let _ = sec4::year_experiment(&ds);
@@ -74,7 +78,10 @@ fn zero_correlation_market_is_excluded_not_fatal() {
     let census = survey.correlation_census();
     assert_eq!(census.n_markets, 1);
     assert_eq!(census.share_moderate, 0.0);
-    assert!(survey.table5().is_empty(), "no usable market, no Table 5 rows");
+    assert!(
+        survey.table5().is_empty(),
+        "no usable market, no Table 5 rows"
+    );
 }
 
 #[test]

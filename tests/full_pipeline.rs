@@ -100,7 +100,13 @@ fn fig3_dasu_and_fcc_peaks_agree() {
         if let Some(pd) = dasu.points.iter().find(|p| (p.x - pf.x).abs() < 1e-9) {
             if pf.n >= 10 && pd.n >= 10 {
                 let ratio = (pf.mean / pd.mean).max(pd.mean / pf.mean);
-                assert!(ratio < 2.5, "bin {}: FCC {} vs Dasu {}", pf.x, pf.mean, pd.mean);
+                assert!(
+                    ratio < 2.5,
+                    "bin {}: FCC {} vs Dasu {}",
+                    pf.x,
+                    pf.mean,
+                    pd.mean
+                );
                 compared += 1;
             }
         }
@@ -169,7 +175,10 @@ fn fig6_per_tier_demand_is_stable_across_years() {
     assert!(ratios.len() >= 3, "{} shared bins", ratios.len());
     ratios.sort_by(|x, y| x.partial_cmp(y).unwrap());
     let median = ratios[ratios.len() / 2];
-    assert!(median < 2.2, "median cross-year ratio {median} (ratios {ratios:?})");
+    assert!(
+        median < 2.2,
+        "median cross-year ratio {median} (ratios {ratios:?})"
+    );
 }
 
 #[test]
@@ -200,7 +209,11 @@ fn quality_experiments_point_the_right_way() {
             .iter()
             .map(|row| row.percent_holds * row.n_pairs as f64)
             .sum::<f64>()
-            / r.table7.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+            / r.table7
+                .rows
+                .iter()
+                .map(|row| row.n_pairs as f64)
+                .sum::<f64>();
         assert!(pooled > 52.0, "latency pooled {pooled}");
     }
     // Loss table: lower loss → more usage, pooled.
@@ -211,7 +224,11 @@ fn quality_experiments_point_the_right_way() {
         .iter()
         .map(|row| row.percent_holds * row.n_pairs as f64)
         .sum::<f64>()
-        / r.table8.rows.iter().map(|row| row.n_pairs as f64).sum::<f64>();
+        / r.table8
+            .rows
+            .iter()
+            .map(|row| row.n_pairs as f64)
+            .sum::<f64>();
     assert!(pooled > 52.0, "loss pooled {pooled}");
 }
 
@@ -229,7 +246,12 @@ fn india_vs_us_matches_section_7_1() {
     let ndt_india = r.fig11.series.iter().find(|s| s.label == "NDT India");
     let ndt_other = r.fig11.series.iter().find(|s| s.label == "NDT Other");
     if let (Some(i), Some(o)) = (ndt_india, ndt_other) {
-        assert!(i.median > 2.0 * o.median, "india {} vs other {}", i.median, o.median);
+        assert!(
+            i.median > 2.0 * o.median,
+            "india {} vs other {}",
+            i.median,
+            o.median
+        );
     }
 }
 

@@ -1,0 +1,102 @@
+//! The engine's headline guarantee, end to end: however the population is
+//! sharded and however many worker threads execute the shards, every
+//! exhibit the pipeline writes is **byte-identical** — the serialised JSON
+//! of a 1-shard/1-thread run equals that of an 8-shard/4-thread run.
+
+use needwant::dataset::{World, WorldConfig};
+use needwant::engine::ShardPlan;
+use needwant::report::json;
+use needwant::study::{sec2, sec3, StreamStudy};
+
+fn small_world(seed: u64) -> World {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.user_scale = 1.0;
+    cfg.days = 1;
+    cfg.fcc_users = 40;
+    World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"])
+}
+
+const SERIAL: ShardPlan = ShardPlan {
+    shards: 1,
+    threads: 1,
+};
+const PARALLEL: ShardPlan = ShardPlan {
+    shards: 8,
+    threads: 4,
+};
+
+#[test]
+fn materialised_exhibits_are_byte_identical_across_plans() {
+    let world = small_world(31);
+    let serial = world.generate_with(SERIAL);
+    let parallel = world.generate_with(PARALLEL);
+
+    let (fig1a_s, fig1b_s, fig1c_s, _) = sec2::figure1(&serial);
+    let (fig1a_p, fig1b_p, fig1c_p, _) = sec2::figure1(&parallel);
+    for (s, p) in [(fig1a_s, fig1a_p), (fig1b_s, fig1b_p), (fig1c_s, fig1c_p)] {
+        assert_eq!(
+            serde_json::to_string_pretty(&json::cdf_to_json(&s)).unwrap(),
+            serde_json::to_string_pretty(&json::cdf_to_json(&p)).unwrap(),
+            "{} differs between shard plans",
+            s.id
+        );
+    }
+    for (s, p) in sec3::figure2(&serial).iter().zip(&sec3::figure2(&parallel)) {
+        assert_eq!(
+            serde_json::to_string_pretty(&json::binned_to_json(s)).unwrap(),
+            serde_json::to_string_pretty(&json::binned_to_json(p)).unwrap(),
+            "{} differs between shard plans",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn streamed_exhibits_are_byte_identical_across_plans() {
+    let world = small_world(32);
+    let fold = |plan| {
+        let (_, study) = world.fold_users(plan, StreamStudy::new, |s: &mut StreamStudy, r, u| {
+            s.absorb(r, u)
+        });
+        study
+    };
+    let serial = fold(SERIAL);
+    let parallel = fold(PARALLEL);
+    assert_eq!(serial.users, parallel.users);
+
+    for (s, p) in serial.figure1().iter().zip(parallel.figure1().iter()) {
+        assert_eq!(
+            serde_json::to_string_pretty(&json::cdf_to_json(s)).unwrap(),
+            serde_json::to_string_pretty(&json::cdf_to_json(p)).unwrap(),
+            "{} differs between shard plans",
+            s.id
+        );
+    }
+    for (s, p) in serial.figure2().iter().zip(parallel.figure2().iter()) {
+        assert_eq!(
+            serde_json::to_string_pretty(&json::binned_to_json(s)).unwrap(),
+            serde_json::to_string_pretty(&json::binned_to_json(p)).unwrap(),
+            "{} differs between shard plans",
+            s.id
+        );
+    }
+    for (s, p) in serial.figure7().iter().zip(parallel.figure7().iter()) {
+        assert_eq!(
+            serde_json::to_string_pretty(&json::cdf_to_json(s)).unwrap(),
+            serde_json::to_string_pretty(&json::cdf_to_json(p)).unwrap(),
+            "{} differs between shard plans",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn streamed_study_matches_materialised_dataset_counts() {
+    let world = small_world(33);
+    let dataset = world.generate();
+    let (_, study) = world.fold_users(PARALLEL, StreamStudy::new, |s: &mut StreamStudy, r, u| {
+        s.absorb(r, u)
+    });
+    assert_eq!(study.users as usize, dataset.records.len());
+    assert_eq!(study.movers as usize, dataset.upgrades.len());
+}

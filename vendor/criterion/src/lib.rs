@@ -1,0 +1,169 @@
+//! Vendored offline shim of `criterion`.
+//!
+//! Implements the thin subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — as a plain walltime harness: each benchmark is
+//! warmed up briefly, then timed over adaptively chosen iteration counts,
+//! and the median per-iteration time is printed. No statistics engine, no
+//! HTML reports; enough to compare hot paths release-to-release.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with upstream criterion.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const WARM_FOR: Duration = Duration::from_millis(100);
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Cap on retained samples per benchmark (upstream's `sample_size`).
+    sample_size: Option<usize>,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over the measured batches.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching iterations until the measurement budget is
+    /// spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and a first estimate of per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARM_FOR {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Batch size aiming at ~25 ms per sample.
+        let batch = ((0.025 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_FOR {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible builder: cap the number of samples kept per
+    /// benchmark. The walltime budget still bounds how many are taken.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Open a named group of related benchmarks; each member is printed
+    /// as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.samples_ns;
+        if ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        if let Some(cap) = self.sample_size {
+            ns.truncate(cap);
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = ns[ns.len() / 2];
+        let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+        println!(
+            "{name:<40} median {} (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            ns.len()
+        );
+        self
+    }
+}
+
+/// Handle returned by [`Criterion::benchmark_group`]; prefixes every
+/// member's label with the group name.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one member benchmark of this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(&label, f);
+        self
+    }
+
+    /// Close the group (no-op in the shim; parity with upstream).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1e6 {
+        format!("{:7.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:7.2} ms", ns / 1e6)
+    } else {
+        format!("{:7.2} s ", ns / 1e9)
+    }
+}
+
+/// Group benchmark functions under one callable. Both upstream forms are
+/// accepted: `criterion_group!(name, target, ...)` and the named
+/// `criterion_group!(name = ...; config = ...; targets = ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,272 @@
+//! Vendored offline shim of `proptest`.
+//!
+//! A miniature, fully deterministic property-testing harness implementing
+//! the subset this workspace uses:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
+//! * range strategies over integers and floats (`0..10`, `0.0f64..=1.0`)
+//! * `prop::collection::vec(strategy, size_range)`
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Each property runs [`CASES`] times with inputs drawn from a SplitMix64
+//! stream seeded by the test's name, so failures reproduce exactly across
+//! runs and machines. There is no shrinking: the panic message reports the
+//! failing case index, and re-running deterministically replays it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases generated per property.
+pub const CASES: u32 = 128;
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + (hi - lo) * ((rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// A constant strategy (`Just(v)`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `vec(element_strategy, len_range)`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner entry used by the [`proptest!`] expansion.
+pub fn run_property<F: FnMut(&mut TestRng, u32)>(name: &str, mut case: F) {
+    // FNV-1a over the test name: stable per-property seed.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..CASES {
+        let mut rng = TestRng::new(seed ^ ((i as u64) << 32));
+        case(&mut rng, i);
+    }
+}
+
+/// Bind `pattern in strategy` argument lists inside the runner closure.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $case:ident,) => {};
+    ($rng:ident, $case:ident, mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $case, $($rest)*);
+    };
+    ($rng:ident, $case:ident, mut $name:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident, $case:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $case, $($rest)*);
+    };
+    ($rng:ident, $case:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+    };
+}
+
+/// The property-test macro: each `fn` becomes a `#[test]` that replays
+/// [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(stringify!($name), |__rng, __case| {
+                $crate::__proptest_bind!(__rng, __case, $($args)*);
+                $body
+            });
+        }
+    )*};
+}
+
+/// Property assertion (panics with the standard message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_honoured(x in 3..10usize, y in -2.0f64..2.0, z in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((0.0..=1.0).contains(&z));
+        }
+
+        #[test]
+        fn vectors_respect_size(mut v in prop::collection::vec(0.0f64..1.0, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0.0f64..1.0, 1..50);
+        let a = strat.generate(&mut crate::TestRng::new(1));
+        let b = strat.generate(&mut crate::TestRng::new(1));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored offline shim of `rand_chacha`: [`ChaCha8Rng`] and
+//! [`ChaCha20Rng`] over the genuine ChaCha permutation (D. J. Bernstein),
+//! with a 64-bit block counter and zero nonce. Deterministic, `Clone`,
+//! platform-independent. Word streams are self-consistent but not
+//! bit-compatible with the crates.io implementation; nothing in this
+//! workspace depends on the upstream bit stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// One ChaCha block: 16 words of key stream from (key, counter).
+fn chacha_block(key: &[u32; 8], counter: u64, double_rounds: usize) -> [u32; 16] {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut x: [u32; 16] = [
+        SIGMA[0],
+        SIGMA[1],
+        SIGMA[2],
+        SIGMA[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let input = x;
+
+    macro_rules! quarter {
+        ($a:expr, $b:expr, $c:expr, $d:expr) => {
+            x[$a] = x[$a].wrapping_add(x[$b]);
+            x[$d] = (x[$d] ^ x[$a]).rotate_left(16);
+            x[$c] = x[$c].wrapping_add(x[$d]);
+            x[$b] = (x[$b] ^ x[$c]).rotate_left(12);
+            x[$a] = x[$a].wrapping_add(x[$b]);
+            x[$d] = (x[$d] ^ x[$a]).rotate_left(8);
+            x[$c] = x[$c].wrapping_add(x[$d]);
+            x[$b] = (x[$b] ^ x[$c]).rotate_left(7);
+        };
+    }
+
+    for _ in 0..double_rounds {
+        // Column round.
+        quarter!(0, 4, 8, 12);
+        quarter!(1, 5, 9, 13);
+        quarter!(2, 6, 10, 14);
+        quarter!(3, 7, 11, 15);
+        // Diagonal round.
+        quarter!(0, 5, 10, 15);
+        quarter!(1, 6, 11, 12);
+        quarter!(2, 7, 8, 13);
+        quarter!(3, 4, 9, 14);
+    }
+
+    for (word, init) in x.iter_mut().zip(input) {
+        *word = word.wrapping_add(init);
+    }
+    x
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $double_rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread word in `buf`; 16 means "refill".
+            idx: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name { key, counter: 0, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx == 16 {
+                    self.buf = chacha_block(&self.key, self.counter, $double_rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.idx = 0;
+                }
+                let word = self.buf[self.idx];
+                self.idx += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds: the workhorse RNG of this repository.
+    ChaCha8Rng,
+    4
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (full-strength variant).
+    ChaCha20Rng,
+    10
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let (va, vb, vc): (Vec<u64>, Vec<u64>, Vec<u64>) = (
+            (0..64).map(|_| a.next_u64()).collect(),
+            (0..64).map(|_| b.next_u64()).collect(),
+            (0..64).map(|_| c.next_u64()).collect(),
+        );
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Vendored offline shim of `serde`.
+//!
+//! This workspace only serialises hand-built `serde_json::Value` trees (see
+//! the `serde_json` shim), so `Serialize`/`Deserialize` are marker traits
+//! blanket-implemented for every type: existing `#[derive(Serialize,
+//! Deserialize)]` annotations and `T: Serialize` bounds keep compiling
+//! without any code generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

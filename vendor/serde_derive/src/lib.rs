@@ -1,0 +1,20 @@
+//! Vendored offline shim of `serde_derive`.
+//!
+//! The sibling `serde` shim blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate — they only need to
+//! exist so `#[derive(Serialize, Deserialize)]` keeps compiling, and to
+//! accept (and ignore) `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
