@@ -18,55 +18,112 @@
 //! `~U` users are folded shard by shard into `bb_study::StreamStudy`
 //! sketches, and the headline exhibits (Fig. 1, Fig. 2, Fig. 7) are
 //! rendered from the merged sketches in bounded memory.
+//!
+//! `--metrics PATH` writes the merged `bb-trace` registry — collection
+//! heuristic counters, a pure function of the seed and therefore
+//! byte-identical for every shard/thread plan — plus a plan-dependent
+//! `.runtime.json` sidecar (wall times, steal counts). `--quiet`
+//! suppresses the per-phase progress lines on stderr.
 
 use bb_bench::REPRO_SEED;
 use bb_dataset::{builtin_world, World, WorldConfig};
-use bb_engine::ShardPlan;
+use bb_engine::{RunStats, ShardPlan};
 use bb_report::csv;
 use bb_report::gnuplot;
 use bb_report::json;
 use bb_report::text;
 use bb_study::{StreamStudy, StudyReport};
+use bb_trace::Registry;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+const USAGE: &str = "\
+usage: reproduce [options]
+
+Regenerates the paper's tables and figures from the synthetic world.
+
+options:
+  --seed S        world seed (default: the pinned reproduction seed)
+  --scale N       per-country user multiplier; finite and > 0 (default 40)
+  --days D        observation window in days; at least 1 (default 7)
+  --fcc N         size of the US-only FCC gateway cohort (default 600)
+  --out DIR       output directory for exhibits (default: results)
+  --sweep N       also run a robustness sweep over N regenerated seeds
+  --threads T     worker threads; at least 1 (default 1)
+  --shards S      shard count; at least 1 (default: derived from --threads)
+  --users U       stream ~U users through the sketch study instead of
+                  materialising the panel; at least 1
+  --metrics PATH  write the merged bb-trace metrics registry as JSON to
+                  PATH (byte-identical for any --threads/--shards plan)
+                  plus a plan-dependent PATH-adjacent .runtime.json
+                  sidecar with wall times and steal counts
+  --quiet         suppress per-phase progress lines on stderr
+  -h, --help      print this help
+";
+
+/// A progress line on stderr, suppressed by `--quiet`.
+macro_rules! progress {
+    ($args:expr, $($t:tt)*) => {
+        if !$args.quiet {
+            eprintln!($($t)*);
+        }
+    };
+}
+
 fn main() {
-    let args = Args::parse();
+    let args = match Args::try_parse(std::env::args().skip(1)) {
+        Ok(Parsed::Help) => {
+            print!("{USAGE}");
+            return;
+        }
+        Ok(Parsed::Run(args)) => args,
+        Err(err) => {
+            eprint!("reproduce: {err}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let plan = args.plan();
     if let Some(users) = args.users {
         run_streaming(&args, plan, users);
         return;
     }
-    eprintln!(
+    progress!(
+        args,
         "generating world: seed {}, user scale {}, {} days, {} FCC gateways ({} shards / {} threads)",
-        args.seed, args.scale, args.days, args.fcc_users, plan.shards, plan.threads
+        args.seed,
+        args.scale,
+        args.days,
+        args.fcc_users,
+        plan.shards,
+        plan.threads
     );
     let mut cfg = WorldConfig::paper_scale(args.seed);
     cfg.user_scale = args.scale;
     cfg.days = args.days;
     cfg.fcc_users = args.fcc_users;
     let world = World::new(cfg);
-    let t0 = std::time::Instant::now();
-    let dataset = world.generate_with(plan);
-    eprintln!(
+    let (dataset, registry, stats) = world.generate_with_traced(plan);
+    progress!(
+        args,
         "generated {} user records ({} Dasu / {} FCC), {} movers, {} markets in {:.1?}",
         dataset.records.len(),
         dataset.dasu().count(),
         dataset.fcc().count(),
         dataset.upgrades.len(),
         dataset.survey.len(),
-        t0.elapsed()
+        stats.total
     );
 
     let t1 = std::time::Instant::now();
     let report = StudyReport::run(&dataset, &world.profiles, 30);
-    eprintln!("analysis pipeline finished in {:.1?}", t1.elapsed());
+    progress!(args, "analysis pipeline finished in {:.1?}", t1.elapsed());
     let extensions = bb_study::ext::extension_table(&dataset);
     let separations = bb_study::ext::cdf_separations(&dataset);
     let personas = bb_study::ext::persona_breakdown(&dataset);
     let uploads = bb_study::ext::upload_breakdown(&dataset);
 
-    std::fs::create_dir_all(&args.out).expect("create output directory");
+    create_dir(&args.out);
+    write_metrics(&args, &registry, &stats);
     write_exhibits(&report, &args.out);
     write(
         &args.out,
@@ -81,7 +138,11 @@ fn main() {
         &uploads,
     ));
     if args.sweep_seeds > 0 {
-        eprintln!("running robustness sweep over {} seeds…", args.sweep_seeds);
+        progress!(
+            args,
+            "running robustness sweep over {} seeds…",
+            args.sweep_seeds
+        );
         // A reduced world per seed keeps the sweep affordable.
         let mut sweep_cfg = WorldConfig::small(args.seed);
         sweep_cfg.user_scale = (args.scale / 3.0).max(1.0);
@@ -99,9 +160,9 @@ fn main() {
         md.push('\n');
         comparison.push_str(&md);
     }
-    std::fs::write(args.out.join("experiments.md"), &comparison).expect("write experiments.md");
+    write(&args.out, "experiments.md", &comparison);
     println!("{comparison}");
-    eprintln!("wrote exhibits to {}", args.out.display());
+    progress!(args, "wrote exhibits to {}", args.out.display());
 }
 
 /// The `--users U` scale path: stream ~U users through the mergeable
@@ -115,24 +176,36 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
     cfg.user_scale = (users.saturating_sub(args.fcc_users as u64)) as f64 / total_weight.max(1e-9);
     let world = World::new(cfg);
     let exact_users = world.n_users();
-    eprintln!(
+    progress!(
+        args,
         "streaming {exact_users} users: seed {}, {} days, {} shards / {} threads",
-        args.seed, args.days, plan.shards, plan.threads
+        args.seed,
+        args.days,
+        plan.shards,
+        plan.threads
     );
-    let t0 = std::time::Instant::now();
-    let (_, study) = world.fold_users(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
-    let elapsed = t0.elapsed();
-    eprintln!(
+    let (_, study, mut registry, stats) =
+        world.fold_users_traced(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
+    let elapsed = stats.total;
+    progress!(
+        args,
         "streamed {} users ({} Dasu / {} FCC, {} movers) in {:.1?} — {:.0} users/sec",
         study.users,
         study.dasu_users,
         study.fcc_users,
         study.movers,
         elapsed,
-        study.users as f64 / elapsed.as_secs_f64()
+        study.users as f64 / elapsed.as_secs_f64().max(1e-9)
     );
+    // Study-level counters ride along in the same plan-invariant registry.
+    registry.add("study.users", study.users);
+    registry.add("study.dasu_users", study.dasu_users);
+    registry.add("study.fcc_users", study.fcc_users);
+    registry.add("study.movers", study.movers);
+    registry.add("study.sketch_negatives", study.sketch_negatives());
 
-    std::fs::create_dir_all(&args.out).expect("create output directory");
+    create_dir(&args.out);
+    write_metrics(args, &registry, &stats);
     for f in study.figure1().iter().chain(study.figure7().iter()) {
         write(
             &args.out,
@@ -182,7 +255,7 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
             stats.frac_loss_above_1pct * 100.0
         );
     }
-    eprintln!("wrote streaming exhibits to {}", args.out.display());
+    progress!(args, "wrote streaming exhibits to {}", args.out.display());
 }
 
 struct Args {
@@ -195,10 +268,31 @@ struct Args {
     threads: usize,
     shards: Option<usize>,
     users: Option<u64>,
+    metrics: Option<PathBuf>,
+    quiet: bool,
+}
+
+/// The outcome of a successful command-line parse.
+enum Parsed {
+    /// `--help`/`-h`: print the usage text and exit 0.
+    Help,
+    /// A validated run configuration.
+    Run(Args),
+}
+
+/// The next token after `flag`, or a "missing value" error.
+fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("missing value for {flag}"))
+}
+
+/// Parse `raw` as the value of `flag`, describing the expected shape on error.
+fn num<T: std::str::FromStr>(flag: &str, raw: &str, wants: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} takes {wants}, got {raw:?}"))
 }
 
 impl Args {
-    fn parse() -> Args {
+    fn try_parse(mut it: impl Iterator<Item = String>) -> Result<Parsed, String> {
         let mut args = Args {
             seed: REPRO_SEED,
             scale: WorldConfig::paper_scale(0).user_scale,
@@ -209,33 +303,57 @@ impl Args {
             threads: 1,
             shards: None,
             users: None,
+            metrics: None,
+            quiet: false,
         };
-        let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut val = || {
-                it.next()
-                    .unwrap_or_else(|| panic!("missing value for {flag}"))
-            };
             match flag.as_str() {
-                "--seed" => args.seed = val().parse().expect("--seed takes an integer"),
-                "--scale" => args.scale = val().parse().expect("--scale takes a number"),
-                "--days" => args.days = val().parse().expect("--days takes an integer"),
-                "--fcc" => args.fcc_users = val().parse().expect("--fcc takes an integer"),
-                "--out" => args.out = PathBuf::from(val()),
-                "--sweep" => args.sweep_seeds = val().parse().expect("--sweep takes a seed count"),
-                "--threads" => args.threads = val().parse().expect("--threads takes an integer"),
-                "--shards" => args.shards = Some(val().parse().expect("--shards takes an integer")),
-                "--users" => args.users = Some(val().parse().expect("--users takes an integer")),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: reproduce [--seed S] [--scale N] [--days D] [--fcc N] [--out DIR] [--sweep N] [--threads T] [--shards S] [--users U]"
-                    );
-                    std::process::exit(0);
+                "--seed" => args.seed = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--scale" => {
+                    let scale: f64 = num(&flag, &take(&mut it, &flag)?, "a number")?;
+                    if !scale.is_finite() || scale <= 0.0 {
+                        return Err(format!("--scale must be a finite number > 0, got {scale}"));
+                    }
+                    args.scale = scale;
                 }
-                other => panic!("unknown flag {other}"),
+                "--days" => {
+                    args.days = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if args.days == 0 {
+                        return Err("--days must be at least 1".into());
+                    }
+                }
+                "--fcc" => args.fcc_users = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--out" => args.out = PathBuf::from(take(&mut it, &flag)?),
+                "--sweep" => {
+                    args.sweep_seeds = num(&flag, &take(&mut it, &flag)?, "a seed count")?;
+                }
+                "--threads" => {
+                    args.threads = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if args.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                "--shards" => {
+                    let shards: usize = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    args.shards = Some(shards);
+                }
+                "--users" => {
+                    let users: u64 = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if users == 0 {
+                        return Err("--users must be at least 1".into());
+                    }
+                    args.users = Some(users);
+                }
+                "--metrics" => args.metrics = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--quiet" => args.quiet = true,
+                "--help" | "-h" => return Ok(Parsed::Help),
+                other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        args
+        Ok(Parsed::Run(args))
     }
 
     /// The shard plan the flags imply. Output never depends on it.
@@ -247,8 +365,64 @@ impl Args {
     }
 }
 
+/// Create `dir` (and parents), exiting 1 with a message on failure.
+fn create_dir(dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("reproduce: create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+}
+
 fn write(out: &Path, name: &str, content: &str) {
-    std::fs::write(out.join(name), content).unwrap_or_else(|e| panic!("write {name}: {e}"));
+    if let Err(e) = std::fs::write(out.join(name), content) {
+        eprintln!("reproduce: write {name}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Write the merged metrics registry (plan-invariant JSON) and the
+/// plan-dependent `.runtime.json` scheduling sidecar next to it.
+fn write_metrics(args: &Args, registry: &Registry, stats: &RunStats) {
+    let Some(path) = &args.metrics else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            create_dir(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(path, registry.to_json()) {
+        eprintln!("reproduce: write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    // Wall times and steal counts depend on the plan and the machine, so
+    // they live in a sidecar rather than the byte-stable metrics file.
+    let mut walls = String::new();
+    for (i, (bucket, count)) in stats.shard_wall_us.buckets().enumerate() {
+        if i > 0 {
+            walls.push_str(", ");
+        }
+        let _ = write!(walls, "[{bucket}, {count}]");
+    }
+    let runtime = format!(
+        "{{\n  \"plan\": {{\"shards\": {}, \"threads\": {}}},\n  \"items\": {},\n  \"steals\": {},\n  \"work_us\": {},\n  \"merge_us\": {},\n  \"total_us\": {},\n  \"shard_wall_us_log2_buckets\": [{walls}]\n}}\n",
+        stats.shards,
+        stats.threads,
+        stats.items,
+        stats.steals,
+        stats.work.as_micros(),
+        stats.merge.as_micros(),
+        stats.total.as_micros()
+    );
+    let sidecar = path.with_extension("runtime.json");
+    if let Err(e) = std::fs::write(&sidecar, runtime) {
+        eprintln!("reproduce: write {}: {e}", sidecar.display());
+        std::process::exit(1);
+    }
+    progress!(
+        args,
+        "wrote metrics to {} (runtime sidecar {})",
+        path.display(),
+        sidecar.display()
+    );
 }
 
 fn write_exhibits(r: &StudyReport, out: &Path) {

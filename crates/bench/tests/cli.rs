@@ -1,0 +1,135 @@
+//! Integration tests of the `reproduce` binary's command line: the former
+//! panic paths must now fail with a message and exit code 2, `--help` must
+//! succeed, and `--metrics` output must be byte-identical across shard
+//! plans (the registry records data events only).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+#[test]
+fn bad_arguments_exit_2_with_usage_not_a_panic() {
+    let dir = tmpdir("cli-bad-args");
+    let cases: &[&[&str]] = &[
+        &["--frobnicate"],      // unknown flag
+        &["--threads"],         // missing value
+        &["--threads", "zero"], // unparseable value
+        &["--threads", "0"],    // zero workers
+        &["--shards", "0"],     // zero shards
+        &["--users", "0"],      // empty stream
+        &["--days", "0"],       // empty window
+        &["--scale", "nan"],    // non-finite scale
+        &["--scale", "inf"],    // non-finite scale
+        &["--scale", "-2"],     // negative scale
+        &["--scale", "0"],      // zero scale
+        &["--seed", "1.5"],     // non-integer seed
+    ];
+    for args in cases {
+        let out = reproduce(args, &dir);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+            out.status
+        );
+        assert!(
+            stderr.starts_with("reproduce: "),
+            "{args:?}: diagnostic missing, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage: reproduce"),
+            "{args:?}: usage text missing, stderr: {stderr}"
+        );
+        // A panic would print a backtrace pointer; a clean error must not.
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?}: still panicking, stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_usage_on_stdout_and_exits_0() {
+    let dir = tmpdir("cli-help");
+    for flag in ["--help", "-h"] {
+        let out = reproduce(&[flag], &dir);
+        assert_eq!(out.status.code(), Some(0), "{flag}: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: reproduce"), "{flag}: {stdout}");
+        assert!(stdout.contains("--metrics"), "{flag}: new flags documented");
+        assert!(stdout.contains("--quiet"), "{flag}: new flags documented");
+    }
+}
+
+#[test]
+fn streaming_metrics_are_byte_identical_across_plans_and_quiet_is_quiet() {
+    let dir = tmpdir("cli-metrics");
+    let run = |label: &str, threads: &str, shards: &str| -> Vec<u8> {
+        let metrics = format!("out-{label}/metrics.json");
+        let out = reproduce(
+            &[
+                "--users",
+                "300",
+                "--days",
+                "1",
+                "--fcc",
+                "20",
+                "--quiet",
+                "--threads",
+                threads,
+                "--shards",
+                shards,
+                "--out",
+                &format!("out-{label}"),
+                "--metrics",
+                &metrics,
+            ],
+            &dir,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{label}: {:?}\nstderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            out.stderr.is_empty(),
+            "{label}: --quiet must silence progress, got: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The plan-dependent observables land in the sidecar, not the
+        // plan-invariant metrics file.
+        let sidecar = dir.join(format!("out-{label}/metrics.runtime.json"));
+        let runtime = std::fs::read_to_string(&sidecar).expect("runtime sidecar");
+        assert!(runtime.contains("\"steals\""), "{label}: {runtime}");
+        std::fs::read(dir.join(&metrics)).expect("metrics file")
+    };
+
+    let serial = run("serial", "1", "1");
+    let parallel = run("parallel", "2", "8");
+    let text = String::from_utf8(serial.clone()).expect("metrics are UTF-8");
+    assert_eq!(
+        text,
+        String::from_utf8(parallel).unwrap(),
+        "metrics JSON must not depend on the shard plan"
+    );
+    // Streaming runs surface the study-level counters too.
+    assert!(text.contains("\"study.users\""), "{text}");
+    assert!(text.contains("\"study.sketch_negatives\""), "{text}");
+    assert!(text.contains("\"netsim.collect.polls\""), "{text}");
+}

@@ -85,7 +85,7 @@ pub struct StreamStudy {
     /// Fig. 1c input: Dasu loss rates, percent.
     pub loss: EcdfSketch,
     /// Fig. 2 inputs: per-capacity-bin demand moments (Mbps), one map per
-    /// panel of [`FIG2_PANELS`].
+    /// panel of the module-private `FIG2_PANELS` table.
     pub fig2_bins: [BTreeMap<CapacityBin, ExactMoments>; 4],
     /// Fig. 7 inputs: per-country capacity and utilisation sketches.
     pub by_country: BTreeMap<Country, CountrySketch>,
@@ -154,6 +154,23 @@ impl StreamStudy {
             country.utilization.push(util);
         }
         self.sample.offer(record.user.0, cap_mbps);
+    }
+
+    /// Total strictly-negative observations swallowed by the study's CDF
+    /// sketches (capacity/latency/loss plus every per-country sketch).
+    /// Physical quantities can never be negative, so anything nonzero
+    /// here is an upstream sign bug; the `reproduce` CLI surfaces it as
+    /// the `study.sketch_negatives` metric instead of letting it vanish
+    /// into the `q=0` mass.
+    pub fn sketch_negatives(&self) -> u64 {
+        self.capacity.negatives()
+            + self.latency.negatives()
+            + self.loss.negatives()
+            + self
+                .by_country
+                .values()
+                .map(|c| c.capacity.negatives() + c.utilization.negatives())
+                .sum::<u64>()
     }
 
     /// The §2.2 prose statistics, when any Dasu user has been absorbed.
@@ -331,6 +348,9 @@ mod tests {
             serial.sample.items().collect::<Vec<_>>(),
             sharded.sample.items().collect::<Vec<_>>()
         );
+        // Physical quantities are non-negative, so a healthy pipeline
+        // reports zero swallowed negatives.
+        assert_eq!(serial.sketch_negatives(), 0);
     }
 
     /// The order statistic at the sketch's rank convention.

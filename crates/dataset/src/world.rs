@@ -3,13 +3,14 @@
 use crate::agent::{choose_plan, Agent, AgentSampler};
 use crate::country::{builtin_world, CountryProfile, APPETITE_GROWTH_PER_YEAR};
 use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
-use bb_engine::{run_sharded, stream_rng, Mergeable, ShardPlan};
+use bb_engine::{run_sharded_traced, stream_rng, Mergeable, RunStats, ShardPlan};
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
 use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
 use bb_netsim::link::AccessLink;
 use bb_netsim::probe::{web_latency, NdtProbe};
 use bb_netsim::workload::{simulate_user, UserWorkload};
 use bb_stats::dist::LogNormal;
+use bb_trace::Registry;
 use bb_types::{Country, Latency, LossRate, NetworkId, TimeAxis, UserId, Year};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -129,23 +130,34 @@ impl World {
     /// shard and thread count** — `generate_with(ShardPlan::new(8, 4))`
     /// returns exactly what [`World::generate`] returns.
     pub fn generate_with(&self, plan: ShardPlan) -> Dataset {
+        self.generate_with_traced(plan).0
+    }
+
+    /// [`World::generate_with`], additionally returning the merged
+    /// per-user [`Registry`] (collection-heuristic counters — a pure
+    /// function of the world seed, so identical for every plan) and the
+    /// [`RunStats`] for this particular execution (wall times and steals
+    /// — plan-dependent by nature).
+    pub fn generate_with_traced(&self, plan: ShardPlan) -> (Dataset, Registry, RunStats) {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
-        let (records, upgrades) = run_sharded(total, plan, |_, range| {
+        let ((records, upgrades, registry), stats) = run_sharded_traced(total, plan, |_, range| {
             let mut records = Vec::with_capacity((range.end - range.start) as usize);
             let mut upgrades = Vec::new();
+            let mut reg = Registry::new();
             for user_index in range {
-                let (record, upgrade) = self.observe_indexed(user_index, &cohorts);
+                let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
                 records.push(record);
                 upgrades.extend(upgrade);
             }
-            (records, upgrades)
+            (records, upgrades, reg)
         });
-        Dataset {
+        let dataset = Dataset {
             records,
             upgrades,
             survey,
-        }
+        };
+        (dataset, registry, stats)
     }
 
     /// Stream every user of the world through a mergeable accumulator
@@ -159,17 +171,36 @@ impl World {
         I: Fn() -> A + Sync,
         F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>) + Sync,
     {
+        let (survey, acc, _, _) = self.fold_users_traced(plan, init, absorb);
+        (survey, acc)
+    }
+
+    /// [`World::fold_users`], additionally returning the merged per-user
+    /// [`Registry`] (plan-invariant data events) and this execution's
+    /// [`RunStats`] (plan-dependent scheduling observables).
+    pub fn fold_users_traced<A, I, F>(
+        &self,
+        plan: ShardPlan,
+        init: I,
+        absorb: F,
+    ) -> (MarketSurvey, A, Registry, RunStats)
+    where
+        A: Mergeable + Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>) + Sync,
+    {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
-        let folded = run_sharded(total, plan, |_, range| {
+        let ((folded, registry), stats) = run_sharded_traced(total, plan, |_, range| {
             let mut acc = init();
+            let mut reg = Registry::new();
             for user_index in range {
-                let (record, upgrade) = self.observe_indexed(user_index, &cohorts);
+                let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
                 absorb(&mut acc, &record, upgrade.as_ref());
             }
-            acc
+            (acc, reg)
         });
-        (survey, folded)
+        (survey, folded, registry, stats)
     }
 
     /// Total users (Dasu + FCC) the current config implies.
@@ -223,8 +254,10 @@ impl World {
         &self,
         user_index: u64,
         cohorts: &[Cohort<'_>],
+        reg: &mut Registry,
     ) -> (UserRecord, Option<UpgradeObservation>) {
         let cohort = &cohorts[cohorts.partition_point(|c| c.end <= user_index)];
+        reg.inc("dataset.users.observed");
         let mut rng = stream_rng(self.config.seed, USER_STREAM, user_index);
         let user = UserId(user_index);
         let year = self.config.years[rng.gen_range(0..self.config.years.len())];
@@ -243,6 +276,7 @@ impl World {
             year,
             cohort.vantage,
             &mut rng,
+            reg,
         );
         // Movers: re-observe a fraction of Dasu users after an upgrade.
         let upgrade = if cohort.vantage == VantageKind::Dasu
@@ -256,10 +290,14 @@ impl World {
                 link,
                 plan_idx,
                 &mut rng,
+                reg,
             )
         } else {
             None
         };
+        if upgrade.is_some() {
+            reg.inc("dataset.users.upgraded");
+        }
         (record, upgrade)
     }
 
@@ -379,6 +417,7 @@ impl World {
         year: Year,
         vantage: VantageKind,
         rng: &mut ChaCha8Rng,
+        reg: &mut Registry,
     ) -> (UserRecord, AccessLink, usize) {
         let plan = choose_plan(agent, catalog);
         let plan_idx = catalog
@@ -388,7 +427,7 @@ impl World {
             .expect("chosen plan comes from the catalogue");
         let link = self.build_link(profile, plan, rng);
         let (record, _) = self.observe_on_link(
-            user, profile, catalog, agent, year, vantage, plan, &link, rng,
+            user, profile, catalog, agent, year, vantage, plan, &link, rng, reg,
         );
         (record, link, plan_idx)
     }
@@ -407,6 +446,7 @@ impl World {
         plan: &Plan,
         link: &AccessLink,
         rng: &mut ChaCha8Rng,
+        reg: &mut Registry,
     ) -> (UserRecord, NetworkId) {
         let axis = TimeAxis::new(year, self.config.days);
         // Usage caps: subscribers on capped plans *manage* their usage to
@@ -451,9 +491,23 @@ impl World {
         };
         let collected = match counter_source {
             Some(source) => {
-                UsageSeries::collect_via_counters(&truth, 0.5, source, link.capacity, rng)
+                reg.inc(match source {
+                    CounterSource::Upnp => "dataset.observations.upnp",
+                    CounterSource::Netstat => "dataset.observations.netstat",
+                });
+                UsageSeries::collect_via_counters_traced(
+                    &truth,
+                    0.5,
+                    source,
+                    link.capacity,
+                    rng,
+                    reg,
+                )
             }
-            None => UsageSeries::collect(&truth, Vantage::FccGateway, rng),
+            None => {
+                reg.inc("dataset.observations.fcc");
+                UsageSeries::collect(&truth, Vantage::FccGateway, rng)
+            }
         };
         let demand_with_bt = collected.demand(BtFilter::Include);
         let demand_no_bt = collected.demand(BtFilter::Exclude);
@@ -518,6 +572,7 @@ impl World {
         before_link: AccessLink,
         before_plan_idx: usize,
         rng: &mut ChaCha8Rng,
+        reg: &mut Registry,
     ) -> Option<UpgradeObservation> {
         let before_plan = &catalog.plans[before_plan_idx];
         // Candidate faster plans, sorted by capacity.
@@ -560,6 +615,7 @@ impl World {
             after_plan,
             &after_link,
             rng,
+            reg,
         );
         Some(UpgradeObservation {
             user: before_record.user,
@@ -632,6 +688,46 @@ mod tests {
                 assert_eq!(a.after.capacity, b.after.capacity);
             }
         }
+    }
+
+    #[test]
+    fn traced_registry_is_plan_invariant_and_populated() {
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let (serial_ds, serial_reg, serial_stats) = world.generate_with_traced(ShardPlan::serial());
+        assert_eq!(
+            serial_reg.counter("dataset.users.observed"),
+            serial_ds.records.len() as u64
+        );
+        assert!(serial_reg.counter("netsim.collect.polls") > 0);
+        assert!(serial_reg.counter("dataset.observations.upnp") > 0);
+        assert!(serial_reg.counter("dataset.observations.fcc") > 0);
+        assert_eq!(
+            serial_reg.counter("dataset.users.upgraded"),
+            serial_ds.upgrades.len() as u64
+        );
+        assert_eq!(serial_stats.shards, 1);
+
+        for plan in [ShardPlan::new(8, 1), ShardPlan::new(8, 4)] {
+            let (_, reg, stats) = world.generate_with_traced(plan);
+            assert_eq!(
+                reg.to_json(),
+                serial_reg.to_json(),
+                "registry must be byte-identical under {plan:?}"
+            );
+            assert_eq!(stats.shards, 8);
+        }
+
+        // The streaming path sees the same users, so the same registry.
+        let (_, _n, fold_reg, _) = world.fold_users_traced(
+            ShardPlan::new(8, 4),
+            Vec::new,
+            |acc: &mut Vec<u64>, _, _| acc.push(1),
+        );
+        assert_eq!(fold_reg.to_json(), serial_reg.to_json());
     }
 
     #[test]

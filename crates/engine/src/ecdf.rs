@@ -38,6 +38,12 @@ impl EcdfSketch {
         self.sketch.quantile(0.5)
     }
 
+    /// Strictly negative observations (clamped to zero for all queries);
+    /// see [`QuantileSketch::negatives`].
+    pub fn negatives(&self) -> u64 {
+        self.sketch.negatives()
+    }
+
     /// Quantile estimate (delegates to the underlying sketch).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         self.sketch.quantile(q)

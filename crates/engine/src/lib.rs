@@ -15,6 +15,9 @@
 //!   execute shards on scoped worker threads (work-stealing via an atomic
 //!   cursor), and fold the per-shard partial results **in shard order**,
 //!   making the merged result independent of thread scheduling.
+//!   [`shard::run_sharded_traced`] is the same fold plus a [`RunStats`]
+//!   report of the scheduling side (per-shard wall time, steals, merge
+//!   time) for `bb-trace`'s runtime sidecar.
 //! * [`merge`] — the [`Mergeable`] fold contract the shard runner requires.
 //! * Sketches: [`QuantileSketch`] (bounded relative error),
 //!   [`EcdfSketch`], [`Log2Histogram`], [`ExactMoments`] /
@@ -42,4 +45,4 @@ pub use moments::{ExactMoments, Welford};
 pub use quantile::QuantileSketch;
 pub use reservoir::BottomK;
 pub use rng::{splitmix64, stream_rng};
-pub use shard::{run_sharded, ShardPlan};
+pub use shard::{run_sharded, run_sharded_traced, RunStats, ShardPlan};

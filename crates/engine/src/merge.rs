@@ -38,6 +38,22 @@ impl<K: Ord, V: Mergeable> Mergeable for BTreeMap<K, V> {
     }
 }
 
+/// Log₂ histograms merge by adding bucket counts (exact; see `bb-trace`).
+impl Mergeable for bb_trace::Log2Histogram {
+    fn merge(&mut self, other: Self) {
+        bb_trace::Log2Histogram::merge(self, other);
+    }
+}
+
+/// Metric registries merge by adding counters and histogram buckets, so a
+/// per-shard [`bb_trace::Registry`] can ride along in any accumulator
+/// tuple and still fold shard-order-deterministically.
+impl Mergeable for bb_trace::Registry {
+    fn merge(&mut self, other: Self) {
+        bb_trace::Registry::merge(self, other);
+    }
+}
+
 impl<T: Mergeable> Mergeable for Option<T> {
     fn merge(&mut self, other: Self) {
         match (self.as_mut(), other) {

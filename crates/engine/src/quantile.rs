@@ -26,6 +26,11 @@ pub struct QuantileSketch {
     buckets: BTreeMap<i32, u64>,
     /// Observations below [`Self::MIN_POSITIVE`].
     zeros: u64,
+    /// How many of those were strictly negative. A subset of `zeros`:
+    /// negatives still *quantise* to zero (the sketch is defined for
+    /// non-negative streams and the numerics are unchanged), but an
+    /// upstream sign bug is now visible instead of vanishing into `q=0`.
+    negatives: u64,
     /// Exact extremes (min over positives only).
     min: f64,
     max: f64,
@@ -47,6 +52,7 @@ impl QuantileSketch {
             ln_gamma: gamma.ln(),
             buckets: BTreeMap::new(),
             zeros: 0,
+            negatives: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -67,11 +73,16 @@ impl QuantileSketch {
         self.buckets.len()
     }
 
-    /// Absorb one non-negative observation (negatives clamp to zero).
+    /// Absorb one non-negative observation. Negatives clamp to zero for
+    /// every query, but are additionally tallied in [`Self::negatives`]
+    /// so callers can detect a sign bug upstream.
     pub fn push(&mut self, value: f64) {
         debug_assert!(value.is_finite(), "QuantileSketch::push({value})");
         if value < Self::MIN_POSITIVE {
             self.zeros += 1;
+            if value < 0.0 {
+                self.negatives += 1;
+            }
             return;
         }
         self.min = self.min.min(value);
@@ -111,6 +122,14 @@ impl QuantileSketch {
         Some(self.representative(*self.buckets.keys().last()?))
     }
 
+    /// Strictly negative observations absorbed so far. They were clamped
+    /// to zero for quantile purposes (and are included in [`Self::count`]);
+    /// a nonzero value here means something upstream produced a sign it
+    /// should not have.
+    pub fn negatives(&self) -> u64 {
+        self.negatives
+    }
+
     /// Exact smallest positive observation (None if all zero/empty).
     pub fn min(&self) -> Option<f64> {
         self.min.is_finite().then_some(self.min)
@@ -145,6 +164,7 @@ impl Mergeable for QuantileSketch {
             *self.buckets.entry(index).or_insert(0) += count;
         }
         self.zeros += other.zeros;
+        self.negatives += other.negatives;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -189,6 +209,25 @@ mod tests {
         assert_eq!(sketch.quantile(0.0), Some(0.0));
         let p100 = sketch.quantile(1.0).unwrap();
         assert!((p100 - 10.0).abs() <= 0.05 * 10.0 * 1.000001);
+    }
+
+    #[test]
+    fn negative_inputs_are_counted_not_silently_zeroed() {
+        // Regression: negatives used to be indistinguishable from true
+        // zeros, so a sign bug upstream surfaced as a heap of q=0 mass.
+        let mut sketch = QuantileSketch::with_accuracy(0.05);
+        sketch.push(-3.5);
+        sketch.push(0.0);
+        sketch.push(2.0);
+        assert_eq!(sketch.negatives(), 1, "the sign bug must be visible");
+        // Query behaviour is unchanged: the negative still clamps to zero.
+        assert_eq!(sketch.count(), 3);
+        assert_eq!(sketch.quantile(0.0), Some(0.0));
+
+        let mut other = QuantileSketch::with_accuracy(0.05);
+        other.push(-1.0);
+        sketch.merge(other);
+        assert_eq!(sketch.negatives(), 2, "negatives survive merges");
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! the fully serial one.
 
 use crate::merge::Mergeable;
+use bb_trace::Log2Histogram;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// How to partition and execute a population.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +70,46 @@ impl ShardPlan {
     }
 }
 
+/// Wall-clock statistics for one [`run_sharded_traced`] call.
+///
+/// Everything in here is a property of the machine and the
+/// `(shards, threads)` plan — scheduling, not data. It is deliberately
+/// **not** a [`bb_trace::Registry`]: the registry's contract is
+/// plan-invariant bytes, and steal counts and shard timings can never
+/// honour it. The `reproduce` CLI writes these to a `.runtime.json`
+/// sidecar instead of the `--metrics` file.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Shards the plan actually cut (after clamping to the item count).
+    pub shards: usize,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Items processed (`n_items`).
+    pub items: u64,
+    /// Shards a worker claimed beyond its first — how often the atomic
+    /// cursor rebalanced work. Serial runs report `shards - 1` (one
+    /// "worker" takes everything).
+    pub steals: u64,
+    /// Log₂ histogram of per-shard wall time in microseconds (base 1 µs).
+    pub shard_wall_us: Log2Histogram,
+    /// Wall time of the work phase (all shards done).
+    pub work: Duration,
+    /// Wall time of the shard-order fold.
+    pub merge: Duration,
+    /// End-to-end wall time of the call.
+    pub total: Duration,
+}
+
+impl RunStats {
+    /// Record this run's spans into a [`bb_trace::Timings`] under
+    /// `engine.work` / `engine.merge` / `engine.total`.
+    pub fn record_into(&self, timings: &mut bb_trace::Timings) {
+        timings.record("engine.work", self.work);
+        timings.record("engine.merge", self.merge);
+        timings.record("engine.total", self.total);
+    }
+}
+
 /// Execute `work` over every shard of `0..n_items` under `plan` and fold
 /// the results in shard order. See the module docs for the determinism
 /// contract.
@@ -76,45 +118,98 @@ where
     A: Mergeable + Send,
     F: Fn(usize, Range<u64>) -> A + Sync,
 {
+    run_sharded_traced(n_items, plan, work).0
+}
+
+/// [`run_sharded`], additionally reporting the scheduling side of the
+/// run as [`RunStats`]. The returned accumulator is bit-identical to the
+/// untraced call — tracing only observes wall clocks around the same
+/// work and the same shard-order fold.
+pub fn run_sharded_traced<A, F>(n_items: u64, plan: ShardPlan, work: F) -> (A, RunStats)
+where
+    A: Mergeable + Send,
+    F: Fn(usize, Range<u64>) -> A + Sync,
+{
+    let started = Instant::now();
     let ranges = plan.ranges(n_items);
     let n_shards = ranges.len();
     let threads = plan.threads.min(n_shards);
+    let mut shard_wall_us = Log2Histogram::new();
+    let steals;
 
     let partials: Vec<Option<A>> = if threads <= 1 {
+        steals = n_shards as u64 - 1;
         ranges
             .into_iter()
             .enumerate()
-            .map(|(index, range)| Some(work(index, range)))
+            .map(|(index, range)| {
+                let shard_started = Instant::now();
+                let result = work(index, range);
+                shard_wall_us.push(shard_started.elapsed().as_secs_f64() * 1e6, 1.0);
+                Some(result)
+            })
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<A>>> = (0..n_shards).map(|_| Mutex::new(None)).collect();
+        // (total claims, workers that claimed ≥ 1 shard, per-shard walls).
+        let sched = Mutex::new((0u64, 0u64, Log2Histogram::new()));
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= n_shards {
-                        break;
+                scope.spawn(|| {
+                    let mut claims = 0u64;
+                    let mut walls = Log2Histogram::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= n_shards {
+                            break;
+                        }
+                        claims += 1;
+                        let shard_started = Instant::now();
+                        let result = work(index, ranges[index].clone());
+                        walls.push(shard_started.elapsed().as_secs_f64() * 1e6, 1.0);
+                        *slots[index].lock().expect("shard slot poisoned") = Some(result);
                     }
-                    let result = work(index, ranges[index].clone());
-                    *slots[index].lock().expect("shard slot poisoned") = Some(result);
+                    if claims > 0 {
+                        let mut sched = sched.lock().expect("sched stats poisoned");
+                        sched.0 += claims;
+                        sched.1 += 1;
+                        sched.2.merge(walls);
+                    }
                 });
             }
         });
+        let (claims, active_workers, walls) = sched.into_inner().expect("sched stats poisoned");
+        steals = claims - active_workers;
+        shard_wall_us = walls;
         slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("shard slot poisoned"))
             .collect()
     };
+    let work_elapsed = started.elapsed();
 
-    partials
+    let merge_started = Instant::now();
+    let merged = partials
         .into_iter()
         .map(|partial| partial.expect("every shard produces a result"))
         .reduce(|mut acc, next| {
             acc.merge(next);
             acc
         })
-        .expect("at least one shard")
+        .expect("at least one shard");
+
+    let stats = RunStats {
+        shards: n_shards,
+        threads,
+        items: n_items,
+        steals,
+        shard_wall_us,
+        work: work_elapsed,
+        merge: merge_started.elapsed(),
+        total: started.elapsed(),
+    };
+    (merged, stats)
 }
 
 #[cfg(test)]
@@ -165,6 +260,30 @@ mod tests {
             let got = run_sharded(1000, plan, |_, r| simulate(r));
             assert_eq!(got, reference, "{plan:?}");
         }
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_report_scheduling() {
+        let reference = run_sharded(500, ShardPlan::serial(), |_, r| simulate(r));
+        let (serial, serial_stats) =
+            run_sharded_traced(500, ShardPlan::new(8, 1), |_, r| simulate(r));
+        assert_eq!(serial, reference);
+        assert_eq!(serial_stats.shards, 8);
+        assert_eq!(serial_stats.threads, 1);
+        assert_eq!(serial_stats.items, 500);
+        assert_eq!(serial_stats.steals, 7, "serial: one worker claims all");
+        assert_eq!(serial_stats.shard_wall_us.count(), 8);
+
+        let (parallel, parallel_stats) =
+            run_sharded_traced(500, ShardPlan::new(8, 4), |_, r| simulate(r));
+        assert_eq!(parallel, reference, "tracing must not perturb the fold");
+        assert_eq!(parallel_stats.shard_wall_us.count(), 8);
+        assert!(parallel_stats.steals <= 7, "at most shards - workers_used");
+        assert!(parallel_stats.total >= parallel_stats.merge);
+
+        let mut timings = bb_trace::Timings::new();
+        parallel_stats.record_into(&mut timings);
+        assert_eq!(timings.span("engine.work").unwrap().count, 1);
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //! time, and "peak" = the 95th-percentile of the 30-second (or hourly)
 //! rate series, with or without BitTorrent-active intervals.
 
-use crate::counters::{max_plausible_bytes, upnp_deltas, NetstatCounter, UpnpCounter};
+use crate::counters::{
+    max_plausible_bytes, upnp_deltas_stats, DeltaStats, NetstatCounter, UpnpCounter,
+};
 use crate::workload::GroundTruth;
 use bb_stats::descriptive::quantile;
+use bb_trace::{Log2Histogram, Registry};
 use bb_types::time::{diurnal_multiplier, SLOTS_PER_HOUR};
 use bb_types::{Bandwidth, DemandSummary, SLOT_SECS};
 use rand::Rng;
@@ -162,6 +165,28 @@ impl UsageSeries {
         link_capacity: Bandwidth,
         rng: &mut R,
     ) -> Self {
+        let mut scratch = Registry::new();
+        Self::collect_via_counters_traced(truth, uptime, source, link_capacity, rng, &mut scratch)
+    }
+
+    /// [`UsageSeries::collect_via_counters`], additionally counting how
+    /// often each recovery heuristic fired into `reg`:
+    /// `netsim.collect.polls` / `stale_dropped` / `merged_intervals`, the
+    /// `netsim.collect.gap_slots` histogram, and (for UPnP sources)
+    /// `netsim.upnp.wraps` / `resets` / `reset_clamped`.
+    ///
+    /// All of these are data events — pure functions of `(truth, rng)` —
+    /// so registries accumulated per user merge plan-invariantly. Events
+    /// are tallied in locals and flushed to `reg` once per call to keep
+    /// the per-poll loop free of map lookups.
+    pub fn collect_via_counters_traced<R: Rng + ?Sized>(
+        truth: &GroundTruth,
+        uptime: f64,
+        source: CounterSource,
+        link_capacity: Bandwidth,
+        rng: &mut R,
+        reg: &mut Registry,
+    ) -> Self {
         assert!(uptime > 0.0 && uptime <= 1.0, "uptime in (0,1]");
         const MAX_GAP_SLOTS: usize = 2;
 
@@ -200,21 +225,33 @@ impl UsageSeries {
             }
         }
 
-        // Reconstruct deltas; UPnP readings may have wrapped.
+        // Reconstruct deltas; UPnP readings may have wrapped. Heuristic
+        // firings accumulate in locals and flush to `reg` after the loop.
         let max_plausible =
             |gap: usize| max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS);
         let mut bins = Vec::new();
+        let mut stale_dropped = 0u64;
+        let mut merged_intervals = 0u64;
+        let mut delta_stats = DeltaStats::default();
+        let mut gap_hist = Log2Histogram::new();
         for w in polls.windows(2) {
             let (i0, d0, u0, x0) = w[0];
             let (i1, d1, u1, x1) = w[1];
             let gap = i1 - i0;
             if gap > MAX_GAP_SLOTS {
+                stale_dropped += 1;
                 continue; // stale: the client was offline too long
+            }
+            gap_hist.push(gap as f64, 1.0);
+            if gap > 1 {
+                merged_intervals += 1; // polling jitter merged adjacent slots
             }
             let (down, up) = match source {
                 CounterSource::Upnp => {
-                    let d = upnp_deltas(&[d0 as u32, d1 as u32], max_plausible(gap));
-                    let u = upnp_deltas(&[u0 as u32, u1 as u32], max_plausible(gap));
+                    let (d, ds) = upnp_deltas_stats(&[d0 as u32, d1 as u32], max_plausible(gap));
+                    let (u, us) = upnp_deltas_stats(&[u0 as u32, u1 as u32], max_plausible(gap));
+                    delta_stats.absorb(ds);
+                    delta_stats.absorb(us);
                     // Subtract the detected cross traffic for the interval.
                     let corrected = (d[0] as f64 - (x1 - x0)).max(0.0) as u64;
                     (corrected, u[0])
@@ -233,6 +270,15 @@ impl UsageSeries {
                 up_bytes: up as f64 / gap as f64,
                 bt,
             });
+        }
+        reg.add("netsim.collect.polls", polls.len() as u64);
+        reg.add("netsim.collect.stale_dropped", stale_dropped);
+        reg.add("netsim.collect.merged_intervals", merged_intervals);
+        reg.merge_hist("netsim.collect.gap_slots", gap_hist);
+        if source == CounterSource::Upnp {
+            reg.add("netsim.upnp.wraps", delta_stats.wraps);
+            reg.add("netsim.upnp.resets", delta_stats.resets);
+            reg.add("netsim.upnp.reset_clamped", delta_stats.clamped);
         }
         UsageSeries {
             width: BinWidth::Slot,
@@ -500,6 +546,49 @@ mod tests {
         // Same polls, same deltas — wraps must be fully transparent.
         let ratio = upnp.mean / netstat.mean;
         assert!((0.99..1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn traced_collection_counts_heuristic_firings() {
+        // A fat pipe over a long window wraps the 32-bit register many
+        // times, and a 0.5 uptime client leaves plenty of stale gaps.
+        let link = AccessLink::new(
+            Bandwidth::from_mbps(100.0),
+            Latency::from_ms(30.0),
+            LossRate::from_percent(0.01),
+        );
+        let wl = UserWorkload::with_bt(Bandwidth::from_mbps(20.0), 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let t = simulate_user(&link, &wl, TimeAxis::new(Year(2013), 5), &mut rng);
+
+        let mut reg = bb_trace::Registry::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let traced = UsageSeries::collect_via_counters_traced(
+            &t,
+            0.5,
+            CounterSource::Upnp,
+            link.capacity,
+            &mut rng,
+            &mut reg,
+        );
+        assert!(reg.counter("netsim.collect.polls") > 0);
+        assert!(reg.counter("netsim.upnp.wraps") > 0, "wraps must be seen");
+        assert!(reg.counter("netsim.collect.stale_dropped") > 0);
+        assert!(
+            reg.histogram("netsim.collect.gap_slots").unwrap().count() > 0,
+            "gap histogram records merged windows"
+        );
+
+        // Tracing is observation only: the series is unchanged.
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let untraced = UsageSeries::collect_via_counters(
+            &t,
+            0.5,
+            CounterSource::Upnp,
+            link.capacity,
+            &mut rng,
+        );
+        assert_eq!(traced, untraced);
     }
 
     #[test]

@@ -71,30 +71,83 @@ impl NetstatCounter {
     }
 }
 
+/// How often each recovery heuristic fired during one [`upnp_deltas_stats`]
+/// reconstruction. Pure counts of data events, so they are safe to add
+/// into a `bb_trace::Registry` without breaking plan invariance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Backwards readings explained as a 32-bit wrap (plausible delta).
+    pub wraps: u64,
+    /// Implausible deltas treated as a register reset.
+    pub resets: u64,
+    /// Reset estimates that exceeded `max_plausible` and were clamped —
+    /// the reading had accumulated since a long-ago boot, so taking it
+    /// verbatim would inject an impossible per-interval byte count.
+    pub clamped: u64,
+}
+
+impl DeltaStats {
+    /// Add `other`'s counts into `self`.
+    pub fn absorb(&mut self, other: DeltaStats) {
+        self.wraps += other.wraps;
+        self.resets += other.resets;
+        self.clamped += other.clamped;
+    }
+}
+
 /// Reconstruct per-interval byte deltas from consecutive 32-bit UPnP
 /// readings, distinguishing *wraps* from *resets*.
 ///
 /// A counter that moved backwards has either wrapped (the unsigned
 /// difference is small — the traffic since the last poll) or reset (the
 /// unsigned difference is huge — nearly 2³²). The heuristic: a wrapping
-/// delta above `max_plausible` bytes per interval is treated as a reset and
-/// the new reading itself is taken as the delta (traffic since boot).
+/// delta above `max_plausible` bytes per interval is treated as a reset,
+/// and the new reading itself — the bytes accumulated since boot — is
+/// taken as the delta, **clamped to `max_plausible`**: a gateway that
+/// rebooted long before this poll window reports a since-boot total far
+/// larger than any single interval could carry, and an unclamped
+/// estimate would inject that impossible byte count into one bin.
+///
+/// Un-modeled case: if the link is fast enough to wrap the 32-bit
+/// register *twice* within one poll interval (≥ 8 GiB per interval, i.e.
+/// `max_plausible` ≥ 2³²), a double wrap is indistinguishable from a
+/// single one and the reconstruction under-counts by 2³² — with 30-second
+/// polls that needs a ≈ 2.3 Tbps access link, far outside the paper's
+/// service tiers, so the heuristic does not attempt it.
 ///
 /// Returns one delta per consecutive pair, i.e. `reads.len() - 1` values.
 pub fn upnp_deltas(reads: &[u32], max_plausible: u64) -> Vec<u64> {
+    upnp_deltas_stats(reads, max_plausible).0
+}
+
+/// [`upnp_deltas`], additionally reporting how often each recovery
+/// heuristic (wrap, reset, reset clamp) fired as [`DeltaStats`].
+pub fn upnp_deltas_stats(reads: &[u32], max_plausible: u64) -> (Vec<u64>, DeltaStats) {
     assert!(max_plausible > 0, "max_plausible must be positive");
     let mut out = Vec::with_capacity(reads.len().saturating_sub(1));
+    let mut stats = DeltaStats::default();
     for pair in reads.windows(2) {
         let delta = pair[1].wrapping_sub(pair[0]) as u64;
         if delta <= max_plausible {
+            if pair[1] < pair[0] {
+                stats.wraps += 1;
+            }
             out.push(delta);
         } else {
             // Implausibly large wrap ⇒ the register reset mid-interval; the
-            // best available estimate is the bytes accumulated since boot.
-            out.push(pair[1] as u64);
+            // best available estimate is the bytes accumulated since boot,
+            // bounded by what the link could actually have carried.
+            stats.resets += 1;
+            let since_boot = pair[1] as u64;
+            if since_boot > max_plausible {
+                stats.clamped += 1;
+                out.push(max_plausible);
+            } else {
+                out.push(since_boot);
+            }
         }
     }
-    out
+    (out, stats)
 }
 
 /// The largest byte count a link of `capacity_bps` can carry in
@@ -136,6 +189,47 @@ mod tests {
         let max_plausible = max_plausible_bytes(100e6, 30.0); // 100 Mbps link
         let deltas = upnp_deltas(&reads, max_plausible);
         assert_eq!(deltas, vec![200]);
+    }
+
+    #[test]
+    fn reset_estimate_is_clamped_to_max_plausible() {
+        // Regression: a gateway that rebooted long before this poll window
+        // reports a since-boot total (here 2 GB) far above what a 100 Mbps
+        // link can carry in 30 s; the pre-fix code pushed it verbatim,
+        // injecting an impossible ~533 Mbps bin into the series.
+        let max_plausible = max_plausible_bytes(100e6, 30.0); // 750 MB
+        let reads = [3_000_000_000u32, 2_000_000_000];
+        let (deltas, stats) = upnp_deltas_stats(&reads, max_plausible);
+        assert_eq!(deltas, vec![max_plausible], "estimate must be clamped");
+        assert_eq!(
+            stats,
+            DeltaStats {
+                wraps: 0,
+                resets: 1,
+                clamped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn stats_classify_wraps_resets_and_clamps() {
+        let max_plausible = max_plausible_bytes(100e6, 30.0);
+        // In-order delta, then a wrap, then a small-reading reset.
+        let reads = [u32::MAX - 1000, u32::MAX - 500, 400, 100_000_000, 200];
+        let (deltas, stats) = upnp_deltas_stats(&reads, max_plausible);
+        assert_eq!(deltas, vec![500, 901, 99_999_600, 200]);
+        assert_eq!(
+            stats,
+            DeltaStats {
+                wraps: 1,
+                resets: 1,
+                clamped: 0
+            }
+        );
+        let mut total = DeltaStats::default();
+        total.absorb(stats);
+        total.absorb(stats);
+        assert_eq!(total.resets, 2);
     }
 
     #[test]

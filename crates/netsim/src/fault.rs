@@ -42,6 +42,39 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that drops each counter sample with probability `prob`.
+    ///
+    /// # Panics
+    /// Panics unless `prob` is a finite probability in `[0, 1]` — the
+    /// validating front door for the knob, so a mis-computed probability
+    /// fails loudly at construction instead of silently eating a series.
+    pub fn with_sample_drop(prob: f64) -> FaultPlan {
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "sample_drop_prob must be a probability in [0, 1], got {prob}"
+        );
+        FaultPlan {
+            sample_drop_prob: prob,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// The drop probability actually applied: `sample_drop_prob` clamped
+    /// to `[0, 1]`, with NaN treated as 0 (no dropping).
+    ///
+    /// `sample_drop_prob` is a public field, so plans built with struct
+    /// syntax bypass [`FaultPlan::with_sample_drop`]'s validation; before
+    /// this clamp existed, a NaN propagated from upstream arithmetic made
+    /// `rng.gen::<f64>() >= NaN` false for every sample and silently
+    /// dropped the entire series.
+    pub fn effective_drop_prob(&self) -> f64 {
+        if self.sample_drop_prob.is_nan() {
+            0.0
+        } else {
+            self.sample_drop_prob.clamp(0.0, 1.0)
+        }
+    }
+
     /// Apply the plan to a link.
     pub fn apply(&self, link: &AccessLink) -> AccessLink {
         let mut degraded = link.degraded(self.extra_latency, self.extra_loss);
@@ -53,13 +86,44 @@ impl FaultPlan {
 
     /// Apply sample dropping to a series of counter samples.
     pub fn drop_samples<T, R: Rng + ?Sized>(&self, samples: Vec<T>, rng: &mut R) -> Vec<T> {
-        if self.sample_drop_prob <= 0.0 {
+        let mut dropped = 0;
+        self.drop_samples_counted(samples, rng, &mut dropped)
+    }
+
+    /// [`FaultPlan::drop_samples`], reporting how many samples were lost
+    /// so callers can count them into a `bb_trace::Registry`
+    /// (`netsim.fault.samples_dropped`).
+    pub fn drop_samples_counted<T, R: Rng + ?Sized>(
+        &self,
+        samples: Vec<T>,
+        rng: &mut R,
+        dropped: &mut u64,
+    ) -> Vec<T> {
+        let prob = self.effective_drop_prob();
+        if prob <= 0.0 {
             return samples;
         }
-        samples
+        let before = samples.len();
+        let kept: Vec<T> = samples
             .into_iter()
-            .filter(|_| rng.gen::<f64>() >= self.sample_drop_prob)
-            .collect()
+            .filter(|_| rng.gen::<f64>() >= prob)
+            .collect();
+        *dropped += (before - kept.len()) as u64;
+        kept
+    }
+
+    /// [`FaultPlan::drop_samples`], counting the losses straight into a
+    /// registry under `netsim.fault.samples_dropped`.
+    pub fn drop_samples_traced<T, R: Rng + ?Sized>(
+        &self,
+        samples: Vec<T>,
+        rng: &mut R,
+        reg: &mut bb_trace::Registry,
+    ) -> Vec<T> {
+        let mut dropped = 0;
+        let kept = self.drop_samples_counted(samples, rng, &mut dropped);
+        reg.add("netsim.fault.samples_dropped", dropped);
+        kept
     }
 }
 
@@ -159,6 +223,71 @@ mod tests {
         let kept = plan.drop_samples((0..10_000).collect::<Vec<_>>(), &mut rng);
         let frac = kept.len() as f64 / 10_000.0;
         assert!((frac - 0.5).abs() < 0.05, "kept {frac}");
+    }
+
+    #[test]
+    fn nan_drop_prob_keeps_every_sample() {
+        // Regression: `rng.gen::<f64>() >= NaN` is false for every sample,
+        // so a NaN propagated from upstream arithmetic used to silently
+        // drop the entire series. NaN now means "knob unset" (drop nothing).
+        let plan = FaultPlan {
+            sample_drop_prob: f64::NAN,
+            ..FaultPlan::NONE
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let kept = plan.drop_samples((0..1000).collect::<Vec<_>>(), &mut rng);
+        assert_eq!(kept.len(), 1000, "NaN must not drop samples");
+        assert_eq!(plan.effective_drop_prob(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_drop_prob_clamps() {
+        let plan = FaultPlan {
+            sample_drop_prob: 7.5,
+            ..FaultPlan::NONE
+        };
+        assert_eq!(plan.effective_drop_prob(), 1.0);
+        let plan = FaultPlan {
+            sample_drop_prob: -0.25,
+            ..FaultPlan::NONE
+        };
+        assert_eq!(plan.effective_drop_prob(), 0.0);
+    }
+
+    #[test]
+    fn counted_dropping_reports_losses() {
+        let plan = FaultPlan::with_sample_drop(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut dropped = 0;
+        let kept =
+            plan.drop_samples_counted((0..10_000).collect::<Vec<_>>(), &mut rng, &mut dropped);
+        assert_eq!(kept.len() as u64 + dropped, 10_000);
+        assert!(dropped > 4_000 && dropped < 6_000, "dropped {dropped}");
+    }
+
+    #[test]
+    fn traced_dropping_counts_into_the_registry() {
+        let plan = FaultPlan::with_sample_drop(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut reg = bb_trace::Registry::new();
+        let kept = plan.drop_samples_traced((0..10_000).collect::<Vec<_>>(), &mut rng, &mut reg);
+        assert_eq!(
+            reg.counter("netsim.fault.samples_dropped"),
+            (10_000 - kept.len()) as u64
+        );
+        assert!(reg.counter("netsim.fault.samples_dropped") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_drop_prob must be a probability")]
+    fn validating_constructor_rejects_nan() {
+        let _ = FaultPlan::with_sample_drop(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_drop_prob must be a probability")]
+    fn validating_constructor_rejects_out_of_range() {
+        let _ = FaultPlan::with_sample_drop(1.5);
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! * [`probe`] — NDT-like capacity/latency/loss probes and the §7.1
 //!   web-latency measurements;
 //! * [`fault`] — fault injection used by the examples and ablations.
+//!
+//! The wrap/reset/stale-poll recovery heuristics in [`counters`] and
+//! [`collect`] report how often they fire through `bb-trace` (the
+//! `*_traced` collection variants and [`counters::DeltaStats`]); those
+//! counts are pure data events and merge plan-invariantly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

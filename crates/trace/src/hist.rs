@@ -1,0 +1,104 @@
+//! Power-of-two histograms.
+//!
+//! The paper bins capacities into `(100 kbps · 2^(k-1), 100 kbps · 2^k]`
+//! service tiers; this sketch generalises that shape: exact `u64` counts
+//! over `log2` buckets of `value / base`, merged by addition — exactly
+//! associative, commutative and partition-invariant. It lives in
+//! `bb-trace` (and is re-exported by `bb-engine`) because the metrics
+//! registry uses the same buckets for its value histograms and the shard
+//! runner for its per-shard wall-time distribution.
+
+use std::collections::BTreeMap;
+
+/// Mergeable log₂-bucket histogram for positive values.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Log2Histogram {
+    /// Count per `floor(log2(value/base))` — but stored via the paper's
+    /// convention `ceil(log2(value/base))` so a bucket `k` covers
+    /// `(base·2^(k-1), base·2^k]`.
+    counts: BTreeMap<i32, u64>,
+    /// Observations at or below zero.
+    nonpositive: u64,
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `ratio = value / base`: the `k` with
+    /// `2^(k-1) < ratio ≤ 2^k`.
+    fn bucket_of(ratio: f64) -> i32 {
+        ratio.log2().ceil() as i32
+    }
+
+    /// Absorb `value` relative to `base` (typically 0.1 Mbps).
+    pub fn push(&mut self, value: f64, base: f64) {
+        debug_assert!(base > 0.0);
+        if value <= 0.0 {
+            self.nonpositive += 1;
+            return;
+        }
+        *self
+            .counts
+            .entry(Self::bucket_of(value / base))
+            .or_insert(0) += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.nonpositive + self.counts.values().sum::<u64>()
+    }
+
+    /// `(bucket index, count)` in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Observations at or below zero.
+    pub fn nonpositive(&self) -> u64 {
+        self.nonpositive
+    }
+
+    /// Fold `other` into `self` by adding bucket counts (exact, and
+    /// therefore associative, commutative and partition-invariant).
+    pub fn merge(&mut self, other: Self) {
+        for (bucket, count) in other.counts {
+            *self.counts.entry(bucket).or_insert(0) += count;
+        }
+        self.nonpositive += other.nonpositive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_the_paper_tiers() {
+        let mut h = Log2Histogram::new();
+        // 0.4 Mbps against a 0.1 Mbps base: ratio 4 → bucket 2 ((0.2, 0.4]).
+        h.push(0.4, 0.1);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(2, 1)]);
+        // 0.401 spills into the next tier.
+        h.push(0.401, 0.1);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for i in 1..100 {
+            a.push(i as f64, 1.0);
+            b.push((i * 7 % 90) as f64, 1.0);
+        }
+        let mut both = a.clone();
+        both.merge(b.clone());
+        assert_eq!(both.count(), a.count() + b.count());
+        let mut reversed = b;
+        reversed.merge(a);
+        assert_eq!(both, reversed);
+    }
+}

@@ -1,0 +1,32 @@
+//! `bb-trace` — zero-dependency structured observability.
+//!
+//! The collection pipeline of the paper (Bischof, Bustamante, Stanojevic,
+//! IMC 2014) survives on recovery heuristics: 32-bit UPnP counters wrap,
+//! gateways reset on reboot, polls jitter and drop. Those paths used to
+//! fire silently. This crate makes them observable without giving up the
+//! workspace's core guarantee — bit-identical output for any
+//! `(shards, threads)` plan — by splitting observability into two halves:
+//!
+//! - [`Registry`]: named counters + log₂ value histograms for **data
+//!   events** (wraps, resets, clamps, drops, merges). Pure functions of
+//!   `(seed, user index)`, merged shard-order-deterministically like the
+//!   engine's sketches, serialised to byte-stable JSON (`--metrics`).
+//! - [`Timings`]: named wall-clock spans for the **runtime** side (phase
+//!   durations, per-shard wall time). Plan- and machine-dependent by
+//!   nature, written to a separate `.runtime.json` sidecar and never
+//!   mixed into the deterministic registry.
+//!
+//! [`Log2Histogram`] lives here (re-exported by `bb-engine` for
+//! compatibility) because both halves and the engine's sketch layer
+//! share its exact-integer-count log₂ buckets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::Log2Histogram;
+pub use registry::Registry;
+pub use span::{SpanStats, Timings};

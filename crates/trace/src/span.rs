@@ -1,0 +1,129 @@
+//! Lightweight span timing — the *non*-deterministic side of tracing.
+//!
+//! [`Timings`] records named wall-clock spans: per-span call count,
+//! total duration, and a log₂ histogram of microsecond durations. It is
+//! kept deliberately separate from [`crate::Registry`]: wall time is a
+//! property of the machine and the `(shards, threads)` plan, never of
+//! the simulated data, so it must not be able to contaminate the
+//! byte-identical `--metrics` output. The `reproduce` CLI writes it to
+//! a `.runtime.json` sidecar instead.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Accumulated statistics for one named span.
+#[derive(Clone, Debug, Default)]
+pub struct SpanStats {
+    /// Number of times the span ran.
+    pub count: u64,
+    /// Total wall time across all runs.
+    pub total: Duration,
+    /// Log₂ histogram of per-run durations in microseconds (base 1 µs).
+    pub micros: crate::Log2Histogram,
+}
+
+/// Named wall-clock spans: count, total duration, µs histogram.
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Timings {
+    /// Empty set of spans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f` under span `name`, returning its result.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Record an externally-measured duration under span `name`.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.total += elapsed;
+        s.micros.push(elapsed.as_secs_f64() * 1e6, 1.0);
+    }
+
+    /// Stats for span `name`, if it ever ran.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// `(name, stats)` in name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, &SpanStats)> + '_ {
+        self.spans.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Fold `other` into `self` (counts and totals add, histograms merge).
+    pub fn merge(&mut self, other: Self) {
+        for (name, stats) in other.spans {
+            let s = self.spans.entry(name).or_default();
+            s.count += stats.count;
+            s.total += stats.total;
+            s.micros.merge(stats.micros);
+        }
+    }
+
+    /// Pretty JSON for the runtime sidecar. Keys are sorted, but the
+    /// *values* are wall-clock measurements — this output is expected to
+    /// differ run to run and is excluded from invariance guarantees.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"spans\": {");
+        let mut first = true;
+        for (name, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"count\": {}, \"total_us\": {}}}",
+                s.count,
+                s.total.as_micros()
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_count_and_duration() {
+        let mut t = Timings::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        t.record("work", Duration::from_micros(250));
+        let s = t.span("work").unwrap();
+        assert_eq!(s.count, 2);
+        assert!(s.total >= Duration::from_micros(250));
+        assert_eq!(s.micros.count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_span_stats() {
+        let mut a = Timings::new();
+        a.record("merge", Duration::from_micros(10));
+        let mut b = Timings::new();
+        b.record("merge", Duration::from_micros(20));
+        b.record("other", Duration::from_micros(5));
+        a.merge(b);
+        assert_eq!(a.span("merge").unwrap().count, 2);
+        assert_eq!(a.span("merge").unwrap().total, Duration::from_micros(30));
+        assert_eq!(a.spans().count(), 2);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`causal`] — the natural-experiment (matching + sign test) engine;
 //! * [`engine`] — the sharded deterministic execution engine and its
 //!   mergeable streaming-sketch accumulators;
+//! * [`trace`] — zero-dependency structured observability: the mergeable
+//!   metrics [`Registry`](trace::Registry) (plan-invariant data events)
+//!   and wall-clock [`Timings`](trace::Timings);
 //! * [`dataset`] — the synthetic world model and population generator;
 //! * [`study`] — the paper's analysis pipeline (every table and figure);
 //! * [`report`] — rendering of exhibits as text, CSV and JSON.
@@ -31,4 +34,5 @@ pub use bb_netsim as netsim;
 pub use bb_report as report;
 pub use bb_stats as stats;
 pub use bb_study as study;
+pub use bb_trace as trace;
 pub use bb_types as types;

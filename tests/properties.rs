@@ -1,15 +1,22 @@
 //! Property-based tests of the core invariants, spanning crates.
 
 use needwant::causal::{match_pairs, Caliper, Unit};
-use needwant::netsim::counters::{max_plausible_bytes, upnp_deltas, UpnpCounter};
+use needwant::netsim::collect::{BtFilter, CounterSource};
+use needwant::netsim::counters::{
+    max_plausible_bytes, upnp_deltas, upnp_deltas_stats, NetstatCounter, UpnpCounter,
+};
 use needwant::netsim::fault::TokenBucket;
 use needwant::netsim::link::AccessLink;
 use needwant::netsim::tcp::{achievable_rate, mathis_throughput};
+use needwant::netsim::{simulate_user, UsageSeries, UserWorkload};
 use needwant::stats::dist::Binomial;
 use needwant::stats::hypothesis::{binomial_test, Tail};
 use needwant::stats::{quantile, Ecdf};
+use needwant::trace::Registry;
 use needwant::types::{Bandwidth, CapacityBin, Latency, LossRate, MoneyPpp, PppConverter};
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 proptest! {
     // ---------- statistics ----------
@@ -196,6 +203,75 @@ proptest! {
     }
 
     #[test]
+    fn upnp_recovery_is_bounded_under_wrap_reset_and_drop_schedules(
+        // Per poll interval: bytes transferred (up to ~2 GB, enough to be
+        // implausible for a 100 Mbps / 30 s interval and to wrap the u32
+        // register quickly), a reset roll (0 ⇒ gateway reboots, ~8%) and a
+        // drop roll (0 ⇒ the poll is lost, ~10%, merging two intervals).
+        schedule in prop::collection::vec(
+            (0u64..2_000_000_000, 0u8..12, 0u8..10),
+            2..60,
+        ),
+        preload in 0u64..4_000_000_000,
+    ) {
+        // 100 Mbps for 30 s, with the 2x headroom: 750 MB per interval.
+        let max_plausible = max_plausible_bytes(100e6, 30.0);
+        let mut upnp = UpnpCounter::new();
+        let mut netstat = NetstatCounter::new();
+        upnp.add(preload);
+        netstat.add(preload);
+        let mut upnp_reads = vec![upnp.read()];
+        let mut net_reads = vec![netstat.read()];
+        // Some(bytes): no reset since the last recorded poll and the true
+        // total is plausible, so recovery must be *exact*. None: recovery
+        // only has to respect the clamp bound.
+        let mut expected: Vec<Option<u64>> = Vec::new();
+        let mut pending = 0u64;
+        let mut pending_reset = false;
+        for &(bytes, reset_roll, drop_roll) in &schedule {
+            if reset_roll == 0 {
+                upnp.reset();
+                netstat.reset();
+                pending_reset = true;
+            }
+            upnp.add(bytes);
+            netstat.add(bytes);
+            pending += bytes;
+            if drop_roll == 0 {
+                continue; // lost poll: this interval merges into the next
+            }
+            upnp_reads.push(upnp.read());
+            net_reads.push(netstat.read());
+            expected.push((!pending_reset && pending <= max_plausible).then_some(pending));
+            pending = 0;
+            pending_reset = false;
+        }
+
+        let (recovered, stats) = upnp_deltas_stats(&upnp_reads, max_plausible);
+        prop_assert_eq!(recovered.len(), expected.len());
+        for (i, (&got, &want)) in recovered.iter().zip(&expected).enumerate() {
+            // The headline guarantee of the recovery heuristic: no
+            // recovered delta ever exceeds the plausibility clamp.
+            prop_assert!(
+                got <= max_plausible,
+                "interval {i}: recovered {got} above clamp {max_plausible}"
+            );
+            if let Some(bytes) = want {
+                prop_assert_eq!(got, bytes, "interval {i}: clean interval not exact");
+                // The 64-bit netstat register cannot wrap, so on clean
+                // intervals both counter sources must agree.
+                let net_delta = net_reads[i + 1].saturating_sub(net_reads[i]);
+                prop_assert_eq!(got, net_delta, "interval {i}: sources disagree");
+            }
+        }
+        prop_assert!(
+            stats.wraps + stats.resets <= recovered.len() as u64,
+            "each interval fires at most one heuristic"
+        );
+        prop_assert!(stats.clamped <= stats.resets, "only resets clamp");
+    }
+
+    #[test]
     fn token_bucket_never_exceeds_rate_plus_burst(
         rate_mbps in 0.1f64..100.0,
         burst in 1e3f64..1e7,
@@ -209,5 +285,58 @@ proptest! {
         let horizon = offers.len() as f64;
         let ceiling = burst + rate_mbps * 1e6 / 8.0 * horizon;
         prop_assert!(granted <= ceiling + 1e-6, "granted {granted} vs ceiling {ceiling}");
+    }
+}
+
+/// End-to-end version of the clamp bound, for both counter sources: under
+/// seeded random workloads and a flaky (0.6-uptime) client whose missed
+/// polls merge and drop intervals, every reconstructed per-slot rate stays
+/// within the plausibility headroom of the link, and the traced registry
+/// stays consistent (UPnP heuristics never fire for netstat collection).
+#[test]
+fn counter_collection_stays_plausible_under_random_schedules() {
+    use needwant::types::{Bandwidth, Latency, LossRate, TimeAxis, Year};
+    let link = AccessLink::new(
+        Bandwidth::from_mbps(100.0),
+        Latency::from_ms(30.0),
+        LossRate::from_percent(0.01),
+    );
+    let wl = UserWorkload::with_bt(Bandwidth::from_mbps(20.0), 0.5);
+    for seed in 0..4u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let truth = simulate_user(&link, &wl, TimeAxis::new(Year(2013), 3), &mut rng);
+        for source in [CounterSource::Upnp, CounterSource::Netstat] {
+            let mut reg = Registry::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            let series = UsageSeries::collect_via_counters_traced(
+                &truth,
+                0.6,
+                source,
+                link.capacity,
+                &mut rng,
+                &mut reg,
+            );
+            // max_plausible allows 2x the link capacity per interval.
+            let ceiling = 2.0 * link.capacity.bps() + 1.0;
+            for rate in series.rates(BtFilter::Include) {
+                assert!(
+                    rate <= ceiling,
+                    "seed {seed} {source:?}: rate {rate} above {ceiling}"
+                );
+            }
+            assert!(reg.counter("netsim.collect.polls") > 0, "{source:?}");
+            let heuristics = reg.counter("netsim.upnp.wraps")
+                + reg.counter("netsim.upnp.resets")
+                + reg.counter("netsim.upnp.reset_clamped");
+            match source {
+                // A fat BT pipe over 3 days must wrap the u32 register.
+                CounterSource::Upnp => {
+                    assert!(reg.counter("netsim.upnp.wraps") > 0, "seed {seed}")
+                }
+                CounterSource::Netstat => {
+                    assert_eq!(heuristics, 0, "netstat must not fire UPnP heuristics")
+                }
+            }
+        }
     }
 }

@@ -91,6 +91,46 @@ fn streamed_exhibits_are_byte_identical_across_plans() {
 }
 
 #[test]
+fn metrics_registries_are_byte_identical_across_plans() {
+    // The bb-trace registry only records data events (wraps, resets,
+    // stale drops, observation counts) — pure functions of the seed — so
+    // its serialised JSON must be byte-identical for every shard/thread
+    // plan and for both the materialised and the streaming paths.
+    let world = small_world(34);
+    let (_, serial_reg, serial_stats) = world.generate_with_traced(SERIAL);
+    let (_, parallel_reg, parallel_stats) = world.generate_with_traced(PARALLEL);
+    let serial_json = serial_reg.to_json();
+    assert_eq!(
+        serial_json,
+        parallel_reg.to_json(),
+        "registry JSON differs between shard plans"
+    );
+
+    // Spot-check the counters are actually populated, not vacuously equal.
+    assert!(serial_reg.counter("dataset.users.observed") > 0);
+    assert!(serial_reg.counter("netsim.collect.polls") > 0);
+    assert!(serial_reg.histogram("netsim.collect.gap_slots").is_some());
+
+    // Scheduling observables are plan-dependent by design and live outside
+    // the invariance guarantee — but the work accounting must agree.
+    assert_eq!(serial_stats.items, parallel_stats.items);
+    assert_eq!(serial_stats.shards, 1);
+    assert_eq!(parallel_stats.shards, 8);
+
+    // The streaming fold accumulates the identical registry.
+    let (_, _, stream_reg, _) = world.fold_users_traced(
+        PARALLEL,
+        needwant::study::StreamStudy::new,
+        |s: &mut needwant::study::StreamStudy, r, u| s.absorb(r, u),
+    );
+    assert_eq!(
+        serial_json,
+        stream_reg.to_json(),
+        "streaming fold registry differs from materialised registry"
+    );
+}
+
+#[test]
 fn streamed_study_matches_materialised_dataset_counts() {
     let world = small_world(33);
     let dataset = world.generate();
