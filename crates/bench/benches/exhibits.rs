@@ -13,63 +13,63 @@ use std::hint::black_box;
 fn bench_fig1(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig1_network_characteristics", |b| {
-        b.iter(|| black_box(sec2::figure1(ds)))
+        b.iter(|| black_box(sec2::figure1(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig2(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig2_capacity_vs_usage", |b| {
-        b.iter(|| black_box(sec3::figure2(ds)))
+        b.iter(|| black_box(sec3::figure2(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig3(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig3_fcc_vs_dasu", |b| {
-        b.iter(|| black_box(sec3::figure3(ds)))
+        b.iter(|| black_box(sec3::figure3(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_table1(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table1_upgrade_experiment", |b| {
-        b.iter(|| black_box(sec3::table1(ds)))
+        b.iter(|| black_box(sec3::table1(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig4(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig4_mover_cdfs", |b| {
-        b.iter(|| black_box(sec3::figure4(ds)))
+        b.iter(|| black_box(sec3::figure4(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig5_upgrade_matrix", |b| {
-        b.iter(|| black_box(sec3::figure5(ds)))
+        b.iter(|| black_box(sec3::figure5(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_table2(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table2_matched_capacity_bins", |b| {
-        b.iter(|| black_box(sec3::table2(ds)))
+        b.iter(|| black_box(sec3::table2(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig6_longitudinal", |b| {
-        b.iter(|| black_box(sec4::figure6(ds)))
+        b.iter(|| black_box(sec4::figure6(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_table3(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table3_price_experiment", |b| {
-        b.iter(|| black_box(sec5::table3(ds)))
+        b.iter(|| black_box(sec5::table3(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
@@ -77,27 +77,33 @@ fn bench_table4(c: &mut Criterion) {
     let ds = bench_dataset();
     let world = bench_world();
     c.bench_function("table4_case_study", |b| {
-        b.iter(|| black_box(sec5::table4(ds, &world.profiles)))
+        b.iter(|| {
+            black_box(sec5::table4(
+                ds,
+                &world.profiles,
+                &mut bb_trace::EventLog::new(),
+            ))
+        })
     });
 }
 
 fn bench_fig7_fig8_fig9(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig7_market_cdfs", |b| {
-        b.iter(|| black_box(sec5::figure7(ds)))
+        b.iter(|| black_box(sec5::figure7(ds, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("fig8_utilization_by_tier", |b| {
-        b.iter(|| black_box(sec5::figure8(ds, 30)))
+        b.iter(|| black_box(sec5::figure8(ds, 30, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("fig9_demand_bars", |b| {
-        b.iter(|| black_box(sec5::figure9(ds, 30)))
+        b.iter(|| black_box(sec5::figure9(ds, 30, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_fig10_table5(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("fig10_upgrade_cost_cdf", |b| {
-        b.iter(|| black_box(sec6::figure10(ds)))
+        b.iter(|| black_box(sec6::figure10(ds, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("table5_regional_costs", |b| {
         b.iter(|| black_box(sec6::table5(ds)))
@@ -110,30 +116,30 @@ fn bench_fig10_table5(c: &mut Criterion) {
 fn bench_table6(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table6_upgrade_cost_experiment", |b| {
-        b.iter(|| black_box(sec6::table6(ds)))
+        b.iter(|| black_box(sec6::table6(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_table7_fig11(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table7_latency_experiment", |b| {
-        b.iter(|| black_box(sec7::table7(ds)))
+        b.iter(|| black_box(sec7::table7(ds, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("fig11_india_latency_cdfs", |b| {
-        b.iter(|| black_box(sec7::figure11(ds)))
+        b.iter(|| black_box(sec7::figure11(ds, &mut bb_trace::EventLog::new())))
     });
 }
 
 fn bench_table8_fig12(c: &mut Criterion) {
     let ds = bench_dataset();
     c.bench_function("table8_loss_experiment", |b| {
-        b.iter(|| black_box(sec7::table8(ds)))
+        b.iter(|| black_box(sec7::table8(ds, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("fig12_india_loss_cdfs", |b| {
-        b.iter(|| black_box(sec7::figure12(ds)))
+        b.iter(|| black_box(sec7::figure12(ds, &mut bb_trace::EventLog::new())))
     });
     c.bench_function("sec7_india_vs_us", |b| {
-        b.iter(|| black_box(sec7::india_vs_us(ds)))
+        b.iter(|| black_box(sec7::india_vs_us(ds, &mut bb_trace::EventLog::new())))
     });
 }
 

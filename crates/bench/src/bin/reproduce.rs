@@ -22,7 +22,12 @@
 //! `--metrics PATH` writes the merged `bb-trace` registry — collection
 //! heuristic counters, a pure function of the seed and therefore
 //! byte-identical for every shard/thread plan — plus a plan-dependent
-//! `.runtime.json` sidecar (wall times, steal counts). `--quiet`
+//! `.runtime.json` sidecar (wall times, steal counts). `--ledger PATH`
+//! writes the provenance event log (JSONL, also plan-invariant):
+//! one event per exhibit with input/drop accounting, one `match_audit`
+//! per natural experiment, one `sign_test` per reported test.
+//! `--chrome-trace PATH` writes a plan-dependent Chrome trace-event
+//! file of the harness phases, loadable in Perfetto. `--quiet`
 //! suppresses the per-phase progress lines on stderr.
 
 use bb_bench::REPRO_SEED;
@@ -33,7 +38,7 @@ use bb_report::gnuplot;
 use bb_report::json;
 use bb_report::text;
 use bb_study::{StreamStudy, StudyReport};
-use bb_trace::Registry;
+use bb_trace::{EventLog, Registry, Timings};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -57,6 +62,14 @@ options:
                   PATH (byte-identical for any --threads/--shards plan)
                   plus a plan-dependent PATH-adjacent .runtime.json
                   sidecar with wall times and steal counts
+  --ledger PATH   write the provenance event log as JSONL to PATH: per-
+                  exhibit input/drop accounting, per-experiment matching
+                  audits and sign-test inputs (byte-identical for any
+                  --threads/--shards plan)
+  --chrome-trace PATH
+                  write a Chrome trace-event JSON file of the harness
+                  phases to PATH (plan-dependent; open in Perfetto or
+                  chrome://tracing)
   --quiet         suppress per-phase progress lines on stderr
   -h, --help      print this help
 ";
@@ -102,7 +115,11 @@ fn main() {
     cfg.days = args.days;
     cfg.fcc_users = args.fcc_users;
     let world = World::new(cfg);
+    let mut timings = Timings::new();
+    timings.begin("reproduce");
+    timings.begin("generate");
     let (dataset, registry, stats) = world.generate_with_traced(plan);
+    timings.end();
     progress!(
         args,
         "generated {} user records ({} Dasu / {} FCC), {} movers, {} markets in {:.1?}",
@@ -115,7 +132,18 @@ fn main() {
     );
 
     let t1 = std::time::Instant::now();
-    let report = StudyReport::run(&dataset, &world.profiles, 30);
+    timings.begin("analysis");
+    let mut ledger = EventLog::new();
+    ledger
+        .emit("dataset")
+        .u64("seed", args.seed)
+        .u64("records", dataset.records.len() as u64)
+        .u64("dasu", dataset.dasu().count() as u64)
+        .u64("fcc", dataset.fcc().count() as u64)
+        .u64("movers", dataset.upgrades.len() as u64)
+        .u64("markets", dataset.survey.len() as u64);
+    let report = StudyReport::run_with_ledger(&dataset, &world.profiles, 30, &mut ledger);
+    timings.end();
     progress!(args, "analysis pipeline finished in {:.1?}", t1.elapsed());
     let extensions = bb_study::ext::extension_table(&dataset);
     let separations = bb_study::ext::cdf_separations(&dataset);
@@ -123,7 +151,9 @@ fn main() {
     let uploads = bb_study::ext::upload_breakdown(&dataset);
 
     create_dir(&args.out);
+    timings.begin("render");
     write_metrics(&args, &registry, &stats);
+    write_ledger(&args, &ledger);
     write_exhibits(&report, &args.out);
     write(
         &args.out,
@@ -160,8 +190,12 @@ fn main() {
         md.push('\n');
         comparison.push_str(&md);
     }
+    comparison.push_str(&bb_report::markdown::provenance(&ledger));
     write(&args.out, "experiments.md", &comparison);
     println!("{comparison}");
+    timings.end();
+    timings.end();
+    write_chrome_trace(&args, &timings);
     progress!(args, "wrote exhibits to {}", args.out.display());
 }
 
@@ -184,8 +218,12 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
         plan.shards,
         plan.threads
     );
+    let mut timings = Timings::new();
+    timings.begin("reproduce");
+    timings.begin("stream");
     let (_, study, mut registry, stats) =
         world.fold_users_traced(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
+    timings.end();
     let elapsed = stats.total;
     progress!(
         args,
@@ -203,9 +241,29 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
     registry.add("study.fcc_users", study.fcc_users);
     registry.add("study.movers", study.movers);
     registry.add("study.sketch_negatives", study.sketch_negatives());
+    // The streaming sketches are plan-invariant, so the counters they
+    // carry can feed the ledger just like the materialised exhibits do.
+    let mut ledger = EventLog::new();
+    ledger
+        .emit("stream_study")
+        .u64("seed", args.seed)
+        .u64("users", study.users)
+        .u64("dasu_users", study.dasu_users)
+        .u64("fcc_users", study.fcc_users)
+        .u64("movers", study.movers)
+        .u64("sketch_negatives", study.sketch_negatives());
+    for f in study.figure1().iter().chain(study.figure7().iter()) {
+        ledger
+            .emit("exhibit")
+            .str("id", f.id.clone())
+            .u64("n", f.series.iter().map(|s| s.n as u64).sum())
+            .u64("series", f.series.len() as u64);
+    }
 
     create_dir(&args.out);
+    timings.begin("render");
     write_metrics(args, &registry, &stats);
+    write_ledger(args, &ledger);
     for f in study.figure1().iter().chain(study.figure7().iter()) {
         write(
             &args.out,
@@ -255,6 +313,9 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
             stats.frac_loss_above_1pct * 100.0
         );
     }
+    timings.end();
+    timings.end();
+    write_chrome_trace(args, &timings);
     progress!(args, "wrote streaming exhibits to {}", args.out.display());
 }
 
@@ -269,6 +330,8 @@ struct Args {
     shards: Option<usize>,
     users: Option<u64>,
     metrics: Option<PathBuf>,
+    ledger: Option<PathBuf>,
+    chrome_trace: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -304,6 +367,8 @@ impl Args {
             shards: None,
             users: None,
             metrics: None,
+            ledger: None,
+            chrome_trace: None,
             quiet: false,
         };
         while let Some(flag) = it.next() {
@@ -348,6 +413,10 @@ impl Args {
                     args.users = Some(users);
                 }
                 "--metrics" => args.metrics = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--ledger" => args.ledger = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--chrome-trace" => {
+                    args.chrome_trace = Some(PathBuf::from(take(&mut it, &flag)?));
+                }
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -422,6 +491,47 @@ fn write_metrics(args: &Args, registry: &Registry, stats: &RunStats) {
         "wrote metrics to {} (runtime sidecar {})",
         path.display(),
         sidecar.display()
+    );
+}
+
+/// Write the plan-invariant provenance ledger as JSONL.
+fn write_ledger(args: &Args, ledger: &EventLog) {
+    let Some(path) = &args.ledger else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            create_dir(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(path, ledger.to_jsonl()) {
+        eprintln!("reproduce: write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    progress!(
+        args,
+        "wrote provenance ledger ({} events) to {}",
+        ledger.len(),
+        path.display()
+    );
+}
+
+/// Write the plan-dependent Chrome trace of the harness phases.
+fn write_chrome_trace(args: &Args, timings: &Timings) {
+    let Some(path) = &args.chrome_trace else {
+        return;
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            create_dir(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(path, timings.to_chrome_trace()) {
+        eprintln!("reproduce: write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    progress!(
+        args,
+        "wrote chrome trace to {} (open in Perfetto or chrome://tracing)",
+        path.display()
     );
 }
 

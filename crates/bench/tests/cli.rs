@@ -72,6 +72,110 @@ fn help_prints_usage_on_stdout_and_exits_0() {
         assert!(stdout.contains("usage: reproduce"), "{flag}: {stdout}");
         assert!(stdout.contains("--metrics"), "{flag}: new flags documented");
         assert!(stdout.contains("--quiet"), "{flag}: new flags documented");
+        assert!(stdout.contains("--ledger"), "{flag}: new flags documented");
+        assert!(
+            stdout.contains("--chrome-trace"),
+            "{flag}: new flags documented"
+        );
+    }
+}
+
+#[test]
+fn ledger_is_byte_identical_across_plans() {
+    let dir = tmpdir("cli-ledger");
+    let run = |label: &str, threads: &str, shards: &str| -> String {
+        let ledger = format!("out-{label}/ledger.jsonl");
+        let out = reproduce(
+            &[
+                "--users",
+                "300",
+                "--days",
+                "1",
+                "--fcc",
+                "20",
+                "--quiet",
+                "--threads",
+                threads,
+                "--shards",
+                shards,
+                "--out",
+                &format!("out-{label}"),
+                "--ledger",
+                &ledger,
+            ],
+            &dir,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{label}: {:?}\nstderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join(&ledger)).expect("ledger file")
+    };
+    let serial = run("serial", "1", "1");
+    let parallel = run("parallel", "2", "8");
+    assert_eq!(
+        serial, parallel,
+        "provenance ledger must not depend on the shard plan"
+    );
+    // Shape: one JSON object per line, study header first, then exhibits.
+    let first = serial.lines().next().expect("non-empty ledger");
+    assert!(first.starts_with("{\"event\": \"stream_study\""), "{first}");
+    assert!(serial.contains("\"event\": \"exhibit\""), "{serial}");
+    for line in serial.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not JSONL: {line}"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_a_valid_trace_event_array() {
+    let dir = tmpdir("cli-chrome-trace");
+    let out = reproduce(
+        &[
+            "--users",
+            "200",
+            "--days",
+            "1",
+            "--fcc",
+            "10",
+            "--quiet",
+            "--out",
+            "out-trace",
+            "--chrome-trace",
+            "out-trace/trace.json",
+        ],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let raw = std::fs::read_to_string(dir.join("out-trace/trace.json")).expect("trace file");
+    let parsed: serde_json::Value = serde_json::from_str(&raw).expect("trace must be valid JSON");
+    let events = parsed.as_array().expect("trace must be a JSON array");
+    assert!(!events.is_empty(), "trace must record at least one span");
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e["name"].as_str().expect("name"))
+        .collect();
+    assert!(names.contains(&"reproduce"), "{names:?}");
+    assert!(names.contains(&"stream"), "{names:?}");
+    for e in events {
+        // Complete ("X") events with microsecond ts/dur, as Perfetto and
+        // chrome://tracing expect.
+        assert_eq!(e["ph"].as_str(), Some("X"), "{e:?}");
+        assert!(e["ts"].as_f64().is_some(), "{e:?}");
+        assert!(e["dur"].as_f64().is_some(), "{e:?}");
+        assert!(e["pid"].as_f64().is_some(), "{e:?}");
+        assert!(e["tid"].as_f64().is_some(), "{e:?}");
     }
 }
 

@@ -8,8 +8,9 @@
 //! was not statistically significant").
 
 use crate::caliper::Caliper;
-use crate::matching::{match_pairs, MatchedPair, Unit};
+use crate::matching::{match_pairs_audited, MatchAudit, MatchedPair, Unit};
 use bb_stats::hypothesis::{binomial_test, BinomialTest, Tail};
+use bb_trace::EventLog;
 
 /// Direction of the hypothesis on the treated outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,8 +55,81 @@ impl NaturalExperiment {
     /// Returns `None` when no pairs could be formed (e.g. empty groups or a
     /// caliper so tight nothing matches) — there is no experiment to run.
     pub fn run(&self, control: &[Unit], treatment: &[Unit]) -> Option<ExperimentOutcome> {
-        let pairs = match_pairs(control, treatment, &self.calipers);
-        self.score(pairs)
+        self.run_audited(control, treatment).0
+    }
+
+    /// [`NaturalExperiment::run`] plus the [`MatchAudit`] of the matching
+    /// stage, for callers feeding a provenance ledger. The audit is
+    /// returned even when no experiment could be run — "nothing matched"
+    /// is exactly the case an audit trail must explain.
+    pub fn run_audited(
+        &self,
+        control: &[Unit],
+        treatment: &[Unit],
+    ) -> (Option<ExperimentOutcome>, MatchAudit) {
+        let (pairs, audit) = match_pairs_audited(control, treatment, &self.calipers);
+        (self.score(pairs), audit)
+    }
+
+    /// Record this experiment's provenance in `ledger`: a `match_audit`
+    /// event (pool sizes, pairs formed, per-covariate caliper rejections,
+    /// pair-distance histogram) and — when the experiment ran — a
+    /// `sign_test` event (n, positives, ties, p-value, direction).
+    ///
+    /// `exhibit` ties the events to a report exhibit id;
+    /// `covariate_names` labels the rejection counts and must have one
+    /// entry per caliper; `kept` says whether the row survived the
+    /// caller's filters (e.g. the minimum-pairs rule) into the report.
+    pub fn log_provenance(
+        &self,
+        ledger: &mut EventLog,
+        exhibit: &str,
+        covariate_names: &[&str],
+        audit: &MatchAudit,
+        outcome: Option<&ExperimentOutcome>,
+        kept: bool,
+    ) {
+        assert_eq!(
+            covariate_names.len(),
+            audit.caliper_rejections.len(),
+            "one name per covariate"
+        );
+        let rejections: Vec<(String, u64)> = covariate_names
+            .iter()
+            .zip(&audit.caliper_rejections)
+            .map(|(name, &count)| ((*name).to_string(), count))
+            .collect();
+        ledger
+            .emit("match_audit")
+            .str("exhibit", exhibit)
+            .str("experiment", &self.name)
+            .u64("control_pool", audit.control_pool)
+            .u64("treated_considered", audit.treated_considered)
+            .u64("candidates_eligible", audit.candidates_eligible)
+            .u64("pairs_formed", audit.pairs_formed)
+            .u64("treated_unmatched", audit.treated_unmatched)
+            .counts("caliper_rejections", rejections)
+            .hist("pair_distance_log2", audit.pair_distance_log2.clone());
+        if let Some(out) = outcome {
+            ledger
+                .emit("sign_test")
+                .str("exhibit", exhibit)
+                .str("experiment", &self.name)
+                .u64("n_pairs", out.n_pairs as u64)
+                .u64("ties", out.n_ties as u64)
+                .u64("n", out.test.trials)
+                .u64("positives", out.test.successes)
+                .f64("p_value", out.test.p_value)
+                .str(
+                    "direction",
+                    match self.direction {
+                        Direction::TreatmentHigher => "treatment_higher",
+                        Direction::TreatmentLower => "treatment_lower",
+                    },
+                )
+                .bool("significant", out.significant())
+                .bool("kept", kept);
+        }
     }
 
     /// Score pre-computed pairs (exposed for the ablation benches, which
@@ -224,6 +298,62 @@ mod tests {
         let treatment = units(&[1.0, 1.0], 100);
         let exp = NaturalExperiment::new("all-ties", vec![Caliper::PAPER]);
         assert!(exp.run(&control, &treatment).is_none());
+    }
+
+    #[test]
+    fn run_audited_logs_full_provenance() {
+        let control = units(&[1.0, 1.1, 0.9, 1.2], 0);
+        let treatment = units(&[2.0, 2.1, 1.9, 2.2], 100);
+        let exp = NaturalExperiment::new("capacity", vec![Caliper::PAPER]);
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        let outcome = outcome.expect("experiment ran");
+        assert_eq!(audit.pairs_formed as usize, outcome.n_pairs);
+
+        let mut ledger = bb_trace::EventLog::new();
+        exp.log_provenance(
+            &mut ledger,
+            "table2",
+            &["capacity"],
+            &audit,
+            Some(&outcome),
+            true,
+        );
+        let jsonl = ledger.to_jsonl();
+        assert_eq!(ledger.len(), 2, "{jsonl}");
+        let audit_line = jsonl.lines().next().unwrap();
+        assert!(audit_line.contains("\"event\": \"match_audit\""), "{jsonl}");
+        assert!(audit_line.contains("\"treated_considered\": 4"), "{jsonl}");
+        assert!(audit_line.contains("\"pairs_formed\": 4"), "{jsonl}");
+        assert!(
+            audit_line.contains("\"caliper_rejections\": {\"capacity\": 0}"),
+            "{jsonl}"
+        );
+        let test_line = jsonl.lines().nth(1).unwrap();
+        assert!(test_line.contains("\"event\": \"sign_test\""), "{jsonl}");
+        assert!(test_line.contains("\"n\": 4"), "{jsonl}");
+        assert!(test_line.contains("\"positives\": 4"), "{jsonl}");
+        assert!(test_line.contains("\"p_value\": 0.062"), "{jsonl}");
+        assert!(
+            test_line.contains("\"direction\": \"treatment_higher\""),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn audit_is_returned_even_when_nothing_matches() {
+        let control = units(&[1.0], 0);
+        let mut treatment = units(&[2.0], 100);
+        treatment[0].covariates[0] = 500.0;
+        let exp = NaturalExperiment::new("empty", vec![Caliper::PAPER]);
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        assert!(outcome.is_none());
+        assert_eq!(audit.treated_considered, 1);
+        assert_eq!(audit.treated_unmatched, 1);
+        assert_eq!(audit.caliper_rejections, vec![1]);
+        // No sign_test event without an outcome; the audit still lands.
+        let mut ledger = bb_trace::EventLog::new();
+        exp.log_provenance(&mut ledger, "t", &["capacity"], &audit, None, false);
+        assert_eq!(ledger.len(), 1);
     }
 
     #[test]

@@ -30,5 +30,8 @@ pub mod qed;
 
 pub use caliper::Caliper;
 pub use experiment::{Direction, ExperimentOutcome, NaturalExperiment};
-pub use matching::{match_pairs, MatchedPair, Unit};
+pub use matching::{
+    match_pairs, match_pairs_audited, pair_distance, pair_distance_detailed, MatchAudit,
+    MatchedPair, Unit,
+};
 pub use qed::{QedOutcome, StratifiedQed};

@@ -7,9 +7,18 @@
 //! order, each taking the nearest eligible control; matched controls are
 //! removed from the pool. The trade-off the paper notes — a tighter caliper
 //! gives cleaner comparisons but fewer pairs — is directly observable by
-//! varying the [`Caliper`]s (see the `ablate_caliper` bench).
+//! varying the [`Caliper`]s (see the `ablate_caliper` bench), and the
+//! audited entry point [`match_pairs_audited`] records it per run: how many
+//! treated units were considered, how many candidate controls each caliper
+//! rejected, and the distance distribution of the pairs that formed.
+//!
+//! **Tie-breaking is explicit**: when two eligible controls are exactly
+//! equidistant from a treated unit, the one with the lower `id` wins. This
+//! makes the matching — and therefore the provenance ledger — a pure
+//! function of the unit *sets*, stable under control-pool reordering.
 
 use crate::caliper::Caliper;
+use bb_trace::Log2Histogram;
 
 /// One unit (user) entering an experiment: an opaque id, the covariates to
 /// balance on, and the outcome to compare.
@@ -55,17 +64,61 @@ pub struct MatchedPair {
     pub distance: f64,
 }
 
+/// Audit trail of one greedy matching run — the numbers an observational
+/// study must be able to show for its matching to be trusted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MatchAudit {
+    /// Size of the control pool offered to the matcher.
+    pub control_pool: u64,
+    /// Treated units that entered the matcher.
+    pub treated_considered: u64,
+    /// Pairs that formed (≤ `treated_considered`).
+    pub pairs_formed: u64,
+    /// Treated units that found no eligible control.
+    pub treated_unmatched: u64,
+    /// Candidate (control, treated) evaluations that passed every caliper.
+    pub candidates_eligible: u64,
+    /// Candidate evaluations rejected, broken down by the index of the
+    /// *first* covariate whose caliper fired (one slot per covariate).
+    pub caliper_rejections: Vec<u64>,
+    /// Log₂ histogram of accepted pair distances, base 10⁻³ — bucket `k`
+    /// covers `(2^(k-1), 2^k]` thousandths of a caliper width. Exact-zero
+    /// distances (identical covariates) land in `nonpositive`.
+    pub pair_distance_log2: Log2Histogram,
+}
+
+/// Base for [`MatchAudit::pair_distance_log2`]: distances are measured in
+/// caliper widths, so most land well below 1; a 10⁻³ base keeps the small
+/// end resolved.
+pub const PAIR_DISTANCE_HIST_BASE: f64 = 1e-3;
+
 /// Greedily match treated units to their nearest eligible control.
 ///
 /// `calipers` must have one entry per covariate. A control is *eligible*
 /// for a treated unit when every covariate passes its caliper; among
 /// eligible controls the one with the smallest normalised Euclidean
-/// distance wins. Matching is 1:1 without replacement, so
+/// distance wins, and **exact distance ties go to the lower control
+/// `id`**, so the result does not depend on control-pool order. Matching
+/// is 1:1 without replacement, so
 /// `pairs.len() ≤ min(control.len(), treatment.len())`.
 ///
 /// # Panics
 /// Panics when any unit's covariate count disagrees with `calipers.len()`.
 pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -> Vec<MatchedPair> {
+    match_pairs_audited(control, treatment, calipers).0
+}
+
+/// [`match_pairs`] plus a [`MatchAudit`] describing what the matcher saw:
+/// treated units considered, per-covariate caliper rejections, and the
+/// distance distribution of accepted pairs.
+///
+/// # Panics
+/// Panics when any unit's covariate count disagrees with `calipers.len()`.
+pub fn match_pairs_audited(
+    control: &[Unit],
+    treatment: &[Unit],
+    calipers: &[Caliper],
+) -> (Vec<MatchedPair>, MatchAudit) {
     for u in control.iter().chain(treatment) {
         assert_eq!(
             u.covariates.len(),
@@ -77,6 +130,12 @@ pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -
         );
     }
 
+    let mut audit = MatchAudit {
+        control_pool: control.len() as u64,
+        treated_considered: treatment.len() as u64,
+        caliper_rejections: vec![0; calipers.len()],
+        ..MatchAudit::default()
+    };
     let mut taken = vec![false; control.len()];
     let mut pairs = Vec::new();
 
@@ -86,15 +145,27 @@ pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -
             if taken[ci] {
                 continue;
             }
-            if let Some(d) = pair_distance(c, t, calipers) {
-                match best {
-                    Some((_, bd)) if bd <= d => {}
-                    _ => best = Some((ci, d)),
+            match pair_distance_detailed(c, t, calipers) {
+                Ok(d) => {
+                    audit.candidates_eligible += 1;
+                    // Strictly nearer wins; on an exact tie the lower
+                    // control id wins, making the outcome independent of
+                    // control-pool order.
+                    let better = match best {
+                        None => true,
+                        Some((bi, bd)) => d < bd || (d == bd && c.id < control[bi].id),
+                    };
+                    if better {
+                        best = Some((ci, d));
+                    }
                 }
+                Err(covariate) => audit.caliper_rejections[covariate] += 1,
             }
         }
         if let Some((ci, d)) = best {
             taken[ci] = true;
+            audit.pairs_formed += 1;
+            audit.pair_distance_log2.push(d, PAIR_DISTANCE_HIST_BASE);
             pairs.push(MatchedPair {
                 control_id: control[ci].id,
                 treatment_id: t.id,
@@ -102,9 +173,11 @@ pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -
                 treatment_outcome: t.outcome,
                 distance: d,
             });
+        } else {
+            audit.treated_unmatched += 1;
         }
     }
-    pairs
+    (pairs, audit)
 }
 
 /// Normalised distance between a control and a treated unit, or `None` when
@@ -114,15 +187,27 @@ pub fn match_pairs(control: &[Unit], treatment: &[Unit], calipers: &[Caliper]) -
 /// point, so a value of 1.0 means "exactly at the edge of similarity" for
 /// that covariate regardless of its units.
 pub fn pair_distance(control: &Unit, treatment: &Unit, calipers: &[Caliper]) -> Option<f64> {
+    pair_distance_detailed(control, treatment, calipers).ok()
+}
+
+/// [`pair_distance`], but a caliper violation reports *which* covariate
+/// fired: `Err(i)` is the index of the first covariate outside its
+/// caliper. Feeds the per-covariate rejection counts in [`MatchAudit`].
+pub fn pair_distance_detailed(
+    control: &Unit,
+    treatment: &Unit,
+    calipers: &[Caliper],
+) -> Result<f64, usize> {
     let mut sum_sq = 0.0;
-    for ((a, b), cal) in control
+    for (i, ((a, b), cal)) in control
         .covariates
         .iter()
         .zip(&treatment.covariates)
         .zip(calipers)
+        .enumerate()
     {
         if !cal.within(*a, *b) {
-            return None;
+            return Err(i);
         }
         let width = cal.width_at(a.abs().max(b.abs()));
         let norm = if width > 0.0 {
@@ -132,7 +217,7 @@ pub fn pair_distance(control: &Unit, treatment: &Unit, calipers: &[Caliper]) -> 
         };
         sum_sq += norm * norm;
     }
-    Some(sum_sq.sqrt())
+    Ok(sum_sq.sqrt())
 }
 
 #[cfg(test)]
@@ -236,6 +321,77 @@ mod tests {
         let control = vec![unit(1, &[1.0, 2.0], 1.0)];
         let treatment = vec![unit(2, &[1.0], 2.0)];
         let _ = match_pairs(&control, &treatment, &paper_calipers(2));
+    }
+
+    #[test]
+    fn equidistant_tie_goes_to_the_lower_control_id() {
+        // Two controls with identical covariates: exactly equidistant,
+        // and the higher id arrives first in the pool.
+        let treatment = vec![unit(10, &[100.0], 9.0)];
+        let control = vec![unit(7, &[102.0], 1.0), unit(3, &[102.0], 2.0)];
+        let pairs = match_pairs(&control, &treatment, &paper_calipers(1));
+        assert_eq!(pairs[0].control_id, 3, "lower id wins the tie");
+    }
+
+    #[test]
+    fn matching_is_stable_under_control_pool_reordering() {
+        // A pool full of duplicate covariates forces ties; the winner
+        // must be the same whichever order the pool arrives in.
+        let control: Vec<Unit> = [5u64, 2, 9, 4, 7, 11]
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| unit(id, &[100.0 + (i % 2) as f64], i as f64))
+            .collect();
+        let treatment: Vec<Unit> = (0..4).map(|i| unit(100 + i, &[100.5], 1.0)).collect();
+        let mut reversed = control.clone();
+        reversed.reverse();
+        let forward = match_pairs(&control, &treatment, &paper_calipers(1));
+        let backward = match_pairs(&reversed, &treatment, &paper_calipers(1));
+        assert_eq!(forward, backward, "control order must not matter");
+    }
+
+    #[test]
+    fn pair_distance_detailed_reports_the_violating_covariate() {
+        let calipers = paper_calipers(3);
+        let c = unit(1, &[100.0, 50.0, 10.0], 0.0);
+        // Second covariate (index 1) is far outside 25%.
+        let t = unit(2, &[101.0, 90.0, 11.0], 0.0);
+        assert_eq!(pair_distance_detailed(&c, &t, &calipers), Err(1));
+        // All within: Ok with a finite distance.
+        let t_ok = unit(3, &[101.0, 51.0, 11.0], 0.0);
+        assert!(pair_distance_detailed(&c, &t_ok, &calipers).is_ok());
+    }
+
+    #[test]
+    fn audit_counts_add_up() {
+        let control = vec![
+            unit(1, &[100.0], 1.0),
+            unit(2, &[103.0], 2.0),
+            unit(3, &[500.0], 3.0), // outside every treated unit's caliper
+        ];
+        let treatment = vec![
+            unit(10, &[101.0], 9.0),
+            unit(11, &[102.0], 9.0),
+            unit(12, &[2000.0], 9.0), // matches nothing
+        ];
+        let (pairs, audit) = match_pairs_audited(&control, &treatment, &paper_calipers(1));
+        assert_eq!(audit.control_pool, 3);
+        assert_eq!(audit.treated_considered, 3);
+        assert_eq!(audit.pairs_formed, pairs.len() as u64);
+        assert_eq!(audit.pairs_formed + audit.treated_unmatched, 3);
+        assert_eq!(audit.caliper_rejections.len(), 1);
+        assert!(audit.caliper_rejections[0] > 0, "{audit:?}");
+        assert_eq!(audit.pair_distance_log2.count(), audit.pairs_formed);
+        // Audited and plain entry points agree.
+        assert_eq!(pairs, match_pairs(&control, &treatment, &paper_calipers(1)));
+    }
+
+    #[test]
+    fn zero_distance_pairs_land_in_the_nonpositive_bucket() {
+        let control = vec![unit(1, &[42.0], 1.0)];
+        let treatment = vec![unit(2, &[42.0], 2.0)];
+        let (_, audit) = match_pairs_audited(&control, &treatment, &paper_calipers(1));
+        assert_eq!(audit.pair_distance_log2.nonpositive(), 1);
     }
 
     #[test]

@@ -62,6 +62,25 @@ impl ConfounderSet {
         }
     }
 
+    /// Covariate names, in the order produced by
+    /// [`ConfounderSet::covariates`] and [`ConfounderSet::calipers`] —
+    /// used to label per-covariate caliper rejections in the provenance
+    /// ledger.
+    pub fn covariate_names(self) -> Vec<&'static str> {
+        match self {
+            ConfounderSet::ForCapacityExperiment => {
+                vec!["latency", "loss", "access_price", "upgrade_cost"]
+            }
+            ConfounderSet::ForPriceExperiment => vec!["capacity", "latency", "loss"],
+            ConfounderSet::ForUpgradeCostExperiment => {
+                vec!["capacity", "latency", "loss", "access_price"]
+            }
+            ConfounderSet::ForLatencyExperiment => vec!["capacity", "loss", "access_price"],
+            ConfounderSet::ForLossExperiment => vec!["capacity", "latency", "access_price"],
+            ConfounderSet::ForCountryComparison => vec!["capacity"],
+        }
+    }
+
     /// Covariate vector for `record`, or `None` when the record lacks a
     /// needed covariate (market without an upgrade-cost estimate, say).
     pub fn covariates(self, record: &UserRecord) -> Option<Vec<f64>> {
@@ -202,6 +221,7 @@ mod tests {
         ] {
             let cov = set.covariates(&r).unwrap();
             assert_eq!(cov.len(), set.calipers().len(), "{set:?}");
+            assert_eq!(cov.len(), set.covariate_names().len(), "{set:?}");
         }
     }
 

@@ -5,6 +5,7 @@ use crate::sec5::CaseStudyRow;
 use crate::{sec2, sec3, sec4, sec5, sec6, sec7};
 use bb_dataset::{CountryProfile, Dataset};
 use bb_market::survey::{CorrelationCensus, RegionCostRow};
+use bb_trace::EventLog;
 
 /// Every table and figure of the paper, computed from one dataset.
 #[derive(Clone, Debug)]
@@ -65,30 +66,43 @@ impl StudyReport {
     /// dataset. `min_tier_users` is the §5 per-tier filter (30 in the
     /// paper; smaller values are useful on reduced datasets).
     pub fn run(dataset: &Dataset, profiles: &[CountryProfile], min_tier_users: usize) -> Self {
+        Self::run_with_ledger(dataset, profiles, min_tier_users, &mut EventLog::new())
+    }
+
+    /// Like [`StudyReport::run`], but records a provenance event for every
+    /// exhibit into `ledger` (see the `bb-trace` event log). The ledger
+    /// contents depend only on the dataset, never on the execution plan
+    /// that generated it.
+    pub fn run_with_ledger(
+        dataset: &Dataset,
+        profiles: &[CountryProfile],
+        min_tier_users: usize,
+        ledger: &mut EventLog,
+    ) -> Self {
         StudyReport {
-            fig1: sec2::figure1(dataset),
-            fig2: sec3::figure2(dataset),
-            fig3: sec3::figure3(dataset),
-            table1: sec3::table1(dataset),
-            fig4: sec3::figure4(dataset),
-            fig5: sec3::figure5(dataset),
-            table2: sec3::table2(dataset),
-            fig6: sec4::figure6(dataset),
-            year_experiment: sec4::year_experiment(dataset),
-            table3: sec5::table3(dataset),
-            table4: sec5::table4(dataset, profiles),
-            fig7: sec5::figure7(dataset),
-            fig8: sec5::figure8(dataset, min_tier_users),
-            fig9: sec5::figure9(dataset, min_tier_users),
-            fig10: sec6::figure10(dataset),
+            fig1: sec2::figure1(dataset, ledger),
+            fig2: sec3::figure2(dataset, ledger),
+            fig3: sec3::figure3(dataset, ledger),
+            table1: sec3::table1(dataset, ledger),
+            fig4: sec3::figure4(dataset, ledger),
+            fig5: sec3::figure5(dataset, ledger),
+            table2: sec3::table2(dataset, ledger),
+            fig6: sec4::figure6(dataset, ledger),
+            year_experiment: sec4::year_experiment(dataset, ledger),
+            table3: sec5::table3(dataset, ledger),
+            table4: sec5::table4(dataset, profiles, ledger),
+            fig7: sec5::figure7(dataset, ledger),
+            fig8: sec5::figure8(dataset, min_tier_users, ledger),
+            fig9: sec5::figure9(dataset, min_tier_users, ledger),
+            fig10: sec6::figure10(dataset, ledger),
             table5: sec6::table5(dataset),
             census: sec6::census(dataset),
-            table6: sec6::table6(dataset),
-            table7: sec7::table7(dataset),
-            fig11: sec7::figure11(dataset),
-            table8: sec7::table8(dataset),
-            fig12: sec7::figure12(dataset),
-            india_vs_us: sec7::india_vs_us(dataset),
+            table6: sec6::table6(dataset, ledger),
+            table7: sec7::table7(dataset, ledger),
+            fig11: sec7::figure11(dataset, ledger),
+            table8: sec7::table8(dataset, ledger),
+            fig12: sec7::figure12(dataset, ledger),
+            india_vs_us: sec7::india_vs_us(dataset, ledger),
         }
     }
 
@@ -123,7 +137,14 @@ mod tests {
         cfg.fcc_users = 30;
         let world = World::new(cfg);
         let ds = world.generate();
-        let report = StudyReport::run(&ds, &world.profiles, 10);
+        let mut ledger = EventLog::new();
+        let report = StudyReport::run_with_ledger(&ds, &world.profiles, 10, &mut ledger);
+        // Every section left provenance behind.
+        assert!(
+            ledger.events().any(|e| e.kind() == "match_audit"),
+            "expected match_audit events in the ledger"
+        );
+        assert!(ledger.events().any(|e| e.kind() == "exhibit"));
         // Every exhibit produced something.
         assert!(report.fig1.3.median_capacity_mbps > 0.0);
         assert!(!report.fig2[0].series[0].points.is_empty());

@@ -83,13 +83,13 @@ pub fn seed_sweep(base: &WorldConfig, n_seeds: u64) -> Vec<SweepRow> {
             .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let ds = World::new(cfg).generate();
 
-        let t1 = sec3::table1(&ds);
+        let t1 = sec3::table1(&ds, &mut bb_trace::EventLog::new());
         let peak_row: Vec<ExperimentRow> = t1.rows.into_iter().skip(1).take(1).collect();
-        let (dasu2, _) = sec3::table2(&ds);
-        let t3 = sec5::table3(&ds);
-        let [t6a, _] = sec6::table6(&ds);
-        let t7 = sec7::table7(&ds);
-        let t8 = sec7::table8(&ds);
+        let (dasu2, _) = sec3::table2(&ds, &mut bb_trace::EventLog::new());
+        let t3 = sec5::table3(&ds, &mut bb_trace::EventLog::new());
+        let [t6a, _] = sec6::table6(&ds, &mut bb_trace::EventLog::new());
+        let t7 = sec7::table7(&ds, &mut bb_trace::EventLog::new());
+        let t8 = sec7::table8(&ds, &mut bb_trace::EventLog::new());
 
         for (idx, rows) in [
             (0, &peak_row[..]),

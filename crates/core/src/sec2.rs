@@ -7,6 +7,7 @@
 use crate::exhibit::{CdfFigure, CdfSeries};
 use bb_dataset::Dataset;
 use bb_stats::Ecdf;
+use bb_trace::EventLog;
 
 /// Population-level characteristics quoted in the §2.2 prose.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,11 +30,22 @@ pub struct PopulationStats {
 
 /// Build Fig. 1a (capacity CDF), 1b (latency CDF), 1c (loss CDF) and the
 /// § 2.2 prose statistics from the global (Dasu) population.
-pub fn figure1(dataset: &Dataset) -> (CdfFigure, CdfFigure, CdfFigure, PopulationStats) {
+pub fn figure1(
+    dataset: &Dataset,
+    ledger: &mut EventLog,
+) -> (CdfFigure, CdfFigure, CdfFigure, PopulationStats) {
     let caps: Vec<f64> = dataset.dasu().map(|r| r.capacity.mbps()).collect();
     let lats: Vec<f64> = dataset.dasu().map(|r| r.latency.ms()).collect();
     let losses: Vec<f64> = dataset.dasu().map(|r| r.loss.percent()).collect();
     assert!(!caps.is_empty(), "figure 1 needs at least one Dasu record");
+    for id in ["fig1a", "fig1b", "fig1c"] {
+        ledger
+            .emit("exhibit")
+            .str("id", id)
+            .str("population", "dasu")
+            .u64("n", caps.len() as u64)
+            .u64("dropped", 0);
+    }
 
     let cap_ecdf = Ecdf::new(caps);
     let lat_ecdf = Ecdf::new(lats);
@@ -82,7 +94,9 @@ mod tests {
         cfg.days = 1;
         cfg.fcc_users = 5;
         let ds = World::new(cfg).generate();
-        let (a, b, c, stats) = figure1(&ds);
+        let mut ledger = bb_trace::EventLog::new();
+        let (a, b, c, stats) = figure1(&ds, &mut ledger);
+        assert_eq!(ledger.len(), 3, "one exhibit event per sub-figure");
         for fig in [&a, &b, &c] {
             let pts = &fig.series[0].points;
             assert!(pts.len() > 10);

@@ -20,6 +20,7 @@ use bb_stats::binning::BinnedSeries as StatsBins;
 use bb_stats::corr::pearson;
 use bb_stats::hypothesis::{binomial_test, Tail};
 use bb_stats::Ecdf;
+use bb_trace::EventLog;
 use bb_types::{CapacityBin, Country, DemandMetric, UpgradeTier};
 
 /// Minimum users per capacity bin for the binned figures.
@@ -28,19 +29,40 @@ const MIN_BIN_USERS: usize = 5;
 /// Minimum matched pairs for an experiment row to be reported.
 pub const MIN_PAIRS: usize = 8;
 
-/// Build one usage-vs-capacity series over `records`.
+/// Build one usage-vs-capacity series over `records`, logging input n and
+/// drop counts (missing outcome, thin bins) under `exhibit`'s id.
 fn binned_usage<'a>(
     records: impl IntoIterator<Item = &'a UserRecord>,
     outcome: OutcomeSpec,
     label: &str,
+    exhibit: &str,
+    ledger: &mut EventLog,
 ) -> BinnedSeries {
     let mut bins: StatsBins<CapacityBin> = StatsBins::new();
+    let mut n_input = 0u64;
+    let mut dropped_no_outcome = 0u64;
     for r in records {
+        n_input += 1;
         if let Some(value) = outcome.of(r) {
             bins.push(CapacityBin::of(r.capacity), value / 1e6); // Mbps
+        } else {
+            dropped_no_outcome += 1;
         }
     }
+    let before_filter = bins.n_total();
     let bins = bins.filter_min_count(MIN_BIN_USERS);
+    ledger
+        .emit("exhibit")
+        .str("id", exhibit)
+        .str("series", label)
+        .u64("n", n_input)
+        .u64("dropped_no_outcome", dropped_no_outcome)
+        .u64(
+            "dropped_thin_bins",
+            before_filter as u64 - bins.n_total() as u64,
+        )
+        .u64("min_bin_users", MIN_BIN_USERS as u64)
+        .u64("n_used", bins.n_total() as u64);
     let points: Vec<BinnedPoint> = bins
         .mean_cis(0.95)
         .into_iter()
@@ -76,7 +98,7 @@ fn usage_figure(id: &str, title: &str, series: Vec<BinnedSeries>) -> BinnedFigur
 /// Figure 2: four panels of usage vs capacity over the global Dasu
 /// population — (a) mean w/ BT, (b) p95 w/ BT, (c) mean w/o BT, (d) p95
 /// w/o BT.
-pub fn figure2(dataset: &Dataset) -> [BinnedFigure; 4] {
+pub fn figure2(dataset: &Dataset, ledger: &mut EventLog) -> [BinnedFigure; 4] {
     let dasu: Vec<&UserRecord> = dataset.dasu().collect();
     let spec = [
         ("fig2a", "Mean w/ BT", OutcomeSpec::MEAN_WITH_BT),
@@ -88,24 +110,30 @@ pub fn figure2(dataset: &Dataset) -> [BinnedFigure; 4] {
         usage_figure(
             id,
             title,
-            vec![binned_usage(dasu.iter().copied(), outcome, "all users")],
+            vec![binned_usage(
+                dasu.iter().copied(),
+                outcome,
+                "all users",
+                id,
+                ledger,
+            )],
         )
     })
 }
 
 /// Figure 3: mean and peak usage vs capacity for FCC gateways and Dasu US
 /// users (the latter when not using BitTorrent).
-pub fn figure3(dataset: &Dataset) -> [BinnedFigure; 2] {
+pub fn figure3(dataset: &Dataset, ledger: &mut EventLog) -> [BinnedFigure; 2] {
     let us = Country::new("US");
     let fcc: Vec<&UserRecord> = dataset.fcc().collect();
     let dasu_us: Vec<&UserRecord> = dataset.dasu().filter(|r| r.country == us).collect();
-    let build = |id: &str, title: &str, fcc_outcome: OutcomeSpec, dasu_outcome: OutcomeSpec| {
+    let mut build = |id: &str, title: &str, fcc_outcome: OutcomeSpec, dasu_outcome: OutcomeSpec| {
         usage_figure(
             id,
             title,
             vec![
-                binned_usage(fcc.iter().copied(), fcc_outcome, "FCC"),
-                binned_usage(dasu_us.iter().copied(), dasu_outcome, "Dasu US"),
+                binned_usage(fcc.iter().copied(), fcc_outcome, "FCC", id, ledger),
+                binned_usage(dasu_us.iter().copied(), dasu_outcome, "Dasu US", id, ledger),
             ],
         )
     };
@@ -144,7 +172,7 @@ fn mover_outcomes(
 /// Table 1: "percentage of the time that an individual user's average and
 /// peak demand will increase when moving to a network with a higher
 /// capacity" (no-BT demand, as in the paper).
-pub fn table1(dataset: &Dataset) -> ExperimentTable {
+pub fn table1(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
     let mut rows = Vec::new();
     for (label, metric) in [
         ("Average usage", DemandMetric::Mean),
@@ -152,21 +180,45 @@ pub fn table1(dataset: &Dataset) -> ExperimentTable {
     ] {
         let mut holds = 0u64;
         let mut trials = 0u64;
+        let mut ties = 0u64;
+        let mut dropped_no_outcome = 0u64;
         for up in &dataset.upgrades {
             if let Some((before, after)) = mover_outcomes(up, metric, false) {
                 if after == before {
+                    ties += 1;
                     continue;
                 }
                 trials += 1;
                 if after > before {
                     holds += 1;
                 }
+            } else {
+                dropped_no_outcome += 1;
             }
         }
+        ledger
+            .emit("exhibit")
+            .str("id", "table1")
+            .str("series", label)
+            .u64("n", dataset.upgrades.len() as u64)
+            .u64("dropped_no_outcome", dropped_no_outcome)
+            .u64("ties", ties);
         if trials == 0 {
             continue;
         }
         let test = binomial_test(holds, trials, 0.5, Tail::Greater);
+        ledger
+            .emit("sign_test")
+            .str("exhibit", "table1")
+            .str("experiment", label)
+            .u64("n_pairs", trials + ties)
+            .u64("ties", ties)
+            .u64("n", trials)
+            .u64("positives", holds)
+            .f64("p_value", test.p_value)
+            .str("direction", "treatment_higher")
+            .bool("significant", test.significant())
+            .bool("kept", true);
         rows.push(ExperimentRow {
             control: format!("{label} (slower network)"),
             treatment: format!("{label} (faster network)"),
@@ -187,8 +239,8 @@ pub fn table1(dataset: &Dataset) -> ExperimentTable {
 
 /// Figure 4: CDFs of mean and peak usage for movers on their slow and fast
 /// networks (no BitTorrent).
-pub fn figure4(dataset: &Dataset) -> [CdfFigure; 2] {
-    let build = |id: &str, title: &str, metric: DemandMetric| {
+pub fn figure4(dataset: &Dataset, ledger: &mut EventLog) -> [CdfFigure; 2] {
+    let mut build = |id: &str, title: &str, metric: DemandMetric| {
         let mut slow = Vec::new();
         let mut fast = Vec::new();
         for up in &dataset.upgrades {
@@ -197,6 +249,15 @@ pub fn figure4(dataset: &Dataset) -> [CdfFigure; 2] {
                 fast.push(a / 1e6);
             }
         }
+        ledger
+            .emit("exhibit")
+            .str("id", id)
+            .u64("n", dataset.upgrades.len() as u64)
+            .u64(
+                "dropped_no_outcome",
+                dataset.upgrades.len() as u64 - slow.len() as u64,
+            )
+            .u64("n_used", slow.len() as u64);
         let series = [("Slow network", slow), ("Fast network", fast)]
             .into_iter()
             .filter(|(_, v)| !v.is_empty())
@@ -227,7 +288,7 @@ pub fn figure4(dataset: &Dataset) -> [CdfFigure; 2] {
 /// Figure 5: average change in demand when switching to a faster service,
 /// grouped by initial tier (x-axis) and target tier (bars). Four panels:
 /// (a) mean w/ BT, (b) p95 w/ BT, (c) mean no BT, (d) p95 no BT.
-pub fn figure5(dataset: &Dataset) -> [BarFigure; 4] {
+pub fn figure5(dataset: &Dataset, ledger: &mut EventLog) -> [BarFigure; 4] {
     let spec = [
         ("fig5a", "Mean (w/ BT)", DemandMetric::Mean, true),
         ("fig5b", "95th %ile (w/ BT)", DemandMetric::Peak, true),
@@ -237,17 +298,29 @@ pub fn figure5(dataset: &Dataset) -> [BarFigure; 4] {
     spec.map(|(id, title, metric, with_bt)| {
         // (initial tier, target tier) -> deltas (Mbps).
         let mut cells: StatsBins<(UpgradeTier, UpgradeTier)> = StatsBins::new();
+        let mut dropped_no_tier = 0u64;
+        let mut dropped_no_outcome = 0u64;
         for up in &dataset.upgrades {
             let (Some(from), Some(to)) = (
                 UpgradeTier::of(up.before.capacity),
                 UpgradeTier::of(up.after.capacity),
             ) else {
+                dropped_no_tier += 1;
                 continue;
             };
             if let Some((b, a)) = mover_outcomes(up, metric, with_bt) {
                 cells.push((from, to), (a - b) / 1e6);
+            } else {
+                dropped_no_outcome += 1;
             }
         }
+        ledger
+            .emit("exhibit")
+            .str("id", id)
+            .u64("n", dataset.upgrades.len() as u64)
+            .u64("dropped_no_tier", dropped_no_tier)
+            .u64("dropped_no_outcome", dropped_no_outcome)
+            .u64("n_used", cells.n_total() as u64);
         let cis = cells.mean_cis(0.95);
         let mut groups: Vec<BarGroup> = UpgradeTier::ALL
             .iter()
@@ -279,7 +352,7 @@ pub fn figure5(dataset: &Dataset) -> [BarFigure; 4] {
 ///
 /// The Dasu outcome excludes BitTorrent intervals; the FCC gateway counters
 /// cannot distinguish BitTorrent, so its outcome includes all traffic.
-pub fn table2(dataset: &Dataset) -> (ExperimentTable, ExperimentTable) {
+pub fn table2(dataset: &Dataset, ledger: &mut EventLog) -> (ExperimentTable, ExperimentTable) {
     let dasu_units = |bin: CapacityBin| -> Vec<Unit> {
         to_units(
             dataset
@@ -301,41 +374,56 @@ pub fn table2(dataset: &Dataset) -> (ExperimentTable, ExperimentTable) {
         "Dasu data: matched users, adjacent capacity bins",
         1..=10,
         dasu_units,
+        ledger,
     );
     let fcc = adjacent_bin_table(
         "table2_fcc",
         "FCC data: matched users, adjacent capacity bins",
         3..=10,
         fcc_units,
+        ledger,
     );
     (dasu, fcc)
 }
 
-/// Shared engine for Table 2: one experiment per adjacent bin pair.
+/// Shared engine for Table 2: one experiment per adjacent bin pair, each
+/// leaving its match audit and sign-test provenance in the ledger.
 fn adjacent_bin_table(
     id: &str,
     title: &str,
     bins: std::ops::RangeInclusive<u8>,
     units_for: impl Fn(CapacityBin) -> Vec<Unit>,
+    ledger: &mut EventLog,
 ) -> ExperimentTable {
-    let calipers: Vec<Caliper> = ConfounderSet::ForCapacityExperiment.calipers();
+    let set = ConfounderSet::ForCapacityExperiment;
+    let calipers: Vec<Caliper> = set.calipers();
+    let names = set.covariate_names();
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for k in bins {
         let control_bin = CapacityBin(k);
         let treatment_bin = control_bin.next();
         let control = units_for(control_bin);
         let treatment = units_for(treatment_bin);
         if control.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(
             format!("capacity {control_bin} vs {treatment_bin}"),
             calipers.clone(),
         );
-        let Some(outcome) = exp.run(&control, &treatment) else {
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        let kept = matches!(&outcome, Some(o) if o.test.trials >= MIN_PAIRS as u64);
+        exp.log_provenance(ledger, id, &names, &audit, outcome.as_ref(), kept);
+        let Some(outcome) = outcome else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if outcome.test.trials < MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -347,6 +435,14 @@ fn adjacent_bin_table(
             significant: outcome.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", id)
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", MIN_PAIRS as u64);
     ExperimentTable {
         id: id.into(),
         title: title.into(),
@@ -386,7 +482,7 @@ mod tests {
     #[test]
     fn figure2_usage_grows_with_capacity() {
         let ds = dataset();
-        let figs = figure2(ds);
+        let figs = figure2(ds, &mut bb_trace::EventLog::new());
         for fig in &figs {
             let pts = &fig.series[0].points;
             assert!(pts.len() >= 4, "{}: {} bins", fig.id, pts.len());
@@ -409,7 +505,7 @@ mod tests {
         // between top and bottom bins is much smaller than the capacity
         // ratio between those bins.
         let ds = dataset();
-        let fig = &figure2(ds)[3]; // p95 no BT
+        let fig = &figure2(ds, &mut bb_trace::EventLog::new())[3]; // p95 no BT
         let pts = &fig.series[0].points;
         let cap_ratio = pts.last().unwrap().x / pts.first().unwrap().x;
         let use_ratio = pts.last().unwrap().mean / pts.first().unwrap().mean;
@@ -422,7 +518,7 @@ mod tests {
     #[test]
     fn figure3_has_both_series() {
         let ds = dataset();
-        let [mean_fig, peak_fig] = figure3(ds);
+        let [mean_fig, peak_fig] = figure3(ds, &mut bb_trace::EventLog::new());
         for fig in [&mean_fig, &peak_fig] {
             assert_eq!(fig.series.len(), 2);
             assert_eq!(fig.series[0].label, "FCC");
@@ -435,7 +531,7 @@ mod tests {
     #[test]
     fn table1_movers_increase_demand() {
         let ds = dataset();
-        let t = table1(ds);
+        let t = table1(ds, &mut bb_trace::EventLog::new());
         assert_eq!(t.rows.len(), 2);
         for row in &t.rows {
             assert!(row.n_pairs > 30, "{} pairs", row.n_pairs);
@@ -452,7 +548,7 @@ mod tests {
     #[test]
     fn figure4_fast_network_cdf_sits_right_of_slow() {
         let ds = dataset();
-        let [mean_fig, peak_fig] = figure4(ds);
+        let [mean_fig, peak_fig] = figure4(ds, &mut bb_trace::EventLog::new());
         for fig in [&mean_fig, &peak_fig] {
             assert_eq!(fig.series.len(), 2);
             let slow = &fig.series[0];
@@ -470,7 +566,7 @@ mod tests {
     #[test]
     fn figure5_panels_have_groups() {
         let ds = dataset();
-        let figs = figure5(ds);
+        let figs = figure5(ds, &mut bb_trace::EventLog::new());
         for fig in &figs {
             assert!(!fig.groups.is_empty(), "{}", fig.id);
             let n_bars: usize = fig.groups.iter().map(|g| g.bars.len()).sum();
@@ -500,7 +596,7 @@ mod tests {
     #[test]
     fn table2_pooled_effect_is_positive() {
         let ds = dataset();
-        let (dasu, _fcc) = table2(ds);
+        let (dasu, _fcc) = table2(ds, &mut bb_trace::EventLog::new());
         assert!(dasu.rows.len() >= 3, "{} rows", dasu.rows.len());
         // This moderate world cannot populate every bin the way the
         // paper-scale run does (see EXPERIMENTS.md); assert the pooled

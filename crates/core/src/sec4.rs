@@ -12,6 +12,7 @@ use bb_causal::NaturalExperiment;
 use bb_dataset::Dataset;
 use bb_stats::binning::BinnedSeries as StatsBins;
 use bb_stats::corr::pearson;
+use bb_trace::EventLog;
 use bb_types::{CapacityBin, Year};
 
 /// Minimum users per (year, bin) cell.
@@ -19,7 +20,7 @@ const MIN_CELL_USERS: usize = 5;
 
 /// Figure 6: usage vs capacity, one series per panel year. Panels:
 /// (a) mean w/ BT, (b) p95 w/ BT, (c) mean no BT, (d) p95 no BT.
-pub fn figure6(dataset: &Dataset) -> [BinnedFigure; 4] {
+pub fn figure6(dataset: &Dataset, ledger: &mut EventLog) -> [BinnedFigure; 4] {
     let spec = [
         ("fig6a", "Mean (w/ BT)", OutcomeSpec::MEAN_WITH_BT),
         ("fig6b", "95th %ile (w/ BT)", OutcomeSpec::PEAK_WITH_BT),
@@ -30,12 +31,30 @@ pub fn figure6(dataset: &Dataset) -> [BinnedFigure; 4] {
         let mut series = Vec::new();
         for year in Year::PANEL {
             let mut bins: StatsBins<CapacityBin> = StatsBins::new();
+            let mut n_input = 0u64;
+            let mut dropped_no_outcome = 0u64;
             for r in dataset.dasu().filter(|r| r.year == year) {
+                n_input += 1;
                 if let Some(v) = outcome.of(r) {
                     bins.push(CapacityBin::of(r.capacity), v / 1e6);
+                } else {
+                    dropped_no_outcome += 1;
                 }
             }
+            let before_filter = bins.n_total();
             let bins = bins.filter_min_count(MIN_CELL_USERS);
+            ledger
+                .emit("exhibit")
+                .str("id", id)
+                .str("series", year.to_string())
+                .u64("n", n_input)
+                .u64("dropped_no_outcome", dropped_no_outcome)
+                .u64(
+                    "dropped_thin_bins",
+                    before_filter as u64 - bins.n_total() as u64,
+                )
+                .u64("min_bin_users", MIN_CELL_USERS as u64)
+                .u64("n_used", bins.n_total() as u64);
             let points: Vec<BinnedPoint> = bins
                 .mean_cis(0.95)
                 .into_iter()
@@ -71,9 +90,14 @@ pub fn figure6(dataset: &Dataset) -> [BinnedFigure; 4] {
 /// The §4 natural experiment: per capacity bin, is 2013 demand higher than
 /// 2011 demand among matched users? The paper is "unable to find any
 /// significant change in demand at any given speed tier".
-pub fn year_experiment(dataset: &Dataset) -> ExperimentTable {
-    let calipers = ConfounderSet::ForCapacityExperiment.calipers();
+pub fn year_experiment(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
+    let set = ConfounderSet::ForCapacityExperiment;
+    let calipers = set.calipers();
+    let names = set.covariate_names();
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for k in 1..=10u8 {
         let bin = CapacityBin(k);
         let of_year = |year: Year| {
@@ -88,13 +112,19 @@ pub fn year_experiment(dataset: &Dataset) -> ExperimentTable {
         let control = of_year(Year(2011));
         let treatment = of_year(Year(2013));
         if control.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(format!("year shift in {bin}"), calipers.clone());
-        let Some(outcome) = exp.run(&control, &treatment) else {
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        let kept = matches!(&outcome, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+        exp.log_provenance(ledger, "table_sec4", &names, &audit, outcome.as_ref(), kept);
+        let Some(outcome) = outcome else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -106,6 +136,14 @@ pub fn year_experiment(dataset: &Dataset) -> ExperimentTable {
             significant: outcome.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", "table_sec4")
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", crate::sec3::MIN_PAIRS as u64);
     ExperimentTable {
         id: "table_sec4".into(),
         title: "Per-tier demand change between 2011 and 2013 (matched users)".into(),
@@ -146,7 +184,7 @@ mod tests {
     #[test]
     fn figure6_has_overlapping_yearly_series() {
         let ds = dataset();
-        let figs = figure6(&ds);
+        let figs = figure6(&ds, &mut bb_trace::EventLog::new());
         for fig in &figs {
             assert!(
                 fig.series.len() >= 2,
@@ -180,7 +218,7 @@ mod tests {
     #[test]
     fn year_experiment_finds_little_change() {
         let ds = dataset();
-        let table = year_experiment(&ds);
+        let table = year_experiment(&ds, &mut bb_trace::EventLog::new());
         // With a faithful world the paper's null result should mostly hold:
         // fewer than half the tiers show a conclusive change.
         let share = share_of_tiers_with_significant_change(&table);

@@ -15,6 +15,7 @@ use bb_causal::NaturalExperiment;
 use bb_dataset::{CountryProfile, Dataset};
 use bb_stats::binning::BinnedSeries as StatsBins;
 use bb_stats::Ecdf;
+use bb_trace::EventLog;
 use bb_types::{Bandwidth, Country, MoneyPpp, PriceBin, ServiceTier};
 
 /// The four case-study markets, in the paper's order.
@@ -28,8 +29,10 @@ pub const MIN_TIER_USERS: usize = 30;
 /// Table 3: matched experiment — does a higher price of broadband access
 /// increase demand at equal capacity/quality? Rows compare the cheapest
 /// price bin against each dearer bin. Outcome: peak usage, no BitTorrent.
-pub fn table3(dataset: &Dataset) -> ExperimentTable {
-    let calipers = ConfounderSet::ForPriceExperiment.calipers();
+pub fn table3(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
+    let set = ConfounderSet::ForPriceExperiment;
+    let calipers = set.calipers();
+    let names = set.covariate_names();
     let units_for = |bin: PriceBin| {
         to_units(
             dataset
@@ -41,19 +44,28 @@ pub fn table3(dataset: &Dataset) -> ExperimentTable {
     };
     let cheap = units_for(PriceBin::UpTo25);
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for treatment_bin in [PriceBin::From25To60, PriceBin::Above60] {
         let treatment = units_for(treatment_bin);
         if cheap.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(
             format!("access price {} vs {}", PriceBin::UpTo25, treatment_bin),
             calipers.clone(),
         );
-        let Some(outcome) = exp.run(&cheap, &treatment) else {
+        let (outcome, audit) = exp.run_audited(&cheap, &treatment);
+        let kept = matches!(&outcome, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+        exp.log_provenance(ledger, "table3", &names, &audit, outcome.as_ref(), kept);
+        let Some(outcome) = outcome else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -65,6 +77,14 @@ pub fn table3(dataset: &Dataset) -> ExperimentTable {
             significant: outcome.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", "table3")
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", crate::sec3::MIN_PAIRS as u64);
     ExperimentTable {
         id: "table3".into(),
         title: "Higher price of broadband access vs demand (matched users)".into(),
@@ -95,8 +115,12 @@ pub struct CaseStudyRow {
 
 /// Table 4: the "typical price of broadband" case study. Profiles supply
 /// the GDP column (the paper took it from the IMF).
-pub fn table4(dataset: &Dataset, profiles: &[CountryProfile]) -> Vec<CaseStudyRow> {
-    CASE_STUDY
+pub fn table4(
+    dataset: &Dataset,
+    profiles: &[CountryProfile],
+    ledger: &mut EventLog,
+) -> Vec<CaseStudyRow> {
+    let rows: Vec<CaseStudyRow> = CASE_STUDY
         .iter()
         .filter_map(|code| {
             let country = Country::new(code);
@@ -126,12 +150,19 @@ pub fn table4(dataset: &Dataset, profiles: &[CountryProfile]) -> Vec<CaseStudyRo
                     .unwrap_or(0.0),
             })
         })
-        .collect()
+        .collect();
+    ledger
+        .emit("exhibit")
+        .str("id", "table4")
+        .u64("n", CASE_STUDY.len() as u64)
+        .u64("dropped_no_data", (CASE_STUDY.len() - rows.len()) as u64)
+        .u64("rows", rows.len() as u64);
+    rows
 }
 
 /// Figure 7: (a) capacity CDFs and (b) peak-utilisation CDFs for the four
 /// case-study markets.
-pub fn figure7(dataset: &Dataset) -> [CdfFigure; 2] {
+pub fn figure7(dataset: &Dataset, ledger: &mut EventLog) -> [CdfFigure; 2] {
     let mut cap_series = Vec::new();
     let mut util_series = Vec::new();
     for code in CASE_STUDY {
@@ -146,6 +177,14 @@ pub fn figure7(dataset: &Dataset) -> [CdfFigure; 2] {
             .filter(|r| r.country == country)
             .filter_map(|r| r.peak_utilization())
             .collect();
+        for id in ["fig7a", "fig7b"] {
+            ledger
+                .emit("exhibit")
+                .str("id", id)
+                .str("series", code)
+                .u64("n", caps.len() as u64)
+                .u64("dropped_no_utilization", (caps.len() - utils.len()) as u64);
+        }
         if caps.is_empty() || utils.is_empty() {
             continue;
         }
@@ -185,19 +224,34 @@ pub fn figure7(dataset: &Dataset) -> [CdfFigure; 2] {
 /// Figure 8: per-market peak-utilisation CDFs split by service tier.
 /// Tiers with fewer than `min_tier_users` users are dropped (the paper
 /// uses 30).
-pub fn figure8(dataset: &Dataset, min_tier_users: usize) -> Vec<CdfFigure> {
+pub fn figure8(dataset: &Dataset, min_tier_users: usize, ledger: &mut EventLog) -> Vec<CdfFigure> {
     CASE_STUDY
         .iter()
         .enumerate()
         .filter_map(|(i, code)| {
             let country = Country::new(code);
             let mut per_tier: StatsBins<ServiceTier> = StatsBins::new();
+            let mut n_input = 0u64;
             for r in dataset.dasu().filter(|r| r.country == country) {
+                n_input += 1;
                 if let Some(u) = r.peak_utilization() {
                     per_tier.push(ServiceTier::of(r.capacity), u);
                 }
             }
+            let before_filter = per_tier.n_total();
             let per_tier = per_tier.filter_min_count(min_tier_users);
+            ledger
+                .emit("exhibit")
+                .str("id", format!("fig8{}", (b'a' + i as u8) as char))
+                .str("series", *code)
+                .u64("n", n_input)
+                .u64("dropped_no_utilization", n_input - before_filter as u64)
+                .u64(
+                    "dropped_thin_tiers",
+                    before_filter as u64 - per_tier.n_total() as u64,
+                )
+                .u64("min_tier_users", min_tier_users as u64)
+                .u64("n_used", per_tier.n_total() as u64);
             let series: Vec<CdfSeries> = per_tier
                 .iter()
                 .map(|(tier, utils)| {
@@ -225,17 +279,32 @@ pub fn figure8(dataset: &Dataset, min_tier_users: usize) -> Vec<CdfFigure> {
 }
 
 /// Figure 9: average peak demand (Mbps) per market × tier bar chart.
-pub fn figure9(dataset: &Dataset, min_tier_users: usize) -> BarFigure {
+pub fn figure9(dataset: &Dataset, min_tier_users: usize, ledger: &mut EventLog) -> BarFigure {
     let mut groups = Vec::new();
     for code in CASE_STUDY {
         let country = Country::new(code);
         let mut per_tier: StatsBins<ServiceTier> = StatsBins::new();
+        let mut n_input = 0u64;
         for r in dataset.dasu().filter(|r| r.country == country) {
+            n_input += 1;
             if let Some(d) = r.demand_no_bt {
                 per_tier.push(ServiceTier::of(r.capacity), d.peak.mbps());
             }
         }
+        let before_filter = per_tier.n_total();
         let per_tier = per_tier.filter_min_count(min_tier_users);
+        ledger
+            .emit("exhibit")
+            .str("id", "fig9")
+            .str("series", code)
+            .u64("n", n_input)
+            .u64("dropped_no_demand", n_input - before_filter as u64)
+            .u64(
+                "dropped_thin_tiers",
+                before_filter as u64 - per_tier.n_total() as u64,
+            )
+            .u64("min_tier_users", min_tier_users as u64)
+            .u64("n_used", per_tier.n_total() as u64);
         for (tier, ci) in per_tier.mean_cis(0.95) {
             groups.push(BarGroup {
                 label: format!("{code} {}", tier.label()),
@@ -279,7 +348,7 @@ mod tests {
     fn table4_matches_paper_shape() {
         let w = world();
         let ds = case_dataset();
-        let rows = table4(ds, &w.profiles);
+        let rows = table4(ds, &w.profiles, &mut bb_trace::EventLog::new());
         assert_eq!(rows.len(), 4);
         // Capacity ordering BW < SA < US < JP.
         for pair in rows.windows(2) {
@@ -306,7 +375,7 @@ mod tests {
     #[test]
     fn figure7_utilization_reverses_capacity_order() {
         let ds = case_dataset();
-        let [caps, utils] = figure7(ds);
+        let [caps, utils] = figure7(ds, &mut bb_trace::EventLog::new());
         assert_eq!(caps.series.len(), 4);
         assert_eq!(utils.series.len(), 4);
         // Median capacity ascending BW..JP; median utilisation descending.
@@ -326,7 +395,7 @@ mod tests {
     #[test]
     fn figure8_tiers_filtered_by_count() {
         let ds = case_dataset();
-        let figs = figure8(ds, 30);
+        let figs = figure8(ds, 30, &mut bb_trace::EventLog::new());
         assert!(!figs.is_empty());
         for fig in &figs {
             for s in &fig.series {
@@ -338,7 +407,7 @@ mod tests {
     #[test]
     fn figure9_has_us_bars() {
         let ds = case_dataset();
-        let fig = figure9(ds, 30);
+        let fig = figure9(ds, 30, &mut bb_trace::EventLog::new());
         assert!(fig.groups.iter().any(|g| g.label.starts_with("US")));
         for g in &fig.groups {
             assert!(g.bars[0].value > 0.0);
@@ -368,7 +437,7 @@ mod tests {
             };
         }
         let ds = world.generate();
-        let t = table3(&ds);
+        let t = table3(&ds, &mut bb_trace::EventLog::new());
         assert!(!t.rows.is_empty(), "no price-bin rows produced");
         let pooled: f64 = t
             .rows

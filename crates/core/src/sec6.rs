@@ -13,12 +13,13 @@ use bb_causal::NaturalExperiment;
 use bb_dataset::Dataset;
 use bb_market::survey::{CorrelationCensus, RegionCostRow};
 use bb_stats::Ecdf;
+use bb_trace::EventLog;
 use bb_types::CostClass;
 
 /// Figure 10: CDF of the monthly cost (USD PPP) of +1 Mbps across the
 /// surveyed markets (markets failing the r > 0.4 bar are excluded, as in
 /// the paper). Also returns the per-country costs for annotation.
-pub fn figure10(dataset: &Dataset) -> (CdfFigure, Vec<(String, f64)>) {
+pub fn figure10(dataset: &Dataset, ledger: &mut EventLog) -> (CdfFigure, Vec<(String, f64)>) {
     let costs = dataset.survey.upgrade_costs();
     let labelled: Vec<(String, f64)> = costs
         .iter()
@@ -28,6 +29,15 @@ pub fn figure10(dataset: &Dataset) -> (CdfFigure, Vec<(String, f64)>) {
         !labelled.is_empty(),
         "figure 10 needs at least one market with a usable upgrade cost"
     );
+    ledger
+        .emit("exhibit")
+        .str("id", "fig10")
+        .u64("n_markets", dataset.survey.len() as u64)
+        .u64(
+            "dropped_weak_correlation",
+            dataset.survey.len() as u64 - labelled.len() as u64,
+        )
+        .u64("n_used", labelled.len() as u64);
     let e = Ecdf::new(labelled.iter().map(|(_, v)| *v));
     let fig = CdfFigure {
         id: "fig10".into(),
@@ -56,25 +66,35 @@ pub fn census(dataset: &Dataset) -> CorrelationCensus {
 
 /// Table 6: matched experiments between upgrade-cost classes, on average
 /// demand (a) including and (b) excluding BitTorrent.
-pub fn table6(dataset: &Dataset) -> [ExperimentTable; 2] {
+pub fn table6(dataset: &Dataset, ledger: &mut EventLog) -> [ExperimentTable; 2] {
     [
         cost_table(
             dataset,
             OutcomeSpec::MEAN_WITH_BT,
             "table6a",
             "w/ BitTorrent",
+            ledger,
         ),
         cost_table(
             dataset,
             OutcomeSpec::MEAN_NO_BT,
             "table6b",
             "w/o BitTorrent",
+            ledger,
         ),
     ]
 }
 
-fn cost_table(dataset: &Dataset, outcome: OutcomeSpec, id: &str, suffix: &str) -> ExperimentTable {
-    let calipers = ConfounderSet::ForUpgradeCostExperiment.calipers();
+fn cost_table(
+    dataset: &Dataset,
+    outcome: OutcomeSpec,
+    id: &str,
+    suffix: &str,
+    ledger: &mut EventLog,
+) -> ExperimentTable {
+    let set = ConfounderSet::ForUpgradeCostExperiment;
+    let calipers = set.calipers();
+    let names = set.covariate_names();
     let units_for = |class: CostClass| {
         to_units(
             dataset.dasu().filter(|r| {
@@ -87,6 +107,9 @@ fn cost_table(dataset: &Dataset, outcome: OutcomeSpec, id: &str, suffix: &str) -
         )
     };
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for (control_class, treatment_class) in [
         (CostClass::UpTo50c, CostClass::From50cTo1),
         (CostClass::From50cTo1, CostClass::Above1),
@@ -94,16 +117,22 @@ fn cost_table(dataset: &Dataset, outcome: OutcomeSpec, id: &str, suffix: &str) -
         let control = units_for(control_class);
         let treatment = units_for(treatment_class);
         if control.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(
             format!("upgrade cost {control_class} vs {treatment_class}"),
             calipers.clone(),
         );
-        let Some(out) = exp.run(&control, &treatment) else {
+        let (out, audit) = exp.run_audited(&control, &treatment);
+        let kept = matches!(&out, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+        exp.log_provenance(ledger, id, &names, &audit, out.as_ref(), kept);
+        let Some(out) = out else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if out.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -115,6 +144,14 @@ fn cost_table(dataset: &Dataset, outcome: OutcomeSpec, id: &str, suffix: &str) -
             significant: out.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", id)
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", crate::sec3::MIN_PAIRS as u64);
     ExperimentTable {
         id: id.into(),
         title: format!("Higher upgrade cost vs average demand ({suffix})"),
@@ -142,7 +179,7 @@ mod tests {
     #[test]
     fn figure10_spans_orders_of_magnitude() {
         let ds = full_survey_dataset();
-        let (fig, costs) = figure10(&ds);
+        let (fig, costs) = figure10(&ds, &mut bb_trace::EventLog::new());
         assert!(fig.series[0].n > 60, "{} markets", fig.series[0].n);
         let min = costs.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
         let max = costs.iter().map(|(_, v)| *v).fold(0.0, f64::max);
@@ -196,7 +233,7 @@ mod tests {
             p.user_weight = 4.0; // balanced classes
         }
         let ds = world.generate();
-        let [with_bt, without_bt] = table6(&ds);
+        let [with_bt, without_bt] = table6(&ds, &mut bb_trace::EventLog::new());
         for t in [&with_bt, &without_bt] {
             assert!(!t.rows.is_empty(), "{} has no rows", t.id);
             // Pooled effect direction is what the paper reports.

@@ -14,12 +14,15 @@ use bb_causal::experiment::Direction;
 use bb_causal::NaturalExperiment;
 use bb_dataset::Dataset;
 use bb_stats::Ecdf;
+use bb_trace::EventLog;
 use bb_types::{Country, LatencyBin, LossBin};
 
 /// Table 7: does *lower* latency mean higher peak demand (no BitTorrent)?
 /// Control: the (512, 2048] ms group; treatments: each lower bin.
-pub fn table7(dataset: &Dataset) -> ExperimentTable {
-    let calipers = ConfounderSet::ForLatencyExperiment.calipers();
+pub fn table7(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
+    let set = ConfounderSet::ForLatencyExperiment;
+    let calipers = set.calipers();
+    let names = set.covariate_names();
     let units_for = |bin: LatencyBin| {
         to_units(
             dataset.dasu().filter(|r| LatencyBin::of(r.latency) == bin),
@@ -29,6 +32,9 @@ pub fn table7(dataset: &Dataset) -> ExperimentTable {
     };
     let control = units_for(LatencyBin::From512To2048);
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for treatment_bin in [
         LatencyBin::UpTo64,
         LatencyBin::From64To128,
@@ -37,16 +43,22 @@ pub fn table7(dataset: &Dataset) -> ExperimentTable {
     ] {
         let treatment = units_for(treatment_bin);
         if control.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(
             format!("latency {} vs {}", LatencyBin::From512To2048, treatment_bin),
             calipers.clone(),
         );
-        let Some(outcome) = exp.run(&control, &treatment) else {
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        let kept = matches!(&outcome, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+        exp.log_provenance(ledger, "table7", &names, &audit, outcome.as_ref(), kept);
+        let Some(outcome) = outcome else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -58,6 +70,14 @@ pub fn table7(dataset: &Dataset) -> ExperimentTable {
             significant: outcome.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", "table7")
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", crate::sec3::MIN_PAIRS as u64);
     ExperimentTable {
         id: "table7".into(),
         title: "Lower latency vs 95th %ile usage (no BitTorrent)".into(),
@@ -69,7 +89,7 @@ pub fn table7(dataset: &Dataset) -> ExperimentTable {
 
 /// Figure 11: latency CDFs for India vs the rest of the population — web
 /// probes ('14 cohort) and NDT probes.
-pub fn figure11(dataset: &Dataset) -> CdfFigure {
+pub fn figure11(dataset: &Dataset, ledger: &mut EventLog) -> CdfFigure {
     let india = Country::new("IN");
     let mut series = Vec::new();
     let mut add = |label: &str, values: Vec<f64>| {
@@ -101,6 +121,14 @@ pub fn figure11(dataset: &Dataset) -> CdfFigure {
     add("NDT India", ndt(true));
     add("Web '14 Other", web(false));
     add("NDT Other", ndt(false));
+    let n_dasu = dataset.dasu().count() as u64;
+    let n_web = (web(true).len() + web(false).len()) as u64;
+    ledger
+        .emit("exhibit")
+        .str("id", "fig11")
+        .u64("n", n_dasu)
+        .u64("dropped_no_web_latency", n_dasu - n_web)
+        .u64("series", series.len() as u64);
     CdfFigure {
         id: "fig11".into(),
         title: "Latency to NDT servers and popular web sites: India vs others".into(),
@@ -113,8 +141,10 @@ pub fn figure11(dataset: &Dataset) -> CdfFigure {
 /// Table 8: does *lower* packet loss mean higher average demand (no
 /// BitTorrent)? Controls: the two high-loss bins; treatments: the two
 /// low-loss bins — the four row pairs of the paper's Table 8.
-pub fn table8(dataset: &Dataset) -> ExperimentTable {
-    let calipers = ConfounderSet::ForLossExperiment.calipers();
+pub fn table8(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
+    let set = ConfounderSet::ForLossExperiment;
+    let calipers = set.calipers();
+    let names = set.covariate_names();
     let units_for = |bin: LossBin| {
         to_units(
             dataset.dasu().filter(|r| LossBin::of(r.loss) == bin),
@@ -123,6 +153,9 @@ pub fn table8(dataset: &Dataset) -> ExperimentTable {
         )
     };
     let mut rows = Vec::new();
+    let mut dropped_empty_bins = 0u64;
+    let mut dropped_no_experiment = 0u64;
+    let mut dropped_min_pairs = 0u64;
     for (control_bin, treatment_bin) in [
         (LossBin::From0_1To1, LossBin::UpTo0_01),
         (LossBin::From0_1To1, LossBin::From0_01To0_1),
@@ -132,16 +165,22 @@ pub fn table8(dataset: &Dataset) -> ExperimentTable {
         let control = units_for(control_bin);
         let treatment = units_for(treatment_bin);
         if control.is_empty() || treatment.is_empty() {
+            dropped_empty_bins += 1;
             continue;
         }
         let exp = NaturalExperiment::new(
             format!("loss {} vs {}", control_bin, treatment_bin),
             calipers.clone(),
         );
-        let Some(outcome) = exp.run(&control, &treatment) else {
+        let (outcome, audit) = exp.run_audited(&control, &treatment);
+        let kept = matches!(&outcome, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+        exp.log_provenance(ledger, "table8", &names, &audit, outcome.as_ref(), kept);
+        let Some(outcome) = outcome else {
+            dropped_no_experiment += 1;
             continue;
         };
-        if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+        if !kept {
+            dropped_min_pairs += 1;
             continue;
         }
         rows.push(ExperimentRow {
@@ -153,6 +192,14 @@ pub fn table8(dataset: &Dataset) -> ExperimentTable {
             significant: outcome.significant(),
         });
     }
+    ledger
+        .emit("exhibit")
+        .str("id", "table8")
+        .u64("rows", rows.len() as u64)
+        .u64("dropped_empty_bins", dropped_empty_bins)
+        .u64("dropped_no_experiment", dropped_no_experiment)
+        .u64("dropped_min_pairs", dropped_min_pairs)
+        .u64("min_pairs", crate::sec3::MIN_PAIRS as u64);
     ExperimentTable {
         id: "table8".into(),
         title: "Lower packet loss vs average usage (no BitTorrent)".into(),
@@ -165,7 +212,7 @@ pub fn table8(dataset: &Dataset) -> ExperimentTable {
 /// Figure 12: packet-loss CDFs, India vs the rest of the population.
 /// Series with no underlying users (a world without India, say) are
 /// omitted rather than fabricated.
-pub fn figure12(dataset: &Dataset) -> CdfFigure {
+pub fn figure12(dataset: &Dataset, ledger: &mut EventLog) -> CdfFigure {
     let india = Country::new("IN");
     let build = |label: &str, in_india: bool| -> Option<CdfSeries> {
         let v: Vec<f64> = dataset
@@ -184,15 +231,22 @@ pub fn figure12(dataset: &Dataset) -> CdfFigure {
             points: e.plot_points_downsampled(150),
         })
     };
+    let series: Vec<CdfSeries> = [build("India", true), build("Rest of population", false)]
+        .into_iter()
+        .flatten()
+        .collect();
+    ledger
+        .emit("exhibit")
+        .str("id", "fig12")
+        .u64("n", dataset.dasu().count() as u64)
+        .u64("series", series.len() as u64)
+        .u64("dropped", 0);
     CdfFigure {
         id: "fig12".into(),
         title: "Average packet loss: India vs the rest of the population".into(),
         x_label: "Packet loss rate (%)".into(),
         log_x: true,
-        series: [build("India", true), build("Rest of population", false)]
-            .into_iter()
-            .flatten()
-            .collect(),
+        series,
     }
 }
 
@@ -200,7 +254,7 @@ pub fn figure12(dataset: &Dataset) -> CdfFigure {
 /// *lower* demand than users in the US (the paper finds H holds 62% of the
 /// time with p < 0.001, despite India's higher access price which would
 /// predict the opposite).
-pub fn india_vs_us(dataset: &Dataset) -> Option<ExperimentRow> {
+pub fn india_vs_us(dataset: &Dataset, ledger: &mut EventLog) -> Option<ExperimentRow> {
     let us = Country::new("US");
     let india = Country::new("IN");
     let control = to_units(
@@ -218,8 +272,18 @@ pub fn india_vs_us(dataset: &Dataset) -> Option<ExperimentRow> {
         ConfounderSet::ForCountryComparison.calipers(),
     )
     .with_direction(Direction::TreatmentLower);
-    let outcome = exp.run(&control, &treatment)?;
-    if outcome.test.trials < crate::sec3::MIN_PAIRS as u64 {
+    let (outcome, audit) = exp.run_audited(&control, &treatment);
+    let kept = matches!(&outcome, Some(o) if o.test.trials >= crate::sec3::MIN_PAIRS as u64);
+    exp.log_provenance(
+        ledger,
+        "india_vs_us",
+        &ConfounderSet::ForCountryComparison.covariate_names(),
+        &audit,
+        outcome.as_ref(),
+        kept,
+    );
+    let outcome = outcome?;
+    if !kept {
         return None;
     }
     Some(ExperimentRow {
@@ -252,7 +316,7 @@ mod tests {
     #[test]
     fn table7_low_latency_users_demand_more() {
         let ds = dataset();
-        let t = table7(ds);
+        let t = table7(ds, &mut bb_trace::EventLog::new());
         assert!(!t.rows.is_empty(), "no latency rows");
         let pooled: f64 = t
             .rows
@@ -266,7 +330,7 @@ mod tests {
     #[test]
     fn table8_low_loss_users_demand_more() {
         let ds = dataset();
-        let t = table8(ds);
+        let t = table8(ds, &mut bb_trace::EventLog::new());
         assert!(!t.rows.is_empty(), "no loss rows");
         let pooled: f64 = t
             .rows
@@ -280,7 +344,7 @@ mod tests {
     #[test]
     fn figure11_india_is_shifted_right() {
         let ds = dataset();
-        let fig = figure11(ds);
+        let fig = figure11(ds, &mut bb_trace::EventLog::new());
         let ndt_india = fig.series.iter().find(|s| s.label == "NDT India").unwrap();
         let ndt_other = fig.series.iter().find(|s| s.label == "NDT Other").unwrap();
         assert!(
@@ -302,7 +366,7 @@ mod tests {
     #[test]
     fn figure12_india_loss_is_worse() {
         let ds = dataset();
-        let fig = figure12(ds);
+        let fig = figure12(ds, &mut bb_trace::EventLog::new());
         let india = &fig.series[0];
         let rest = &fig.series[1];
         assert!(
@@ -316,7 +380,7 @@ mod tests {
     #[test]
     fn india_imposes_lower_demand_than_us() {
         let ds = dataset();
-        let row = india_vs_us(ds).expect("comparison ran");
+        let row = india_vs_us(ds, &mut bb_trace::EventLog::new()).expect("comparison ran");
         assert!(
             row.percent_holds > 50.0,
             "India lower-demand share {}%",

@@ -363,7 +363,7 @@ mod tests {
     fn streamed_stats_track_the_materialised_study() {
         let world = small_world();
         let dataset = world.generate();
-        let (_, _, _, exact) = crate::sec2::figure1(&dataset);
+        let (_, _, _, exact) = crate::sec2::figure1(&dataset, &mut bb_trace::EventLog::new());
         let (_, study) = world.fold_users(ShardPlan::serial(), StreamStudy::new, |s, r, u| {
             s.absorb(r, u)
         });
@@ -394,7 +394,7 @@ mod tests {
     fn streamed_fig2_matches_the_materialised_bins() {
         let world = small_world();
         let dataset = world.generate();
-        let exact = crate::sec3::figure2(&dataset);
+        let exact = crate::sec3::figure2(&dataset, &mut bb_trace::EventLog::new());
         let (_, study) = world.fold_users(ShardPlan::serial(), StreamStudy::new, |s, r, u| {
             s.absorb(r, u)
         });

@@ -6,6 +6,7 @@
 
 use bb_study::exhibit::{BinnedFigure, ExperimentTable};
 use bb_study::robustness::SweepRow;
+use bb_trace::{Event, EventLog, Value};
 use std::fmt::Write as _;
 
 /// Escape a cell for a Markdown table.
@@ -94,6 +95,122 @@ pub fn sweep_table(rows: &[SweepRow]) -> String {
     out
 }
 
+/// A ledger value as a short Markdown cell.
+fn value_cell(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(x) => {
+            if x.is_finite() {
+                format!("{x:.3e}")
+            } else {
+                "—".into()
+            }
+        }
+        Value::Str(s) => cell(s),
+        Value::Bool(b) => b.to_string(),
+        Value::Hist(h) => format!("n={} (≤0: {})", h.count(), h.nonpositive()),
+        Value::Counts(pairs) => {
+            let parts: Vec<String> = pairs
+                .iter()
+                .map(|(label, count)| format!("{}: {count}", cell(label)))
+                .collect();
+            if parts.is_empty() {
+                "—".into()
+            } else {
+                parts.join(", ")
+            }
+        }
+    }
+}
+
+/// Look up `key` on `event`, rendering missing fields as an em-dash.
+fn field(event: &Event, key: &str) -> String {
+    event.get(key).map(value_cell).unwrap_or_else(|| "—".into())
+}
+
+/// Provenance ledger → Markdown appendix: matching audits, sign tests,
+/// and per-exhibit input/drop accounting, in ledger (= exhibit) order.
+pub fn provenance(log: &EventLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Provenance\n");
+    let _ = writeln!(
+        out,
+        "Every row below is recorded in the `--ledger` event log while the"
+    );
+    let _ = writeln!(
+        out,
+        "exhibits are computed; the log is byte-identical for any shard/thread plan.\n"
+    );
+
+    let audits: Vec<&Event> = log.events().filter(|e| e.kind() == "match_audit").collect();
+    if !audits.is_empty() {
+        let _ = writeln!(out, "### Matching audits\n");
+        let _ = writeln!(
+            out,
+            "| exhibit | experiment | control pool | treated | eligible | pairs | unmatched | caliper rejections |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for e in &audits {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                field(e, "exhibit"),
+                field(e, "experiment"),
+                field(e, "control_pool"),
+                field(e, "treated_considered"),
+                field(e, "candidates_eligible"),
+                field(e, "pairs_formed"),
+                field(e, "treated_unmatched"),
+                field(e, "caliper_rejections"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let tests: Vec<&Event> = log.events().filter(|e| e.kind() == "sign_test").collect();
+    if !tests.is_empty() {
+        let _ = writeln!(out, "### Sign tests\n");
+        let _ = writeln!(
+            out,
+            "| exhibit | experiment | n | positives | ties | p-value | direction | kept |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for e in &tests {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                field(e, "exhibit"),
+                field(e, "experiment"),
+                field(e, "n"),
+                field(e, "positives"),
+                field(e, "ties"),
+                field(e, "p_value"),
+                field(e, "direction"),
+                field(e, "kept"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let exhibits: Vec<&Event> = log.events().filter(|e| e.kind() == "exhibit").collect();
+    if !exhibits.is_empty() {
+        let _ = writeln!(out, "### Exhibit inputs\n");
+        let _ = writeln!(out, "| exhibit | accounting |");
+        let _ = writeln!(out, "|---|---|");
+        for e in &exhibits {
+            let rest: Vec<String> = e
+                .fields()
+                .filter(|(k, _)| *k != "id")
+                .map(|(k, v)| format!("{k} = {}", value_cell(v)))
+                .collect();
+            let _ = writeln!(out, "| {} | {} |", field(e, "id"), rest.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +272,46 @@ mod tests {
         let md = binned_figure(&f);
         assert!(md.contains("r = 0.870"));
         assert!(md.contains("| 1.000 | 2.0000 | [1.5000, 2.5000] | 9 |"));
+    }
+
+    #[test]
+    fn provenance_renders_each_event_kind() {
+        let mut log = EventLog::new();
+        log.emit("match_audit")
+            .str("exhibit", "table2")
+            .str("experiment", "capacity (4, 8] vs (8, 16]")
+            .u64("control_pool", 120)
+            .u64("treated_considered", 60)
+            .u64("candidates_eligible", 300)
+            .u64("pairs_formed", 40)
+            .u64("treated_unmatched", 20)
+            .counts(
+                "caliper_rejections",
+                vec![("latency".into(), 5), ("loss".into(), 0)],
+            );
+        log.emit("sign_test")
+            .str("exhibit", "table2")
+            .str("experiment", "capacity (4, 8] vs (8, 16]")
+            .u64("n", 38)
+            .u64("positives", 25)
+            .u64("ties", 2)
+            .f64("p_value", 0.036)
+            .str("direction", "treatment_higher")
+            .bool("kept", true);
+        log.emit("exhibit").str("id", "fig2").u64("n", 900);
+        let md = provenance(&log);
+        assert!(md.contains("### Matching audits"));
+        assert!(md.contains("| table2 | capacity (4, 8] vs (8, 16] | 120 | 60 | 300 | 40 | 20 | latency: 5, loss: 0 |"));
+        assert!(md.contains("### Sign tests"));
+        assert!(md.contains("| 38 | 25 | 2 | 3.600e-2 | treatment_higher | true |"));
+        assert!(md.contains("| fig2 | n = 900 |"));
+    }
+
+    #[test]
+    fn provenance_of_an_empty_ledger_is_just_the_header() {
+        let md = provenance(&EventLog::new());
+        assert!(md.contains("## Provenance"));
+        assert!(!md.contains("###"));
     }
 
     #[test]

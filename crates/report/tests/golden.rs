@@ -1,0 +1,206 @@
+//! Golden-file tests for the text and Markdown renderers.
+//!
+//! Each fixture is a small hand-built exhibit; its rendering is pinned
+//! byte-for-byte against a checked-in golden file under `tests/golden/`.
+//! A renderer change that alters output shows up as a readable diff in
+//! the golden file rather than a silent drift in `results/` and
+//! `EXPERIMENTS.md`. To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p bb-report --test golden
+//! ```
+
+use bb_report::{markdown, text};
+use bb_study::exhibit::{
+    Bar, BarFigure, BarGroup, BinnedFigure, BinnedPoint, BinnedSeries, CdfFigure, CdfSeries,
+    ExperimentRow, ExperimentTable,
+};
+use std::path::Path;
+
+/// Compare `rendered` against `tests/golden/<name>`, or rewrite the file
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            name
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "rendered output diverged from tests/golden/{name}; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn cdf_fixture() -> CdfFigure {
+    CdfFigure {
+        id: "fig_golden_cdf".into(),
+        title: "Download capacity".into(),
+        x_label: "Capacity (Mbps)".into(),
+        log_x: true,
+        series: vec![
+            CdfSeries {
+                label: "all users".into(),
+                n: 1000,
+                median: 7.4,
+                points: vec![
+                    (0.5, 0.05),
+                    (1.0, 0.1),
+                    (7.4, 0.5),
+                    (30.0, 0.9),
+                    (100.0, 1.0),
+                ],
+            },
+            CdfSeries {
+                label: "US only".into(),
+                n: 400,
+                median: 17.6,
+                points: vec![(1.0, 0.02), (17.6, 0.5), (50.0, 0.95), (100.0, 1.0)],
+            },
+        ],
+    }
+}
+
+fn binned_fixture() -> BinnedFigure {
+    BinnedFigure {
+        id: "fig_golden_binned".into(),
+        title: "Usage vs capacity".into(),
+        x_label: "Capacity (Mbps)".into(),
+        y_label: "Mean demand (kbps)".into(),
+        series: vec![BinnedSeries {
+            label: "2013".into(),
+            r_log: Some(0.913),
+            points: vec![
+                BinnedPoint {
+                    x: 1.0,
+                    mean: 110.0,
+                    ci_lo: 95.0,
+                    ci_hi: 125.0,
+                    n: 80,
+                },
+                BinnedPoint {
+                    x: 4.0,
+                    mean: 220.0,
+                    ci_lo: 200.0,
+                    ci_hi: 240.0,
+                    n: 200,
+                },
+                BinnedPoint {
+                    x: 16.0,
+                    mean: 430.0,
+                    ci_lo: 390.0,
+                    ci_hi: 470.0,
+                    n: 150,
+                },
+            ],
+        }],
+    }
+}
+
+fn bar_fixture() -> BarFigure {
+    BarFigure {
+        id: "fig_golden_bar".into(),
+        title: "Peak utilisation by tier".into(),
+        y_label: "Utilisation (%)".into(),
+        groups: vec![
+            BarGroup {
+                label: "(0, 4]".into(),
+                bars: vec![
+                    Bar {
+                        label: "mean".into(),
+                        value: 62.0,
+                        ci: Some((55.0, 69.0)),
+                        n: 40,
+                    },
+                    Bar {
+                        label: "peak".into(),
+                        value: 88.0,
+                        ci: None,
+                        n: 40,
+                    },
+                ],
+            },
+            BarGroup {
+                label: "(4, 16]".into(),
+                bars: vec![Bar {
+                    label: "mean".into(),
+                    value: 34.0,
+                    ci: Some((30.0, 38.0)),
+                    n: 120,
+                }],
+            },
+        ],
+    }
+}
+
+fn experiment_fixture() -> ExperimentTable {
+    ExperimentTable {
+        id: "table_golden".into(),
+        title: "Matched capacity bins".into(),
+        control_label: "Lower capacity".into(),
+        treatment_label: "Higher capacity".into(),
+        rows: vec![
+            ExperimentRow {
+                control: "(1.6, 3.2]".into(),
+                treatment: "(3.2, 6.4]".into(),
+                n_pairs: 412,
+                percent_holds: 63.5,
+                p_value: 8.25e-3,
+                significant: true,
+            },
+            ExperimentRow {
+                control: "(6.4, 12.8]".into(),
+                treatment: "(12.8, 25.6]".into(),
+                n_pairs: 97,
+                percent_holds: 51.5,
+                p_value: 0.42,
+                significant: false,
+            },
+        ],
+    }
+}
+
+#[test]
+fn text_cdf_matches_golden() {
+    assert_golden("cdf.txt", &text::render_cdf_figure(&cdf_fixture()));
+}
+
+#[test]
+fn text_binned_matches_golden() {
+    assert_golden("binned.txt", &text::render_binned_figure(&binned_fixture()));
+}
+
+#[test]
+fn text_bar_matches_golden() {
+    assert_golden("bar.txt", &text::render_bar_figure(&bar_fixture()));
+}
+
+#[test]
+fn text_experiment_matches_golden() {
+    assert_golden(
+        "experiment.txt",
+        &text::render_experiment_table(&experiment_fixture()),
+    );
+}
+
+#[test]
+fn markdown_experiment_matches_golden() {
+    assert_golden(
+        "experiment.md",
+        &markdown::experiment_table(&experiment_fixture()),
+    );
+}
+
+#[test]
+fn markdown_binned_matches_golden() {
+    assert_golden("binned.md", &markdown::binned_figure(&binned_fixture()));
+}

@@ -11,10 +11,15 @@
 //!   events** (wraps, resets, clamps, drops, merges). Pure functions of
 //!   `(seed, user index)`, merged shard-order-deterministically like the
 //!   engine's sketches, serialised to byte-stable JSON (`--metrics`).
+//! - [`EventLog`]: an ordered provenance ledger for **analysis events**
+//!   (exhibit inputs, matching audits, sign-test parameters). Like the
+//!   registry it is a pure function of the dataset, merged in shard
+//!   order, and serialised to byte-stable JSONL (`--ledger`).
 //! - [`Timings`]: named wall-clock spans for the **runtime** side (phase
-//!   durations, per-shard wall time). Plan- and machine-dependent by
-//!   nature, written to a separate `.runtime.json` sidecar and never
-//!   mixed into the deterministic registry.
+//!   durations, per-shard wall time), now as a hierarchical span tree
+//!   exportable to Chrome trace-event JSON (`--chrome-trace`). Plan- and
+//!   machine-dependent by nature, written to separate sidecars and never
+//!   mixed into the deterministic registry or ledger.
 //!
 //! [`Log2Histogram`] lives here (re-exported by `bb-engine` for
 //! compatibility) because both halves and the engine's sketch layer
@@ -23,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod hist;
 pub mod registry;
 pub mod span;
 
+pub use event::{Event, EventBuilder, EventLog, Value};
 pub use hist::Log2Histogram;
 pub use registry::Registry;
-pub use span::{SpanStats, Timings};
+pub use span::{SpanGuard, SpanNode, SpanStats, Timings};

@@ -30,7 +30,7 @@ fn main() {
     );
 
     // 3. Population characteristics (the paper's Figure 1).
-    let (fig1a, _, _, stats) = sec2::figure1(&dataset);
+    let (fig1a, _, _, stats) = sec2::figure1(&dataset, &mut bb_trace::EventLog::new());
     println!("{}", text::render_cdf_figure(&fig1a));
     println!(
         "median capacity {:.1} Mbps, median latency {:.0} ms, {:.1}% of users above 1% loss\n",
@@ -40,12 +40,12 @@ fn main() {
     );
 
     // 4. The headline relationship: usage vs capacity (Figure 2d).
-    let fig2 = sec3::figure2(&dataset);
+    let fig2 = sec3::figure2(&dataset, &mut bb_trace::EventLog::new());
     println!("{}", text::render_binned_figure(&fig2[3]));
 
     // 5. A natural experiment: does moving to a faster service raise an
     //    individual's demand? (Table 1.)
-    let table1 = sec3::table1(&dataset);
+    let table1 = sec3::table1(&dataset, &mut bb_trace::EventLog::new());
     println!("{}", text::render_experiment_table(&table1));
     for row in &table1.rows {
         let verdict = if row.significant && row.percent_holds > 52.0 {

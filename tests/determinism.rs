@@ -34,9 +34,12 @@ fn same_seed_same_dataset() {
 fn same_seed_same_exhibits() {
     let a = small_world(13).generate();
     let b = small_world(13).generate();
-    assert_eq!(sec3::figure2(&a), sec3::figure2(&b));
-    let ta = sec3::table1(&a);
-    let tb = sec3::table1(&b);
+    assert_eq!(
+        sec3::figure2(&a, &mut bb_trace::EventLog::new()),
+        sec3::figure2(&b, &mut bb_trace::EventLog::new())
+    );
+    let ta = sec3::table1(&a, &mut bb_trace::EventLog::new());
+    let tb = sec3::table1(&b, &mut bb_trace::EventLog::new());
     assert_eq!(ta.rows.len(), tb.rows.len());
     for (ra, rb) in ta.rows.iter().zip(&tb.rows) {
         assert_eq!(ra.percent_holds, rb.percent_holds);

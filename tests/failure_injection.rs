@@ -55,7 +55,7 @@ fn degraded_world_still_analyzable() {
     );
     assert!(s.frac_loss_above_1pct > 0.5);
     // The per-year experiment still runs (or declines gracefully).
-    let _ = sec4::year_experiment(&ds);
+    let _ = sec4::year_experiment(&ds, &mut bb_trace::EventLog::new());
 }
 
 #[test]
@@ -131,11 +131,11 @@ fn single_country_world_skips_cross_market_experiments() {
     let ds = world.generate();
     // The price experiment needs multiple price bins; with one market the
     // treatment side is empty and the table must come back rowless.
-    let t3 = needwant::study::sec5::table3(&ds);
+    let t3 = needwant::study::sec5::table3(&ds, &mut bb_trace::EventLog::new());
     assert!(t3.rows.is_empty());
     // Capacity experiments within the single market still work.
-    let (dasu, _) = sec3::table2(&ds);
+    let (dasu, _) = sec3::table2(&ds, &mut bb_trace::EventLog::new());
     let _ = dasu; // may or may not have rows at this size; must not panic
-    let _ = sec6::table6(&ds);
-    let _ = sec7::table7(&ds);
+    let _ = sec6::table6(&ds, &mut bb_trace::EventLog::new());
+    let _ = sec7::table7(&ds, &mut bb_trace::EventLog::new());
 }
