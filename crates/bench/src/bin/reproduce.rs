@@ -29,10 +29,21 @@
 //! `--chrome-trace PATH` writes a plan-dependent Chrome trace-event
 //! file of the harness phases, loadable in Perfetto. `--quiet`
 //! suppresses the per-phase progress lines on stderr.
+//!
+//! `--checkpoint DIR` commits every completed shard to `DIR` (atomic
+//! tmp-file + rename, fsync'd manifest) and `--resume` restores the
+//! committed shards of a matching earlier run instead of recomputing
+//! them; mismatched or corrupt state is rejected and recomputed, never
+//! merged. A resumed run's outputs are byte-identical to a cold run
+//! under any `--threads`/`--shards` plan. `DIR/status.json` records the
+//! `checkpoint.skipped` / `checkpoint.recomputed` /
+//! `checkpoint.rejected` counters of the most recent run.
+//! `--fail-after-shard N` is the crash-injection test hook: the process
+//! aborts with exit code 83 once N shards are durably committed.
 
 use bb_bench::REPRO_SEED;
 use bb_dataset::{builtin_world, World, WorldConfig};
-use bb_engine::{RunStats, ShardPlan};
+use bb_engine::{CheckpointParams, CheckpointReport, CheckpointStore, RunStats, ShardPlan};
 use bb_report::csv;
 use bb_report::gnuplot;
 use bb_report::json;
@@ -70,9 +81,26 @@ options:
                   write a Chrome trace-event JSON file of the harness
                   phases to PATH (plan-dependent; open in Perfetto or
                   chrome://tracing)
+  --checkpoint DIR
+                  durably commit each completed generation shard to DIR
+                  (atomic rename + fsync'd manifest); DIR/status.json
+                  records the checkpoint.* counters of the run
+  --resume        restore committed shards from --checkpoint DIR instead
+                  of recomputing them; mismatched or corrupt state is
+                  rejected and recomputed, and the outputs stay
+                  byte-identical to a cold run under any plan
+  --fail-after-shard N
+                  crash-injection test hook: abort with exit code 83
+                  once N shards are durably committed (requires
+                  --checkpoint; N at least 1)
   --quiet         suppress per-phase progress lines on stderr
   -h, --help      print this help
 ";
+
+/// Exit code of the `--fail-after-shard` injected crash: distinguishable
+/// from real failures (1) and usage errors (2) so the recovery tests can
+/// assert the abort actually came from the hook.
+const FAIL_AFTER_EXIT: i32 = 83;
 
 /// A progress line on stderr, suppressed by `--quiet`.
 macro_rules! progress {
@@ -89,7 +117,7 @@ fn main() {
             print!("{USAGE}");
             return;
         }
-        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Run(args)) => *args,
         Err(err) => {
             eprint!("reproduce: {err}\n\n{USAGE}");
             std::process::exit(2);
@@ -118,7 +146,31 @@ fn main() {
     let mut timings = Timings::new();
     timings.begin("reproduce");
     timings.begin("generate");
-    let (dataset, registry, stats) = world.generate_with_traced(plan);
+    let store = checkpoint_store(&args, "materialised");
+    let fail_hook = fail_after_hook(&args);
+    let (dataset, registry, stats, ckpt) = match &store {
+        Some(store) => {
+            match world.generate_with_checkpointed(
+                plan,
+                store,
+                args.resume,
+                fail_hook.as_ref().map(|h| h as &(dyn Fn(u64) + Sync)),
+            ) {
+                Ok((dataset, registry, stats, report)) => {
+                    report_checkpoint(&args, store, &report);
+                    (dataset, registry, stats, Some(report))
+                }
+                Err(e) => {
+                    eprintln!("reproduce: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let (dataset, registry, stats) = world.generate_with_traced(plan);
+            (dataset, registry, stats, None)
+        }
+    };
     timings.end();
     progress!(
         args,
@@ -152,7 +204,7 @@ fn main() {
 
     create_dir(&args.out);
     timings.begin("render");
-    write_metrics(&args, &registry, &stats);
+    write_metrics(&args, &registry, &stats, ckpt.as_ref());
     write_ledger(&args, &ledger);
     write_exhibits(&report, &args.out);
     write(
@@ -221,8 +273,34 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
     let mut timings = Timings::new();
     timings.begin("reproduce");
     timings.begin("stream");
-    let (_, study, mut registry, stats) =
-        world.fold_users_traced(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
+    let store = checkpoint_store(args, "streaming");
+    let fail_hook = fail_after_hook(args);
+    let (study, mut registry, stats, ckpt) = match &store {
+        Some(store) => {
+            match world.fold_users_checkpointed(
+                plan,
+                store,
+                args.resume,
+                fail_hook.as_ref().map(|h| h as &(dyn Fn(u64) + Sync)),
+                StreamStudy::new,
+                |s, r, u| s.absorb(r, u),
+            ) {
+                Ok((_, study, registry, stats, report)) => {
+                    report_checkpoint(args, store, &report);
+                    (study, registry, stats, Some(report))
+                }
+                Err(e) => {
+                    eprintln!("reproduce: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let (_, study, registry, stats) =
+                world.fold_users_traced(plan, StreamStudy::new, |s, r, u| s.absorb(r, u));
+            (study, registry, stats, None)
+        }
+    };
     timings.end();
     let elapsed = stats.total;
     progress!(
@@ -262,7 +340,7 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
 
     create_dir(&args.out);
     timings.begin("render");
-    write_metrics(args, &registry, &stats);
+    write_metrics(args, &registry, &stats, ckpt.as_ref());
     write_ledger(args, &ledger);
     for f in study.figure1().iter().chain(study.figure7().iter()) {
         write(
@@ -332,6 +410,9 @@ struct Args {
     metrics: Option<PathBuf>,
     ledger: Option<PathBuf>,
     chrome_trace: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    fail_after_shard: Option<u64>,
     quiet: bool,
 }
 
@@ -340,7 +421,7 @@ enum Parsed {
     /// `--help`/`-h`: print the usage text and exit 0.
     Help,
     /// A validated run configuration.
-    Run(Args),
+    Run(Box<Args>),
 }
 
 /// The next token after `flag`, or a "missing value" error.
@@ -369,6 +450,9 @@ impl Args {
             metrics: None,
             ledger: None,
             chrome_trace: None,
+            checkpoint: None,
+            resume: false,
+            fail_after_shard: None,
             quiet: false,
         };
         while let Some(flag) = it.next() {
@@ -417,12 +501,27 @@ impl Args {
                 "--chrome-trace" => {
                     args.chrome_trace = Some(PathBuf::from(take(&mut it, &flag)?));
                 }
+                "--checkpoint" => args.checkpoint = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--resume" => args.resume = true,
+                "--fail-after-shard" => {
+                    let n: u64 = num(&flag, &take(&mut it, &flag)?, "a shard count")?;
+                    if n == 0 {
+                        return Err("--fail-after-shard must be at least 1".into());
+                    }
+                    args.fail_after_shard = Some(n);
+                }
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        Ok(Parsed::Run(args))
+        if args.resume && args.checkpoint.is_none() {
+            return Err("--resume requires --checkpoint DIR".into());
+        }
+        if args.fail_after_shard.is_some() && args.checkpoint.is_none() {
+            return Err("--fail-after-shard requires --checkpoint DIR".into());
+        }
+        Ok(Parsed::Run(Box::new(args)))
     }
 
     /// The shard plan the flags imply. Output never depends on it.
@@ -431,6 +530,70 @@ impl Args {
             Some(shards) => ShardPlan::new(shards, self.threads),
             None => ShardPlan::for_threads(self.threads),
         }
+    }
+}
+
+/// The [`CheckpointStore`] the flags imply, if any. The parameter list
+/// pins everything the deterministic output depends on (plus the
+/// pipeline path, since the two paths accumulate different state);
+/// notably *not* the thread count — shard boundaries are
+/// thread-invariant, so a resume may use a different `--threads`.
+fn checkpoint_store(args: &Args, path: &str) -> Option<CheckpointStore> {
+    let dir = args.checkpoint.as_ref()?;
+    let params = CheckpointParams::new()
+        .set("path", path)
+        .set("seed", args.seed)
+        .set("scale", args.scale)
+        .set("days", args.days)
+        .set("fcc", args.fcc_users)
+        .set(
+            "users",
+            args.users.map_or_else(|| "-".into(), |u| u.to_string()),
+        );
+    Some(CheckpointStore::new(dir, params))
+}
+
+/// The `--fail-after-shard` crash injection: a commit observer that
+/// aborts the process once N shards are durable. Policy lives here in
+/// the CLI; the engine only exposes the `after_commit` hook.
+fn fail_after_hook(args: &Args) -> Option<impl Fn(u64) + Sync> {
+    let n = args.fail_after_shard?;
+    let quiet = args.quiet;
+    Some(move |committed: u64| {
+        if committed >= n {
+            if !quiet {
+                eprintln!("reproduce: injected failure after {committed} committed shards");
+            }
+            std::process::exit(FAIL_AFTER_EXIT);
+        }
+    })
+}
+
+/// Log the checkpoint outcome and write `DIR/status.json` with the
+/// `checkpoint.*` counters. The counters describe *this process* (a
+/// resumed run skips, a cold run recomputes), so they go to the
+/// checkpoint dir and the runtime sidecar — never the plan-invariant
+/// metrics registry or the exhibits.
+fn report_checkpoint(args: &Args, store: &CheckpointStore, report: &CheckpointReport) {
+    progress!(
+        args,
+        "checkpoint: {} skipped, {} recomputed, {} rejected ({})",
+        report.skipped,
+        report.recomputed,
+        report.rejected,
+        store.dir().display()
+    );
+    for reason in &report.reasons {
+        progress!(args, "checkpoint: rejected: {reason}");
+    }
+    let mut status = Registry::new();
+    status.add("checkpoint.skipped", report.skipped);
+    status.add("checkpoint.recomputed", report.recomputed);
+    status.add("checkpoint.rejected", report.rejected);
+    let path = store.dir().join("status.json");
+    if let Err(e) = std::fs::write(&path, status.to_json()) {
+        eprintln!("reproduce: write {}: {e}", path.display());
+        std::process::exit(1);
     }
 }
 
@@ -450,8 +613,15 @@ fn write(out: &Path, name: &str, content: &str) {
 }
 
 /// Write the merged metrics registry (plan-invariant JSON) and the
-/// plan-dependent `.runtime.json` scheduling sidecar next to it.
-fn write_metrics(args: &Args, registry: &Registry, stats: &RunStats) {
+/// plan-dependent `.runtime.json` scheduling sidecar next to it. When
+/// the run was checkpointed, the sidecar additionally carries the
+/// `checkpoint.*` counters (process-dependent, like the wall times).
+fn write_metrics(
+    args: &Args,
+    registry: &Registry,
+    stats: &RunStats,
+    ckpt: Option<&CheckpointReport>,
+) {
     let Some(path) = &args.metrics else { return };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -471,8 +641,15 @@ fn write_metrics(args: &Args, registry: &Registry, stats: &RunStats) {
         }
         let _ = write!(walls, "[{bucket}, {count}]");
     }
+    let checkpoint = match ckpt {
+        Some(report) => format!(
+            ",\n  \"checkpoint\": {{\"skipped\": {}, \"recomputed\": {}, \"rejected\": {}}}",
+            report.skipped, report.recomputed, report.rejected
+        ),
+        None => String::new(),
+    };
     let runtime = format!(
-        "{{\n  \"plan\": {{\"shards\": {}, \"threads\": {}}},\n  \"items\": {},\n  \"steals\": {},\n  \"work_us\": {},\n  \"merge_us\": {},\n  \"total_us\": {},\n  \"shard_wall_us_log2_buckets\": [{walls}]\n}}\n",
+        "{{\n  \"plan\": {{\"shards\": {}, \"threads\": {}}},\n  \"items\": {},\n  \"steals\": {},\n  \"work_us\": {},\n  \"merge_us\": {},\n  \"total_us\": {},\n  \"shard_wall_us_log2_buckets\": [{walls}]{checkpoint}\n}}\n",
         stats.shards,
         stats.threads,
         stats.items,

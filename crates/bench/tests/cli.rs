@@ -24,18 +24,22 @@ fn tmpdir(name: &str) -> PathBuf {
 fn bad_arguments_exit_2_with_usage_not_a_panic() {
     let dir = tmpdir("cli-bad-args");
     let cases: &[&[&str]] = &[
-        &["--frobnicate"],      // unknown flag
-        &["--threads"],         // missing value
-        &["--threads", "zero"], // unparseable value
-        &["--threads", "0"],    // zero workers
-        &["--shards", "0"],     // zero shards
-        &["--users", "0"],      // empty stream
-        &["--days", "0"],       // empty window
-        &["--scale", "nan"],    // non-finite scale
-        &["--scale", "inf"],    // non-finite scale
-        &["--scale", "-2"],     // negative scale
-        &["--scale", "0"],      // zero scale
-        &["--seed", "1.5"],     // non-integer seed
+        &["--frobnicate"],                                  // unknown flag
+        &["--threads"],                                     // missing value
+        &["--threads", "zero"],                             // unparseable value
+        &["--threads", "0"],                                // zero workers
+        &["--shards", "0"],                                 // zero shards
+        &["--users", "0"],                                  // empty stream
+        &["--days", "0"],                                   // empty window
+        &["--scale", "nan"],                                // non-finite scale
+        &["--scale", "inf"],                                // non-finite scale
+        &["--scale", "-2"],                                 // negative scale
+        &["--scale", "0"],                                  // zero scale
+        &["--seed", "1.5"],                                 // non-integer seed
+        &["--resume"],                                      // --resume without --checkpoint
+        &["--fail-after-shard", "2"],                       // crash hook without --checkpoint
+        &["--checkpoint", "ck", "--fail-after-shard", "0"], // zero commits
+        &["--checkpoint"],                                  // missing value
     ];
     for args in cases {
         let out = reproduce(args, &dir);
@@ -75,6 +79,15 @@ fn help_prints_usage_on_stdout_and_exits_0() {
         assert!(stdout.contains("--ledger"), "{flag}: new flags documented");
         assert!(
             stdout.contains("--chrome-trace"),
+            "{flag}: new flags documented"
+        );
+        assert!(
+            stdout.contains("--checkpoint"),
+            "{flag}: new flags documented"
+        );
+        assert!(stdout.contains("--resume"), "{flag}: new flags documented");
+        assert!(
+            stdout.contains("--fail-after-shard"),
             "{flag}: new flags documented"
         );
     }
@@ -177,6 +190,58 @@ fn chrome_trace_is_a_valid_trace_event_array() {
         assert!(e["pid"].as_f64().is_some(), "{e:?}");
         assert!(e["tid"].as_f64().is_some(), "{e:?}");
     }
+}
+
+#[test]
+fn materialised_path_writes_chrome_trace_metrics_and_quiet_is_quiet() {
+    // The materialised (non `--users`) path shares the observability
+    // flags with the streaming path; cover it explicitly.
+    let dir = tmpdir("cli-materialised-trace");
+    let out = reproduce(
+        &[
+            "--scale",
+            "2",
+            "--days",
+            "1",
+            "--fcc",
+            "30",
+            "--quiet",
+            "--out",
+            "out-mat",
+            "--chrome-trace",
+            "out-mat/trace.json",
+            "--metrics",
+            "out-mat/metrics.json",
+        ],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        out.stderr.is_empty(),
+        "--quiet must silence progress, got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let raw = std::fs::read_to_string(dir.join("out-mat/trace.json")).expect("trace file");
+    let parsed: serde_json::Value = serde_json::from_str(&raw).expect("trace must be valid JSON");
+    let events = parsed.as_array().expect("trace must be a JSON array");
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e["name"].as_str().expect("name"))
+        .collect();
+    // The materialised path's phases, not the streaming path's.
+    assert!(names.contains(&"generate"), "{names:?}");
+    assert!(names.contains(&"analysis"), "{names:?}");
+    assert!(names.contains(&"render"), "{names:?}");
+    assert!(
+        dir.join("out-mat/metrics.json").exists() && dir.join("out-mat/experiments.md").exists(),
+        "metrics and experiments.md must both be written"
+    );
 }
 
 #[test]

@@ -16,6 +16,7 @@ use crate::sec2::PopulationStats;
 use crate::sec5::CASE_STUDY;
 use bb_dataset::record::VantageKind;
 use bb_dataset::{UpgradeObservation, UserRecord};
+use bb_engine::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use bb_engine::{BottomK, EcdfSketch, ExactMoments, Mergeable};
 use bb_stats::corr::pearson;
 use bb_types::{CapacityBin, Country};
@@ -276,6 +277,99 @@ impl StreamStudy {
                 series: util_series,
             },
         ]
+    }
+}
+
+impl Snapshot for CountrySketch {
+    const KIND: &'static str = "CountrySketch";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        self.capacity.write_snapshot(w);
+        self.utilization.write_snapshot(w);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CountrySketch {
+            capacity: EcdfSketch::read_snapshot(r)?,
+            utilization: EcdfSketch::read_snapshot(r)?,
+        })
+    }
+}
+
+impl Snapshot for StreamStudy {
+    const KIND: &'static str = "StreamStudy";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("users", self.users);
+        w.u64("dasu_users", self.dasu_users);
+        w.u64("fcc_users", self.fcc_users);
+        w.u64("movers", self.movers);
+        self.capacity.write_snapshot(w);
+        self.latency.write_snapshot(w);
+        self.loss.write_snapshot(w);
+        for panel in &self.fig2_bins {
+            w.u64("bins", panel.len() as u64);
+            for (bin, moments) in panel {
+                w.u64("-", u64::from(bin.0));
+                moments.write_snapshot(w);
+            }
+        }
+        w.u64("countries", self.by_country.len() as u64);
+        for (country, sketch) in &self.by_country {
+            w.line("-", country.as_str());
+            sketch.write_snapshot(w);
+        }
+        self.sample.write_snapshot(w);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let users = r.take_u64("users")?;
+        let dasu_users = r.take_u64("dasu_users")?;
+        let fcc_users = r.take_u64("fcc_users")?;
+        let movers = r.take_u64("movers")?;
+        let capacity = EcdfSketch::read_snapshot(r)?;
+        let latency = EcdfSketch::read_snapshot(r)?;
+        let loss = EcdfSketch::read_snapshot(r)?;
+        let mut fig2_bins: [BTreeMap<CapacityBin, ExactMoments>; 4] = Default::default();
+        for panel in &mut fig2_bins {
+            let len = r.take_u64("bins")?;
+            for _ in 0..len {
+                let bin = r.take_u64("-")?;
+                let bin = u8::try_from(bin)
+                    .map(CapacityBin)
+                    .map_err(|_| r.invalid(format!("capacity bin {bin} out of range")))?;
+                let moments = ExactMoments::read_snapshot(r)?;
+                if panel.insert(bin, moments).is_some() {
+                    return Err(r.invalid(format!("duplicate capacity bin {}", bin.0)));
+                }
+            }
+        }
+        let n_countries = r.take_u64("countries")?;
+        let mut by_country = BTreeMap::new();
+        for _ in 0..n_countries {
+            let code = r.take("-")?;
+            let country = code
+                .trim()
+                .parse::<Country>()
+                .map_err(|_| r.invalid(format!("invalid country code {code:?}")))?;
+            let sketch = CountrySketch::read_snapshot(r)?;
+            if by_country.insert(country, sketch).is_some() {
+                return Err(r.invalid(format!("duplicate country {}", country.as_str())));
+            }
+        }
+        let sample = BottomK::read_snapshot(r)?;
+        Ok(StreamStudy {
+            users,
+            dasu_users,
+            fcc_users,
+            movers,
+            capacity,
+            latency,
+            loss,
+            fig2_bins,
+            by_country,
+            sample,
+        })
     }
 }
 

@@ -28,6 +28,7 @@ pub mod agent;
 pub mod country;
 pub mod persona;
 pub mod record;
+pub mod snapshot;
 pub mod world;
 
 pub use agent::{choose_plan, Agent};

@@ -1,0 +1,414 @@
+//! Checkpoint serialisation for observed records.
+//!
+//! The materialised generation path accumulates
+//! `(Vec<UserRecord>, Vec<UpgradeObservation>, Registry)` per shard; to
+//! checkpoint it, the records themselves must freeze/thaw **bit-exactly**
+//! (every `f64` travels as its IEEE bits — see `bb_engine::snapshot`).
+//!
+//! The `bb-types` constructors assert on non-physical values (negative
+//! bandwidths, loss outside `[0, 1]`, peak demand below mean). A
+//! checkpoint file must never be able to reach those asserts, so every
+//! reader here validates first and reports a [`SnapshotError`] instead —
+//! corrupt state degrades to recomputation upstream, never a panic.
+
+use crate::persona::Persona;
+use crate::record::{UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
+use bb_engine::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use bb_netsim::collect::CounterSource;
+use bb_types::{
+    Bandwidth, Country, DemandSummary, Latency, LossRate, MoneyPpp, NetworkId, UserId, Year,
+};
+
+/// Missing-value token for optional scalar fields.
+const NONE: &str = "-";
+
+fn write_bandwidth(w: &mut SnapshotWriter, key: &str, v: Bandwidth) {
+    w.f64(key, v.bps());
+}
+
+fn read_bandwidth(r: &mut SnapshotReader<'_>, key: &str) -> Result<Bandwidth, SnapshotError> {
+    let bps = r.take_f64(key)?;
+    if !(bps.is_finite() && bps >= 0.0) {
+        return Err(r.invalid(format!("{key}: invalid bandwidth {bps} bps")));
+    }
+    Ok(Bandwidth::from_bps(bps))
+}
+
+fn write_opt_f64(w: &mut SnapshotWriter, key: &str, v: Option<f64>) {
+    match v {
+        Some(v) => w.line(key, &format!("{:016x}", v.to_bits())),
+        None => w.line(key, NONE),
+    }
+}
+
+fn read_opt_f64(r: &mut SnapshotReader<'_>, key: &str) -> Result<Option<f64>, SnapshotError> {
+    let rest = r.take(key)?;
+    let token = rest.trim();
+    if token == NONE {
+        return Ok(None);
+    }
+    bb_engine::snapshot::parse_f64_bits(token)
+        .map(Some)
+        .ok_or_else(|| r.invalid(format!("{key}: bad f64 bits {rest:?}")))
+}
+
+fn write_demand(w: &mut SnapshotWriter, key: &str, v: Option<DemandSummary>) {
+    match v {
+        Some(d) => w.line(
+            key,
+            &format!(
+                "{:016x} {:016x}",
+                d.mean.bps().to_bits(),
+                d.peak.bps().to_bits()
+            ),
+        ),
+        None => w.line(key, NONE),
+    }
+}
+
+fn read_demand(
+    r: &mut SnapshotReader<'_>,
+    key: &str,
+) -> Result<Option<DemandSummary>, SnapshotError> {
+    let rest = r.take(key)?;
+    let token = rest.trim();
+    if token == NONE {
+        return Ok(None);
+    }
+    let mut toks = token.split_whitespace();
+    let mean = toks
+        .next()
+        .and_then(bb_engine::snapshot::parse_f64_bits)
+        .ok_or_else(|| r.invalid(format!("{key}: bad mean bits in {rest:?}")))?;
+    let peak = toks
+        .next()
+        .and_then(bb_engine::snapshot::parse_f64_bits)
+        .ok_or_else(|| r.invalid(format!("{key}: bad peak bits in {rest:?}")))?;
+    let valid = mean.is_finite() && mean >= 0.0 && peak.is_finite() && peak >= 0.0;
+    // `DemandSummary::new` asserts peak ≥ mean (or zero peak); check
+    // first so corrupt state errors instead of panicking.
+    if !valid || !(peak >= mean || peak == 0.0) {
+        return Err(r.invalid(format!("{key}: invalid demand mean={mean} peak={peak}")));
+    }
+    Ok(Some(DemandSummary::new(
+        Bandwidth::from_bps(mean),
+        Bandwidth::from_bps(peak),
+    )))
+}
+
+fn read_country(r: &mut SnapshotReader<'_>, key: &str) -> Result<Country, SnapshotError> {
+    let rest = r.take(key)?;
+    rest.trim()
+        .parse::<Country>()
+        .map_err(|_| r.invalid(format!("{key}: invalid country code {rest:?}")))
+}
+
+fn write_network(w: &mut SnapshotWriter, key: &str, v: &NetworkId) {
+    w.line(
+        key,
+        &format!("{} {} {} {}", v.country.as_str(), v.isp, v.prefix, v.city),
+    );
+}
+
+fn read_network(r: &mut SnapshotReader<'_>, key: &str) -> Result<NetworkId, SnapshotError> {
+    let rest = r.take(key)?;
+    let mut toks = rest.split_whitespace();
+    let country = toks
+        .next()
+        .and_then(|t| t.parse::<Country>().ok())
+        .ok_or_else(|| r.invalid(format!("{key}: bad network country in {rest:?}")))?;
+    let isp = toks
+        .next()
+        .and_then(|t| t.parse::<u16>().ok())
+        .ok_or_else(|| r.invalid(format!("{key}: bad isp in {rest:?}")))?;
+    let prefix = toks
+        .next()
+        .and_then(|t| t.parse::<u32>().ok())
+        .ok_or_else(|| r.invalid(format!("{key}: bad prefix in {rest:?}")))?;
+    let city = toks
+        .next()
+        .and_then(|t| t.parse::<u16>().ok())
+        .ok_or_else(|| r.invalid(format!("{key}: bad city in {rest:?}")))?;
+    Ok(NetworkId::new(country, isp, prefix, city))
+}
+
+fn vantage_token(v: VantageKind) -> &'static str {
+    match v {
+        VantageKind::Dasu => "dasu",
+        VantageKind::Fcc => "fcc",
+    }
+}
+
+fn persona_token(p: Persona) -> &'static str {
+    match p {
+        Persona::Streamer => "streamer",
+        Persona::Browser => "browser",
+        Persona::Downloader => "downloader",
+        Persona::Gamer => "gamer",
+    }
+}
+
+fn counter_token(c: Option<CounterSource>) -> &'static str {
+    match c {
+        Some(CounterSource::Upnp) => "upnp",
+        Some(CounterSource::Netstat) => "netstat",
+        None => NONE,
+    }
+}
+
+impl Snapshot for UserRecord {
+    const KIND: &'static str = "UserRecord";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("user", self.user.0);
+        w.line("country", self.country.as_str());
+        write_network(w, "network", &self.network);
+        w.u64("year", u64::from(self.year.0));
+        w.line("vantage", vantage_token(self.vantage));
+        write_bandwidth(w, "capacity", self.capacity);
+        w.f64("latency_ms", self.latency.ms());
+        w.f64("loss", self.loss.fraction());
+        write_opt_f64(w, "web_latency_ms", self.web_latency.map(|l| l.ms()));
+        write_demand(w, "demand_with_bt", self.demand_with_bt);
+        write_demand(w, "demand_no_bt", self.demand_no_bt);
+        write_bandwidth(w, "plan_capacity", self.plan_capacity);
+        w.f64("plan_price", self.plan_price.usd());
+        w.f64("access_price", self.access_price.usd());
+        write_opt_f64(w, "upgrade_cost", self.upgrade_cost.map(|m| m.usd()));
+        w.u64("is_bt_user", u64::from(self.is_bt_user));
+        write_opt_f64(w, "upload_mean", self.upload_mean.map(|b| b.bps()));
+        w.u64("plan_capped", u64::from(self.plan_capped));
+        w.line("counter_source", counter_token(self.counter_source));
+        w.line("persona", persona_token(self.persona));
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let user = UserId(r.take_u64("user")?);
+        let country = read_country(r, "country")?;
+        let network = read_network(r, "network")?;
+        let year = r.take_u64("year")?;
+        let year =
+            Year(u16::try_from(year).map_err(|_| r.invalid(format!("year {year} out of range")))?);
+        let vantage = match r.take("vantage")?.trim() {
+            "dasu" => VantageKind::Dasu,
+            "fcc" => VantageKind::Fcc,
+            other => return Err(r.invalid(format!("unknown vantage {other:?}"))),
+        };
+        let capacity = read_bandwidth(r, "capacity")?;
+        let latency_ms = r.take_f64("latency_ms")?;
+        if !(latency_ms.is_finite() && latency_ms >= 0.0) {
+            return Err(r.invalid(format!("invalid latency {latency_ms} ms")));
+        }
+        let loss = r.take_f64("loss")?;
+        if !(loss.is_finite() && (0.0..=1.0).contains(&loss)) {
+            return Err(r.invalid(format!("invalid loss fraction {loss}")));
+        }
+        let web_latency = match read_opt_f64(r, "web_latency_ms")? {
+            Some(ms) if ms.is_finite() && ms >= 0.0 => Some(Latency::from_ms(ms)),
+            Some(ms) => return Err(r.invalid(format!("invalid web latency {ms} ms"))),
+            None => None,
+        };
+        let demand_with_bt = read_demand(r, "demand_with_bt")?;
+        let demand_no_bt = read_demand(r, "demand_no_bt")?;
+        let plan_capacity = read_bandwidth(r, "plan_capacity")?;
+        let plan_price = r.take_f64("plan_price")?;
+        let access_price = r.take_f64("access_price")?;
+        for (key, v) in [("plan_price", plan_price), ("access_price", access_price)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(r.invalid(format!("invalid {key} {v}")));
+            }
+        }
+        let upgrade_cost = match read_opt_f64(r, "upgrade_cost")? {
+            Some(usd) if usd.is_finite() && usd >= 0.0 => Some(MoneyPpp::from_usd(usd)),
+            Some(usd) => return Err(r.invalid(format!("invalid upgrade cost {usd}"))),
+            None => None,
+        };
+        let is_bt_user = match r.take_u64("is_bt_user")? {
+            0 => false,
+            1 => true,
+            other => return Err(r.invalid(format!("is_bt_user must be 0/1, got {other}"))),
+        };
+        let upload_mean = match read_opt_f64(r, "upload_mean")? {
+            Some(bps) if bps.is_finite() && bps >= 0.0 => Some(Bandwidth::from_bps(bps)),
+            Some(bps) => return Err(r.invalid(format!("invalid upload mean {bps} bps"))),
+            None => None,
+        };
+        let plan_capped = match r.take_u64("plan_capped")? {
+            0 => false,
+            1 => true,
+            other => return Err(r.invalid(format!("plan_capped must be 0/1, got {other}"))),
+        };
+        let counter_source = match r.take("counter_source")?.trim() {
+            "upnp" => Some(CounterSource::Upnp),
+            "netstat" => Some(CounterSource::Netstat),
+            NONE => None,
+            other => return Err(r.invalid(format!("unknown counter source {other:?}"))),
+        };
+        let persona = match r.take("persona")?.trim() {
+            "streamer" => Persona::Streamer,
+            "browser" => Persona::Browser,
+            "downloader" => Persona::Downloader,
+            "gamer" => Persona::Gamer,
+            other => return Err(r.invalid(format!("unknown persona {other:?}"))),
+        };
+        Ok(UserRecord {
+            user,
+            country,
+            network,
+            year,
+            vantage,
+            capacity,
+            latency: Latency::from_ms(latency_ms),
+            loss: LossRate::from_fraction(loss),
+            web_latency,
+            demand_with_bt,
+            demand_no_bt,
+            plan_capacity,
+            plan_price: MoneyPpp::from_usd(plan_price),
+            access_price: MoneyPpp::from_usd(access_price),
+            upgrade_cost,
+            is_bt_user,
+            upload_mean,
+            plan_capped,
+            counter_source,
+            persona,
+        })
+    }
+}
+
+impl Snapshot for UpgradeSnapshot {
+    const KIND: &'static str = "UpgradeSnapshot";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        write_network(w, "network", &self.network);
+        write_bandwidth(w, "capacity", self.capacity);
+        write_demand(w, "demand_with_bt", self.demand_with_bt);
+        write_demand(w, "demand_no_bt", self.demand_no_bt);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(UpgradeSnapshot {
+            network: read_network(r, "network")?,
+            capacity: read_bandwidth(r, "capacity")?,
+            demand_with_bt: read_demand(r, "demand_with_bt")?,
+            demand_no_bt: read_demand(r, "demand_no_bt")?,
+        })
+    }
+}
+
+impl Snapshot for UpgradeObservation {
+    const KIND: &'static str = "UpgradeObservation";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("user", self.user.0);
+        w.line("country", self.country.as_str());
+        self.before.write_snapshot(w);
+        self.after.write_snapshot(w);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(UpgradeObservation {
+            user: UserId(r.take_u64("user")?),
+            country: read_country(r, "country")?,
+            before: UpgradeSnapshot::read_snapshot(r)?,
+            after: UpgradeSnapshot::read_snapshot(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> UserRecord {
+        UserRecord {
+            user: UserId(42),
+            country: Country::new("JP"),
+            network: NetworkId::new(Country::new("JP"), 3, 7122, 11),
+            year: Year(2013),
+            vantage: VantageKind::Dasu,
+            capacity: Bandwidth::from_bps(12.3456789e6),
+            latency: Latency::from_ms(0.1 + 0.2), // decimal-lossy on purpose
+            loss: LossRate::from_fraction(0.015),
+            web_latency: Some(Latency::from_ms(31.25)),
+            demand_with_bt: Some(DemandSummary::new(
+                Bandwidth::from_kbps(250.0),
+                Bandwidth::from_mbps(3.5),
+            )),
+            demand_no_bt: None,
+            plan_capacity: Bandwidth::from_mbps(15.0),
+            plan_price: MoneyPpp::from_usd(41.99),
+            access_price: MoneyPpp::from_usd(18.5),
+            upgrade_cost: None,
+            is_bt_user: true,
+            upload_mean: Some(Bandwidth::from_kbps(96.0)),
+            plan_capped: false,
+            counter_source: Some(CounterSource::Netstat),
+            persona: Persona::Gamer,
+        }
+    }
+
+    #[test]
+    fn user_record_roundtrips_bit_exactly() {
+        let original = record();
+        let back = UserRecord::from_snapshot_str(&original.to_snapshot_string()).unwrap();
+        // f64 Debug output is shortest-roundtrip, so equal Debug strings
+        // imply bit-equal floats (and trivially equal everything else).
+        assert_eq!(format!("{back:?}"), format!("{original:?}"));
+    }
+
+    #[test]
+    fn upgrade_observation_roundtrips() {
+        let r = record();
+        let original = UpgradeObservation {
+            user: r.user,
+            country: r.country,
+            before: UpgradeSnapshot {
+                network: r.network.clone(),
+                capacity: r.capacity,
+                demand_with_bt: r.demand_with_bt,
+                demand_no_bt: r.demand_no_bt,
+            },
+            after: UpgradeSnapshot {
+                network: NetworkId::new(Country::new("JP"), 3, 9000, 11),
+                capacity: Bandwidth::from_mbps(30.0),
+                demand_with_bt: None,
+                demand_no_bt: Some(DemandSummary::new(
+                    Bandwidth::from_kbps(400.0),
+                    Bandwidth::from_mbps(6.0),
+                )),
+            },
+        };
+        let back = UpgradeObservation::from_snapshot_str(&original.to_snapshot_string()).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{original:?}"));
+    }
+
+    #[test]
+    fn physical_validation_rejects_instead_of_panicking() {
+        let original = record();
+        let text = original.to_snapshot_string();
+        // Flip the loss fraction to 2.0 (bits of 2.0 = 4000000000000000).
+        let loss_line = text
+            .lines()
+            .find(|l| l.starts_with("loss "))
+            .unwrap()
+            .to_string();
+        let bad = text.replace(&loss_line, "loss 4000000000000000");
+        let err = UserRecord::from_snapshot_str(&bad).unwrap_err();
+        assert!(err.message.contains("invalid loss"), "{err}");
+        // Demand with peak < mean must also be rejected, not asserted.
+        let demand_line = text
+            .lines()
+            .find(|l| l.starts_with("demand_with_bt "))
+            .unwrap()
+            .to_string();
+        let one = 1.0f64.to_bits();
+        let two = 2.0f64.to_bits();
+        let bad = text.replace(
+            &demand_line,
+            &format!("demand_with_bt {two:016x} {one:016x}"),
+        );
+        let err = UserRecord::from_snapshot_str(&bad).unwrap_err();
+        assert!(err.message.contains("invalid demand"), "{err}");
+    }
+}

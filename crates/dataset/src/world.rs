@@ -3,7 +3,11 @@
 use crate::agent::{choose_plan, Agent, AgentSampler};
 use crate::country::{builtin_world, CountryProfile, APPETITE_GROWTH_PER_YEAR};
 use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
-use bb_engine::{run_sharded_traced, stream_rng, Mergeable, RunStats, ShardPlan};
+use bb_engine::snapshot::Snapshot;
+use bb_engine::{
+    run_sharded_checkpointed, run_sharded_traced, stream_rng, CheckpointError, CheckpointReport,
+    CheckpointStore, Mergeable, RunStats, ShardPlan,
+};
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
 use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
 use bb_netsim::link::AccessLink;
@@ -201,6 +205,83 @@ impl World {
             (acc, reg)
         });
         (survey, folded, registry, stats)
+    }
+
+    /// [`World::generate_with_traced`] with durable per-shard
+    /// checkpoints: each completed shard's
+    /// `(records, upgrades, registry)` partial is committed to `store`
+    /// before the next merge, and with `resume` a later run restores the
+    /// committed partials instead of recomputing them. The merged dataset
+    /// and registry are byte-identical to a cold run — restored shards
+    /// fold in the same shard order as computed ones — while the
+    /// [`CheckpointReport`] tallies what this particular run skipped,
+    /// recomputed, and rejected.
+    ///
+    /// `after_commit` (if given) observes the running count of durably
+    /// committed shards; the crash-injection test hook in `reproduce`
+    /// aborts from it.
+    #[allow(clippy::type_complexity)]
+    pub fn generate_with_checkpointed(
+        &self,
+        plan: ShardPlan,
+        store: &CheckpointStore,
+        resume: bool,
+        after_commit: Option<&(dyn Fn(u64) + Sync)>,
+    ) -> Result<(Dataset, Registry, RunStats, CheckpointReport), CheckpointError> {
+        let (survey, cohorts) = self.build_market();
+        let total = cohorts.last().map_or(0, |c| c.end);
+        let ((records, upgrades, registry), stats, report) =
+            run_sharded_checkpointed(total, plan, store, resume, after_commit, |_, range| {
+                let mut records = Vec::with_capacity((range.end - range.start) as usize);
+                let mut upgrades = Vec::new();
+                let mut reg = Registry::new();
+                for user_index in range {
+                    let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                    records.push(record);
+                    upgrades.extend(upgrade);
+                }
+                (records, upgrades, reg)
+            })?;
+        let dataset = Dataset {
+            records,
+            upgrades,
+            survey,
+        };
+        Ok((dataset, registry, stats, report))
+    }
+
+    /// [`World::fold_users_traced`] with durable per-shard checkpoints
+    /// (see [`World::generate_with_checkpointed`] for the recovery
+    /// contract). The accumulator must be [`Snapshot`] so completed
+    /// partials can be frozen to disk and restored bit-exactly.
+    #[allow(clippy::type_complexity)]
+    pub fn fold_users_checkpointed<A, I, F>(
+        &self,
+        plan: ShardPlan,
+        store: &CheckpointStore,
+        resume: bool,
+        after_commit: Option<&(dyn Fn(u64) + Sync)>,
+        init: I,
+        absorb: F,
+    ) -> Result<(MarketSurvey, A, Registry, RunStats, CheckpointReport), CheckpointError>
+    where
+        A: Mergeable + Snapshot + Send,
+        I: Fn() -> A + Sync,
+        F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>) + Sync,
+    {
+        let (survey, cohorts) = self.build_market();
+        let total = cohorts.last().map_or(0, |c| c.end);
+        let ((folded, registry), stats, report) =
+            run_sharded_checkpointed(total, plan, store, resume, after_commit, |_, range| {
+                let mut acc = init();
+                let mut reg = Registry::new();
+                for user_index in range {
+                    let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                    absorb(&mut acc, &record, upgrade.as_ref());
+                }
+                (acc, reg)
+            })?;
+        Ok((survey, folded, registry, stats, report))
     }
 
     /// Total users (Dasu + FCC) the current config implies.

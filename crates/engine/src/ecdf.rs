@@ -65,6 +65,18 @@ impl EcdfSketch {
             .take_while(move |&(value, _)| value <= x)
     }
 
+    /// The underlying quantile sketch (checkpoint serialisation delegates
+    /// to it so the ECDF snapshot is exactly the sketch snapshot).
+    pub fn inner(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Rebuild from a restored inner sketch — the checkpoint-thaw inverse
+    /// of [`Self::inner`].
+    pub fn from_inner(sketch: QuantileSketch) -> Self {
+        EcdfSketch { sketch }
+    }
+
     /// The `(x, F(x))` step points of the sketched distribution, ending at
     /// the exact maximum with `F = 1`.
     pub fn points(&self) -> Vec<(f64, f64)> {

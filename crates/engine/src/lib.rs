@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod ecdf;
 pub mod hist;
 pub mod merge;
@@ -37,7 +38,12 @@ pub mod quantile;
 pub mod reservoir;
 pub mod rng;
 pub mod shard;
+pub mod snapshot;
 
+pub use checkpoint::{
+    run_sharded_checkpointed, CheckpointError, CheckpointParams, CheckpointReport, CheckpointStore,
+    FORMAT_VERSION,
+};
 pub use ecdf::EcdfSketch;
 pub use hist::Log2Histogram;
 pub use merge::Mergeable;
@@ -46,3 +52,4 @@ pub use quantile::QuantileSketch;
 pub use reservoir::BottomK;
 pub use rng::{splitmix64, stream_rng};
 pub use shard::{run_sharded, run_sharded_traced, RunStats, ShardPlan};
+pub use snapshot::{fnv1a64, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};

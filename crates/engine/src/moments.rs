@@ -11,6 +11,7 @@
 //!   the streaming-update form.
 
 use crate::merge::Mergeable;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Fixed-point scale: 2^20 ≈ 10^6 fractional resolution.
 const SCALE: f64 = (1u64 << 20) as f64;
@@ -89,6 +90,42 @@ impl Mergeable for ExactMoments {
         self.count += other.count;
         self.sum += other.sum;
         self.sum_sq += other.sum_sq;
+    }
+}
+
+impl Snapshot for ExactMoments {
+    const KIND: &'static str = "ExactMoments";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("count", self.count);
+        w.i128("sum", self.sum);
+        w.u128("sum_sq", self.sum_sq);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(ExactMoments {
+            count: r.take_u64("count")?,
+            sum: r.take_i128("sum")?,
+            sum_sq: r.take_u128("sum_sq")?,
+        })
+    }
+}
+
+impl Snapshot for Welford {
+    const KIND: &'static str = "Welford";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("count", self.count);
+        w.f64("mean", self.mean);
+        w.f64("m2", self.m2);
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Welford {
+            count: r.take_u64("count")?,
+            mean: r.take_f64("mean")?,
+            m2: r.take_f64("m2")?,
+        })
     }
 }
 

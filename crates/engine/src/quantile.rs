@@ -13,6 +13,7 @@
 //! [`QuantileSketch::MIN_POSITIVE`] are treated as zero).
 
 use crate::merge::Mergeable;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::BTreeMap;
 
 /// Mergeable α-relative-error quantile sketch for non-negative values.
@@ -149,6 +150,51 @@ impl QuantileSketch {
                 .iter()
                 .map(|(&i, &c)| (self.representative(i), c)),
         )
+    }
+}
+
+impl Snapshot for QuantileSketch {
+    const KIND: &'static str = "QuantileSketch";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.f64("alpha", self.alpha);
+        w.u64("zeros", self.zeros);
+        w.u64("negatives", self.negatives);
+        w.f64("min", self.min);
+        w.f64("max", self.max);
+        w.u64("buckets", self.buckets.len() as u64);
+        for (&index, &count) in &self.buckets {
+            w.line("-", &format!("{index} {count}"));
+        }
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let alpha = r.take_f64("alpha")?;
+        // `with_accuracy` asserts on a bad α; a checkpoint must never be
+        // able to reach that assert, so validate first and fail softly.
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(r.invalid(format!("alpha out of (0,1): {alpha}")));
+        }
+        let mut sketch = QuantileSketch::with_accuracy(alpha);
+        sketch.zeros = r.take_u64("zeros")?;
+        sketch.negatives = r.take_u64("negatives")?;
+        sketch.min = r.take_f64("min")?;
+        sketch.max = r.take_f64("max")?;
+        let len = r.take_u64("buckets")?;
+        for _ in 0..len {
+            let rest = r.take("-")?;
+            let mut toks = rest.split_whitespace();
+            let index = toks
+                .next()
+                .and_then(|t| t.parse::<i32>().ok())
+                .ok_or_else(|| r.invalid(format!("bad bucket index in {rest:?}")))?;
+            let count = toks
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| r.invalid(format!("bad bucket count in {rest:?}")))?;
+            *sketch.buckets.entry(index).or_insert(0) += count;
+        }
+        Ok(sketch)
     }
 }
 

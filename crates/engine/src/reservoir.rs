@@ -11,6 +11,7 @@
 
 use crate::merge::Mergeable;
 use crate::rng::splitmix64;
+use crate::snapshot::{parse_f64_bits, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Mergeable deterministic k-sample.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +68,62 @@ impl BottomK {
     /// Is the sample empty?
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Snapshot for BottomK {
+    const KIND: &'static str = "BottomK";
+
+    fn write_body(&self, w: &mut SnapshotWriter) {
+        w.u64("seed", self.seed);
+        w.u64("k", self.k as u64);
+        w.u64("entries", self.entries.len() as u64);
+        for &(priority, item_id, value) in &self.entries {
+            w.line(
+                "-",
+                &format!("{priority} {item_id} {:016x}", value.to_bits()),
+            );
+        }
+    }
+
+    fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let seed = r.take_u64("seed")?;
+        let k = r.take_u64("k")?;
+        // `new` asserts k > 0; a checkpoint must fail softly instead.
+        let k = usize::try_from(k)
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| r.invalid(format!("reservoir size must be positive, got {k}")))?;
+        let len = r.take_u64("entries")?;
+        if len > k as u64 {
+            return Err(r.invalid(format!("{len} entries exceed reservoir size {k}")));
+        }
+        let mut entries: Vec<(u64, u64, f64)> = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let rest = r.take("-")?;
+            let mut toks = rest.split_whitespace();
+            let priority = toks
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| r.invalid(format!("bad priority in {rest:?}")))?;
+            let item_id = toks
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| r.invalid(format!("bad item id in {rest:?}")))?;
+            let value = toks
+                .next()
+                .and_then(parse_f64_bits)
+                .ok_or_else(|| r.invalid(format!("bad value bits in {rest:?}")))?;
+            // Merge and offer assume ascending priority order; enforce it
+            // here so a crafted file can't corrupt later selections.
+            if let Some(&(prev, prev_id, _)) = entries.last() {
+                if (prev, prev_id) >= (priority, item_id) {
+                    return Err(r.invalid("reservoir entries out of order"));
+                }
+            }
+            entries.push((priority, item_id, value));
+        }
+        Ok(BottomK { seed, k, entries })
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::merge::Mergeable;
 use bb_trace::Log2Histogram;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -130,44 +130,114 @@ where
     A: Mergeable + Send,
     F: Fn(usize, Range<u64>) -> A + Sync,
 {
+    run_sharded_core(n_items, plan, work, Vec::new(), None)
+        .expect("no observer attached, so the run cannot fail")
+}
+
+/// A per-shard commit hook: called with `(shard index, &result)` right
+/// after a shard's work function returns and before its result is parked
+/// for the fold. The checkpoint layer uses it to persist each shard; an
+/// `Err` stops all workers and aborts the run with that message.
+pub(crate) type ShardObserver<'a, A> = &'a (dyn Fn(usize, &A) -> Result<(), String> + Sync);
+
+/// The one shard loop behind [`run_sharded_traced`] and the checkpointed
+/// runner in [`crate::checkpoint`].
+///
+/// `preloaded` is either empty (compute everything) or one slot per
+/// shard; `Some` slots are restored partials that are folded as-is —
+/// they are **not** recomputed, not timed, and not shown to `observer`.
+/// Because the fold still walks shards in index order, a run with any
+/// subset of shards preloaded is bit-identical to a cold run.
+pub(crate) fn run_sharded_core<A, F>(
+    n_items: u64,
+    plan: ShardPlan,
+    work: F,
+    preloaded: Vec<Option<A>>,
+    observer: Option<ShardObserver<'_, A>>,
+) -> Result<(A, RunStats), String>
+where
+    A: Mergeable + Send,
+    F: Fn(usize, Range<u64>) -> A + Sync,
+{
     let started = Instant::now();
     let ranges = plan.ranges(n_items);
     let n_shards = ranges.len();
+    assert!(
+        preloaded.is_empty() || preloaded.len() == n_shards,
+        "preloaded slots ({}) must match shard count ({n_shards})",
+        preloaded.len()
+    );
     let threads = plan.threads.min(n_shards);
     let mut shard_wall_us = Log2Histogram::new();
     let steals;
 
     let partials: Vec<Option<A>> = if threads <= 1 {
-        steals = n_shards as u64 - 1;
-        ranges
-            .into_iter()
-            .enumerate()
-            .map(|(index, range)| {
-                let shard_started = Instant::now();
-                let result = work(index, range);
-                shard_wall_us.push(shard_started.elapsed().as_secs_f64() * 1e6, 1.0);
-                Some(result)
-            })
-            .collect()
+        let mut claims = 0u64;
+        let mut slots: Vec<Option<A>> = if preloaded.is_empty() {
+            (0..n_shards).map(|_| None).collect()
+        } else {
+            preloaded
+        };
+        for (index, range) in ranges.into_iter().enumerate() {
+            if slots[index].is_some() {
+                continue;
+            }
+            claims += 1;
+            let shard_started = Instant::now();
+            let result = work(index, range);
+            shard_wall_us.push(shard_started.elapsed().as_secs_f64() * 1e6, 1.0);
+            if let Some(observe) = observer {
+                observe(index, &result)?;
+            }
+            slots[index] = Some(result);
+        }
+        steals = claims.saturating_sub(1);
+        slots
     } else {
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<A>>> = (0..n_shards).map(|_| Mutex::new(None)).collect();
+        let mut preloaded = preloaded;
+        let skip: Vec<bool> = if preloaded.is_empty() {
+            vec![false; n_shards]
+        } else {
+            preloaded.iter().map(Option::is_some).collect()
+        };
+        let slots: Vec<Mutex<Option<A>>> = if preloaded.is_empty() {
+            (0..n_shards).map(|_| Mutex::new(None)).collect()
+        } else {
+            preloaded.drain(..).map(Mutex::new).collect()
+        };
         // (total claims, workers that claimed ≥ 1 shard, per-shard walls).
         let sched = Mutex::new((0u64, 0u64, Log2Histogram::new()));
+        let failed = AtomicBool::new(false);
+        let failure: Mutex<Option<String>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut claims = 0u64;
                     let mut walls = Log2Histogram::new();
                     loop {
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         if index >= n_shards {
                             break;
+                        }
+                        if skip[index] {
+                            continue;
                         }
                         claims += 1;
                         let shard_started = Instant::now();
                         let result = work(index, ranges[index].clone());
                         walls.push(shard_started.elapsed().as_secs_f64() * 1e6, 1.0);
+                        if let Some(observe) = observer {
+                            if let Err(message) = observe(index, &result) {
+                                let mut first = failure.lock().expect("failure slot poisoned");
+                                first.get_or_insert(message);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                         *slots[index].lock().expect("shard slot poisoned") = Some(result);
                     }
                     if claims > 0 {
@@ -179,8 +249,11 @@ where
                 });
             }
         });
+        if let Some(message) = failure.into_inner().expect("failure slot poisoned") {
+            return Err(message);
+        }
         let (claims, active_workers, walls) = sched.into_inner().expect("sched stats poisoned");
-        steals = claims - active_workers;
+        steals = claims.saturating_sub(active_workers);
         shard_wall_us = walls;
         slots
             .into_iter()
@@ -209,7 +282,7 @@ where
         merge: merge_started.elapsed(),
         total: started.elapsed(),
     };
-    (merged, stats)
+    Ok((merged, stats))
 }
 
 #[cfg(test)]

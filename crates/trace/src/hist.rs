@@ -61,6 +61,22 @@ impl Log2Histogram {
         self.nonpositive
     }
 
+    /// Rebuild a histogram from previously-exported state: a nonpositive
+    /// count plus `(bucket index, count)` pairs as produced by
+    /// [`Self::buckets`]. Counts are added, so duplicate bucket indices
+    /// accumulate. This is the checkpoint-restore inverse of
+    /// [`Self::buckets`]/[`Self::nonpositive`].
+    pub fn from_parts(nonpositive: u64, buckets: impl IntoIterator<Item = (i32, u64)>) -> Self {
+        let mut h = Log2Histogram {
+            counts: BTreeMap::new(),
+            nonpositive,
+        };
+        for (bucket, count) in buckets {
+            *h.counts.entry(bucket).or_insert(0) += count;
+        }
+        h
+    }
+
     /// Fold `other` into `self` by adding bucket counts (exact, and
     /// therefore associative, commutative and partition-invariant).
     pub fn merge(&mut self, other: Self) {

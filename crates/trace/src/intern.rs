@@ -1,0 +1,47 @@
+//! String interning for checkpoint restore.
+//!
+//! [`Registry`](crate::Registry) and [`EventLog`](crate::EventLog) key
+//! their entries by `&'static str` on purpose: every metric name and
+//! ledger field is a literal at an instrumentation site, so the full name
+//! set is greppable and lookups never allocate. Restoring either from a
+//! checkpoint file breaks that assumption — the names arrive as owned
+//! strings read from disk. [`intern`] bridges the gap: it leaks each
+//! distinct name exactly once into a process-global table and hands back
+//! a `&'static str`, so a restored registry is indistinguishable from a
+//! live one.
+//!
+//! The leak is bounded by the number of *distinct* names ever interned,
+//! which in this workspace is the (small, grep-auditable) metric/field
+//! vocabulary — not by the number of checkpoint loads.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Return a `&'static str` equal to `s`, leaking at most one copy of each
+/// distinct string for the lifetime of the process.
+pub fn intern(s: &str) -> &'static str {
+    let mut table = INTERNED.lock().expect("intern table poisoned");
+    if let Some(existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_by_content() {
+        let a = intern("checkpoint.test.alpha");
+        let b = intern(&String::from("checkpoint.test.alpha"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "same content must share one leak");
+        let c = intern("checkpoint.test.beta");
+        assert_ne!(a, c);
+    }
+}

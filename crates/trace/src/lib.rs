@@ -30,10 +30,12 @@
 
 pub mod event;
 pub mod hist;
+pub mod intern;
 pub mod registry;
 pub mod span;
 
 pub use event::{Event, EventBuilder, EventLog, Value};
 pub use hist::Log2Histogram;
+pub use intern::intern;
 pub use registry::Registry;
 pub use span::{SpanGuard, SpanNode, SpanStats, Timings};

@@ -73,6 +73,11 @@ impl Registry {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// `(name, histogram)` over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Log2Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
     /// True if nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.hists.is_empty()
