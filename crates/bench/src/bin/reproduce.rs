@@ -44,6 +44,7 @@
 use bb_bench::REPRO_SEED;
 use bb_dataset::{builtin_world, World, WorldConfig};
 use bb_engine::{CheckpointParams, CheckpointReport, CheckpointStore, RunStats, ShardPlan};
+use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
 use bb_report::csv;
 use bb_report::gnuplot;
 use bb_report::json;
@@ -65,6 +66,17 @@ options:
   --fcc N         size of the US-only FCC gateway cohort (default 600)
   --out DIR       output directory for exhibits (default: results)
   --sweep N       also run a robustness sweep over N regenerated seeds
+  --chaos NAME    degrade collection with a deterministic fault scenario:
+                  burst-outage, clock-skew, reset-storm, poll-churn,
+                  probe-blackout, targeted-us, omnibus
+  --severity S    chaos severity in [0, 1] (default 0.5; requires --chaos;
+                  severity 0 is bit-identical to running without --chaos)
+  --chaos-sweep   run the chaos campaign: the full experiment battery
+                  across a severity grid of the --chaos scenario (default
+                  omnibus), appended to experiments.md as the \"Robustness
+                  under degraded collection\" section and written to
+                  OUT/chaos.json (plan-invariant; incompatible with
+                  --users)
   --threads T     worker threads; at least 1 (default 1)
   --shards S      shard count; at least 1 (default: derived from --threads)
   --users U       stream ~U users through the sketch study instead of
@@ -142,6 +154,10 @@ fn main() {
     cfg.user_scale = args.scale;
     cfg.days = args.days;
     cfg.fcc_users = args.fcc_users;
+    cfg.chaos = args.chaos_spec();
+    if let Some(spec) = &cfg.chaos {
+        progress!(args, "chaos campaign active: {}", spec.label());
+    }
     let world = World::new(cfg);
     let mut timings = Timings::new();
     timings.begin("reproduce");
@@ -194,6 +210,7 @@ fn main() {
         .u64("fcc", dataset.fcc().count() as u64)
         .u64("movers", dataset.upgrades.len() as u64)
         .u64("markets", dataset.survey.len() as u64);
+    log_data_quality(&mut ledger, &registry);
     let report = StudyReport::run_with_ledger(&dataset, &world.profiles, 30, &mut ledger);
     timings.end();
     progress!(args, "analysis pipeline finished in {:.1?}", t1.elapsed());
@@ -242,6 +259,38 @@ fn main() {
         md.push('\n');
         comparison.push_str(&md);
     }
+    if args.chaos_sweep {
+        let scenario = args.chaos.unwrap_or(ChaosScenario::Omnibus);
+        progress!(
+            args,
+            "running chaos campaign: scenario {} over severities {:?}…",
+            scenario.name(),
+            CHAOS_GRID
+        );
+        // Same reduced world the seed sweep uses — the campaign
+        // regenerates it once per severity.
+        let mut chaos_cfg = WorldConfig::small(args.seed);
+        chaos_cfg.user_scale = (args.scale / 3.0).max(1.0);
+        chaos_cfg.days = 3;
+        chaos_cfg.fcc_users = args.fcc_users / 2;
+        let matrix = bb_study::robustness::chaos_sweep(&chaos_cfg, scenario, CHAOS_GRID, plan);
+        let mut md = String::from("## Robustness under degraded collection\n\n");
+        let _ = writeln!(
+            md,
+            "The full experiment battery re-run while the `{}` fault scenario degrades \
+             collection at increasing severity (reduced-scale world, deterministic in the seed):\n",
+            matrix.scenario
+        );
+        md.push_str(&bb_report::markdown::survival_matrix(&matrix));
+        md.push('\n');
+        comparison.push_str(&md);
+        write(&args.out, "chaos.json", &matrix.to_json());
+        progress!(
+            args,
+            "wrote survival matrix to {}",
+            args.out.join("chaos.json").display()
+        );
+    }
     comparison.push_str(&bb_report::markdown::provenance(&ledger));
     write(&args.out, "experiments.md", &comparison);
     println!("{comparison}");
@@ -257,6 +306,10 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
     let mut cfg = WorldConfig::paper_scale(args.seed);
     cfg.days = args.days;
     cfg.fcc_users = args.fcc_users;
+    cfg.chaos = args.chaos_spec();
+    if let Some(spec) = &cfg.chaos {
+        progress!(args, "chaos campaign active: {}", spec.label());
+    }
     // Pick the per-country scale that makes the world ~U users strong.
     let total_weight: f64 = builtin_world().iter().map(|p| p.user_weight).sum();
     cfg.user_scale = (users.saturating_sub(args.fcc_users as u64)) as f64 / total_weight.max(1e-9);
@@ -330,6 +383,7 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
         .u64("fcc_users", study.fcc_users)
         .u64("movers", study.movers)
         .u64("sketch_negatives", study.sketch_negatives());
+    log_data_quality(&mut ledger, &registry);
     for f in study.figure1().iter().chain(study.figure7().iter()) {
         ledger
             .emit("exhibit")
@@ -404,6 +458,9 @@ struct Args {
     fcc_users: usize,
     out: PathBuf,
     sweep_seeds: u64,
+    chaos: Option<ChaosScenario>,
+    severity: Option<f64>,
+    chaos_sweep: bool,
     threads: usize,
     shards: Option<usize>,
     users: Option<u64>,
@@ -444,6 +501,9 @@ impl Args {
             fcc_users: WorldConfig::paper_scale(0).fcc_users,
             out: PathBuf::from("results"),
             sweep_seeds: 0,
+            chaos: None,
+            severity: None,
+            chaos_sweep: false,
             threads: 1,
             shards: None,
             users: None,
@@ -476,6 +536,22 @@ impl Args {
                 "--sweep" => {
                     args.sweep_seeds = num(&flag, &take(&mut it, &flag)?, "a seed count")?;
                 }
+                "--chaos" => {
+                    let name = take(&mut it, &flag)?;
+                    args.chaos = Some(ChaosScenario::parse(&name).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            ChaosScenario::ALL.iter().map(|s| s.name()).collect();
+                        format!("--chaos takes one of {}, got {name:?}", known.join(", "))
+                    })?);
+                }
+                "--severity" => {
+                    let s: f64 = num(&flag, &take(&mut it, &flag)?, "a number in [0, 1]")?;
+                    if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                        return Err(format!("--severity must be in [0, 1], got {s}"));
+                    }
+                    args.severity = Some(s);
+                }
+                "--chaos-sweep" => args.chaos_sweep = true,
                 "--threads" => {
                     args.threads = num(&flag, &take(&mut it, &flag)?, "an integer")?;
                     if args.threads == 0 {
@@ -515,6 +591,14 @@ impl Args {
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
+        if args.severity.is_some() && args.chaos.is_none() {
+            return Err("--severity requires --chaos NAME".into());
+        }
+        if args.chaos_sweep && args.users.is_some() {
+            return Err(
+                "--chaos-sweep needs the materialised experiment battery; drop --users".into(),
+            );
+        }
         if args.resume && args.checkpoint.is_none() {
             return Err("--resume requires --checkpoint DIR".into());
         }
@@ -522,6 +606,13 @@ impl Args {
             return Err("--fail-after-shard requires --checkpoint DIR".into());
         }
         Ok(Parsed::Run(Box::new(args)))
+    }
+
+    /// The degradation campaign the flags imply: `--chaos NAME` at
+    /// `--severity S` (default 0.5). `None` = clean collection.
+    fn chaos_spec(&self) -> Option<ChaosSpec> {
+        self.chaos
+            .map(|scenario| ChaosSpec::new(scenario, self.severity.unwrap_or(0.5)))
     }
 
     /// The shard plan the flags imply. Output never depends on it.
@@ -549,6 +640,10 @@ fn checkpoint_store(args: &Args, path: &str) -> Option<CheckpointStore> {
         .set(
             "users",
             args.users.map_or_else(|| "-".into(), |u| u.to_string()),
+        )
+        .set(
+            "chaos",
+            args.chaos_spec().map_or_else(|| "-".into(), |c| c.label()),
         );
     Some(CheckpointStore::new(dir, params))
 }
@@ -669,6 +764,22 @@ fn write_metrics(
         path.display(),
         sidecar.display()
     );
+}
+
+/// The `--chaos-sweep` severity grid. Starts at the mandatory fault-free
+/// baseline; the survival thresholds are derived against it.
+const CHAOS_GRID: &[f64] = &[0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Surface the ingest screen's verdict counters (accept / repair /
+/// quarantine, with per-reason breakdowns) as one plan-invariant
+/// `data_quality` ledger event.
+fn log_data_quality(ledger: &mut EventLog, registry: &Registry) {
+    let verdicts: Vec<(String, u64)> = registry
+        .counters()
+        .filter(|(name, _)| name.starts_with("dataset.quality."))
+        .map(|(name, v)| (name.trim_start_matches("dataset.quality.").to_string(), v))
+        .collect();
+    ledger.emit("data_quality").counts("verdicts", verdicts);
 }
 
 /// Write the plan-invariant provenance ledger as JSONL.

@@ -1,0 +1,307 @@
+//! Integration tests of the chaos-campaign surface of the `reproduce`
+//! binary: severity-0 chaos must be byte-identical to a fault-free run,
+//! quarantine accounting must land in `metrics.json` and the `--ledger`
+//! JSONL and be plan-invariant, the `--chaos-sweep` survival matrix
+//! (`chaos.json`) must be byte-identical across shard plans, and a
+//! crash-and-resume cycle must not perturb any quarantine counter.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Exit code of the injected crash (see `FAIL_AFTER_EXIT` in the binary).
+const FAIL_AFTER_EXIT: i32 = 83;
+
+fn reproduce(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn read(dir: &Path, rel: &str) -> Vec<u8> {
+    std::fs::read(dir.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+/// Compare two output trees byte-for-byte (same file set, same bytes).
+/// Wall-clock timing files are excluded: they measure the run, not the data.
+fn assert_trees_identical(a: &Path, b: &Path) {
+    let list = |root: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(root)
+            .expect("read output dir")
+            .map(|e| e.expect("dir entry").file_name().into_string().unwrap())
+            .filter(|n| !n.contains("runtime"))
+            .collect();
+        names.sort();
+        names
+    };
+    let (fa, fb) = (list(a), list(b));
+    assert_eq!(fa, fb, "different file sets in {a:?} vs {b:?}");
+    for name in fa {
+        let ba = std::fs::read(a.join(&name)).expect("read a");
+        let bb = std::fs::read(b.join(&name)).expect("read b");
+        assert_eq!(ba, bb, "{name} differs between {a:?} and {b:?}");
+    }
+}
+
+/// Extract a named counter from the stable registry JSON
+/// (`"dataset.quality.quarantined": N,`).
+fn counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.contains(&format!("\"{name}\"")))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().trim_end_matches(',').parse().expect("counter"))
+        .unwrap_or_else(|| panic!("{name} missing from metrics: {metrics}"))
+}
+
+/// Acceptance criterion: a chaos campaign dialled down to severity 0 is
+/// the fault-free pipeline, byte for byte — every exhibit, the metrics
+/// registry and the provenance ledger.
+#[test]
+fn severity_zero_chaos_is_byte_identical_to_no_chaos() {
+    let dir = tmpdir("chaos-sev0");
+    let base = ["--scale", "2", "--days", "1", "--fcc", "20", "--quiet"];
+    let run = |label: &str, chaos: &[&str]| {
+        let out_dir = format!("out-{label}");
+        let metrics = format!("{out_dir}/metrics.json");
+        let ledger = format!("{out_dir}/ledger.jsonl");
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend([
+            "--out",
+            &out_dir,
+            "--metrics",
+            &metrics,
+            "--ledger",
+            &ledger,
+        ]);
+        args.extend_from_slice(chaos);
+        let out = reproduce(&args, &dir);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run("clean", &[]);
+    run("sev0", &["--chaos", "omnibus", "--severity", "0"]);
+    assert_trees_identical(&dir.join("out-clean"), &dir.join("out-sev0"));
+}
+
+/// A genuinely chaotic run must quarantine users, count them in the
+/// metrics registry and the ledger's `data_quality` event, and produce
+/// byte-identical accounting under different shard plans.
+#[test]
+fn quarantine_counters_are_plan_invariant() {
+    let dir = tmpdir("chaos-quarantine");
+    let base = [
+        "--scale",
+        "2",
+        "--days",
+        "1",
+        "--fcc",
+        "20",
+        "--quiet",
+        "--chaos",
+        "probe-blackout",
+        "--severity",
+        "1",
+    ];
+    let run = |label: &str, threads: &str, shards: &str| -> (String, String) {
+        let out_dir = format!("out-{label}");
+        let metrics = format!("{out_dir}/metrics.json");
+        let ledger = format!("{out_dir}/ledger.jsonl");
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", threads, "--shards", shards]);
+        args.extend([
+            "--out",
+            &out_dir,
+            "--metrics",
+            &metrics,
+            "--ledger",
+            &ledger,
+        ]);
+        let out = reproduce(&args, &dir);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(read(&dir, &metrics)).expect("metrics is UTF-8"),
+            String::from_utf8(read(&dir, &ledger)).expect("ledger is UTF-8"),
+        )
+    };
+    let (metrics_a, ledger_a) = run("serial", "1", "1");
+    let (metrics_b, ledger_b) = run("sharded", "2", "8");
+
+    assert_eq!(metrics_a, metrics_b, "metrics must be plan-invariant");
+    assert_eq!(ledger_a, ledger_b, "ledger must be plan-invariant");
+
+    // A total probe blackout at severity 1 fails 85% of NDT runs, so a
+    // visible share of users lose all four and get quarantined.
+    assert!(
+        counter(&metrics_a, "netsim.probe.blackouts") > 0,
+        "{metrics_a}"
+    );
+    assert!(
+        counter(&metrics_a, "dataset.quality.quarantined") > 0,
+        "{metrics_a}"
+    );
+    let quality_line = ledger_a
+        .lines()
+        .find(|l| l.contains("\"data_quality\""))
+        .unwrap_or_else(|| panic!("no data_quality event in ledger: {ledger_a}"));
+    assert!(
+        quality_line.contains("quarantined"),
+        "quarantine verdicts missing from ledger event: {quality_line}"
+    );
+}
+
+/// The survival matrix is the campaign's headline artifact; `chaos.json`
+/// must be byte-identical across shard plans (acceptance criterion) and
+/// the markdown report must gain the robustness section.
+#[test]
+fn chaos_sweep_json_is_plan_invariant() {
+    let dir = tmpdir("chaos-sweep");
+    let base = [
+        "--scale",
+        "2",
+        "--days",
+        "1",
+        "--fcc",
+        "16",
+        "--quiet",
+        "--chaos-sweep",
+    ];
+    let run = |label: &str, threads: &str, shards: &str| {
+        let out_dir = format!("out-{label}");
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", threads, "--shards", shards, "--out", &out_dir]);
+        let out = reproduce(&args, &dir);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{label}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    run("a", "1", "1");
+    run("b", "2", "8");
+
+    let ja = read(&dir, "out-a/chaos.json");
+    let jb = read(&dir, "out-b/chaos.json");
+    assert_eq!(ja, jb, "chaos.json must be byte-identical across plans");
+
+    let json = String::from_utf8(ja).expect("chaos.json is UTF-8");
+    assert!(json.contains("\"scenario\": \"omnibus\""), "{json}");
+    assert!(json.contains("table1 movers (peak)"), "{json}");
+    let md = String::from_utf8(read(&dir, "out-a/experiments.md")).expect("UTF-8");
+    assert!(
+        md.contains("## Robustness under degraded collection"),
+        "survival matrix missing from experiments.md"
+    );
+}
+
+/// Quarantine accounting must survive a crash-and-resume cycle: the
+/// resumed run's metrics and ledger match an uninterrupted chaotic run
+/// byte for byte.
+#[test]
+fn crash_resume_preserves_quarantine_counters() {
+    let dir = tmpdir("chaos-resume");
+    let base = [
+        "--users",
+        "300",
+        "--days",
+        "1",
+        "--fcc",
+        "20",
+        "--quiet",
+        "--chaos",
+        "probe-blackout",
+        "--severity",
+        "1",
+        "--shards",
+        "6",
+    ];
+
+    // Uninterrupted chaotic baseline.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--threads", "2", "--out", "cold"]);
+    args.extend([
+        "--metrics",
+        "cold/metrics.json",
+        "--ledger",
+        "cold/ledger.jsonl",
+    ]);
+    let out = reproduce(&args, &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "cold: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Crash after two durable shard commits…
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--threads", "2", "--out", "warm"]);
+    args.extend(["--checkpoint", "ck", "--fail-after-shard", "2"]);
+    let out = reproduce(&args, &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(FAIL_AFTER_EXIT),
+        "crash: expected the injected-failure exit, got {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // …then resume under a different thread count.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--threads",
+        "3",
+        "--out",
+        "warm",
+        "--checkpoint",
+        "ck",
+        "--resume",
+    ]);
+    args.extend([
+        "--metrics",
+        "warm/metrics.json",
+        "--ledger",
+        "warm/ledger.jsonl",
+    ]);
+    let out = reproduce(&args, &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let cold_metrics = String::from_utf8(read(&dir, "cold/metrics.json")).expect("UTF-8");
+    assert!(
+        counter(&cold_metrics, "dataset.quality.quarantined") > 0,
+        "baseline must actually quarantine users: {cold_metrics}"
+    );
+    assert_eq!(
+        read(&dir, "cold/metrics.json"),
+        read(&dir, "warm/metrics.json"),
+        "quarantine counters must not betray the crash"
+    );
+    assert_eq!(
+        read(&dir, "cold/ledger.jsonl"),
+        read(&dir, "warm/ledger.jsonl"),
+        "data_quality ledger event must not betray the crash"
+    );
+}

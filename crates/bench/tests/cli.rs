@@ -40,6 +40,12 @@ fn bad_arguments_exit_2_with_usage_not_a_panic() {
         &["--fail-after-shard", "2"],                       // crash hook without --checkpoint
         &["--checkpoint", "ck", "--fail-after-shard", "0"], // zero commits
         &["--checkpoint"],                                  // missing value
+        &["--chaos"],                                       // missing scenario
+        &["--chaos", "bogus"],                              // unknown scenario
+        &["--severity", "0.5"],                             // --severity without --chaos
+        &["--chaos", "omnibus", "--severity", "1.5"],       // severity out of range
+        &["--chaos", "omnibus", "--severity", "nan"],       // non-finite severity
+        &["--chaos-sweep", "--users", "100"],               // sweep needs full battery
     ];
     for args in cases {
         let out = reproduce(args, &dir);
@@ -88,6 +94,15 @@ fn help_prints_usage_on_stdout_and_exits_0() {
         assert!(stdout.contains("--resume"), "{flag}: new flags documented");
         assert!(
             stdout.contains("--fail-after-shard"),
+            "{flag}: new flags documented"
+        );
+        assert!(stdout.contains("--chaos"), "{flag}: new flags documented");
+        assert!(
+            stdout.contains("--severity"),
+            "{flag}: new flags documented"
+        );
+        assert!(
+            stdout.contains("--chaos-sweep"),
             "{flag}: new flags documented"
         );
     }

@@ -22,6 +22,13 @@ pub enum Direction {
     TreatmentLower,
 }
 
+/// Default minimum number of non-tied pairs before an experiment may
+/// claim statistical significance. Below this, even an exact binomial
+/// p < 0.05 (e.g. 5/5 pairs, p ≈ 0.031) is one lucky streak away from
+/// noise — degraded collection that starves the matcher must downgrade
+/// a finding to "insufficient data", never sharpen it.
+pub const MIN_TRIALS: u64 = 8;
+
 /// A configured natural experiment.
 #[derive(Clone, Debug)]
 pub struct NaturalExperiment {
@@ -31,6 +38,9 @@ pub struct NaturalExperiment {
     pub direction: Direction,
     /// One caliper per covariate.
     pub calipers: Vec<Caliper>,
+    /// Minimum non-tied pairs before [`ExperimentOutcome::significant`]
+    /// may return `true` (default [`MIN_TRIALS`]).
+    pub min_trials: u64,
 }
 
 impl NaturalExperiment {
@@ -41,12 +51,20 @@ impl NaturalExperiment {
             name: name.into(),
             direction: Direction::TreatmentHigher,
             calipers,
+            min_trials: MIN_TRIALS,
         }
     }
 
     /// Override the hypothesis direction.
     pub fn with_direction(mut self, direction: Direction) -> Self {
         self.direction = direction;
+        self
+    }
+
+    /// Override the minimum-trials guard (0 disables it; ablation
+    /// benches only — production exhibits keep the default).
+    pub fn with_min_trials(mut self, min_trials: u64) -> Self {
+        self.min_trials = min_trials;
         self
     }
 
@@ -128,6 +146,7 @@ impl NaturalExperiment {
                     },
                 )
                 .bool("significant", out.significant())
+                .bool("starved", out.starved())
                 .bool("kept", kept);
         }
     }
@@ -165,6 +184,7 @@ impl NaturalExperiment {
             name: self.name.clone(),
             n_pairs: pairs.len(),
             n_ties: ties as usize,
+            min_trials: self.min_trials,
             test,
             pairs,
         })
@@ -180,6 +200,8 @@ pub struct ExperimentOutcome {
     pub n_pairs: usize,
     /// Pairs with exactly equal outcomes, excluded from the test.
     pub n_ties: usize,
+    /// Minimum-trials guard inherited from the experiment config.
+    pub min_trials: u64,
     /// The one-tailed binomial sign test over non-tied pairs.
     pub test: BinomialTest,
     /// The matched pairs themselves (for downstream inspection/plots).
@@ -198,14 +220,22 @@ impl ExperimentOutcome {
         self.test.p_value
     }
 
-    /// Statistically significant at α = 0.05.
-    pub fn significant(&self) -> bool {
-        self.test.significant()
+    /// Too few non-tied pairs to support any significance claim: the
+    /// experiment is "insufficient data", whatever its raw p-value.
+    pub fn starved(&self) -> bool {
+        self.test.trials < self.min_trials
     }
 
-    /// Clears both the significance and practical-importance bars of §2.3.
+    /// Statistically significant at α = 0.05 — and only when the
+    /// minimum-trials guard is met ([`ExperimentOutcome::starved`]).
+    pub fn significant(&self) -> bool {
+        !self.starved() && self.test.significant()
+    }
+
+    /// Clears both the significance and practical-importance bars of §2.3
+    /// (guarded by the same minimum-trials rule).
     pub fn conclusive(&self) -> bool {
-        self.test.conclusive()
+        !self.starved() && self.test.conclusive()
     }
 
     /// Mean outcome difference (treatment − control) across pairs.
@@ -298,6 +328,25 @@ mod tests {
         let treatment = units(&[1.0, 1.0], 100);
         let exp = NaturalExperiment::new("all-ties", vec![Caliper::PAPER]);
         assert!(exp.run(&control, &treatment).is_none());
+    }
+
+    #[test]
+    fn starved_experiment_cannot_be_significant() {
+        // Five pairs, all in favour: raw binomial p ≈ 0.031 < 0.05 — but
+        // five lucky pairs must read as "insufficient data", not a finding.
+        let control = units(&[1.0, 1.1, 0.9, 1.2, 1.0], 0);
+        let treatment = units(&[2.0, 2.1, 1.9, 2.2, 2.0], 100);
+        let exp = NaturalExperiment::new("starved", vec![Caliper::PAPER]);
+        let out = exp.run(&control, &treatment).unwrap();
+        assert_eq!(out.percent_holds(), 100.0);
+        assert!(out.test.p_value < 0.05, "raw p = {}", out.test.p_value);
+        assert!(out.starved());
+        assert!(!out.significant(), "guard must override the raw p-value");
+        assert!(!out.conclusive());
+        // Disabling the guard (ablation only) restores the raw verdict.
+        let raw = exp.with_min_trials(0).run(&control, &treatment).unwrap();
+        assert!(!raw.starved());
+        assert!(raw.significant());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod matching;
 pub mod qed;
 
 pub use caliper::Caliper;
-pub use experiment::{Direction, ExperimentOutcome, NaturalExperiment};
+pub use experiment::{Direction, ExperimentOutcome, NaturalExperiment, MIN_TRIALS};
 pub use matching::{
     match_pairs, match_pairs_audited, pair_distance, pair_distance_detailed, MatchAudit,
     MatchedPair, Unit,

@@ -26,8 +26,10 @@ use bb_types::{CapacityBin, Country, DemandMetric, UpgradeTier};
 /// Minimum users per capacity bin for the binned figures.
 const MIN_BIN_USERS: usize = 5;
 
-/// Minimum matched pairs for an experiment row to be reported.
-pub const MIN_PAIRS: usize = 8;
+/// Minimum matched pairs for an experiment row to be reported. Kept in
+/// lock-step with the causal layer's own significance guard so a row
+/// can never be *reported* at a size where `significant()` would lie.
+pub const MIN_PAIRS: usize = bb_causal::MIN_TRIALS as usize;
 
 /// Build one usage-vs-capacity series over `records`, logging input n and
 /// drop counts (missing outcome, thin bins) under `exhibit`'s id.
@@ -207,6 +209,9 @@ pub fn table1(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
             continue;
         }
         let test = binomial_test(holds, trials, 0.5, Tail::Greater);
+        // The same starvation guard the matched experiments get from
+        // bb-causal: a handful of movers cannot carry a significance star.
+        let starved = trials < MIN_PAIRS as u64;
         ledger
             .emit("sign_test")
             .str("exhibit", "table1")
@@ -217,8 +222,12 @@ pub fn table1(dataset: &Dataset, ledger: &mut EventLog) -> ExperimentTable {
             .u64("positives", holds)
             .f64("p_value", test.p_value)
             .str("direction", "treatment_higher")
-            .bool("significant", test.significant())
-            .bool("kept", true);
+            .bool("significant", !starved && test.significant())
+            .bool("starved", starved)
+            .bool("kept", !starved);
+        if starved {
+            continue;
+        }
         rows.push(ExperimentRow {
             control: format!("{label} (slower network)"),
             treatment: format!("{label} (faster network)"),

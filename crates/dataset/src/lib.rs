@@ -19,6 +19,8 @@
 //! * [`persona`] — the §10 user categories (streamers, browsers,
 //!   downloaders, gamers) that shape each agent's traffic;
 //! * [`record`] — observed per-user records and upgrade observations;
+//! * [`quality`] — the validating ingest screen (accept / repair /
+//!   quarantine verdicts with counted reasons);
 //! * [`world`] — generation orchestration ([`world::World::generate`]).
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@
 pub mod agent;
 pub mod country;
 pub mod persona;
+pub mod quality;
 pub mod record;
 pub mod snapshot;
 pub mod world;
@@ -34,5 +37,6 @@ pub mod world;
 pub use agent::{choose_plan, Agent};
 pub use country::{builtin_world, CountryProfile};
 pub use persona::Persona;
+pub use quality::DataQuality;
 pub use record::{Dataset, UpgradeObservation, UserRecord};
 pub use world::{World, WorldConfig};

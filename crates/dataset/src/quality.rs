@@ -1,0 +1,297 @@
+//! Validating ingest: accept / repair / quarantine verdicts per record.
+//!
+//! The collection pipeline is hardened to *survive* degraded input
+//! (wrapped counters, reset storms, probe blackouts), but surviving is
+//! not the same as trusting: a user whose every NDT run failed has no
+//! capacity measurement, and a counter-corrupted series can imply a
+//! demand orders of magnitude beyond anything the access link could
+//! carry. Feeding such records into sketches and matched experiments
+//! silently biases every downstream exhibit.
+//!
+//! This module is the front door between generation and analysis. Every
+//! record gets a [`DataQuality`] verdict:
+//!
+//! * **Accept** — the record is plausible as measured;
+//! * **Repair** — an auxiliary field is implausible and is dropped
+//!   (`None`), but the core record survives;
+//! * **Quarantine** — the core fields are implausible and the whole
+//!   record (and any upgrade observation hanging off it) is excluded.
+//!
+//! Every repair and quarantine increments a statically-named reason
+//! counter (`dataset.quality.repair.*` / `dataset.quality.quarantine.*`)
+//! in the [`Registry`], so the verdicts are plan-invariant data events
+//! that merge across shards and surface in `metrics.json` and the
+//! provenance ledger.
+//!
+//! Thresholds are deliberately generous: a clean (fault-free) world must
+//! never trip them — the severity-0 identity the chaos campaigns rely on
+//! — so each bound sits far outside what the simulator can produce
+//! without fault injection (NDT under-reads capacity by at most 4× via
+//! the Mathis floor; RTTs are clamped to 3 s at link construction and
+//! inflated by at most ~10× under load; demand never exceeds the link
+//! rate by more than the undetected cross-traffic sliver).
+
+use crate::record::{UpgradeObservation, UserRecord};
+use bb_trace::Registry;
+use bb_types::Bandwidth;
+
+/// Verdict of the ingest screen for one record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataQuality {
+    /// Plausible as measured; kept unchanged.
+    Accept,
+    /// Kept after dropping one or more implausible auxiliary fields.
+    Repair,
+    /// Core fields implausible; the record is excluded from the dataset.
+    Quarantine,
+}
+
+/// No access technology in the panel years delivers more than this;
+/// a reading beyond it is counter corruption, not a fast link.
+const MAX_PLAUSIBLE_CAPACITY_BPS: f64 = 100e9;
+
+/// RTTs above one minute are retransmission storms or stuck probes, not
+/// path latency (links are built with RTT ≤ 3 s and load inflates by at
+/// most ~10×).
+const MAX_PLAUSIBLE_LATENCY_MS: f64 = 60_000.0;
+
+/// A demand reading this many times the best capacity estimate is
+/// counter corruption: real demand is bounded by the link rate plus the
+/// undetected cross-traffic sliver, and the capacity estimate is at
+/// worst 4× under the link rate.
+const MAX_DEMAND_CAPACITY_RATIO: f64 = 50.0;
+
+/// The best available capacity estimate for plausibility ratios: the
+/// larger of the measured and advertised rates.
+fn capacity_ceiling(record: &UserRecord) -> Bandwidth {
+    if record.capacity >= record.plan_capacity {
+        record.capacity
+    } else {
+        record.plan_capacity
+    }
+}
+
+/// Screen one record, repairing what can be repaired and counting every
+/// verdict into `reg`. On `Quarantine` the record must be excluded by
+/// the caller; on `Repair` the implausible auxiliary fields have been
+/// cleared in place.
+pub fn screen(record: &mut UserRecord, reg: &mut Registry) -> DataQuality {
+    // Core fields first: a record with no credible capacity or latency
+    // measurement cannot anchor any experiment.
+    if record.capacity.is_zero() {
+        reg.inc("dataset.quality.quarantine.capacity_blackout");
+        reg.inc("dataset.quality.quarantined");
+        return DataQuality::Quarantine;
+    }
+    if record.capacity.bps() > MAX_PLAUSIBLE_CAPACITY_BPS {
+        reg.inc("dataset.quality.quarantine.capacity_implausible");
+        reg.inc("dataset.quality.quarantined");
+        return DataQuality::Quarantine;
+    }
+    if record.latency.ms() <= 0.0 || record.latency.ms() > MAX_PLAUSIBLE_LATENCY_MS {
+        reg.inc("dataset.quality.quarantine.latency_implausible");
+        reg.inc("dataset.quality.quarantined");
+        return DataQuality::Quarantine;
+    }
+    let ceiling = capacity_ceiling(record).bps() * MAX_DEMAND_CAPACITY_RATIO;
+    if let Some(d) = record.demand_with_bt {
+        if d.mean.bps() > ceiling {
+            reg.inc("dataset.quality.quarantine.demand_implausible");
+            reg.inc("dataset.quality.quarantined");
+            return DataQuality::Quarantine;
+        }
+    }
+
+    // Auxiliary fields: implausible values are dropped, not fatal.
+    let mut repaired = false;
+    if let Some(w) = record.web_latency {
+        if w.ms() > MAX_PLAUSIBLE_LATENCY_MS {
+            record.web_latency = None;
+            reg.inc("dataset.quality.repair.web_latency_dropped");
+            repaired = true;
+        }
+    }
+    if let Some(u) = record.upload_mean {
+        if u.bps() > ceiling {
+            record.upload_mean = None;
+            reg.inc("dataset.quality.repair.upload_dropped");
+            repaired = true;
+        }
+    }
+    if repaired {
+        reg.inc("dataset.quality.repaired");
+        DataQuality::Repair
+    } else {
+        reg.inc("dataset.quality.accepted");
+        DataQuality::Accept
+    }
+}
+
+/// Screen an upgrade observation against the same plausibility bounds.
+/// An upgrade whose either snapshot has no credible capacity, or whose
+/// demand is beyond any link, is quarantined (the base record survives
+/// on its own merits).
+pub fn screen_upgrade(up: &UpgradeObservation, reg: &mut Registry) -> DataQuality {
+    for snap in [&up.before, &up.after] {
+        let implausible_cap =
+            snap.capacity.is_zero() || snap.capacity.bps() > MAX_PLAUSIBLE_CAPACITY_BPS;
+        let implausible_demand = snap.demand_with_bt.is_some_and(|d| {
+            d.mean.bps() > snap.capacity.bps().max(1.0) * MAX_DEMAND_CAPACITY_RATIO
+        });
+        if implausible_cap || implausible_demand {
+            reg.inc("dataset.quality.quarantine.upgrade_implausible");
+            reg.inc("dataset.quality.quarantined_upgrades");
+            return DataQuality::Quarantine;
+        }
+    }
+    DataQuality::Accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{UpgradeSnapshot, VantageKind};
+    use bb_types::{Country, DemandSummary, Latency, LossRate, MoneyPpp, NetworkId, UserId, Year};
+
+    fn plausible() -> UserRecord {
+        UserRecord {
+            user: UserId(1),
+            country: Country::new("US"),
+            network: NetworkId::new(Country::new("US"), 0, 1, 2),
+            year: Year(2012),
+            vantage: VantageKind::Dasu,
+            capacity: Bandwidth::from_mbps(10.0),
+            latency: Latency::from_ms(40.0),
+            loss: LossRate::from_percent(0.1),
+            web_latency: Some(Latency::from_ms(120.0)),
+            demand_with_bt: Some(DemandSummary::new(
+                Bandwidth::from_kbps(300.0),
+                Bandwidth::from_mbps(4.0),
+            )),
+            demand_no_bt: Some(DemandSummary::new(
+                Bandwidth::from_kbps(200.0),
+                Bandwidth::from_mbps(2.0),
+            )),
+            plan_capacity: Bandwidth::from_mbps(12.0),
+            plan_price: MoneyPpp::from_usd(40.0),
+            access_price: MoneyPpp::from_usd(30.0),
+            upgrade_cost: None,
+            is_bt_user: true,
+            upload_mean: Some(Bandwidth::from_kbps(150.0)),
+            plan_capped: false,
+            counter_source: None,
+            persona: crate::persona::Persona::Streamer,
+        }
+    }
+
+    #[test]
+    fn plausible_record_is_accepted_unchanged() {
+        let mut r = plausible();
+        let before = r.clone();
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Accept);
+        // Accept must not mutate the record.
+        assert_eq!(r.capacity, before.capacity);
+        assert_eq!(r.web_latency, before.web_latency);
+        assert_eq!(r.upload_mean, before.upload_mean);
+        assert_eq!(r.demand_with_bt, before.demand_with_bt);
+        assert_eq!(reg.counter("dataset.quality.accepted"), 1);
+        assert_eq!(reg.counter("dataset.quality.quarantined"), 0);
+    }
+
+    #[test]
+    fn probe_blackout_is_quarantined() {
+        let mut r = plausible();
+        r.capacity = Bandwidth::ZERO;
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Quarantine);
+        assert_eq!(
+            reg.counter("dataset.quality.quarantine.capacity_blackout"),
+            1
+        );
+    }
+
+    #[test]
+    fn absurd_capacity_is_quarantined() {
+        let mut r = plausible();
+        r.capacity = Bandwidth::from_gbps(500.0);
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Quarantine);
+        assert_eq!(
+            reg.counter("dataset.quality.quarantine.capacity_implausible"),
+            1
+        );
+    }
+
+    #[test]
+    fn stuck_latency_is_quarantined() {
+        let mut r = plausible();
+        r.latency = Latency::from_ms(120_000.0);
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Quarantine);
+        assert_eq!(
+            reg.counter("dataset.quality.quarantine.latency_implausible"),
+            1
+        );
+    }
+
+    #[test]
+    fn corrupted_demand_is_quarantined() {
+        let mut r = plausible();
+        r.demand_with_bt = Some(DemandSummary::new(
+            Bandwidth::from_gbps(5.0), // 500× the 10 Mbps link
+            Bandwidth::from_gbps(6.0),
+        ));
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Quarantine);
+        assert_eq!(
+            reg.counter("dataset.quality.quarantine.demand_implausible"),
+            1
+        );
+    }
+
+    #[test]
+    fn implausible_auxiliaries_are_repaired_not_dropped() {
+        let mut r = plausible();
+        r.web_latency = Some(Latency::from_ms(300_000.0));
+        r.upload_mean = Some(Bandwidth::from_gbps(9.0));
+        let mut reg = Registry::new();
+        assert_eq!(screen(&mut r, &mut reg), DataQuality::Repair);
+        assert_eq!(r.web_latency, None);
+        assert_eq!(r.upload_mean, None);
+        assert_eq!(reg.counter("dataset.quality.repaired"), 1);
+        assert_eq!(reg.counter("dataset.quality.repair.web_latency_dropped"), 1);
+        assert_eq!(reg.counter("dataset.quality.repair.upload_dropped"), 1);
+        // The core record survives.
+        assert_eq!(r.capacity, plausible().capacity);
+    }
+
+    #[test]
+    fn blackout_upgrade_is_quarantined() {
+        let r = plausible();
+        let snap = |cap: Bandwidth| UpgradeSnapshot {
+            network: r.network.clone(),
+            capacity: cap,
+            demand_with_bt: r.demand_with_bt,
+            demand_no_bt: r.demand_no_bt,
+        };
+        let up = UpgradeObservation {
+            user: r.user,
+            country: r.country,
+            before: snap(Bandwidth::from_mbps(10.0)),
+            after: snap(Bandwidth::ZERO),
+        };
+        let mut reg = Registry::new();
+        assert_eq!(screen_upgrade(&up, &mut reg), DataQuality::Quarantine);
+        assert_eq!(
+            reg.counter("dataset.quality.quarantine.upgrade_implausible"),
+            1
+        );
+        let clean = UpgradeObservation {
+            after: snap(Bandwidth::from_mbps(20.0)),
+            ..up
+        };
+        let mut reg = Registry::new();
+        assert_eq!(screen_upgrade(&clean, &mut reg), DataQuality::Accept);
+    }
+}

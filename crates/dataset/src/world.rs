@@ -2,6 +2,7 @@
 
 use crate::agent::{choose_plan, Agent, AgentSampler};
 use crate::country::{builtin_world, CountryProfile, APPETITE_GROWTH_PER_YEAR};
+use crate::quality::{self, DataQuality};
 use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, VantageKind};
 use bb_engine::snapshot::Snapshot;
 use bb_engine::{
@@ -9,6 +10,7 @@ use bb_engine::{
     CheckpointStore, Mergeable, RunStats, ShardPlan,
 };
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
+use bb_netsim::chaos::{ChaosPlan, ChaosSpec};
 use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
 use bb_netsim::link::AccessLink;
 use bb_netsim::probe::{web_latency, NdtProbe};
@@ -22,6 +24,13 @@ use rand_chacha::ChaCha8Rng;
 /// Stream id of the per-user RNG streams (market instantiation draws from
 /// the sequential master RNG instead; see [`World::generate_with`]).
 const USER_STREAM: u64 = 1;
+
+/// Stream id of the per-user *chaos* RNG streams. Fault-campaign draws
+/// come from their own counter-mode stream so that (a) a severity-0
+/// campaign consumes zero draws and is bit-identical to a fault-free
+/// run, and (b) chaos stays bit-reproducible under any shard/thread
+/// plan, exactly like the user streams.
+const CHAOS_STREAM: u64 = 2;
 
 /// Knobs controlling the size and shape of a generated dataset.
 #[derive(Clone, Debug)]
@@ -46,6 +55,9 @@ pub struct WorldConfig {
     /// Share of BitTorrent users in the FCC cohort (gateway panellists are
     /// recruited very differently from Dasu's BitTorrent population).
     pub fcc_bt_prob: f64,
+    /// Degradation campaign applied during collection (`None` = clean).
+    /// Severity 0 is guaranteed bit-identical to `None`.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl WorldConfig {
@@ -61,6 +73,7 @@ impl WorldConfig {
             upgrade_fraction: 0.25,
             web_probe_fraction: 0.5,
             fcc_bt_prob: 0.12,
+            chaos: None,
         }
     }
 
@@ -77,6 +90,7 @@ impl WorldConfig {
             upgrade_fraction: 0.25,
             web_probe_fraction: 0.5,
             fcc_bt_prob: 0.12,
+            chaos: None,
         }
     }
 }
@@ -150,7 +164,10 @@ impl World {
             let mut upgrades = Vec::new();
             let mut reg = Registry::new();
             for user_index in range {
-                let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                let Some((record, upgrade)) = self.observe_indexed(user_index, &cohorts, &mut reg)
+                else {
+                    continue; // quarantined by the ingest screen
+                };
                 records.push(record);
                 upgrades.extend(upgrade);
             }
@@ -199,7 +216,10 @@ impl World {
             let mut acc = init();
             let mut reg = Registry::new();
             for user_index in range {
-                let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                let Some((record, upgrade)) = self.observe_indexed(user_index, &cohorts, &mut reg)
+                else {
+                    continue; // quarantined by the ingest screen
+                };
                 absorb(&mut acc, &record, upgrade.as_ref());
             }
             (acc, reg)
@@ -236,7 +256,11 @@ impl World {
                 let mut upgrades = Vec::new();
                 let mut reg = Registry::new();
                 for user_index in range {
-                    let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                    let Some((record, upgrade)) =
+                        self.observe_indexed(user_index, &cohorts, &mut reg)
+                    else {
+                        continue; // quarantined by the ingest screen
+                    };
                     records.push(record);
                     upgrades.extend(upgrade);
                 }
@@ -276,7 +300,11 @@ impl World {
                 let mut acc = init();
                 let mut reg = Registry::new();
                 for user_index in range {
-                    let (record, upgrade) = self.observe_indexed(user_index, &cohorts, &mut reg);
+                    let Some((record, upgrade)) =
+                        self.observe_indexed(user_index, &cohorts, &mut reg)
+                    else {
+                        continue; // quarantined by the ingest screen
+                    };
                     absorb(&mut acc, &record, upgrade.as_ref());
                 }
                 (acc, reg)
@@ -330,16 +358,28 @@ impl World {
     }
 
     /// Observe the user at `user_index` — a pure function of
-    /// `(config.seed, user_index)` given the instantiated markets.
+    /// `(config.seed, user_index)` given the instantiated markets —
+    /// and screen the result through the ingest layer. Returns `None`
+    /// when the record is quarantined (counted into `reg` under
+    /// `dataset.quality.quarantine.*` by [`quality::screen`]).
     fn observe_indexed(
         &self,
         user_index: u64,
         cohorts: &[Cohort<'_>],
         reg: &mut Registry,
-    ) -> (UserRecord, Option<UpgradeObservation>) {
+    ) -> Option<(UserRecord, Option<UpgradeObservation>)> {
         let cohort = &cohorts[cohorts.partition_point(|c| c.end <= user_index)];
         reg.inc("dataset.users.observed");
         let mut rng = stream_rng(self.config.seed, USER_STREAM, user_index);
+        // The campaign's degradation plan for this user's country, and
+        // the dedicated chaos stream. A clean config (or severity 0, or
+        // a targeted scenario sparing this country) yields NONE, which
+        // never draws — so the chaos stream existing at all leaves the
+        // generated bytes untouched.
+        let chaos_plan = self.config.chaos.map_or(ChaosPlan::NONE, |spec| {
+            spec.plan_for(cohort.profile.country.as_str())
+        });
+        let mut chaos_rng = stream_rng(self.config.seed, CHAOS_STREAM, user_index);
         let user = UserId(user_index);
         let year = self.config.years[rng.gen_range(0..self.config.years.len())];
         let agent = self.sample_subscriber(
@@ -349,16 +389,21 @@ impl World {
             cohort.bt_override,
             &mut rng,
         );
-        let (record, link, plan_idx) = self.observe_user(
+        let (mut record, link, plan_idx) = self.observe_user(
             user,
             cohort.profile,
             &cohort.catalog,
             &agent,
             year,
             cohort.vantage,
+            &chaos_plan,
             &mut rng,
+            &mut chaos_rng,
             reg,
         );
+        if quality::screen(&mut record, reg) == DataQuality::Quarantine {
+            return None;
+        }
         // Movers: re-observe a fraction of Dasu users after an upgrade.
         let upgrade = if cohort.vantage == VantageKind::Dasu
             && rng.gen::<f64>() < self.config.upgrade_fraction
@@ -370,16 +415,19 @@ impl World {
                 &agent,
                 link,
                 plan_idx,
+                &chaos_plan,
                 &mut rng,
+                &mut chaos_rng,
                 reg,
             )
+            .filter(|up| quality::screen_upgrade(up, reg) != DataQuality::Quarantine)
         } else {
             None
         };
         if upgrade.is_some() {
             reg.inc("dataset.users.upgraded");
         }
-        (record, upgrade)
+        Some((record, upgrade))
     }
 
     /// Sample an agent who is actually *in* the broadband market.
@@ -497,7 +545,9 @@ impl World {
         agent: &Agent,
         year: Year,
         vantage: VantageKind,
+        chaos: &ChaosPlan,
         rng: &mut ChaCha8Rng,
+        chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
     ) -> (UserRecord, AccessLink, usize) {
         let plan = choose_plan(agent, catalog);
@@ -508,13 +558,19 @@ impl World {
             .expect("chosen plan comes from the catalogue");
         let link = self.build_link(profile, plan, rng);
         let (record, _) = self.observe_on_link(
-            user, profile, catalog, agent, year, vantage, plan, &link, rng, reg,
+            user, profile, catalog, agent, year, vantage, plan, &link, chaos, rng, chaos_rng, reg,
         );
         (record, link, plan_idx)
     }
 
     /// Observe an already-linked user (shared by first observation and the
     /// post-upgrade re-observation).
+    ///
+    /// Degradation (`chaos`) applies at the two measurement surfaces:
+    /// the raw poll sequence of counter-based Dasu collection, and the
+    /// NDT probe runs (any vantage). All chaos draws come from the
+    /// dedicated `chaos_rng`; a NONE plan draws nothing from it and is
+    /// bit-identical to the clean path.
     #[allow(clippy::too_many_arguments)]
     fn observe_on_link(
         &self,
@@ -526,7 +582,9 @@ impl World {
         vantage: VantageKind,
         plan: &Plan,
         link: &AccessLink,
+        chaos: &ChaosPlan,
         rng: &mut ChaCha8Rng,
+        chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
     ) -> (UserRecord, NetworkId) {
         let axis = TimeAxis::new(year, self.config.days);
@@ -576,12 +634,14 @@ impl World {
                     CounterSource::Upnp => "dataset.observations.upnp",
                     CounterSource::Netstat => "dataset.observations.netstat",
                 });
-                UsageSeries::collect_via_counters_traced(
+                UsageSeries::collect_via_counters_chaos(
                     &truth,
                     0.5,
                     source,
                     link.capacity,
+                    chaos,
                     rng,
+                    chaos_rng,
                     reg,
                 )
             }
@@ -594,7 +654,26 @@ impl World {
         let demand_no_bt = collected.demand(BtFilter::Exclude);
         let upload_mean = collected.upload_mean(BtFilter::Include);
 
-        let ndt = NdtProbe::default().run_averaged(link, 4, rng);
+        // NDT probing under chaos: each of the 4 scheduled runs fails
+        // independently with the plan's probe-failure probability. A
+        // total blackout leaves the user with no capacity measurement —
+        // the placeholder record is quarantined by the ingest screen.
+        const NDT_RUNS: u32 = 4;
+        let surviving_runs = if chaos.probe_failure_prob > 0.0 {
+            let ok = (0..NDT_RUNS)
+                .filter(|_| chaos_rng.gen::<f64>() >= chaos.probe_failure_prob)
+                .count() as u32;
+            reg.add("netsim.probe.failed_runs", (NDT_RUNS - ok) as u64);
+            ok
+        } else {
+            NDT_RUNS
+        };
+        let ndt = if surviving_runs == 0 {
+            reg.inc("netsim.probe.blackouts");
+            None
+        } else {
+            Some(NdtProbe::default().run_averaged(link, surviving_runs, rng))
+        };
         let web = if rng.gen::<f64>() < self.config.web_probe_fraction {
             Some(web_latency(link, rng))
         } else {
@@ -608,15 +687,25 @@ impl World {
             rng.gen_range(0..24),
         );
 
+        // A blacked-out probe leaves measurement placeholders; the
+        // ingest screen quarantines the record on the zero capacity.
+        let (capacity, latency, loss) = match ndt {
+            Some(r) => (r.download, r.avg_rtt, r.loss),
+            None => (
+                bb_types::Bandwidth::ZERO,
+                bb_types::Latency::ZERO,
+                bb_types::LossRate::ZERO,
+            ),
+        };
         let record = UserRecord {
             user,
             country: profile.country,
             network: network.clone(),
             year,
             vantage,
-            capacity: ndt.download,
-            latency: ndt.avg_rtt,
-            loss: ndt.loss,
+            capacity,
+            latency,
+            loss,
             web_latency: web,
             demand_with_bt,
             demand_no_bt,
@@ -652,7 +741,9 @@ impl World {
         agent: &Agent,
         before_link: AccessLink,
         before_plan_idx: usize,
+        chaos: &ChaosPlan,
         rng: &mut ChaCha8Rng,
+        chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
     ) -> Option<UpgradeObservation> {
         let before_plan = &catalog.plans[before_plan_idx];
@@ -695,7 +786,9 @@ impl World {
             VantageKind::Dasu,
             after_plan,
             &after_link,
+            chaos,
             rng,
+            chaos_rng,
             reg,
         );
         Some(UpgradeObservation {
@@ -809,6 +902,145 @@ mod tests {
             |acc: &mut Vec<u64>, _, _| acc.push(1),
         );
         assert_eq!(fold_reg.to_json(), serial_reg.to_json());
+    }
+
+    #[test]
+    fn chaotic_generation_is_plan_invariant() {
+        use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        cfg.chaos = Some(ChaosSpec::new(ChaosScenario::Omnibus, 0.75));
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let (serial_ds, serial_reg, _) = world.generate_with_traced(ShardPlan::serial());
+        // The campaign really degrades the stream…
+        assert!(serial_reg.counter("netsim.chaos.bursts") > 0);
+        assert!(serial_reg.counter("netsim.chaos.resets_injected") > 0);
+        assert!(serial_reg.counter("netsim.probe.failed_runs") > 0);
+        // …and the degraded world is still plan-invariant.
+        for plan in [ShardPlan::new(8, 4), ShardPlan::new(64, 3)] {
+            let (ds, reg, _) = world.generate_with_traced(plan);
+            assert_eq!(ds.records.len(), serial_ds.records.len());
+            for (a, b) in serial_ds.records.iter().zip(&ds.records) {
+                assert_eq!(a.user, b.user);
+                assert_eq!(a.capacity, b.capacity);
+                assert_eq!(a.demand_with_bt, b.demand_with_bt);
+            }
+            assert_eq!(
+                reg.to_json(),
+                serial_reg.to_json(),
+                "chaotic registry must be byte-identical under {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn severity_zero_chaos_is_bit_identical_to_clean() {
+        use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        let clean_world = World::with_countries(cfg.clone(), &["US", "JP", "BW", "SA", "IN"]);
+        let (clean_ds, clean_reg, _) = clean_world.generate_with_traced(ShardPlan::new(8, 4));
+        for scenario in ChaosScenario::ALL {
+            let mut chaotic_cfg = cfg.clone();
+            chaotic_cfg.chaos = Some(ChaosSpec::new(scenario, 0.0));
+            let world = World::with_countries(chaotic_cfg, &["US", "JP", "BW", "SA", "IN"]);
+            let (ds, reg, _) = world.generate_with_traced(ShardPlan::new(8, 4));
+            assert_eq!(ds.records.len(), clean_ds.records.len());
+            for (a, b) in clean_ds.records.iter().zip(&ds.records) {
+                assert_eq!(a.capacity, b.capacity, "{}@0", scenario.name());
+                assert_eq!(a.latency, b.latency);
+                assert_eq!(a.demand_with_bt, b.demand_with_bt);
+                assert_eq!(a.demand_no_bt, b.demand_no_bt);
+            }
+            assert_eq!(
+                reg.to_json(),
+                clean_reg.to_json(),
+                "severity-0 {} must leave the registry untouched",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn probe_blackouts_are_quarantined_and_accounted() {
+        use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        cfg.chaos = Some(ChaosSpec::new(ChaosScenario::ProbeBlackout, 1.0));
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let (ds, reg, _) = world.generate_with_traced(ShardPlan::new(8, 4));
+        // At severity 1 each of the 4 runs fails with p=0.85, so roughly
+        // half the panel (0.85⁴ ≈ 0.52) loses every run.
+        let blackouts = reg.counter("netsim.probe.blackouts");
+        assert!(blackouts > 0, "expected blackouts at full severity");
+        assert!(reg.counter("dataset.quality.quarantine.capacity_blackout") > 0);
+        // Every observed user is either a kept record or a quarantined one.
+        assert_eq!(
+            reg.counter("dataset.users.observed"),
+            ds.records.len() as u64 + reg.counter("dataset.quality.quarantined")
+        );
+        // Survivors all carry a real capacity measurement.
+        assert!(ds.records.iter().all(|r| !r.capacity.is_zero()));
+        // Upgrades hanging off blacked-out re-observations are screened too.
+        assert_eq!(
+            reg.counter("dataset.users.upgraded"),
+            ds.upgrades.len() as u64
+        );
+        assert!(ds
+            .upgrades
+            .iter()
+            .all(|up| !up.before.capacity.is_zero() && !up.after.capacity.is_zero()));
+    }
+
+    #[test]
+    fn targeted_chaos_spares_other_countries() {
+        use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 0;
+        cfg.days = 2;
+        let countries = ["US", "JP", "BW", "SA", "IN"];
+        let clean = World::with_countries(cfg.clone(), &countries).generate();
+        let mut targeted_cfg = cfg.clone();
+        targeted_cfg.chaos = Some(ChaosSpec::new(ChaosScenario::TargetedUs, 1.0));
+        let targeted = World::with_countries(targeted_cfg, &countries).generate();
+        // Non-US users are untouched, bit for bit.
+        let non_us = |ds: &Dataset| -> Vec<UserRecord> {
+            ds.records
+                .iter()
+                .filter(|r| r.country != Country::new("US"))
+                .cloned()
+                .collect()
+        };
+        let (a, b) = (non_us(&clean), non_us(&targeted));
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.user, rb.user);
+            assert_eq!(ra.capacity, rb.capacity);
+            assert_eq!(ra.demand_with_bt, rb.demand_with_bt);
+        }
+        // The US panel, by contrast, degrades: quarantines can only
+        // shrink it, and the survivors' measurements shift.
+        let us = |ds: &Dataset| -> Vec<UserRecord> {
+            ds.in_country(Country::new("US")).cloned().collect()
+        };
+        let (cu, tu) = (us(&clean), us(&targeted));
+        assert!(tu.len() <= cu.len());
+        let shifted = cu
+            .iter()
+            .zip(&tu)
+            .filter(|(a, b)| a.capacity != b.capacity || a.demand_with_bt != b.demand_with_bt)
+            .count();
+        assert!(
+            shifted > 0,
+            "targeted degradation should perturb US measurements"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! time, and "peak" = the 95th-percentile of the 30-second (or hourly)
 //! rate series, with or without BitTorrent-active intervals.
 
+use crate::chaos::{ChaosPlan, RawPoll};
 use crate::counters::{
     max_plausible_bytes, upnp_deltas_stats, DeltaStats, NetstatCounter, UpnpCounter,
 };
@@ -22,7 +23,7 @@ use bb_stats::descriptive::quantile;
 use bb_trace::{Log2Histogram, Registry};
 use bb_types::time::{diurnal_multiplier, SLOTS_PER_HOUR};
 use bb_types::{Bandwidth, DemandSummary, SLOT_SECS};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Where the measurement software sits.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -187,6 +188,44 @@ impl UsageSeries {
         rng: &mut R,
         reg: &mut Registry,
     ) -> Self {
+        // `ChaosPlan::NONE` draws nothing, so the chaos RNG seed is inert.
+        let mut inert = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        Self::collect_via_counters_chaos(
+            truth,
+            uptime,
+            source,
+            link_capacity,
+            &ChaosPlan::NONE,
+            rng,
+            &mut inert,
+            reg,
+        )
+    }
+
+    /// [`UsageSeries::collect_via_counters_traced`] with a degradation
+    /// plan applied to the raw poll sequence before delta
+    /// reconstruction.
+    ///
+    /// Chaos draws come from the *dedicated* `chaos_rng`, never from the
+    /// main `rng`, and a [`ChaosPlan::NONE`] plan draws nothing — so the
+    /// severity-0 chaos path is bit-identical to the fault-free one.
+    /// Reconstruction is hardened against whatever the plan produces:
+    /// out-of-order polls (`netsim.collect.out_of_order_dropped`) and
+    /// duplicate timestamps (`netsim.collect.duplicate_dropped`) are
+    /// counted and skipped rather than panicking or emitting NaN bins,
+    /// and BitTorrent-flag lookups clamp slot indices that clock skew
+    /// pushed past the observation window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_via_counters_chaos<R: Rng + ?Sized, C: Rng + ?Sized>(
+        truth: &GroundTruth,
+        uptime: f64,
+        source: CounterSource,
+        link_capacity: Bandwidth,
+        chaos: &ChaosPlan,
+        rng: &mut R,
+        chaos_rng: &mut C,
+        reg: &mut Registry,
+    ) -> Self {
         assert!(uptime > 0.0 && uptime <= 1.0, "uptime in (0,1]");
         const MAX_GAP_SLOTS: usize = 2;
 
@@ -205,7 +244,7 @@ impl UsageSeries {
         let mut net_up = NetstatCounter::new();
         let mut detected_cross = 0.0f64;
         // (slot index, down reading, up reading, detected cross estimate)
-        let mut polls: Vec<(usize, u64, u64, f64)> = Vec::new();
+        let mut polls: Vec<RawPoll> = Vec::new();
         for (i, &bytes) in truth.slot_bytes.iter().enumerate() {
             let up = truth.up_slot_bytes[i];
             let cross = truth.cross_slot_bytes[i];
@@ -225,19 +264,40 @@ impl UsageSeries {
             }
         }
 
+        // Degrade the raw poll sequence. A NONE plan is an exact no-op
+        // that neither draws from `chaos_rng` nor touches `reg`.
+        let polls = chaos.apply_to_polls(polls, chaos_rng, reg);
+
         // Reconstruct deltas; UPnP readings may have wrapped. Heuristic
         // firings accumulate in locals and flush to `reg` after the loop.
         let max_plausible =
             |gap: usize| max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS);
+        let n_slots = truth.slot_bytes.len();
         let mut bins = Vec::new();
         let mut stale_dropped = 0u64;
         let mut merged_intervals = 0u64;
+        let mut out_of_order_dropped = 0u64;
+        let mut duplicate_dropped = 0u64;
         let mut delta_stats = DeltaStats::default();
         let mut gap_hist = Log2Histogram::new();
         for w in polls.windows(2) {
             let (i0, d0, u0, x0) = w[0];
             let (i1, d1, u1, x1) = w[1];
-            let gap = i1 - i0;
+            // Clean polls are strictly increasing in slot index, but
+            // chaos (reordering, clock skew) breaks that: a reversed
+            // pair would underflow the gap and a duplicated timestamp
+            // would divide the delta by zero. Drop both, counted.
+            let gap = match i1.checked_sub(i0) {
+                None => {
+                    out_of_order_dropped += 1;
+                    continue;
+                }
+                Some(0) => {
+                    duplicate_dropped += 1;
+                    continue;
+                }
+                Some(g) => g,
+            };
             if gap > MAX_GAP_SLOTS {
                 stale_dropped += 1;
                 continue; // stale: the client was offline too long
@@ -263,7 +323,11 @@ impl UsageSeries {
             // majority of the covered slots were BT-active (flagging on
             // *any* overlap would over-discard intervals for heavy
             // BitTorrent users once deltas span several slots).
-            let bt_slots = truth.bt_active[i0 + 1..=i1].iter().filter(|b| **b).count();
+            // Clock skew can push slot indices past the observation
+            // window; clamp the lookup range instead of panicking.
+            let lo = (i0 + 1).min(n_slots);
+            let hi = (i1 + 1).min(n_slots);
+            let bt_slots = truth.bt_active[lo..hi].iter().filter(|b| **b).count();
             let bt = 2 * bt_slots > gap;
             bins.push(BinObs {
                 down_bytes: down as f64 / gap as f64,
@@ -274,6 +338,8 @@ impl UsageSeries {
         reg.add("netsim.collect.polls", polls.len() as u64);
         reg.add("netsim.collect.stale_dropped", stale_dropped);
         reg.add("netsim.collect.merged_intervals", merged_intervals);
+        reg.add("netsim.collect.out_of_order_dropped", out_of_order_dropped);
+        reg.add("netsim.collect.duplicate_dropped", duplicate_dropped);
         reg.merge_hist("netsim.collect.gap_slots", gap_hist);
         if source == CounterSource::Upnp {
             reg.add("netsim.upnp.wraps", delta_stats.wraps);
@@ -589,6 +655,90 @@ mod tests {
             &mut rng,
         );
         assert_eq!(traced, untraced);
+    }
+
+    #[test]
+    fn chaos_none_is_bit_identical_to_plain_collection() {
+        let t = truth(41, true);
+        let cap = Bandwidth::from_mbps(10.0);
+        for source in [CounterSource::Upnp, CounterSource::Netstat] {
+            let mut reg_a = Registry::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let plain = UsageSeries::collect_via_counters_traced(
+                &t, 0.6, source, cap, &mut rng, &mut reg_a,
+            );
+            let mut reg_b = Registry::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            // A chaos RNG seeded differently: NONE must never touch it.
+            let mut chaos_rng = ChaCha8Rng::seed_from_u64(999);
+            let chaotic = UsageSeries::collect_via_counters_chaos(
+                &t,
+                0.6,
+                source,
+                cap,
+                &crate::chaos::ChaosPlan::NONE,
+                &mut rng,
+                &mut chaos_rng,
+                &mut reg_b,
+            );
+            assert_eq!(plain, chaotic, "{source:?}");
+            assert_eq!(reg_a.to_json(), reg_b.to_json(), "{source:?}");
+        }
+    }
+
+    #[test]
+    fn chaotic_collection_survives_churn_and_counts_drops() {
+        // Poll churn at full severity floods the reconstruction with
+        // duplicate and out-of-order timestamps; before hardening this
+        // panicked on `i1 - i0` underflow or divided a delta by zero.
+        let t = truth(43, true);
+        let cap = Bandwidth::from_mbps(10.0);
+        let plan = crate::chaos::ChaosScenario::PollChurn.plan(1.0);
+        for source in [CounterSource::Upnp, CounterSource::Netstat] {
+            let mut reg = Registry::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(44);
+            let mut chaos_rng = ChaCha8Rng::seed_from_u64(45);
+            let s = UsageSeries::collect_via_counters_chaos(
+                &t,
+                0.8,
+                source,
+                cap,
+                &plan,
+                &mut rng,
+                &mut chaos_rng,
+                &mut reg,
+            );
+            assert!(reg.counter("netsim.collect.duplicate_dropped") > 0);
+            assert!(reg.counter("netsim.collect.out_of_order_dropped") > 0);
+            for b in &s.bins {
+                assert!(b.down_bytes.is_finite() && b.down_bytes >= 0.0);
+                assert!(b.up_bytes.is_finite() && b.up_bytes >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn chaotic_collection_survives_clock_skew_at_window_edges() {
+        // Max-severity skew pushes slot indices past the end of the
+        // window; the BT lookup must clamp, not panic.
+        let t = truth(47, true);
+        let cap = Bandwidth::from_mbps(10.0);
+        let plan = crate::chaos::ChaosScenario::ClockSkew.plan(1.0);
+        let mut reg = Registry::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(48);
+        let mut chaos_rng = ChaCha8Rng::seed_from_u64(49);
+        let s = UsageSeries::collect_via_counters_chaos(
+            &t,
+            0.95,
+            CounterSource::Netstat,
+            cap,
+            &plan,
+            &mut rng,
+            &mut chaos_rng,
+            &mut reg,
+        );
+        assert!(reg.counter("netsim.chaos.polls_skewed") > 0);
+        assert!(!s.is_empty());
     }
 
     #[test]

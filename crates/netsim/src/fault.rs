@@ -35,9 +35,48 @@ impl FaultPlan {
 
     /// A satellite-like degradation: +600 ms, +1.5% loss.
     pub fn satellite() -> FaultPlan {
+        FaultPlan::with_impairments(600.0, 1.5)
+    }
+
+    /// A plan adding `extra_latency_ms` of path latency and
+    /// `extra_loss_pct` of packet loss, validated the same way
+    /// [`FaultPlan::with_sample_drop`] validates its knob.
+    ///
+    /// # Panics
+    /// Panics when the latency is non-finite or negative, or the loss is
+    /// non-finite or outside `[0, 100]` percent — mis-computed knobs fail
+    /// loudly at construction instead of deep inside the simulator.
+    pub fn with_impairments(extra_latency_ms: f64, extra_loss_pct: f64) -> FaultPlan {
+        assert!(
+            extra_latency_ms.is_finite() && extra_latency_ms >= 0.0,
+            "extra_latency must be finite and non-negative, got {extra_latency_ms} ms"
+        );
+        assert!(
+            extra_loss_pct.is_finite() && (0.0..=100.0).contains(&extra_loss_pct),
+            "extra_loss must be a finite percentage in [0, 100], got {extra_loss_pct}"
+        );
         FaultPlan {
-            extra_latency: Latency::from_ms(600.0),
-            extra_loss: LossRate::from_percent(1.5),
+            extra_latency: Latency::from_ms(extra_latency_ms),
+            extra_loss: LossRate::from_percent(extra_loss_pct),
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// A plan shaping the link to `rate`.
+    ///
+    /// # Panics
+    /// Panics when the rate is zero — a zero-rate shaper is always a
+    /// mis-computed knob (it would zero the link's capacity), so it fails
+    /// loudly here rather than producing an unusable link. Non-finite and
+    /// negative rates are already rejected by [`Bandwidth`]'s
+    /// constructors.
+    pub fn with_shaping(rate: Bandwidth) -> FaultPlan {
+        assert!(
+            !rate.is_zero(),
+            "shape_to must be a positive rate, got {rate}"
+        );
+        FaultPlan {
+            shape_to: Some(rate),
             ..FaultPlan::NONE
         }
     }
@@ -76,9 +115,20 @@ impl FaultPlan {
     }
 
     /// Apply the plan to a link.
+    ///
+    /// # Panics
+    /// Panics when `shape_to` is set to a zero rate. `shape_to` is a
+    /// public field, so plans built with struct syntax bypass
+    /// [`FaultPlan::with_shaping`]'s validation; a zero-rate shaper used
+    /// to silently produce a dead link, which read as "no shaping" in
+    /// downstream summaries.
     pub fn apply(&self, link: &AccessLink) -> AccessLink {
         let mut degraded = link.degraded(self.extra_latency, self.extra_loss);
         if let Some(rate) = self.shape_to {
+            assert!(
+                !rate.is_zero(),
+                "shape_to must be a positive rate, got {rate}"
+            );
             degraded.capacity = degraded.capacity.min(rate);
         }
         degraded
@@ -288,6 +338,62 @@ mod tests {
     #[should_panic(expected = "sample_drop_prob must be a probability")]
     fn validating_constructor_rejects_out_of_range() {
         let _ = FaultPlan::with_sample_drop(1.5);
+    }
+
+    #[test]
+    fn impairment_builder_matches_struct_syntax() {
+        let built = FaultPlan::with_impairments(600.0, 1.5);
+        assert_eq!(built, FaultPlan::satellite());
+        assert_eq!(built.extra_latency, Latency::from_ms(600.0));
+        assert_eq!(built.extra_loss, LossRate::from_percent(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_latency must be finite and non-negative")]
+    fn impairment_builder_rejects_nan_latency() {
+        let _ = FaultPlan::with_impairments(f64::NAN, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_latency must be finite and non-negative")]
+    fn impairment_builder_rejects_negative_latency() {
+        let _ = FaultPlan::with_impairments(-1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_loss must be a finite percentage")]
+    fn impairment_builder_rejects_non_finite_loss() {
+        let _ = FaultPlan::with_impairments(10.0, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra_loss must be a finite percentage")]
+    fn impairment_builder_rejects_negative_loss() {
+        let _ = FaultPlan::with_impairments(10.0, -0.5);
+    }
+
+    #[test]
+    fn shaping_builder_shapes() {
+        let plan = FaultPlan::with_shaping(Bandwidth::from_mbps(2.0));
+        assert_eq!(plan.apply(&link()).capacity, Bandwidth::from_mbps(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape_to must be a positive rate")]
+    fn shaping_builder_rejects_zero_rate() {
+        let _ = FaultPlan::with_shaping(Bandwidth::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape_to must be a positive rate")]
+    fn zero_rate_shaper_fails_loudly_at_apply() {
+        // Struct syntax bypasses the builder; a zero-rate shaper used to
+        // silently zero the link's capacity.
+        let plan = FaultPlan {
+            shape_to: Some(Bandwidth::ZERO),
+            ..FaultPlan::NONE
+        };
+        let _ = plan.apply(&link());
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //!   95th-percentile), BitTorrent filtering, hourly FCC aggregation;
 //! * [`probe`] — NDT-like capacity/latency/loss probes and the §7.1
 //!   web-latency measurements;
-//! * [`fault`] — fault injection used by the examples and ablations.
+//! * [`fault`] — fault injection used by the examples and ablations;
+//! * [`chaos`] — composable, severity-parameterised degradation
+//!   scenarios over the collection pipeline (burst outages, clock skew,
+//!   reset storms, poll churn, probe blackouts) for fault campaigns.
 //!
 //! The wrap/reset/stale-poll recovery heuristics in [`counters`] and
 //! [`collect`] report how often they fire through `bb-trace` (the
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod chaos;
 pub mod collect;
 pub mod counters;
 pub mod fault;
@@ -46,6 +50,7 @@ pub mod tcp;
 pub mod workload;
 
 pub use app::{AppClass, AppMix};
+pub use chaos::{ChaosPlan, ChaosScenario, ChaosSpec};
 pub use collect::{UsageSeries, Vantage};
 pub use link::AccessLink;
 pub use probe::{NdtProbe, NdtReport};

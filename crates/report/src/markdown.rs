@@ -5,7 +5,7 @@
 //! documents can embed any exhibit without hand-formatting.
 
 use bb_study::exhibit::{BinnedFigure, ExperimentTable};
-use bb_study::robustness::SweepRow;
+use bb_study::robustness::{SurvivalMatrix, SweepRow};
 use bb_trace::{Event, EventLog, Value};
 use std::fmt::Write as _;
 
@@ -90,6 +90,53 @@ pub fn sweep_table(rows: &[SweepRow]) -> String {
             r.n_significant,
             r.n_runs,
             r.total_pairs
+        );
+    }
+    out
+}
+
+/// Chaos survival matrix → Markdown: one row per experiment, one value
+/// cell per severity (`% H holds (pairs)`, starred when significant),
+/// then the three survival thresholds. An em-dash threshold means the
+/// finding survived the whole grid.
+pub fn survival_matrix(m: &SurvivalMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scenario: `{}` — severity grid {:?}. Cells are \"% H holds (pairs)\"; `*` marks a significant result, `—` a finding that survived the whole grid.",
+        m.scenario, m.severities
+    );
+    let _ = writeln!(out);
+    let mut header = String::from("| experiment |");
+    let mut rule = String::from("|---|");
+    for s in &m.severities {
+        let _ = write!(header, " s={s} |");
+        rule.push_str("---|");
+    }
+    header.push_str(" flips at | sig. lost at | pairs gone at |");
+    rule.push_str("---|---|---|");
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    let threshold = |t: Option<f64>| t.map_or_else(|| "—".to_string(), |s| format!("{s}"));
+    for row in &m.rows {
+        let _ = write!(out, "| {} |", cell(&row.experiment));
+        for c in &row.cells {
+            match c.value {
+                Some(v) => {
+                    let star = if c.significant { "\\*" } else { "" };
+                    let _ = write!(out, " {v:.1}%{star} ({}) |", c.pairs);
+                }
+                None => {
+                    let _ = write!(out, " — |");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            " {} | {} | {} |",
+            threshold(row.direction_flip_at),
+            threshold(row.significance_lost_at),
+            threshold(row.pairs_collapse_at)
         );
     }
     out
@@ -327,5 +374,42 @@ mod tests {
         }];
         let md = sweep_table(&rows);
         assert!(md.contains("| table1 | 3 | 60.0 | 65.0 | 70.0 | 3/3 | 300 |"));
+    }
+
+    #[test]
+    fn survival_matrix_markdown() {
+        use bb_study::robustness::{SurvivalCell, SurvivalMatrix, SurvivalRow};
+        let cell = |s: f64, v: Option<f64>, sig: bool, pairs: usize| SurvivalCell {
+            severity: s,
+            value: v,
+            significant: sig,
+            pairs,
+        };
+        let m = SurvivalMatrix {
+            scenario: "omnibus".into(),
+            severities: vec![0.0, 0.5, 1.0],
+            rows: vec![SurvivalRow {
+                experiment: "table1 movers (peak)".into(),
+                cells: vec![
+                    cell(0.0, Some(70.0), true, 40),
+                    cell(0.5, Some(55.0), false, 12),
+                    cell(1.0, None, false, 0),
+                ],
+                direction_flip_at: None,
+                significance_lost_at: Some(0.5),
+                pairs_collapse_at: Some(1.0),
+            }],
+        };
+        let md = survival_matrix(&m);
+        assert!(
+            md.contains(
+                "| experiment | s=0 | s=0.5 | s=1 | flips at | sig. lost at | pairs gone at |"
+            ),
+            "{md}"
+        );
+        assert!(
+            md.contains("| table1 movers (peak) | 70.0%\\* (40) | 55.0% (12) | — | — | 0.5 | 1 |"),
+            "{md}"
+        );
     }
 }
