@@ -42,20 +42,26 @@
 //! aborts with exit code 83 once N shards are durably committed.
 
 use bb_bench::REPRO_SEED;
-use bb_dataset::{builtin_world, World, WorldConfig};
-use bb_engine::{CheckpointParams, CheckpointReport, CheckpointStore, RunStats, ShardPlan};
+use bb_dataset::{World, WorldConfig};
+use bb_engine::{
+    atomic_write, CheckpointParams, CheckpointReport, CheckpointStore, RunHooks, RunStats,
+    ShardPlan,
+};
 use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+use bb_report::bundle;
 use bb_report::csv;
 use bb_report::gnuplot;
 use bb_report::json;
 use bb_report::text;
-use bb_study::{StreamStudy, StudyReport};
+use bb_serve::{Server, ServerConfig};
+use bb_study::{provenance, StreamStudy, StudyReport};
 use bb_trace::{EventLog, Registry, Timings};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 usage: reproduce [options]
+       reproduce serve [serve options]
 
 Regenerates the paper's tables and figures from the synthetic world.
 
@@ -107,6 +113,28 @@ options:
                   --checkpoint; N at least 1)
   --quiet         suppress per-phase progress lines on stderr
   -h, --help      print this help
+
+serve options (reproduce serve: always-on query gateway over the
+streaming path — POST /jobs, SSE progress at /jobs/{id}/events, cached
+results at /metrics, /ledger, /exhibits/{id}, /countries/{cc},
+/survival; responses are byte-identical to this harness's artifacts for
+the same parameters):
+  --port P        TCP port to bind on 127.0.0.1; 0 picks an ephemeral
+                  port (default 8080; the bound address is printed on
+                  stdout as 'bb-serve listening on http://HOST:PORT')
+  --cache-dir DIR root of the manifest-keyed result cache and the
+                  per-job checkpoint directories; must be non-empty
+                  (default: serve-cache)
+  --days D        observation window for every job, days (default 7)
+  --fcc N         FCC gateway cohort size for every job (default 600)
+  --seed S        seed for jobs that omit one (default: the pinned
+                  reproduction seed)
+  --users U       user count for jobs that omit one (default 2000)
+  --threads T     worker threads; at least 1 (default 1)
+  --shards S      shard count; at least 1 (default: from --threads);
+                  part of the cache key
+  --quiet         suppress startup lines on stderr
+  -h, --help      print this help
 ";
 
 /// Exit code of the `--fail-after-shard` injected crash: distinguishable
@@ -124,7 +152,22 @@ macro_rules! progress {
 }
 
 fn main() {
-    let args = match Args::try_parse(std::env::args().skip(1)) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        match ServeArgs::try_parse(argv.into_iter().skip(1)) {
+            Ok(None) => {
+                print!("{USAGE}");
+                return;
+            }
+            Ok(Some(args)) => run_serve(&args),
+            Err(err) => {
+                eprint!("reproduce: {err}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let args = match Args::try_parse(argv.into_iter()) {
         Ok(Parsed::Help) => {
             print!("{USAGE}");
             return;
@@ -164,24 +207,21 @@ fn main() {
     timings.begin("generate");
     let store = checkpoint_store(&args, "materialised");
     let fail_hook = fail_after_hook(&args);
+    let hooks = match fail_hook.as_ref() {
+        Some(hook) => RunHooks::on_commit(hook),
+        None => RunHooks::none(),
+    };
     let (dataset, registry, stats, ckpt) = match &store {
-        Some(store) => {
-            match world.generate_with_checkpointed(
-                plan,
-                store,
-                args.resume,
-                fail_hook.as_ref().map(|h| h as &(dyn Fn(u64) + Sync)),
-            ) {
-                Ok((dataset, registry, stats, report)) => {
-                    report_checkpoint(&args, store, &report);
-                    (dataset, registry, stats, Some(report))
-                }
-                Err(e) => {
-                    eprintln!("reproduce: {e}");
-                    std::process::exit(1);
-                }
+        Some(store) => match world.generate_with_checkpointed(plan, store, args.resume, hooks) {
+            Ok((dataset, registry, stats, report)) => {
+                report_checkpoint(&args, store, &report);
+                (dataset, registry, stats, Some(report))
             }
-        }
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                std::process::exit(1);
+            }
+        },
         None => {
             let (dataset, registry, stats) = world.generate_with_traced(plan);
             (dataset, registry, stats, None)
@@ -210,7 +250,7 @@ fn main() {
         .u64("fcc", dataset.fcc().count() as u64)
         .u64("movers", dataset.upgrades.len() as u64)
         .u64("markets", dataset.survey.len() as u64);
-    log_data_quality(&mut ledger, &registry);
+    provenance::log_data_quality(&mut ledger, &registry);
     let report = StudyReport::run_with_ledger(&dataset, &world.profiles, 30, &mut ledger);
     timings.end();
     progress!(args, "analysis pipeline finished in {:.1?}", t1.elapsed());
@@ -303,16 +343,14 @@ fn main() {
 /// The `--users U` scale path: stream ~U users through the mergeable
 /// sketch study without materialising the panel.
 fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
-    let mut cfg = WorldConfig::paper_scale(args.seed);
-    cfg.days = args.days;
-    cfg.fcc_users = args.fcc_users;
+    // The world derivation is shared with the serve gateway's job
+    // runner, so an HTTP job and this batch path produce byte-identical
+    // artifacts for the same request.
+    let mut cfg = WorldConfig::streaming(args.seed, users, args.days, args.fcc_users);
     cfg.chaos = args.chaos_spec();
     if let Some(spec) = &cfg.chaos {
         progress!(args, "chaos campaign active: {}", spec.label());
     }
-    // Pick the per-country scale that makes the world ~U users strong.
-    let total_weight: f64 = builtin_world().iter().map(|p| p.user_weight).sum();
-    cfg.user_scale = (users.saturating_sub(args.fcc_users as u64)) as f64 / total_weight.max(1e-9);
     let world = World::new(cfg);
     let exact_users = world.n_users();
     progress!(
@@ -328,13 +366,17 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
     timings.begin("stream");
     let store = checkpoint_store(args, "streaming");
     let fail_hook = fail_after_hook(args);
+    let hooks = match fail_hook.as_ref() {
+        Some(hook) => RunHooks::on_commit(hook),
+        None => RunHooks::none(),
+    };
     let (study, mut registry, stats, ckpt) = match &store {
         Some(store) => {
             match world.fold_users_checkpointed(
                 plan,
                 store,
                 args.resume,
-                fail_hook.as_ref().map(|h| h as &(dyn Fn(u64) + Sync)),
+                hooks,
                 StreamStudy::new,
                 |s, r, u| s.absorb(r, u),
             ) {
@@ -366,62 +408,20 @@ fn run_streaming(args: &Args, plan: ShardPlan, users: u64) {
         elapsed,
         study.users as f64 / elapsed.as_secs_f64().max(1e-9)
     );
-    // Study-level counters ride along in the same plan-invariant registry.
-    registry.add("study.users", study.users);
-    registry.add("study.dasu_users", study.dasu_users);
-    registry.add("study.fcc_users", study.fcc_users);
-    registry.add("study.movers", study.movers);
-    registry.add("study.sketch_negatives", study.sketch_negatives());
-    // The streaming sketches are plan-invariant, so the counters they
-    // carry can feed the ledger just like the materialised exhibits do.
+    // Metrics counters, ledger assembly and the exhibit file set are
+    // shared with the serve gateway (`bb_study::provenance`,
+    // `bb_report::bundle`) — byte-identity with served results holds by
+    // construction.
+    provenance::register_stream_metrics(&mut registry, &study);
     let mut ledger = EventLog::new();
-    ledger
-        .emit("stream_study")
-        .u64("seed", args.seed)
-        .u64("users", study.users)
-        .u64("dasu_users", study.dasu_users)
-        .u64("fcc_users", study.fcc_users)
-        .u64("movers", study.movers)
-        .u64("sketch_negatives", study.sketch_negatives());
-    log_data_quality(&mut ledger, &registry);
-    for f in study.figure1().iter().chain(study.figure7().iter()) {
-        ledger
-            .emit("exhibit")
-            .str("id", f.id.clone())
-            .u64("n", f.series.iter().map(|s| s.n as u64).sum())
-            .u64("series", f.series.len() as u64);
-    }
+    provenance::stream_provenance(&mut ledger, args.seed, &study, &registry);
 
     create_dir(&args.out);
     timings.begin("render");
     write_metrics(args, &registry, &stats, ckpt.as_ref());
     write_ledger(args, &ledger);
-    for f in study.figure1().iter().chain(study.figure7().iter()) {
-        write(
-            &args.out,
-            &format!("{}.txt", f.id),
-            &text::render_cdf_figure(f),
-        );
-        write(&args.out, &format!("{}.csv", f.id), &csv::cdf_to_csv(f));
-        write(&args.out, &format!("{}.gp", f.id), &gnuplot::cdf_script(f));
-        write(
-            &args.out,
-            &format!("{}.json", f.id),
-            &serde_json::to_string_pretty(&json::cdf_to_json(f)).expect("serialise"),
-        );
-    }
-    for f in &study.figure2() {
-        write(
-            &args.out,
-            &format!("{}.txt", f.id),
-            &text::render_binned_figure(f),
-        );
-        write(&args.out, &format!("{}.csv", f.id), &csv::binned_to_csv(f));
-        write(
-            &args.out,
-            &format!("{}.json", f.id),
-            &serde_json::to_string_pretty(&json::binned_to_json(f)).expect("serialise"),
-        );
+    for (name, content) in bundle::stream_exhibit_files(&study) {
+        write(&args.out, &name, &content);
     }
     if let Some(stats) = study.population_stats() {
         println!("# Streaming scale run\n");
@@ -471,6 +471,123 @@ struct Args {
     resume: bool,
     fail_after_shard: Option<u64>,
     quiet: bool,
+}
+
+/// Configuration of the `serve` subcommand.
+struct ServeArgs {
+    port: u16,
+    cache_dir: PathBuf,
+    days: u32,
+    fcc_users: usize,
+    seed: u64,
+    users: u64,
+    threads: usize,
+    shards: Option<usize>,
+    quiet: bool,
+}
+
+impl ServeArgs {
+    /// Parse the flags after `serve`. `Ok(None)` means `--help`.
+    fn try_parse(mut it: impl Iterator<Item = String>) -> Result<Option<ServeArgs>, String> {
+        let mut args = ServeArgs {
+            port: 8080,
+            cache_dir: PathBuf::from("serve-cache"),
+            days: WorldConfig::paper_scale(0).days,
+            fcc_users: WorldConfig::paper_scale(0).fcc_users,
+            seed: REPRO_SEED,
+            users: 2000,
+            threads: 1,
+            shards: None,
+            quiet: false,
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--port" => {
+                    args.port = num(&flag, &take(&mut it, &flag)?, "a port in [0, 65535]")?;
+                }
+                "--cache-dir" => {
+                    let dir = take(&mut it, &flag)?;
+                    if dir.is_empty() {
+                        return Err("--cache-dir must not be empty".into());
+                    }
+                    args.cache_dir = PathBuf::from(dir);
+                }
+                "--days" => {
+                    args.days = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if args.days == 0 {
+                        return Err("--days must be at least 1".into());
+                    }
+                }
+                "--fcc" => args.fcc_users = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--seed" => args.seed = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--users" => {
+                    args.users = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if args.users == 0 {
+                        return Err("--users must be at least 1".into());
+                    }
+                }
+                "--threads" => {
+                    args.threads = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if args.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                "--shards" => {
+                    let shards: usize = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    args.shards = Some(shards);
+                }
+                "--quiet" => args.quiet = true,
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown serve flag {other:?}")),
+            }
+        }
+        Ok(Some(args))
+    }
+}
+
+/// The `serve` subcommand: start the gateway and run until killed.
+fn run_serve(args: &ServeArgs) {
+    let plan = match args.shards {
+        Some(shards) => ShardPlan::new(shards, args.threads),
+        None => ShardPlan::for_threads(args.threads),
+    };
+    let config = ServerConfig {
+        port: args.port,
+        cache_dir: args.cache_dir.clone(),
+        days: args.days,
+        fcc_users: args.fcc_users,
+        plan,
+        default_seed: args.seed,
+        default_users: args.users,
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("reproduce: serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        eprintln!(
+            "serve: cache {} ({} shards / {} threads, {} days, {} FCC)",
+            args.cache_dir.display(),
+            plan.shards,
+            plan.threads,
+            args.days,
+            args.fcc_users
+        );
+    }
+    // The bound address on stdout, flushed, so a parent process (the CI
+    // smoke job, the end-to-end tests) can scrape the ephemeral port.
+    println!("bb-serve listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
 }
 
 /// The outcome of a successful command-line parse.
@@ -686,7 +803,9 @@ fn report_checkpoint(args: &Args, store: &CheckpointStore, report: &CheckpointRe
     status.add("checkpoint.recomputed", report.recomputed);
     status.add("checkpoint.rejected", report.rejected);
     let path = store.dir().join("status.json");
-    if let Err(e) = std::fs::write(&path, status.to_json()) {
+    // Atomic (tmp → fsync → rename): a crash mid-write leaves the
+    // previous status intact, never a torn file.
+    if let Err(e) = atomic_write(&path, &status.to_json()) {
         eprintln!("reproduce: write {}: {e}", path.display());
         std::process::exit(1);
     }
@@ -723,7 +842,7 @@ fn write_metrics(
             create_dir(parent);
         }
     }
-    if let Err(e) = std::fs::write(path, registry.to_json()) {
+    if let Err(e) = atomic_write(path, &registry.to_json()) {
         eprintln!("reproduce: write {}: {e}", path.display());
         std::process::exit(1);
     }
@@ -754,7 +873,7 @@ fn write_metrics(
         stats.total.as_micros()
     );
     let sidecar = path.with_extension("runtime.json");
-    if let Err(e) = std::fs::write(&sidecar, runtime) {
+    if let Err(e) = atomic_write(&sidecar, &runtime) {
         eprintln!("reproduce: write {}: {e}", sidecar.display());
         std::process::exit(1);
     }
@@ -770,18 +889,6 @@ fn write_metrics(
 /// baseline; the survival thresholds are derived against it.
 const CHAOS_GRID: &[f64] = &[0.0, 0.25, 0.5, 0.75, 1.0];
 
-/// Surface the ingest screen's verdict counters (accept / repair /
-/// quarantine, with per-reason breakdowns) as one plan-invariant
-/// `data_quality` ledger event.
-fn log_data_quality(ledger: &mut EventLog, registry: &Registry) {
-    let verdicts: Vec<(String, u64)> = registry
-        .counters()
-        .filter(|(name, _)| name.starts_with("dataset.quality."))
-        .map(|(name, v)| (name.trim_start_matches("dataset.quality.").to_string(), v))
-        .collect();
-    ledger.emit("data_quality").counts("verdicts", verdicts);
-}
-
 /// Write the plan-invariant provenance ledger as JSONL.
 fn write_ledger(args: &Args, ledger: &EventLog) {
     let Some(path) = &args.ledger else { return };
@@ -790,7 +897,7 @@ fn write_ledger(args: &Args, ledger: &EventLog) {
             create_dir(parent);
         }
     }
-    if let Err(e) = std::fs::write(path, ledger.to_jsonl()) {
+    if let Err(e) = atomic_write(path, &ledger.to_jsonl()) {
         eprintln!("reproduce: write {}: {e}", path.display());
         std::process::exit(1);
     }

@@ -73,6 +73,62 @@ fn bad_arguments_exit_2_with_usage_not_a_panic() {
 }
 
 #[test]
+fn serve_bad_arguments_exit_2_with_usage_not_a_panic() {
+    let dir = tmpdir("cli-serve-bad-args");
+    let cases: &[&[&str]] = &[
+        &["serve", "--port"],          // missing value
+        &["serve", "--port", "abc"],   // unparseable port
+        &["serve", "--port", "70000"], // not a u16
+        &["serve", "--cache-dir"],     // missing value
+        &["serve", "--cache-dir", ""], // empty cache root
+        &["serve", "--threads", "0"],  // zero workers
+        &["serve", "--shards", "0"],   // zero shards
+        &["serve", "--days", "0"],     // empty window
+        &["serve", "--users", "0"],    // empty default stream
+        &["serve", "--seed", "1.5"],   // non-integer seed
+        &["serve", "--frobnicate"],    // unknown serve flag
+        &["serve", "--out", "x"],      // batch-only flag after serve
+    ];
+    for args in cases {
+        let out = reproduce(args, &dir);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: expected exit 2, got {:?}\nstderr: {stderr}",
+            out.status
+        );
+        assert!(
+            stderr.starts_with("reproduce: "),
+            "{args:?}: diagnostic missing, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage: reproduce"),
+            "{args:?}: usage text missing, stderr: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?}: still panicking, stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn serve_help_exits_0_and_documents_the_subcommand() {
+    let dir = tmpdir("cli-serve-help");
+    for args in [&["serve", "--help"][..], &["serve", "-h"][..]] {
+        let out = reproduce(args, &dir);
+        assert_eq!(out.status.code(), Some(0), "{args:?}: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: reproduce"), "{args:?}: {stdout}");
+        assert!(
+            stdout.contains("reproduce serve"),
+            "{args:?}: serve form documented"
+        );
+    }
+}
+
+#[test]
 fn help_prints_usage_on_stdout_and_exits_0() {
     let dir = tmpdir("cli-help");
     for flag in ["--help", "-h"] {
@@ -104,6 +160,15 @@ fn help_prints_usage_on_stdout_and_exits_0() {
         assert!(
             stdout.contains("--chaos-sweep"),
             "{flag}: new flags documented"
+        );
+        assert!(
+            stdout.contains("reproduce serve"),
+            "{flag}: serve subcommand documented"
+        );
+        assert!(stdout.contains("--port"), "{flag}: serve flags documented");
+        assert!(
+            stdout.contains("--cache-dir"),
+            "{flag}: serve flags documented"
         );
     }
 }

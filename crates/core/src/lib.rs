@@ -29,7 +29,9 @@
 //! * [`stream`] — [`stream::StreamStudy`]: the headline exhibits as
 //!   mergeable streaming sketches, for million-user runs that never
 //!   materialise the panel;
-//! * [`robustness`] — seed sweeps: the findings' error bars on themselves.
+//! * [`robustness`] — seed sweeps: the findings' error bars on themselves;
+//! * [`provenance`] — the streaming run's metrics/ledger assembly, shared
+//!   by the batch CLI and the serve gateway so both emit identical bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod confounders;
 pub mod exhibit;
 pub mod ext;
 pub mod full;
+pub mod provenance;
 pub mod robustness;
 pub mod sec2;
 pub mod sec3;

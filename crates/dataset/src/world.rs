@@ -7,7 +7,7 @@ use crate::record::{Dataset, UpgradeObservation, UpgradeSnapshot, UserRecord, Va
 use bb_engine::snapshot::Snapshot;
 use bb_engine::{
     run_sharded_checkpointed, run_sharded_traced, stream_rng, CheckpointError, CheckpointReport,
-    CheckpointStore, Mergeable, RunStats, ShardPlan,
+    CheckpointStore, Mergeable, RunHooks, RunStats, ShardPlan,
 };
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
 use bb_netsim::chaos::{ChaosPlan, ChaosSpec};
@@ -92,6 +92,21 @@ impl WorldConfig {
             fcc_bt_prob: 0.12,
             chaos: None,
         }
+    }
+
+    /// The configuration `reproduce --users U` (and the serve gateway's
+    /// job scheduler) implies: [`WorldConfig::paper_scale`] defaults with
+    /// the per-country scale chosen so the streamed world is roughly
+    /// `users` strong after the `fcc_users` US-only gateway cohort.
+    /// Centralised here so the batch CLI and the HTTP job runner derive
+    /// *bit-identical* worlds from the same `(seed, users)` request.
+    pub fn streaming(seed: u64, users: u64, days: u32, fcc_users: usize) -> Self {
+        let mut cfg = WorldConfig::paper_scale(seed);
+        cfg.days = days;
+        cfg.fcc_users = fcc_users;
+        let total_weight: f64 = builtin_world().iter().map(|p| p.user_weight).sum();
+        cfg.user_scale = (users.saturating_sub(fcc_users as u64)) as f64 / total_weight.max(1e-9);
+        cfg
     }
 }
 
@@ -237,21 +252,22 @@ impl World {
     /// [`CheckpointReport`] tallies what this particular run skipped,
     /// recomputed, and rejected.
     ///
-    /// `after_commit` (if given) observes the running count of durably
-    /// committed shards; the crash-injection test hook in `reproduce`
-    /// aborts from it.
+    /// `hooks.after_commit` (if given) observes the running count of
+    /// durably committed shards — the crash-injection test hook in
+    /// `reproduce` aborts from it — and `hooks.progress` observes every
+    /// finished shard (the serve gateway streams it as SSE).
     #[allow(clippy::type_complexity)]
     pub fn generate_with_checkpointed(
         &self,
         plan: ShardPlan,
         store: &CheckpointStore,
         resume: bool,
-        after_commit: Option<&(dyn Fn(u64) + Sync)>,
+        hooks: RunHooks<'_>,
     ) -> Result<(Dataset, Registry, RunStats, CheckpointReport), CheckpointError> {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
         let ((records, upgrades, registry), stats, report) =
-            run_sharded_checkpointed(total, plan, store, resume, after_commit, |_, range| {
+            run_sharded_checkpointed(total, plan, store, resume, hooks, |_, range| {
                 let mut records = Vec::with_capacity((range.end - range.start) as usize);
                 let mut upgrades = Vec::new();
                 let mut reg = Registry::new();
@@ -284,7 +300,7 @@ impl World {
         plan: ShardPlan,
         store: &CheckpointStore,
         resume: bool,
-        after_commit: Option<&(dyn Fn(u64) + Sync)>,
+        hooks: RunHooks<'_>,
         init: I,
         absorb: F,
     ) -> Result<(MarketSurvey, A, Registry, RunStats, CheckpointReport), CheckpointError>
@@ -296,7 +312,7 @@ impl World {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
         let ((folded, registry), stats, report) =
-            run_sharded_checkpointed(total, plan, store, resume, after_commit, |_, range| {
+            run_sharded_checkpointed(total, plan, store, resume, hooks, |_, range| {
                 let mut acc = init();
                 let mut reg = Registry::new();
                 for user_index in range {

@@ -44,6 +44,95 @@ use crate::snapshot::{escape, fnv1a64, unescape, Snapshot, SnapshotReader};
 /// readers reject every other value (strict equality, DESIGN.md §10).
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Write `content` to `path` with the atomic protocol checkpoint shards
+/// use: write `path.tmp`, `fsync`, rename over the target, best-effort
+/// directory fsync. A concurrent reader sees the old file or the new
+/// file in full, never a prefix — which is what makes sidecars like
+/// `status.json` safe to poll over HTTP while a run rewrites them.
+pub fn atomic_write(path: &Path, content: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(content.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync is best-effort: some
+    // filesystems refuse it, and the rename is still atomic there.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// One shard's lifecycle notification from a checkpointed run: fired once
+/// per shard, either when a committed shard is restored from disk
+/// (`restored`) or right after a freshly computed shard becomes durable.
+/// Plan-dependent (like [`RunStats`]) — progress must never feed the
+/// deterministic output, only observers such as `bb-serve`'s SSE feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardProgress {
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// Shards finished so far (restored + committed), monotone per run.
+    pub done: u64,
+    /// Total shards in the effective plan.
+    pub total: usize,
+    /// Items the shard covers.
+    pub items: u64,
+    /// True when the shard was restored from the checkpoint store
+    /// instead of recomputed.
+    pub restored: bool,
+}
+
+/// Observer hooks for [`run_sharded_checkpointed`]. `after_commit` sees
+/// the running count of shards durably committed by *this* process (the
+/// crash-injection tests abort from it); `progress` sees every finished
+/// shard, restored or computed (the serve gateway streams it as SSE).
+#[derive(Clone, Copy, Default)]
+pub struct RunHooks<'a> {
+    /// Called after each durable commit with the commit count.
+    pub after_commit: Option<&'a (dyn Fn(u64) + Sync)>,
+    /// Called once per finished shard with its [`ShardProgress`].
+    pub progress: Option<&'a (dyn Fn(ShardProgress) + Sync)>,
+}
+
+impl<'a> RunHooks<'a> {
+    /// No observers.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only an `after_commit` observer.
+    pub fn on_commit(hook: &'a (dyn Fn(u64) + Sync)) -> Self {
+        RunHooks {
+            after_commit: Some(hook),
+            progress: None,
+        }
+    }
+
+    /// Only a shard-progress observer.
+    pub fn on_progress(hook: &'a (dyn Fn(ShardProgress) + Sync)) -> Self {
+        RunHooks {
+            after_commit: None,
+            progress: Some(hook),
+        }
+    }
+}
+
+impl fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("after_commit", &self.after_commit.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
 /// Run parameters pinned into the manifest. Two runs may share a
 /// checkpoint directory only if their parameter lists are identical —
 /// key order included, so build them the same way everywhere.
@@ -156,23 +245,11 @@ impl CheckpointStore {
         self.dir.join(format!("shard-{index:05}.ckpt"))
     }
 
-    /// Write `content` to `name` in the checkpoint dir with the atomic
-    /// protocol: tmp file, fsync, rename over the target, directory
-    /// fsync. A concurrent reader sees the old file or the new file,
-    /// never a prefix.
+    /// Write `content` to `name` in the checkpoint dir via
+    /// [`atomic_write`]: a concurrent reader sees the old file or the
+    /// new file, never a prefix.
     fn write_atomic(&self, name: &str, content: &str) -> Result<(), CheckpointError> {
-        let tmp = self.dir.join(format!("{name}.tmp"));
-        {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(content.as_bytes())?;
-            file.sync_all()?;
-        }
-        fs::rename(&tmp, self.dir.join(name))?;
-        // Persist the rename itself. Directory fsync is best-effort: some
-        // filesystems refuse it, and the rename is still atomic there.
-        if let Ok(dir) = fs::File::open(&self.dir) {
-            let _ = dir.sync_all();
-        }
+        atomic_write(&self.dir.join(name), content)?;
         Ok(())
     }
 
@@ -379,22 +456,25 @@ fn verify_checksum(content: &str) -> Result<&str, String> {
 /// (atomically, manifest updated) before the next shard's result can be
 /// folded over it. With `resume`, previously-completed shards that pass
 /// validation are restored instead of recomputed; the merged result is
-/// byte-identical either way. `after_commit` (if given) runs after each
-/// durable commit with the number of shards committed by *this* process —
-/// the crash-injection tests use it to die at a chosen point.
+/// byte-identical either way. `hooks.after_commit` (if given) runs after
+/// each durable commit with the number of shards committed by *this*
+/// process — the crash-injection tests use it to die at a chosen point —
+/// and `hooks.progress` observes every finished shard (restored shards
+/// at load time, computed shards right after their commit).
 pub fn run_sharded_checkpointed<A, F>(
     n_items: u64,
     plan: ShardPlan,
     store: &CheckpointStore,
     resume: bool,
-    after_commit: Option<&(dyn Fn(u64) + Sync)>,
+    hooks: RunHooks<'_>,
     work: F,
 ) -> Result<(A, RunStats, CheckpointReport), CheckpointError>
 where
     A: Mergeable + Snapshot + Send,
     F: Fn(usize, Range<u64>) -> A + Sync,
 {
-    let n_shards = plan.ranges(n_items).len();
+    let ranges = plan.ranges(n_items);
+    let n_shards = ranges.len();
     fs::create_dir_all(&store.dir)?;
 
     let mut report = CheckpointReport::default();
@@ -430,6 +510,21 @@ where
     // any stale done-list and a resume drops rejected entries.
     store.write_manifest(n_items, n_shards, &done)?;
 
+    let finished = AtomicU64::new(0);
+    if let Some(progress) = hooks.progress {
+        for (index, _) in preloaded.iter().enumerate().filter(|(_, p)| p.is_some()) {
+            progress(ShardProgress {
+                shard: index,
+                done: finished.fetch_add(1, Ordering::Relaxed) + 1,
+                total: n_shards,
+                items: ranges[index].end - ranges[index].start,
+                restored: true,
+            });
+        }
+    } else {
+        finished.store(report.skipped, Ordering::Relaxed);
+    }
+
     let state = Mutex::new(done);
     let commits = AtomicU64::new(0);
     let observer = |index: usize, partial: &A| -> Result<(), String> {
@@ -444,8 +539,17 @@ where
                 .map_err(|err| err.to_string())?;
         }
         let committed = commits.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(hook) = after_commit {
+        if let Some(hook) = hooks.after_commit {
             hook(committed);
+        }
+        if let Some(progress) = hooks.progress {
+            progress(ShardProgress {
+                shard: index,
+                done: finished.fetch_add(1, Ordering::Relaxed) + 1,
+                total: n_shards,
+                items: ranges[index].end - ranges[index].start,
+                restored: false,
+            });
         }
         Ok(())
     };
@@ -489,14 +593,14 @@ mod tests {
         let reference = crate::run_sharded(200, plan, work);
 
         let (cold, _, cold_report) =
-            run_sharded_checkpointed(200, plan, &store, false, None, work).unwrap();
+            run_sharded_checkpointed(200, plan, &store, false, RunHooks::none(), work).unwrap();
         assert_eq!(cold, reference);
         assert_eq!(cold_report.skipped, 0);
         assert_eq!(cold_report.recomputed, 4);
         assert_eq!(cold_report.rejected, 0);
 
         let (resumed, _, resume_report) =
-            run_sharded_checkpointed(200, plan, &store, true, None, work).unwrap();
+            run_sharded_checkpointed(200, plan, &store, true, RunHooks::none(), work).unwrap();
         assert_eq!(resumed, reference);
         assert_eq!(resume_report.skipped, 4);
         assert_eq!(resume_report.recomputed, 0);
@@ -510,8 +614,15 @@ mod tests {
         let store = CheckpointStore::new(&dir, params());
         let seen = Mutex::new(Vec::new());
         let hook = |n: u64| seen.lock().unwrap().push(n);
-        run_sharded_checkpointed(64, ShardPlan::new(4, 1), &store, false, Some(&hook), work)
-            .unwrap();
+        run_sharded_checkpointed(
+            64,
+            ShardPlan::new(4, 1),
+            &store,
+            false,
+            RunHooks::on_commit(&hook),
+            work,
+        )
+        .unwrap();
         let mut counts = seen.into_inner().unwrap();
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 2, 3, 4]);
@@ -519,14 +630,72 @@ mod tests {
     }
 
     #[test]
+    fn progress_fires_once_per_shard_and_flags_restored_ones() {
+        let dir = tmpdir("progress");
+        let store = CheckpointStore::new(&dir, params());
+        let plan = ShardPlan::new(4, 2);
+
+        let seen = Mutex::new(Vec::new());
+        let progress = |p: ShardProgress| seen.lock().unwrap().push(p);
+        run_sharded_checkpointed(
+            100,
+            plan,
+            &store,
+            false,
+            RunHooks::on_progress(&progress),
+            work,
+        )
+        .unwrap();
+        let mut cold = seen.into_inner().unwrap();
+        cold.sort_by_key(|p| p.shard);
+        assert_eq!(cold.len(), 4);
+        assert!(cold.iter().all(|p| !p.restored && p.total == 4));
+        assert_eq!(cold.iter().map(|p| p.items).sum::<u64>(), 100);
+        let mut dones: Vec<u64> = cold.iter().map(|p| p.done).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![1, 2, 3, 4]);
+
+        let seen = Mutex::new(Vec::new());
+        let progress = |p: ShardProgress| seen.lock().unwrap().push(p);
+        run_sharded_checkpointed(
+            100,
+            plan,
+            &store,
+            true,
+            RunHooks::on_progress(&progress),
+            work,
+        )
+        .unwrap();
+        let resumed = seen.into_inner().unwrap();
+        assert_eq!(resumed.len(), 4);
+        assert!(resumed.iter().all(|p| p.restored));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn mismatched_params_reject_the_whole_manifest() {
         let dir = tmpdir("params");
         let store = CheckpointStore::new(&dir, params());
-        run_sharded_checkpointed(100, ShardPlan::new(4, 1), &store, false, None, work).unwrap();
+        run_sharded_checkpointed(
+            100,
+            ShardPlan::new(4, 1),
+            &store,
+            false,
+            RunHooks::none(),
+            work,
+        )
+        .unwrap();
 
         let other = CheckpointStore::new(&dir, CheckpointParams::new().set("seed", 8));
-        let (result, _, report) =
-            run_sharded_checkpointed(100, ShardPlan::new(4, 1), &other, true, None, work).unwrap();
+        let (result, _, report) = run_sharded_checkpointed(
+            100,
+            ShardPlan::new(4, 1),
+            &other,
+            true,
+            RunHooks::none(),
+            work,
+        )
+        .unwrap();
         assert_eq!(result, crate::run_sharded(100, ShardPlan::serial(), work));
         assert_eq!(report.skipped, 0);
         assert_eq!(report.rejected, 1, "one rejection for the manifest");

@@ -41,8 +41,8 @@ pub mod shard;
 pub mod snapshot;
 
 pub use checkpoint::{
-    run_sharded_checkpointed, CheckpointError, CheckpointParams, CheckpointReport, CheckpointStore,
-    FORMAT_VERSION,
+    atomic_write, run_sharded_checkpointed, CheckpointError, CheckpointParams, CheckpointReport,
+    CheckpointStore, RunHooks, ShardProgress, FORMAT_VERSION,
 };
 pub use ecdf::EcdfSketch;
 pub use hist::Log2Histogram;

@@ -1,0 +1,89 @@
+//! The streaming run's exhibit bundle, as one shared file set.
+//!
+//! The batch CLI (`reproduce --users U`) and the serve gateway's job
+//! runner both publish the same artifacts for a streaming study: per
+//! Fig. 1/Fig. 7 panel a text render, a CSV, a gnuplot script and a
+//! JSON document; per Fig. 2 panel the same minus the gnuplot script.
+//! Keeping the file list (names, contents, order) in one place is what
+//! makes the serve cache's byte-identity guarantee cheap: both paths
+//! call [`stream_exhibit_files`] and diverge only in where the bytes
+//! land (a directory vs. a cache entry).
+
+use crate::{csv, gnuplot, json, markdown, text};
+use bb_study::StreamStudy;
+
+/// Render a pretty JSON document, which cannot fail for exhibit trees.
+fn pretty(v: &serde_json::Value) -> String {
+    serde_json::to_string_pretty(v).expect("serialise")
+}
+
+/// The full streaming exhibit bundle as `(file name, contents)` pairs,
+/// in the batch CLI's write order: Fig. 1 then Fig. 7 panels
+/// (`.txt`/`.csv`/`.gp`/`.json` each), then Fig. 2 panels
+/// (`.txt`/`.csv`/`.json` — binned panels carry their CI in the data
+/// files, no gnuplot script).
+pub fn stream_exhibit_files(study: &StreamStudy) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for f in study.figure1().iter().chain(study.figure7().iter()) {
+        files.push((format!("{}.txt", f.id), text::render_cdf_figure(f)));
+        files.push((format!("{}.csv", f.id), csv::cdf_to_csv(f)));
+        files.push((format!("{}.gp", f.id), gnuplot::cdf_script(f)));
+        files.push((format!("{}.json", f.id), pretty(&json::cdf_to_json(f))));
+    }
+    for f in &study.figure2() {
+        files.push((format!("{}.txt", f.id), text::render_binned_figure(f)));
+        files.push((format!("{}.csv", f.id), csv::binned_to_csv(f)));
+        files.push((format!("{}.json", f.id), pretty(&json::binned_to_json(f))));
+    }
+    files
+}
+
+/// The exhibit ids the streaming bundle can serve, in bundle order.
+pub fn stream_exhibit_ids(study: &StreamStudy) -> Vec<String> {
+    study
+        .figure1()
+        .iter()
+        .chain(study.figure7().iter())
+        .map(|f| f.id.clone())
+        .chain(study.figure2().iter().map(|f| f.id.clone()))
+        .collect()
+}
+
+/// One exhibit as Markdown, or `None` for an unknown id. The gateway's
+/// `GET /exhibits/{id}` uses this for its human-readable content type.
+pub fn stream_exhibit_markdown(study: &StreamStudy, id: &str) -> Option<String> {
+    if let Some(f) = study
+        .figure1()
+        .iter()
+        .chain(study.figure7().iter())
+        .find(|f| f.id == id)
+    {
+        return Some(markdown::cdf_figure(f));
+    }
+    study
+        .figure2()
+        .iter()
+        .find(|f| f.id == id)
+        .map(markdown::binned_figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_matches_the_id_list_and_file_multiplicity() {
+        let study = StreamStudy::new();
+        let ids = stream_exhibit_ids(&study);
+        assert_eq!(ids.len(), 9, "fig1a-c, fig7a-b, fig2a-d: {ids:?}");
+        let files = stream_exhibit_files(&study);
+        // 5 CDF panels × 4 files + 4 binned panels × 3 files.
+        assert_eq!(files.len(), 5 * 4 + 4 * 3);
+        for id in &ids {
+            assert!(files.iter().any(|(name, _)| name == &format!("{id}.txt")));
+            assert!(files.iter().any(|(name, _)| name == &format!("{id}.json")));
+            assert!(stream_exhibit_markdown(&study, id).is_some());
+        }
+        assert!(stream_exhibit_markdown(&study, "fig99").is_none());
+    }
+}

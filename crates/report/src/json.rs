@@ -5,6 +5,7 @@
 //! module maps them onto `serde_json::Value` trees with stable field names.
 
 use bb_study::exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentTable};
+use bb_study::robustness::SurvivalMatrix;
 use serde_json::{json, Value};
 
 /// CDF figure as JSON.
@@ -74,6 +75,37 @@ pub fn bar_to_json(f: &BarFigure) -> Value {
                 "ci": b.ci.map(|(lo, hi)| vec![lo, hi]),
                 "n": b.n,
             })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Round to 4 decimals, matching both `SurvivalMatrix::to_json` and the
+/// Markdown render — the invariant the golden tests pin is that every
+/// numeric cell agrees between the two formats.
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+/// Survival matrix as JSON. Field names and rounding mirror
+/// `SurvivalMatrix::to_json` (the deterministic string form used by
+/// `--chaos-sweep` artifacts); this renderer produces a `serde_json`
+/// tree so the serve gateway can embed matrices in larger responses.
+pub fn survival_to_json(m: &SurvivalMatrix) -> Value {
+    json!({
+        "kind": "survival",
+        "scenario": m.scenario,
+        "severities": m.severities.iter().map(|&s| round4(s)).collect::<Vec<_>>(),
+        "rows": m.rows.iter().map(|r| json!({
+            "experiment": r.experiment,
+            "cells": r.cells.iter().map(|c| json!({
+                "severity": round4(c.severity),
+                "value": c.value.map(round4),
+                "significant": c.significant,
+                "pairs": c.pairs,
+            })).collect::<Vec<_>>(),
+            "direction_flip_at": r.direction_flip_at.map(round4),
+            "significance_lost_at": r.significance_lost_at.map(round4),
+            "pairs_collapse_at": r.pairs_collapse_at.map(round4),
         })).collect::<Vec<_>>(),
     })
 }

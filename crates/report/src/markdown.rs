@@ -4,7 +4,7 @@
 //! this module renders exhibits as GitHub-flavoured tables so those
 //! documents can embed any exhibit without hand-formatting.
 
-use bb_study::exhibit::{BinnedFigure, ExperimentTable};
+use bb_study::exhibit::{BarFigure, BinnedFigure, CdfFigure, ExperimentTable};
 use bb_study::robustness::{SurvivalMatrix, SweepRow};
 use bb_trace::{Event, EventLog, Value};
 use std::fmt::Write as _;
@@ -12,6 +12,79 @@ use std::fmt::Write as _;
 /// Escape a cell for a Markdown table.
 fn cell(s: &str) -> String {
     s.replace('|', "\\|")
+}
+
+/// The percentile columns of [`cdf_figure`].
+const CDF_PERCENTILES: [u32; 5] = [10, 25, 50, 75, 90];
+
+/// CDF figure → Markdown: one row per series with n, median, and the
+/// x-values at a fixed percentile grid (the first recorded point whose
+/// cumulative fraction reaches the percentile). A summary table rather
+/// than a point dump — the full resolution lives in the CSV/JSON
+/// renders; Markdown is for humans and HTTP responses.
+pub fn cdf_figure(f: &CdfFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "**{}** — {}{}\n",
+        cell(&f.title),
+        cell(&f.x_label),
+        if f.log_x { " (log x)" } else { "" }
+    );
+    let mut header = String::from("| series | n | median |");
+    let mut rule = String::from("|---|---|---|");
+    for p in CDF_PERCENTILES {
+        let _ = write!(header, " p{p} |");
+        rule.push_str("---|");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{rule}");
+    for s in &f.series {
+        let _ = write!(out, "| {} | {} | {:.3} |", cell(&s.label), s.n, s.median);
+        for p in CDF_PERCENTILES {
+            let q = f64::from(p) / 100.0;
+            let x = s
+                .points
+                .iter()
+                .find(|(_, frac)| *frac >= q)
+                .or(s.points.last())
+                .map(|(x, _)| *x);
+            match x {
+                Some(x) => {
+                    let _ = write!(out, " {x:.3} |");
+                }
+                None => {
+                    let _ = write!(out, " — |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Bar figure → Markdown: one row per bar, grouped in figure order.
+pub fn bar_figure(f: &BarFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "**{}**\n", cell(&f.title));
+    let _ = writeln!(out, "| group | bar | {} | 95% CI | n |", cell(&f.y_label));
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for g in &f.groups {
+        for b in &g.bars {
+            let ci =
+                b.ci.map(|(lo, hi)| format!("[{lo:.3}, {hi:.3}]"))
+                    .unwrap_or_else(|| "—".into());
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.3} | {ci} | {} |",
+                cell(&g.label),
+                cell(&b.label),
+                b.value,
+                b.n
+            );
+        }
+    }
+    out
 }
 
 /// Experiment table → Markdown.

@@ -10,11 +10,12 @@
 //! UPDATE_GOLDEN=1 cargo test -p bb-report --test golden
 //! ```
 
-use bb_report::{markdown, text};
+use bb_report::{json, markdown, text};
 use bb_study::exhibit::{
     Bar, BarFigure, BarGroup, BinnedFigure, BinnedPoint, BinnedSeries, CdfFigure, CdfSeries,
     ExperimentRow, ExperimentTable,
 };
+use bb_study::robustness::{SurvivalCell, SurvivalMatrix, SurvivalRow};
 use std::path::Path;
 
 /// Compare `rendered` against `tests/golden/<name>`, or rewrite the file
@@ -169,6 +170,67 @@ fn experiment_fixture() -> ExperimentTable {
     }
 }
 
+fn survival_fixture() -> SurvivalMatrix {
+    SurvivalMatrix {
+        scenario: "poll_jitter".into(),
+        severities: vec![0.0, 0.5, 1.0],
+        rows: vec![
+            SurvivalRow {
+                experiment: "table1_movers".into(),
+                cells: vec![
+                    SurvivalCell {
+                        severity: 0.0,
+                        value: Some(63.5),
+                        significant: true,
+                        pairs: 412,
+                    },
+                    SurvivalCell {
+                        severity: 0.5,
+                        value: Some(58.1),
+                        significant: true,
+                        pairs: 377,
+                    },
+                    SurvivalCell {
+                        severity: 1.0,
+                        value: Some(51.2),
+                        significant: false,
+                        pairs: 242,
+                    },
+                ],
+                direction_flip_at: None,
+                significance_lost_at: Some(1.0),
+                pairs_collapse_at: None,
+            },
+            SurvivalRow {
+                experiment: "table2_dasu".into(),
+                cells: vec![
+                    SurvivalCell {
+                        severity: 0.0,
+                        value: Some(55.9),
+                        significant: false,
+                        pairs: 97,
+                    },
+                    SurvivalCell {
+                        severity: 0.5,
+                        value: Some(48.6),
+                        significant: false,
+                        pairs: 60,
+                    },
+                    SurvivalCell {
+                        severity: 1.0,
+                        value: None,
+                        significant: false,
+                        pairs: 0,
+                    },
+                ],
+                direction_flip_at: Some(0.5),
+                significance_lost_at: None,
+                pairs_collapse_at: Some(1.0),
+            },
+        ],
+    }
+}
+
 #[test]
 fn text_cdf_matches_golden() {
     assert_golden("cdf.txt", &text::render_cdf_figure(&cdf_fixture()));
@@ -203,4 +265,134 @@ fn markdown_experiment_matches_golden() {
 #[test]
 fn markdown_binned_matches_golden() {
     assert_golden("binned.md", &markdown::binned_figure(&binned_fixture()));
+}
+
+#[test]
+fn markdown_cdf_matches_golden() {
+    assert_golden("cdf.md", &markdown::cdf_figure(&cdf_fixture()));
+}
+
+#[test]
+fn markdown_bar_matches_golden() {
+    assert_golden("bar.md", &markdown::bar_figure(&bar_fixture()));
+}
+
+#[test]
+fn markdown_survival_matches_golden() {
+    assert_golden(
+        "survival.md",
+        &markdown::survival_matrix(&survival_fixture()),
+    );
+}
+
+/// Pretty-print a JSON exhibit tree exactly as the CLI and the gateway
+/// write `.json` artifacts (no trailing newline).
+fn pretty(v: &serde_json::Value) -> String {
+    serde_json::to_string_pretty(v).expect("serialise")
+}
+
+#[test]
+fn json_cdf_matches_golden() {
+    assert_golden("cdf.json", &pretty(&json::cdf_to_json(&cdf_fixture())));
+}
+
+#[test]
+fn json_binned_matches_golden() {
+    assert_golden(
+        "binned.json",
+        &pretty(&json::binned_to_json(&binned_fixture())),
+    );
+}
+
+#[test]
+fn json_bar_matches_golden() {
+    assert_golden("bar.json", &pretty(&json::bar_to_json(&bar_fixture())));
+}
+
+#[test]
+fn json_experiment_matches_golden() {
+    assert_golden(
+        "experiment.json",
+        &pretty(&json::experiment_to_json(&experiment_fixture())),
+    );
+}
+
+#[test]
+fn json_survival_matches_golden() {
+    assert_golden(
+        "survival.json",
+        &pretty(&json::survival_to_json(&survival_fixture())),
+    );
+}
+
+/// The two formats of one exhibit must agree on every numeric cell:
+/// each value the Markdown table prints appears verbatim in the JSON
+/// tree (the fixtures use values exact at the Markdown precision, so a
+/// renderer that rounds differently or reads a different field fails).
+#[test]
+fn json_and_markdown_agree_on_every_numeric_cell() {
+    // CDF: per-series n and median.
+    let cdf = cdf_fixture();
+    let (md, js) = (markdown::cdf_figure(&cdf), json::cdf_to_json(&cdf));
+    for (i, s) in cdf.series.iter().enumerate() {
+        assert!(
+            md.contains(&format!("| {} | {:.3} |", s.n, s.median)),
+            "{md}"
+        );
+        assert_eq!(js["series"][i]["n"], s.n);
+        assert_eq!(js["series"][i]["median"], s.median);
+    }
+    // Binned: per-bin mean, CI and n.
+    let binned = binned_fixture();
+    let (md, js) = (
+        markdown::binned_figure(&binned),
+        json::binned_to_json(&binned),
+    );
+    for (i, p) in binned.series[0].points.iter().enumerate() {
+        assert!(
+            md.contains(&format!(
+                "| {:.3} | {:.4} | [{:.4}, {:.4}] | {} |",
+                p.x, p.mean, p.ci_lo, p.ci_hi, p.n
+            )),
+            "{md}"
+        );
+        let cell = &js["series"][0]["points"][i];
+        assert_eq!(cell["mean"], p.mean);
+        assert_eq!(cell["ci_lo"], p.ci_lo);
+        assert_eq!(cell["ci_hi"], p.ci_hi);
+        assert_eq!(cell["n"], p.n);
+    }
+    // Experiment: pair counts and % holds.
+    let table = experiment_fixture();
+    let (md, js) = (
+        markdown::experiment_table(&table),
+        json::experiment_to_json(&table),
+    );
+    for (i, r) in table.rows.iter().enumerate() {
+        assert!(
+            md.contains(&format!("| {} | {:.1}%", r.n_pairs, r.percent_holds)),
+            "{md}"
+        );
+        assert_eq!(js["rows"][i]["n_pairs"], r.n_pairs);
+        assert_eq!(js["rows"][i]["percent_holds"], r.percent_holds);
+    }
+    // Survival: every populated cell's value and pair count.
+    let matrix = survival_fixture();
+    let (md, js) = (
+        markdown::survival_matrix(&matrix),
+        json::survival_to_json(&matrix),
+    );
+    for (i, row) in matrix.rows.iter().enumerate() {
+        for (j, c) in row.cells.iter().enumerate() {
+            let cell = &js["rows"][i]["cells"][j];
+            assert_eq!(cell["pairs"], c.pairs);
+            match c.value {
+                Some(v) => {
+                    assert!(md.contains(&format!(" {v:.1}%")), "{md}");
+                    assert_eq!(cell["value"], v);
+                }
+                None => assert!(cell["value"].is_null()),
+            }
+        }
+    }
 }

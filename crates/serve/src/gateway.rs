@@ -1,0 +1,415 @@
+//! The HTTP routes, wired to the scheduler.
+//!
+//! ```text
+//! POST /jobs                  submit {seed, users, scenario, severity}
+//! GET  /jobs                  list all jobs
+//! GET  /jobs/{id}             one job's state
+//! GET  /jobs/{id}/events      SSE progress stream (full replay)
+//! GET  /metrics               latest job's metrics.json   (?job=N)
+//! GET  /ledger                latest job's ledger.jsonl   (?job=N, ?exhibit=ID)
+//! GET  /exhibits              exhibit id list
+//! GET  /exhibits/{id}         one exhibit (?format=md|json|txt|csv|gp)
+//! GET  /countries/{cc}        per-country drill-down      (?job=N)
+//! GET  /survival              chaos survival matrix       (?scenario=NAME, ?format=json|md)
+//! GET  /healthz               liveness + scheduler/cache counters
+//! GET  /version               service and format versions
+//! ```
+//!
+//! Concurrency model: the listener thread accepts; a fixed pool handles
+//! connections; exactly one scheduler worker computes jobs, so requests
+//! never contend with each other for the simulation engine, and reads
+//! (`/metrics`, `/exhibits/...`) serve the in-memory artifacts of
+//! completed jobs even while the worker is busy resuming another job.
+//! All result-bearing responses are the exact artifact bytes the batch
+//! CLI writes for the same parameters.
+
+use crate::http::{read_request, write_sse_head, Request, Response, ThreadPool};
+use crate::runner::{JobSpec, RunParams};
+use crate::scheduler::Scheduler;
+use bb_dataset::WorldConfig;
+use bb_engine::ShardPlan;
+use bb_netsim::chaos::ChaosScenario;
+use bb_report::{json as report_json, markdown};
+use bb_study::robustness::{chaos_sweep, SurvivalMatrix};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// The reduced severity grid behind `GET /survival`: the mandatory
+/// fault-free baseline plus two probe points. The full grid belongs to
+/// the batch `--chaos-sweep` campaign; the endpoint is a drill-down.
+const SURVIVAL_GRID: &[f64] = &[0.0, 0.5, 1.0];
+
+/// Connection-handling pool size. Jobs run on the scheduler's worker,
+/// so these threads only parse, route and serve bytes.
+const HTTP_THREADS: usize = 8;
+
+/// Everything a server instance needs to know.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Result cache + checkpoint root.
+    pub cache_dir: PathBuf,
+    /// Observation window for every job, days.
+    pub days: u32,
+    /// FCC cohort size for every job.
+    pub fcc_users: usize,
+    /// Shard/thread plan. Never affects result bytes.
+    pub plan: ShardPlan,
+    /// Seed used when a job spec omits one.
+    pub default_seed: u64,
+    /// User count used when a job spec omits one.
+    pub default_users: u64,
+}
+
+struct Inner {
+    scheduler: Scheduler,
+    config: ServerConfig,
+    /// Lazily computed survival matrices, one per scenario.
+    survival: Mutex<BTreeMap<&'static str, Arc<SurvivalMatrix>>>,
+    shutdown: AtomicBool,
+}
+
+/// A running gateway: listener thread + connection pool + scheduler.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:{port}` and start serving.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+        let run = RunParams {
+            days: config.days,
+            fcc_users: config.fcc_users,
+            plan: config.plan,
+        };
+        let inner = Arc::new(Inner {
+            scheduler: Scheduler::start(&config.cache_dir, run),
+            config,
+            survival: Mutex::new(BTreeMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || {
+                let pool = ThreadPool::new(HTTP_THREADS);
+                for stream in listener.incoming() {
+                    if inner.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let inner = Arc::clone(&inner);
+                    pool.execute(move || handle_connection(&inner, stream));
+                }
+                // Dropping the pool drains in-flight connections.
+            })
+        };
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler, for in-process inspection in tests.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.scheduler
+    }
+
+    /// Stop accepting, unblock SSE readers, join the listener.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner
+            .scheduler
+            .shutdown_flag()
+            .store(true, Ordering::Relaxed);
+        // Nudge the blocking accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(_) => return, // includes the shutdown nudge connection
+    };
+    // SSE is the one route that streams instead of building a Response.
+    let segments: Vec<String> = request.segments().iter().map(|s| s.to_string()).collect();
+    if request.method == "GET"
+        && segments.len() == 3
+        && segments[0] == "jobs"
+        && segments[2] == "events"
+    {
+        serve_events(inner, &segments[1], &mut stream);
+        return;
+    }
+    let response = route(inner, &request);
+    let _ = response.write_to(&mut stream);
+}
+
+/// `GET /jobs/{id}/events`: replay + follow the job's SSE feed.
+fn serve_events(inner: &Inner, id: &str, stream: &mut TcpStream) {
+    let feed = id
+        .parse::<u64>()
+        .ok()
+        .and_then(|id| inner.scheduler.feed(id));
+    match feed {
+        Some(feed) => {
+            if write_sse_head(stream).is_ok() {
+                let _ = feed.stream_to(stream, inner.scheduler.shutdown_flag());
+            }
+        }
+        None => {
+            let _ = Response::not_found("no such job").write_to(stream);
+        }
+    }
+}
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", []) => index(),
+        ("GET", ["healthz"]) => healthz(inner),
+        ("GET", ["version"]) => version(),
+        ("POST", ["jobs"]) => submit_job(inner, request),
+        ("GET", ["jobs"]) => {
+            let jobs: Vec<serde_json::Value> =
+                inner.scheduler.jobs().iter().map(|j| j.to_json()).collect();
+            Response::json(serde_json::json!({ "jobs": jobs }).to_string())
+        }
+        ("GET", ["jobs", id]) => match id
+            .parse::<u64>()
+            .ok()
+            .and_then(|id| inner.scheduler.job(id))
+        {
+            Some(view) => Response::json(view.to_json().to_string()),
+            None => Response::not_found("no such job"),
+        },
+        ("GET", ["metrics"]) => artifact(inner, request, "metrics.json", "application/json"),
+        ("GET", ["ledger"]) => ledger(inner, request),
+        ("GET", ["exhibits"]) => exhibit_list(inner, request),
+        ("GET", ["exhibits", id]) => exhibit(inner, request, id),
+        ("GET", ["countries", cc]) => country(inner, request, cc),
+        ("GET", ["survival"]) => survival(inner, request),
+        ("POST", _) | ("GET", _) => Response::not_found("no such route"),
+        _ => Response::method_not_allowed(),
+    }
+}
+
+fn index() -> Response {
+    Response::text(
+        "bb-serve: POST /jobs; GET /jobs /jobs/{id} /jobs/{id}/events /metrics /ledger \
+         /exhibits /exhibits/{id} /countries/{cc} /survival /healthz /version\n",
+    )
+}
+
+fn healthz(inner: &Inner) -> Response {
+    Response::json(
+        serde_json::json!({
+            "status": "ok",
+            "jobs": inner.scheduler.job_count(),
+            "cache": serde_json::json!({
+                "hits": inner.scheduler.cache_hits(),
+                "misses": inner.scheduler.cache_misses(),
+                "rejected": inner.scheduler.cache_rejected(),
+            }),
+        })
+        .to_string(),
+    )
+}
+
+fn version() -> Response {
+    Response::json(
+        serde_json::json!({
+            "service": "bb-serve",
+            "version": env!("CARGO_PKG_VERSION"),
+            "checkpoint_format": bb_engine::FORMAT_VERSION,
+        })
+        .to_string(),
+    )
+}
+
+fn submit_job(inner: &Inner, request: &Request) -> Response {
+    let spec = match JobSpec::from_json(
+        &request.body,
+        inner.config.default_seed,
+        inner.config.default_users,
+    ) {
+        Ok(spec) => spec,
+        Err(message) => return Response::bad_request(&message),
+    };
+    let id = inner.scheduler.submit(spec);
+    let view = inner.scheduler.job(id).expect("just submitted");
+    Response::accepted(view.to_json().to_string())
+}
+
+/// The artifact set a read-only route should serve: `?job=N`, else the
+/// most recently completed job.
+fn job_files(inner: &Inner, request: &Request) -> Result<Arc<Vec<(String, String)>>, Response> {
+    if let Some(raw) = request.query("job") {
+        let id: u64 = raw
+            .parse()
+            .map_err(|_| Response::bad_request("job must be an integer"))?;
+        return inner
+            .scheduler
+            .files(id)
+            .ok_or_else(|| Response::not_found("job has no artifacts (not done, or no such job)"));
+    }
+    inner
+        .scheduler
+        .latest_files()
+        .ok_or_else(|| Response::not_found("no completed job yet; POST /jobs first"))
+}
+
+fn artifact(inner: &Inner, request: &Request, name: &str, content_type: &'static str) -> Response {
+    match job_files(inner, request) {
+        Ok(files) => match files.iter().find(|(n, _)| n == name) {
+            Some((_, content)) => Response::ok(content_type, content.as_bytes().to_vec()),
+            None => Response::not_found("artifact not found"),
+        },
+        Err(response) => response,
+    }
+}
+
+/// `GET /ledger`: the provenance JSONL, optionally filtered to the
+/// `exhibit` events of one exhibit id.
+fn ledger(inner: &Inner, request: &Request) -> Response {
+    let files = match job_files(inner, request) {
+        Ok(files) => files,
+        Err(response) => return response,
+    };
+    let Some((_, jsonl)) = files.iter().find(|(n, _)| n == "ledger.jsonl") else {
+        return Response::not_found("artifact not found");
+    };
+    match request.query("exhibit") {
+        None => Response::ok("application/jsonl", jsonl.as_bytes().to_vec()),
+        Some(id) => {
+            let needle = format!("\"id\": \"{id}\"");
+            let filtered: String = jsonl
+                .lines()
+                .filter(|line| line.contains("\"event\": \"exhibit\"") && line.contains(&needle))
+                .flat_map(|line| [line, "\n"])
+                .collect();
+            Response::ok("application/jsonl", filtered.into_bytes())
+        }
+    }
+}
+
+fn exhibit_list(inner: &Inner, request: &Request) -> Response {
+    let files = match job_files(inner, request) {
+        Ok(files) => files,
+        Err(response) => return response,
+    };
+    let ids: Vec<&str> = files
+        .iter()
+        .filter_map(|(n, _)| n.strip_suffix(".md"))
+        .collect();
+    Response::json(serde_json::json!({ "exhibits": ids }).to_string())
+}
+
+/// `GET /exhibits/{id}`: Markdown by default, or any stored render via
+/// `?format=json|txt|csv|gp|md`.
+fn exhibit(inner: &Inner, request: &Request, id: &str) -> Response {
+    let format = request.query("format").unwrap_or("md");
+    let content_type = match format {
+        "md" => "text/markdown; charset=utf-8",
+        "json" => "application/json",
+        "txt" | "csv" | "gp" => "text/plain; charset=utf-8",
+        other => return Response::bad_request(&format!("unknown format {other:?}")),
+    };
+    if !id
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Response::bad_request("invalid exhibit id");
+    }
+    artifact(inner, request, &format!("{id}.{format}"), content_type)
+}
+
+/// `GET /countries/{cc}`: one country's drill-down out of the
+/// `countries.json` artifact.
+fn country(inner: &Inner, request: &Request, cc: &str) -> Response {
+    let files = match job_files(inner, request) {
+        Ok(files) => files,
+        Err(response) => return response,
+    };
+    let Some((_, doc)) = files.iter().find(|(n, _)| n == "countries.json") else {
+        return Response::not_found("artifact not found");
+    };
+    let parsed: serde_json::Value = match serde_json::from_str(doc) {
+        Ok(parsed) => parsed,
+        Err(_) => return Response::not_found("artifact not found"),
+    };
+    let code = cc.to_ascii_uppercase();
+    match parsed.get(&code) {
+        Some(entry) => {
+            Response::json(serde_json::json!({ "country": code, "sketches": entry }).to_string())
+        }
+        None => Response::not_found("no observations for that country"),
+    }
+}
+
+/// `GET /survival`: the chaos survival matrix of one scenario over a
+/// reduced world, computed once per scenario and cached in memory.
+fn survival(inner: &Inner, request: &Request) -> Response {
+    let name = request.query("scenario").unwrap_or("omnibus");
+    let Some(scenario) = ChaosScenario::parse(name) else {
+        let known: Vec<&str> = ChaosScenario::ALL.iter().map(|s| s.name()).collect();
+        return Response::bad_request(&format!(
+            "unknown scenario {name:?}; one of {}",
+            known.join(", ")
+        ));
+    };
+    let matrix = {
+        let mut cache = inner.survival.lock().expect("survival cache");
+        Arc::clone(cache.entry(scenario.name()).or_insert_with(|| {
+            let mut base = WorldConfig::small(inner.config.default_seed);
+            base.user_scale = 2.0;
+            base.days = 2;
+            base.fcc_users = 60;
+            Arc::new(chaos_sweep(
+                &base,
+                scenario,
+                SURVIVAL_GRID,
+                inner.config.plan,
+            ))
+        }))
+    };
+    match request.query("format").unwrap_or("json") {
+        "json" => Response::json(
+            serde_json::to_string_pretty(&report_json::survival_to_json(&matrix))
+                .expect("serialise"),
+        ),
+        "md" => Response::markdown(markdown::survival_matrix(&matrix)),
+        other => Response::bad_request(&format!("unknown format {other:?}")),
+    }
+}

@@ -1,0 +1,311 @@
+//! Minimal HTTP/1.1 over std: request parsing, response writing, and a
+//! fixed-size thread pool. Enough protocol for the gateway's own routes
+//! and `curl` — not a general server. Connections are `Connection:
+//! close`; bodies require `Content-Length`; query strings are split on
+//! `&`/`=` without percent-decoding (route values are plain
+//! identifiers).
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Largest accepted request body; protects the scheduler from
+/// accidental uploads (job specs are a few dozen bytes).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request: method, decoded path segments, query map, body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string, e.g. `/jobs/3/events`.
+    pub path: String,
+    /// Query parameters in order-independent form.
+    pub query: BTreeMap<String, String>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The `/`-separated path segments, empty segments dropped.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// A query parameter, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+}
+
+/// Read and parse one request from `stream`. Returns `Err` on I/O
+/// failure or a malformed request line.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(k.to_string(), v.to_string());
+    }
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// A response ready to serialise: status, content type, body.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with an explicit content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// 200 `application/json`.
+    pub fn json(body: impl Into<Vec<u8>>) -> Self {
+        Response::ok("application/json", body)
+    }
+
+    /// 200 `text/markdown`.
+    pub fn markdown(body: impl Into<Vec<u8>>) -> Self {
+        Response::ok("text/markdown; charset=utf-8", body)
+    }
+
+    /// 200 `text/plain`.
+    pub fn text(body: impl Into<Vec<u8>>) -> Self {
+        Response::ok("text/plain; charset=utf-8", body)
+    }
+
+    /// 202 `application/json` — a job was accepted.
+    pub fn accepted(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 202,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// 400 with a plain-text reason.
+    pub fn bad_request(msg: &str) -> Self {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+
+    /// 404 with a plain-text reason.
+    pub fn not_found(msg: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+
+    /// 405 for a method the route does not support.
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: b"method not allowed\n".to_vec(),
+        }
+    }
+
+    /// The reason phrase for this status.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serialise onto `stream` and flush.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Write the head of a `text/event-stream` response; the body is
+/// streamed afterwards by the SSE feed.
+pub fn write_sse_head(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// A fixed-size thread pool for connection handling. Jobs are closures;
+/// dropping the pool closes the channel and joins the workers after
+/// they drain the queue.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Box<dyn FnOnce() + Send>>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool of `size` workers (at least 1).
+    pub fn new(size: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Box<dyn FnOnce() + Send>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || loop {
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return, // channel closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Run `job` on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.sender.take(); // close the channel
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_request_line_query_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /jobs?format=json&x HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\nbody",
+            )
+            .unwrap();
+            s.flush().unwrap();
+            // Hold the socket open until the server side has parsed.
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.segments(), ["jobs"]);
+        assert_eq!(req.query("format"), Some("json"));
+        assert_eq!(req.query("x"), Some(""));
+        assert_eq!(req.body, b"body");
+        Response::json("{}").write_to(&mut conn).unwrap();
+        drop(conn);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(3);
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins after draining
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! # bb-serve — the always-on query gateway
+//!
+//! Turns the batch `reproduce` pipeline into a service: a zero-dependency
+//! HTTP/1.1 server (std `TcpListener` + a small thread pool, hand-rolled
+//! request parsing — the same no-external-deps discipline as `bb-trace`)
+//! in front of an in-process job scheduler over the checkpointed
+//! streaming engine.
+//!
+//! The load-bearing guarantee is inherited from the engine: a simulation
+//! result is a pure function of `(seed, users, days, fcc, chaos)`, so the
+//! gateway can cache completed runs keyed by the checkpoint-manifest
+//! parameter digest and serve repeated queries **byte-identically** to
+//! what the batch CLI writes for the same request — under any thread
+//! plan, from cache or cold. The pieces:
+//!
+//! * [`http`] — request parsing, response writing, thread pool;
+//! * [`sse`] — a replayable `text/event-stream` feed per job;
+//! * [`cache`] — the manifest-keyed result cache (content-digest
+//!   manifest written last; corruption degrades to recompute, never to
+//!   a wrong answer);
+//! * [`scheduler`] — the job queue and worker;
+//! * [`runner`] — one job = one checkpointed streaming run, assembled
+//!   from the exact code paths the batch CLI uses;
+//! * [`gateway`] — the routes: `/jobs`, `/jobs/{id}/events` (SSE),
+//!   `/metrics`, `/ledger`, `/exhibits/{id}`, `/countries/{cc}`,
+//!   `/survival`, `/healthz`, `/version`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod gateway;
+pub mod http;
+pub mod runner;
+pub mod scheduler;
+pub mod sse;
+
+pub use cache::ResultCache;
+pub use gateway::{Server, ServerConfig};
+pub use runner::JobSpec;
+pub use scheduler::{JobState, JobView, Scheduler};

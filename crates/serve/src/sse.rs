@@ -1,0 +1,157 @@
+//! Server-sent-event feeds: one replayable frame log per job.
+//!
+//! A [`Feed`] accumulates formatted SSE frames under a mutex and wakes
+//! blocked readers through a condvar. Readers always replay from frame
+//! zero — a subscriber that connects after the job finished still sees
+//! the full progress history, which is what makes the CI smoke test
+//! (`curl` after `POST`) race-free. The feed is closed exactly once,
+//! after the terminal `done`/`error` frame; readers drain and return,
+//! which closes the HTTP connection (`Connection: close`).
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a blocked reader sleeps between shutdown-flag checks.
+const WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// A replayable SSE frame log.
+#[derive(Debug, Default)]
+pub struct Feed {
+    state: Mutex<FeedState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FeedState {
+    frames: Vec<String>,
+    closed: bool,
+}
+
+impl Feed {
+    /// An empty, open feed.
+    pub fn new() -> Self {
+        Feed::default()
+    }
+
+    /// Append one `event:`/`data:` frame and wake readers. No-op after
+    /// [`finish`](Feed::finish).
+    pub fn push(&self, event: &str, data: &str) {
+        let mut state = self.state.lock().expect("feed lock");
+        if state.closed {
+            return;
+        }
+        state
+            .frames
+            .push(format!("event: {event}\ndata: {data}\n\n"));
+        self.cond.notify_all();
+    }
+
+    /// Append a terminal frame and close the feed.
+    pub fn finish(&self, event: &str, data: &str) {
+        let mut state = self.state.lock().expect("feed lock");
+        if !state.closed {
+            state
+                .frames
+                .push(format!("event: {event}\ndata: {data}\n\n"));
+            state.closed = true;
+        }
+        self.cond.notify_all();
+    }
+
+    /// Whether the terminal frame has been written.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("feed lock").closed
+    }
+
+    /// All frames so far, concatenated (for tests and late polls).
+    pub fn frames(&self) -> String {
+        self.state.lock().expect("feed lock").frames.concat()
+    }
+
+    /// Stream the feed to `out`: full replay from the first frame, then
+    /// live frames as they arrive, returning once the feed is closed
+    /// and drained (or `shutdown` is set, or the peer goes away).
+    pub fn stream_to(&self, out: &mut impl Write, shutdown: &AtomicBool) -> io::Result<()> {
+        let mut next = 0usize;
+        loop {
+            let (chunk, closed) = {
+                let mut state = self.state.lock().expect("feed lock");
+                while state.frames.len() == next
+                    && !state.closed
+                    && !shutdown.load(Ordering::Relaxed)
+                {
+                    let (next_state, _) = self
+                        .cond
+                        .wait_timeout(state, WAIT_SLICE)
+                        .expect("feed lock");
+                    state = next_state;
+                }
+                (state.frames[next..].concat(), state.closed)
+            };
+            if !chunk.is_empty() {
+                next += chunk.matches("\n\n").count();
+                out.write_all(chunk.as_bytes())?;
+                out.flush()?;
+            }
+            if closed || shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn replays_everything_and_returns_on_close() {
+        let feed = Arc::new(Feed::new());
+        feed.push("status", "{\"state\": \"running\"}");
+        feed.push("shard", "{\"shard\": 0}");
+        let writer = {
+            let feed = Arc::clone(&feed);
+            std::thread::spawn(move || {
+                feed.push("shard", "{\"shard\": 1}");
+                feed.finish("done", "{\"job\": 1}");
+            })
+        };
+        let mut out = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        feed.stream_to(&mut out, &shutdown).unwrap();
+        writer.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Full replay: the frames pushed before the reader attached are
+        // present, in order, and the stream ended at the terminal frame.
+        let events: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("event: "))
+            .collect();
+        assert_eq!(events, ["status", "shard", "shard", "done"]);
+        assert!(feed.is_closed());
+        // Frames after close are dropped.
+        feed.push("shard", "{\"shard\": 9}");
+        assert_eq!(feed.frames(), text);
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_waiting_reader() {
+        let feed = Arc::new(Feed::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (feed, shutdown) = (Arc::clone(&feed), Arc::clone(&shutdown));
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                feed.stream_to(&mut out, &shutdown).unwrap();
+                out
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        shutdown.store(true, Ordering::Relaxed);
+        let out = reader.join().unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! In-process integration tests for the gateway: route behaviour, SSE
+//! replay, and the cache-key semantics (hit ⇒ identical bytes without
+//! recomputation; any parameter change ⇒ miss; corrupt entry ⇒ counted
+//! rejection and recompute).
+
+use bb_engine::ShardPlan;
+use bb_serve::{Server, ServerConfig};
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// Start a server over a tiny world so jobs finish in well under a
+/// second even in debug builds.
+fn small_server(cache_dir: &Path) -> Server {
+    Server::start(ServerConfig {
+        port: 0,
+        cache_dir: cache_dir.to_path_buf(),
+        days: 1,
+        fcc_users: 20,
+        plan: ShardPlan::new(3, 1),
+        default_seed: 20141105,
+        default_users: 250,
+    })
+    .expect("bind an ephemeral port")
+}
+
+/// Minimal HTTP/1.1 client. Responses use `Connection: close`, so the
+/// whole exchange is write-request / read-to-EOF.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, "GET", path, b"")
+}
+
+fn post_job(addr: SocketAddr, body: &str) -> (u16, String) {
+    http(addr, "POST", "/jobs", body.as_bytes())
+}
+
+/// Submit a job, wait for it in-process, and return its terminal view.
+fn run_job(server: &Server, body: &str) -> bb_serve::JobView {
+    let (status, response) = post_job(server.addr(), body);
+    assert_eq!(status, 202, "submit: {response}");
+    let id: u64 = response
+        .split("\"job\":")
+        .nth(1)
+        .and_then(|s| s.trim_start().split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no job id in {response}"));
+    let view = server.scheduler().wait(id).expect("job exists");
+    assert_eq!(view.state, bb_serve::JobState::Done, "{:?}", view.error);
+    view
+}
+
+#[test]
+fn routes_serve_artifacts_errors_and_sse_replay() {
+    let dir = tmpdir("gateway-routes");
+    let server = small_server(&dir);
+    let addr = server.addr();
+
+    // Liveness before any job.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, body) = get(addr, "/version");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"service\":\"bb-serve\""), "{body}");
+
+    // Read-only routes 404 helpfully before the first job completes.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!((status, body.contains("POST /jobs")), (404, true), "{body}");
+
+    run_job(&server, "{}");
+
+    // Artifacts: metrics is JSON; the exhibit list holds all nine ids;
+    // `?format=` selects among the stored renders.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"study.users\""), "{metrics}");
+    let (status, exhibits) = get(addr, "/exhibits");
+    assert_eq!(status, 200);
+    for id in [
+        "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c", "fig2d", "fig7a", "fig7b",
+    ] {
+        assert!(exhibits.contains(&format!("\"{id}\"")), "{exhibits}");
+    }
+    let (status, md) = get(addr, "/exhibits/fig1a");
+    assert_eq!(status, 200);
+    assert!(md.starts_with("**"), "markdown render: {md}");
+    let (status, json) = get(addr, "/exhibits/fig1a?format=json");
+    assert_eq!(status, 200);
+    assert!(json.contains("\"kind\": \"cdf\""), "{json}");
+    let (status, _) = get(addr, "/exhibits/fig2a?format=gp");
+    assert_eq!(status, 404, "binned exhibits have no gnuplot render");
+
+    // Ledger filter: only `exhibit` events for the requested id.
+    let (status, filtered) = get(addr, "/ledger?exhibit=fig1a");
+    assert_eq!(status, 200);
+    assert_eq!(filtered.lines().count(), 1, "{filtered}");
+    assert!(filtered.contains("\"event\": \"exhibit\""), "{filtered}");
+    assert!(filtered.contains("\"id\": \"fig1a\""), "{filtered}");
+
+    // Country drill-down is case-insensitive on the code.
+    let (status, us) = get(addr, "/countries/us");
+    assert_eq!(status, 200);
+    assert!(us.contains("\"country\":\"US\""), "{us}");
+    assert!(us.contains("\"capacity_mbps\""), "{us}");
+
+    // Errors: unknown ids, bad formats, bad specs, bad routes.
+    assert_eq!(get(addr, "/jobs/99").0, 404);
+    assert_eq!(get(addr, "/countries/ZZ").0, 404);
+    assert_eq!(get(addr, "/exhibits/fig1a?format=exe").0, 400);
+    assert_eq!(get(addr, "/exhibits/..%2Fetc").0, 400);
+    assert_eq!(get(addr, "/no/such/route").0, 404);
+    assert_eq!(post_job(addr, r#"{"severity": 7}"#).0, 400);
+    assert_eq!(post_job(addr, r#"{"typo": 1}"#).0, 400);
+    assert_eq!(http(addr, "PUT", "/jobs", b"{}").0, 405);
+
+    // SSE: a late subscriber still gets the full replay, ending in the
+    // terminal `done` frame, and the connection closes after it.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /jobs/0/events HTTP/1.1\r\nHost: test\r\n\r\n").expect("write");
+    let mut sse = String::new();
+    stream
+        .read_to_string(&mut sse)
+        .expect("stream closes after the terminal event");
+    assert!(sse.contains("Content-Type: text/event-stream"), "{sse}");
+    assert!(sse.contains("event: status"), "{sse}");
+    assert!(sse.contains("event: shard"), "{sse}");
+    assert!(sse.contains("event: ledger"), "{sse}");
+    assert!(
+        sse.trim_end()
+            .ends_with("data: {\"job\": 0, \"from_cache\": false}"),
+        "{sse}"
+    );
+    let shard_frames = sse.matches("event: shard").count();
+    assert_eq!(shard_frames, 3, "one frame per shard: {sse}");
+}
+
+#[test]
+fn cache_hits_misses_and_corruption_are_counted_and_correct() {
+    let dir = tmpdir("gateway-cache");
+    let server = small_server(&dir);
+    let addr = server.addr();
+
+    // Cold run: a miss that computes.
+    let first = run_job(&server, "{}");
+    assert!(!first.from_cache);
+    let (_, baseline) = get(addr, "/metrics?job=0");
+
+    // Identical re-submission: answered from the cache, byte-identical.
+    let second = run_job(&server, "{}");
+    assert!(second.from_cache, "identical spec must hit the cache");
+    assert_eq!(second.cache_key, first.cache_key);
+    assert_eq!(server.scheduler().cache_hits(), 1);
+    assert_eq!(get(addr, "/metrics?job=1").1, baseline);
+
+    // Any parameter change is a different key and a miss.
+    let reseeded = run_job(&server, r#"{"seed": 7}"#);
+    assert!(!reseeded.from_cache);
+    assert_ne!(reseeded.cache_key, first.cache_key);
+    let chaotic = run_job(&server, r#"{"scenario": "omnibus", "severity": 0.5}"#);
+    assert!(!chaotic.from_cache);
+    assert_ne!(chaotic.cache_key, first.cache_key);
+    assert_ne!(
+        get(addr, "/metrics?job=3").1,
+        baseline,
+        "chaos changes the result"
+    );
+
+    // Corrupt the stored entry: the next identical submission rejects
+    // it (counted), recomputes, and still serves the same bytes.
+    let entry = dir
+        .join("results")
+        .join(format!("{:016x}", first.cache_key))
+        .join("metrics.json");
+    fs::write(&entry, "{\"tampered\": true}").expect("corrupt the cache entry");
+    let recomputed = run_job(&server, "{}");
+    assert!(!recomputed.from_cache, "corrupt entry must not be served");
+    assert_eq!(server.scheduler().cache_rejected(), 1);
+    assert_eq!(
+        get(addr, "/metrics?job=4").1,
+        baseline,
+        "recompute restores the bytes"
+    );
+
+    // And the repaired entry serves hits again.
+    let repaired = run_job(&server, "{}");
+    assert!(repaired.from_cache);
+    let (_, health) = get(addr, "/healthz");
+    assert!(health.contains("\"hits\":2"), "{health}");
+    assert!(health.contains("\"rejected\":1"), "{health}");
+}

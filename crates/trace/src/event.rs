@@ -12,7 +12,9 @@
 //! `reproduce --ledger` is byte-identical for any `(shards, threads)`
 //! plan — pinned next to the metrics invariance tests.
 
+use std::fmt;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use crate::Log2Histogram;
 
@@ -165,6 +167,16 @@ impl Event {
         }
         out.push_str("}\n");
     }
+
+    /// The event as one JSONL line (without the trailing newline) —
+    /// exactly the bytes [`EventLog::to_jsonl`] would emit for it, so a
+    /// tail subscriber can forward lines that match the batch ledger.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        self.write_jsonl(&mut out);
+        out.truncate(out.trim_end().len());
+        out
+    }
 }
 
 /// Chainable field builder returned by [`EventLog::emit`]. The event is
@@ -224,22 +236,60 @@ impl EventBuilder<'_> {
 impl Drop for EventBuilder<'_> {
     fn drop(&mut self) {
         if let Some(event) = self.event.take() {
+            if let Some(tail) = &self.log.tail {
+                tail(&event);
+            }
             self.log.events.push(event);
         }
     }
 }
 
+/// A tail subscriber: called with each event as it lands in the log.
+pub type EventTail = Arc<dyn Fn(&Event) + Send + Sync>;
+
 /// Ordered provenance ledger: append-only, mergeable in shard order,
-/// serialised as byte-stable JSONL.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// serialised as byte-stable JSONL. An optional [`EventTail`] subscriber
+/// observes each event as it is appended (emit or merge) — the serve
+/// gateway sources its SSE ledger stream from it. The tail is pure
+/// observation: it never alters the recorded events, and logs compare
+/// equal (and clone/serialise identically) regardless of subscription.
+#[derive(Clone, Default)]
 pub struct EventLog {
     events: Vec<Event>,
+    tail: Option<EventTail>,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog")
+            .field("events", &self.events)
+            .field("tail", &self.tail.is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for EventLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+    }
 }
 
 impl EventLog {
     /// Empty ledger.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Subscribe `tail` to every event appended from now on (one
+    /// subscriber at a time; a second call replaces the first). Events
+    /// already in the log are not replayed.
+    pub fn set_tail(&mut self, tail: EventTail) {
+        self.tail = Some(tail);
+    }
+
+    /// Remove the tail subscriber, if any.
+    pub fn clear_tail(&mut self) {
+        self.tail = None;
     }
 
     /// Start an event of `kind`; chain field setters on the returned
@@ -273,6 +323,11 @@ impl EventLog {
     /// shard-index order, which keeps the ledger plan-invariant for the
     /// same reason the engine's sketch merges are.
     pub fn merge(&mut self, other: Self) {
+        if let Some(tail) = &self.tail {
+            for event in &other.events {
+                tail(event);
+            }
+        }
         self.events.extend(other.events);
     }
 
@@ -351,6 +406,41 @@ mod tests {
         // Byte-stability: same events, same bytes.
         let again = a.clone();
         assert_eq!(a.to_jsonl(), again.to_jsonl());
+    }
+
+    #[test]
+    fn tail_observes_emits_and_merges_without_changing_the_log() {
+        use std::sync::Mutex;
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut log = EventLog::new();
+        log.emit("before_subscribe").u64("n", 0);
+        log.set_tail(Arc::new(move |e: &Event| {
+            let mut out = String::new();
+            e.write_jsonl(&mut out);
+            sink.lock().unwrap().push(out);
+        }));
+        log.emit("emitted").u64("n", 1);
+        let mut other = EventLog::new();
+        other.emit("merged").u64("n", 2);
+        log.merge(other);
+
+        let frames = seen.lock().unwrap().clone();
+        assert_eq!(frames.len(), 2, "no replay of pre-subscription events");
+        assert!(frames[0].contains("\"emitted\""));
+        assert!(frames[1].contains("\"merged\""));
+        // The tail is pure observation: the serialised log is exactly
+        // what an unsubscribed log would have recorded.
+        let mut plain = EventLog::new();
+        plain.emit("before_subscribe").u64("n", 0);
+        plain.emit("emitted").u64("n", 1);
+        plain.emit("merged").u64("n", 2);
+        assert_eq!(log, plain);
+        assert_eq!(log.to_jsonl(), plain.to_jsonl());
+
+        log.clear_tail();
+        log.emit("after_clear").u64("n", 3);
+        assert_eq!(seen.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod intern;
 pub mod registry;
 pub mod span;
 
-pub use event::{Event, EventBuilder, EventLog, Value};
+pub use event::{Event, EventBuilder, EventLog, EventTail, Value};
 pub use hist::Log2Histogram;
 pub use intern::intern;
 pub use registry::Registry;

@@ -64,6 +64,50 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Object payload, if any.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer payload: a number that is a non-negative exact
+    /// integer (within f64's 2^53 exact range, like upstream's u64 arm).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Object member by key, if this is an object and the key exists.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact serialisation, matching upstream's `Display` for `Value`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -535,6 +579,12 @@ impl<'a> Parser<'a> {
             }
         }
     }
+}
+
+/// Parse a JSON document from bytes (must be UTF-8).
+pub fn from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error("invalid utf-8".into()))?;
+    from_str(s)
 }
 
 /// Parse a JSON document into a [`Value`].
