@@ -314,6 +314,108 @@ fn corrupted_checkpoint_is_rejected_counted_and_recovered_from() {
     );
 }
 
+/// Re-seal a checkpoint file body with a freshly computed trailing
+/// `!checksum` line, so doctored content passes every integrity check and
+/// only semantic validation can reject it.
+fn seal(body: &str) -> String {
+    format!(
+        "{body}!checksum {:016x}\n",
+        bb_engine::fnv1a64(body.as_bytes())
+    )
+}
+
+/// The file content minus its trailing `!checksum` line.
+fn unsealed(content: &str) -> &str {
+    &content[..content.rfind("!checksum").expect("checksum line")]
+}
+
+#[test]
+fn foreign_accuracy_shard_is_rejected_and_recomputed_not_a_panic() {
+    let dir = tmpdir("ckpt-cli-alpha");
+    let base = ["--users", "300", "--days", "1", "--fcc", "20", "--quiet"];
+
+    // Baseline without checkpointing.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--shards", "4", "--threads", "2", "--out", "cold"]);
+    args.extend(["--metrics", "cold/metrics.json"]);
+    let out = reproduce(&args, &dir);
+    assert_eq!(out.status.code(), Some(0), "cold run");
+
+    // Complete checkpointed run.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--shards", "4", "--threads", "2", "--out", "full"]);
+    args.extend(["--checkpoint", "ck"]);
+    let out = reproduce(&args, &dir);
+    assert_eq!(out.status.code(), Some(0), "checkpointed run");
+
+    // Doctor shard 1's sketches to a *valid but foreign* accuracy
+    // (α 0.005 → 0.01) and re-seal both the shard file and the manifest
+    // digest that vouches for it. Every checksum now passes; before the
+    // restore-time α check this state sailed into `merge`, whose α assert
+    // killed the worker thread and the whole resume with it.
+    let ours = format!("alpha {:016x}", 0.005f64.to_bits());
+    let foreign = format!("alpha {:016x}", 0.01f64.to_bits());
+    let shard1 = dir.join("ck/shard-00001.ckpt");
+    let content = std::fs::read_to_string(&shard1).expect("read shard 1");
+    let body = unsealed(&content).replace(&ours, &foreign);
+    assert_ne!(seal(&body), content, "shard must contain α fields");
+    let old_digest = format!("{:016x}", bb_engine::fnv1a64(unsealed(&content).as_bytes()));
+    let new_digest = format!("{:016x}", bb_engine::fnv1a64(body.as_bytes()));
+    std::fs::write(&shard1, seal(&body)).expect("write doctored shard");
+    let manifest = dir.join("ck/manifest");
+    let content = std::fs::read_to_string(&manifest).expect("read manifest");
+    let body = unsealed(&content).replace(&old_digest, &new_digest);
+    assert_ne!(seal(&body), content, "manifest must reference shard 1");
+    std::fs::write(&manifest, seal(&body)).expect("write doctored manifest");
+
+    // Resume (not quiet: the rejection reason must be logged).
+    let out = reproduce(
+        &[
+            "--users",
+            "300",
+            "--days",
+            "1",
+            "--fcc",
+            "20",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--out",
+            "warm",
+            "--checkpoint",
+            "ck",
+            "--resume",
+            "--metrics",
+            "warm/metrics.json",
+        ],
+        &dir,
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a foreign-accuracy sketch must degrade to recomputation, not kill the run: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(
+        stderr.contains("does not match this build's"),
+        "the α mismatch must be the logged rejection reason, got: {stderr}"
+    );
+
+    let status = status_json(&dir, "ck");
+    assert_eq!(counter(&status, "checkpoint.rejected"), 1, "{status}");
+    assert_eq!(counter(&status, "checkpoint.skipped"), 3, "{status}");
+    assert_eq!(counter(&status, "checkpoint.recomputed"), 1, "{status}");
+
+    // Output unharmed despite the doctored shard.
+    assert_eq!(
+        read(&dir, "cold/metrics.json"),
+        read(&dir, "warm/metrics.json"),
+        "a rejected shard must never alter the output"
+    );
+}
+
 #[test]
 fn mismatched_seed_rejects_stale_state_instead_of_merging_it() {
     let dir = tmpdir("ckpt-cli-seed");

@@ -44,7 +44,11 @@ fn bad_arguments_exit_2_with_usage_not_a_panic() {
         &["--chaos", "bogus"],                              // unknown scenario
         &["--severity", "0.5"],                             // --severity without --chaos
         &["--chaos", "omnibus", "--severity", "1.5"],       // severity out of range
+        &["--chaos", "omnibus", "--severity", "-0.5"],      // negative severity
         &["--chaos", "omnibus", "--severity", "nan"],       // non-finite severity
+        &["--chaos", "omnibus", "--severity", "inf"],       // non-finite severity
+        &["--chaos", "omnibus", "--severity", "-inf"],      // non-finite severity
+        &["--chaos", "omnibus", "--severity", "1e999"],     // f64-overflowing severity
         &["--chaos-sweep", "--users", "100"],               // sweep needs full battery
     ];
     for args in cases {

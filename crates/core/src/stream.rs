@@ -280,6 +280,25 @@ impl StreamStudy {
     }
 }
 
+/// Restore one CDF sketch and reject it unless its accuracy matches this
+/// build's [`CDF_ACCURACY`]. Sketch `merge` *asserts* on an α mismatch, so
+/// a checkpoint written under a different accuracy (an older build, or a
+/// doctored file with consistent checksums) must fail here as a
+/// [`SnapshotError`] — counted as a rejection and recomputed — instead of
+/// panicking a worker mid-merge. Equality uses the same ε tolerance the
+/// merge assert does.
+fn read_cdf_sketch(r: &mut SnapshotReader<'_>, field: &str) -> Result<EcdfSketch, SnapshotError> {
+    let sketch = EcdfSketch::read_snapshot(r)?;
+    let alpha = sketch.inner().accuracy();
+    if (alpha - CDF_ACCURACY).abs() < f64::EPSILON {
+        Ok(sketch)
+    } else {
+        Err(r.invalid(format!(
+            "{field} sketch accuracy {alpha} does not match this build's {CDF_ACCURACY}"
+        )))
+    }
+}
+
 impl Snapshot for CountrySketch {
     const KIND: &'static str = "CountrySketch";
 
@@ -290,8 +309,8 @@ impl Snapshot for CountrySketch {
 
     fn read_body(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
         Ok(CountrySketch {
-            capacity: EcdfSketch::read_snapshot(r)?,
-            utilization: EcdfSketch::read_snapshot(r)?,
+            capacity: read_cdf_sketch(r, "country capacity")?,
+            utilization: read_cdf_sketch(r, "country utilization")?,
         })
     }
 }
@@ -327,9 +346,9 @@ impl Snapshot for StreamStudy {
         let dasu_users = r.take_u64("dasu_users")?;
         let fcc_users = r.take_u64("fcc_users")?;
         let movers = r.take_u64("movers")?;
-        let capacity = EcdfSketch::read_snapshot(r)?;
-        let latency = EcdfSketch::read_snapshot(r)?;
-        let loss = EcdfSketch::read_snapshot(r)?;
+        let capacity = read_cdf_sketch(r, "capacity")?;
+        let latency = read_cdf_sketch(r, "latency")?;
+        let loss = read_cdf_sketch(r, "loss")?;
         let mut fig2_bins: [BTreeMap<CapacityBin, ExactMoments>; 4] = Default::default();
         for panel in &mut fig2_bins {
             let len = r.take_u64("bins")?;
@@ -482,6 +501,44 @@ mod tests {
         );
         assert!((stats.frac_below_1mbps - exact.frac_below_1mbps).abs() < 0.02);
         assert!((stats.frac_loss_above_1pct - exact.frac_loss_above_1pct).abs() < 0.02);
+    }
+
+    #[test]
+    fn foreign_accuracy_snapshot_is_a_read_error_not_a_merge_panic() {
+        let world = small_world();
+        let (_, study) = world.fold_users(ShardPlan::serial(), StreamStudy::new, |s, r, u| {
+            s.absorb(r, u)
+        });
+        let mut w = SnapshotWriter::new();
+        study.write_snapshot(&mut w);
+        let text = w.finish();
+
+        // Unmodified snapshot round-trips.
+        let mut r = SnapshotReader::new(&text);
+        let thawed = StreamStudy::read_snapshot(&mut r).expect("clean snapshot restores");
+        assert_eq!(thawed.users, study.users);
+
+        // Doctor every sketch α to a *valid but different* accuracy — the
+        // shape that sails through the α ∈ (0,1) sanity check and then
+        // kills a worker in `merge`'s α assert if restore accepts it.
+        let ours = format!("alpha {:016x}", CDF_ACCURACY.to_bits());
+        let foreign = format!("alpha {:016x}", 0.01f64.to_bits());
+        let doctored = text.replace(&ours, &foreign);
+        assert_ne!(doctored, text, "snapshot must contain the α field");
+        let mut r = SnapshotReader::new(&doctored);
+        let err = StreamStudy::read_snapshot(&mut r)
+            .expect_err("foreign-accuracy sketch must be rejected at restore");
+        assert!(err.message.contains("does not match this build's"), "{err}");
+
+        // Same rejection when the mismatch is buried in a per-country
+        // sketch rather than a top-level one.
+        let countries = text.find("countries ").expect("countries section");
+        let (head, tail) = text.split_at(countries);
+        let one_country = format!("{head}{}", tail.replacen(&ours, &foreign, 1));
+        assert_ne!(one_country, text, "study must observe at least one country");
+        let mut r = SnapshotReader::new(&one_country);
+        StreamStudy::read_snapshot(&mut r)
+            .expect_err("per-country foreign-accuracy sketch must be rejected");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Quick component profile of the generation hot path (release mode):
+//!
+//! ```sh
+//! cargo run --release -p bb-dataset --example hotprof
+//! ```
+
+use bb_dataset::world::{World, WorldConfig};
+use bb_engine::ShardPlan;
+use bb_netsim::chaos::ChaosPlan;
+use bb_netsim::collect::{BtFilter, CollectScratch, CounterSource, UsageSeries};
+use bb_netsim::link::AccessLink;
+use bb_netsim::probe::NdtProbe;
+use bb_netsim::workload::{simulate_user_into, GroundTruth, UserWorkload};
+use bb_types::{Bandwidth, Latency, LossRate, TimeAxis, Year};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let users = 20_000u64;
+    let cfg = WorldConfig::streaming(1, users, 1, 600);
+    let world = World::new(cfg);
+    let t0 = Instant::now();
+    let (_, seen) = world.fold_users(ShardPlan::serial(), Vec::new, |acc: &mut Vec<u64>, _, _| {
+        acc.push(1)
+    });
+    let dt = t0.elapsed();
+    println!(
+        "fold_users: {} users in {:.2?} = {:.0} users/sec ({:.1} us/user)",
+        seen.len(),
+        dt,
+        seen.len() as f64 / dt.as_secs_f64(),
+        dt.as_secs_f64() * 1e6 / seen.len() as f64
+    );
+    // Representative single-user components, days=1.
+    let reps = 4000u32;
+    let axis = TimeAxis::new(Year(2012), 1);
+    let link = AccessLink::new(
+        Bandwidth::from_mbps(10.0),
+        Latency::from_ms(40.0),
+        LossRate::from_percent(0.01),
+    );
+    let wl = UserWorkload::with_bt(Bandwidth::from_mbps(1.0), 0.45);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut chaos_rng = ChaCha8Rng::seed_from_u64(8);
+    let mut truth = GroundTruth::empty(axis);
+    let mut cross_up = Vec::new();
+    let mut scratch = CollectScratch::new();
+    let mut rates = Vec::new();
+    let mut reg = bb_trace::Registry::new();
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        simulate_user_into(&link, &wl, axis, &mut rng, &mut truth, &mut cross_up);
+    }
+    println!("simulate_user_into: {:.1} us/user", us(t, reps));
+
+    let t = Instant::now();
+    let mut collected = UsageSeries::collect_via_counters_chaos_with(
+        &truth,
+        0.5,
+        CounterSource::Upnp,
+        link.capacity,
+        &ChaosPlan::NONE,
+        &mut rng,
+        &mut chaos_rng,
+        &mut reg,
+        &mut scratch,
+    );
+    for _ in 1..reps {
+        collected = UsageSeries::collect_via_counters_chaos_with(
+            &truth,
+            0.5,
+            CounterSource::Upnp,
+            link.capacity,
+            &ChaosPlan::NONE,
+            &mut rng,
+            &mut chaos_rng,
+            &mut reg,
+            &mut scratch,
+        );
+    }
+    println!("collect_with (upnp): {:.1} us/user", us(t, reps));
+
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        let a = collected.demand_with(BtFilter::Include, &mut rates);
+        let b = collected.demand_with(BtFilter::Exclude, &mut rates);
+        let c = collected.upload_mean(BtFilter::Include);
+        acc += a.map_or(0.0, |d| d.mean.bps())
+            + b.map_or(0.0, |d| d.mean.bps())
+            + c.map_or(0.0, |u| u.bps());
+    }
+    println!(
+        "demand x2 + upload: {:.1} us/user (acc {acc:.0})",
+        us(t, reps)
+    );
+
+    let t = Instant::now();
+    let mut cap = 0.0;
+    for _ in 0..reps {
+        cap += NdtProbe::default()
+            .run_averaged(&link, 4, &mut rng)
+            .download
+            .bps();
+    }
+    println!("ndt x4: {:.1} us/user (cap {cap:.0})", us(t, reps));
+
+    // RNG keystream cost alone: one acceptance draw per slot.
+    use rand::RngCore;
+    let mut draws = vec![0.0f64; truth.slot_bytes.len()];
+    let t = Instant::now();
+    for _ in 0..reps {
+        rng.fill_standard_f64(&mut draws);
+    }
+    println!(
+        "fill_standard_f64 ({} slots): {:.1} us/user (d0 {})",
+        draws.len(),
+        us(t, reps),
+        draws[0]
+    );
+
+    // Collection at low uptime: few polls survive, so this isolates the
+    // slot-scan + keystream floor from the per-poll reconstruction.
+    let t = Instant::now();
+    for _ in 0..reps {
+        collected = UsageSeries::collect_via_counters_chaos_with(
+            &truth,
+            0.01,
+            CounterSource::Upnp,
+            link.capacity,
+            &ChaosPlan::NONE,
+            &mut rng,
+            &mut chaos_rng,
+            &mut reg,
+            &mut scratch,
+        );
+    }
+    println!(
+        "collect_with (upnp, uptime 0.01): {:.1} us/user ({} bins)",
+        us(t, reps),
+        collected.len()
+    );
+}
+
+fn us(t: Instant, reps: u32) -> f64 {
+    t.elapsed().as_secs_f64() * 1e6 / reps as f64
+}

@@ -11,10 +11,10 @@ use bb_engine::{
 };
 use bb_market::{MarketSurvey, Plan, PlanCatalog};
 use bb_netsim::chaos::{ChaosPlan, ChaosSpec};
-use bb_netsim::collect::{BtFilter, CounterSource, UsageSeries, Vantage};
+use bb_netsim::collect::{BtFilter, CollectScratch, CounterSource, UsageSeries, Vantage};
 use bb_netsim::link::AccessLink;
 use bb_netsim::probe::{web_latency, NdtProbe};
-use bb_netsim::workload::{simulate_user, UserWorkload};
+use bb_netsim::workload::{simulate_user_into, GroundTruth, UserWorkload};
 use bb_stats::dist::LogNormal;
 use bb_trace::Registry;
 use bb_types::{Country, Latency, LossRate, NetworkId, TimeAxis, UserId, Year};
@@ -31,6 +31,41 @@ const USER_STREAM: u64 = 1;
 /// run, and (b) chaos stays bit-reproducible under any shard/thread
 /// plan, exactly like the user streams.
 const CHAOS_STREAM: u64 = 2;
+
+/// Users per generation block: each shard walks its index range in
+/// fixed-size blocks, reusing one [`GenScratch`] for every user in the
+/// shard. The block size is an internal batching knob only — every user
+/// is still a pure function of `(seed, user_index)`, so the output is
+/// **bit-identical for any block size** (pinned by the
+/// `generation_is_block_size_invariant` test). 256 keeps the scratch hot
+/// in cache without the block bookkeeping showing up in profiles.
+const GEN_BLOCK_USERS: u64 = 256;
+
+/// Per-shard reusable buffers for the generation hot path. One of these
+/// lives for a whole shard; every user observation resets and refills it
+/// instead of allocating the five per-window simulation buffers, the
+/// poll/draw collection buffers, and the demand rates vector per user.
+struct GenScratch {
+    /// Simulated ground truth (five window-length buffers).
+    truth: GroundTruth,
+    /// Discarded uplink side of the cross-traffic process.
+    cross_up: Vec<f64>,
+    /// Poll/acceptance-draw buffers for counter-based collection.
+    collect: CollectScratch,
+    /// Filtered per-bin rates for the demand summaries.
+    rates: Vec<f64>,
+}
+
+impl GenScratch {
+    fn new(days: u32) -> Self {
+        GenScratch {
+            truth: GroundTruth::empty(TimeAxis::new(Year(2012), days)),
+            cross_up: Vec::new(),
+            collect: CollectScratch::new(),
+            rates: Vec::new(),
+        }
+    }
+}
 
 /// Knobs controlling the size and shape of a generated dataset.
 #[derive(Clone, Debug)]
@@ -172,20 +207,26 @@ impl World {
     /// [`RunStats`] for this particular execution (wall times and steals
     /// — plan-dependent by nature).
     pub fn generate_with_traced(&self, plan: ShardPlan) -> (Dataset, Registry, RunStats) {
+        self.generate_with_traced_blocked(plan, GEN_BLOCK_USERS)
+    }
+
+    /// [`World::generate_with_traced`] with an explicit block size — the
+    /// block-size-invariance tests drive this directly.
+    fn generate_with_traced_blocked(
+        &self,
+        plan: ShardPlan,
+        block: u64,
+    ) -> (Dataset, Registry, RunStats) {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
         let ((records, upgrades, registry), stats) = run_sharded_traced(total, plan, |_, range| {
             let mut records = Vec::with_capacity((range.end - range.start) as usize);
             let mut upgrades = Vec::new();
             let mut reg = Registry::new();
-            for user_index in range {
-                let Some((record, upgrade)) = self.observe_indexed(user_index, &cohorts, &mut reg)
-                else {
-                    continue; // quarantined by the ingest screen
-                };
+            self.shard_users_blocked(range, block, &cohorts, &mut reg, &mut |record, upgrade| {
                 records.push(record);
                 upgrades.extend(upgrade);
-            }
+            });
             (records, upgrades, reg)
         });
         let dataset = Dataset {
@@ -194,6 +235,38 @@ impl World {
             survey,
         };
         (dataset, registry, stats)
+    }
+
+    /// Walk one shard's user range in [`GEN_BLOCK_USERS`]-sized blocks
+    /// (overridable for tests), observing each user with the shard's
+    /// reusable [`GenScratch`] and feeding surviving records to `sink`.
+    /// Quarantined users are skipped here, exactly like the scalar loop
+    /// this replaces.
+    fn shard_users_blocked<S>(
+        &self,
+        range: std::ops::Range<u64>,
+        block: u64,
+        cohorts: &[Cohort<'_>],
+        reg: &mut Registry,
+        sink: &mut S,
+    ) where
+        S: FnMut(UserRecord, Option<UpgradeObservation>),
+    {
+        debug_assert!(block > 0, "generation block must be non-empty");
+        let mut scratch = GenScratch::new(self.config.days);
+        let mut start = range.start;
+        while start < range.end {
+            let block_end = range.end.min(start.saturating_add(block));
+            for user_index in start..block_end {
+                let Some((record, upgrade)) =
+                    self.observe_indexed(user_index, cohorts, reg, &mut scratch)
+                else {
+                    continue; // quarantined by the ingest screen
+                };
+                sink(record, upgrade);
+            }
+            start = block_end;
+        }
     }
 
     /// Stream every user of the world through a mergeable accumulator
@@ -230,13 +303,15 @@ impl World {
         let ((folded, registry), stats) = run_sharded_traced(total, plan, |_, range| {
             let mut acc = init();
             let mut reg = Registry::new();
-            for user_index in range {
-                let Some((record, upgrade)) = self.observe_indexed(user_index, &cohorts, &mut reg)
-                else {
-                    continue; // quarantined by the ingest screen
-                };
-                absorb(&mut acc, &record, upgrade.as_ref());
-            }
+            self.shard_users_blocked(
+                range,
+                GEN_BLOCK_USERS,
+                &cohorts,
+                &mut reg,
+                &mut |record, upgrade| {
+                    absorb(&mut acc, &record, upgrade.as_ref());
+                },
+            );
             (acc, reg)
         });
         (survey, folded, registry, stats)
@@ -271,15 +346,16 @@ impl World {
                 let mut records = Vec::with_capacity((range.end - range.start) as usize);
                 let mut upgrades = Vec::new();
                 let mut reg = Registry::new();
-                for user_index in range {
-                    let Some((record, upgrade)) =
-                        self.observe_indexed(user_index, &cohorts, &mut reg)
-                    else {
-                        continue; // quarantined by the ingest screen
-                    };
-                    records.push(record);
-                    upgrades.extend(upgrade);
-                }
+                self.shard_users_blocked(
+                    range,
+                    GEN_BLOCK_USERS,
+                    &cohorts,
+                    &mut reg,
+                    &mut |record, upgrade| {
+                        records.push(record);
+                        upgrades.extend(upgrade);
+                    },
+                );
                 (records, upgrades, reg)
             })?;
         let dataset = Dataset {
@@ -315,14 +391,15 @@ impl World {
             run_sharded_checkpointed(total, plan, store, resume, hooks, |_, range| {
                 let mut acc = init();
                 let mut reg = Registry::new();
-                for user_index in range {
-                    let Some((record, upgrade)) =
-                        self.observe_indexed(user_index, &cohorts, &mut reg)
-                    else {
-                        continue; // quarantined by the ingest screen
-                    };
-                    absorb(&mut acc, &record, upgrade.as_ref());
-                }
+                self.shard_users_blocked(
+                    range,
+                    GEN_BLOCK_USERS,
+                    &cohorts,
+                    &mut reg,
+                    &mut |record, upgrade| {
+                        absorb(&mut acc, &record, upgrade.as_ref());
+                    },
+                );
                 (acc, reg)
             })?;
         Ok((survey, folded, registry, stats, report))
@@ -383,6 +460,7 @@ impl World {
         user_index: u64,
         cohorts: &[Cohort<'_>],
         reg: &mut Registry,
+        scratch: &mut GenScratch,
     ) -> Option<(UserRecord, Option<UpgradeObservation>)> {
         let cohort = &cohorts[cohorts.partition_point(|c| c.end <= user_index)];
         reg.inc("dataset.users.observed");
@@ -416,8 +494,10 @@ impl World {
             &mut rng,
             &mut chaos_rng,
             reg,
+            scratch,
         );
-        if quality::screen(&mut record, reg) == DataQuality::Quarantine {
+        let q = quality::screen(&mut record, reg);
+        if q == DataQuality::Quarantine {
             return None;
         }
         // Movers: re-observe a fraction of Dasu users after an upgrade.
@@ -435,6 +515,7 @@ impl World {
                 &mut rng,
                 &mut chaos_rng,
                 reg,
+                scratch,
             )
             .filter(|up| quality::screen_upgrade(up, reg) != DataQuality::Quarantine)
         } else {
@@ -565,6 +646,7 @@ impl World {
         rng: &mut ChaCha8Rng,
         chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
+        scratch: &mut GenScratch,
     ) -> (UserRecord, AccessLink, usize) {
         let plan = choose_plan(agent, catalog);
         let plan_idx = catalog
@@ -575,6 +657,7 @@ impl World {
         let link = self.build_link(profile, plan, rng);
         let (record, _) = self.observe_on_link(
             user, profile, catalog, agent, year, vantage, plan, &link, chaos, rng, chaos_rng, reg,
+            scratch,
         );
         (record, link, plan_idx)
     }
@@ -602,6 +685,7 @@ impl World {
         rng: &mut ChaCha8Rng,
         chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
+        scratch: &mut GenScratch,
     ) -> (UserRecord, NetworkId) {
         let axis = TimeAxis::new(year, self.config.days);
         // Usage caps: subscribers on capped plans *manage* their usage to
@@ -632,7 +716,14 @@ impl World {
             let share = rng.gen_range(0.1..0.5);
             workload = workload.with_cross_traffic(intensity * share);
         }
-        let truth = simulate_user(link, &workload, axis, rng);
+        simulate_user_into(
+            link,
+            &workload,
+            axis,
+            rng,
+            &mut scratch.truth,
+            &mut scratch.cross_up,
+        );
         // Dasu clients poll real byte counters (§2.1): most ride UPnP
         // gateway registers (32-bit, wrapping), the rest read netstat on a
         // directly-connected host. FCC gateways report hourly bins.
@@ -650,8 +741,8 @@ impl World {
                     CounterSource::Upnp => "dataset.observations.upnp",
                     CounterSource::Netstat => "dataset.observations.netstat",
                 });
-                UsageSeries::collect_via_counters_chaos(
-                    &truth,
+                UsageSeries::collect_via_counters_chaos_with(
+                    &scratch.truth,
                     0.5,
                     source,
                     link.capacity,
@@ -659,15 +750,22 @@ impl World {
                     rng,
                     chaos_rng,
                     reg,
+                    &mut scratch.collect,
                 )
             }
             None => {
                 reg.inc("dataset.observations.fcc");
-                UsageSeries::collect(&truth, Vantage::FccGateway, rng)
+                UsageSeries::collect(&scratch.truth, Vantage::FccGateway, rng)
             }
         };
-        let demand_with_bt = collected.demand(BtFilter::Include);
-        let demand_no_bt = collected.demand(BtFilter::Exclude);
+        let demand_with_bt = collected.demand_with(BtFilter::Include, &mut scratch.rates);
+        // With no BT-flagged bins the Exclude filter keeps every bin, so
+        // the summary is exactly the Include one — skip the second pass.
+        let demand_no_bt = if collected.any_bt() {
+            collected.demand_with(BtFilter::Exclude, &mut scratch.rates)
+        } else {
+            demand_with_bt
+        };
         let upload_mean = collected.upload_mean(BtFilter::Include);
 
         // NDT probing under chaos: each of the 4 scheduled runs fails
@@ -761,6 +859,7 @@ impl World {
         rng: &mut ChaCha8Rng,
         chaos_rng: &mut ChaCha8Rng,
         reg: &mut Registry,
+        scratch: &mut GenScratch,
     ) -> Option<UpgradeObservation> {
         let before_plan = &catalog.plans[before_plan_idx];
         // Candidate faster plans, sorted by capacity.
@@ -806,6 +905,7 @@ impl World {
             rng,
             chaos_rng,
             reg,
+            scratch,
         );
         Some(UpgradeObservation {
             user: before_record.user,
@@ -877,6 +977,131 @@ mod tests {
                 assert_eq!(a.user, b.user);
                 assert_eq!(a.after.capacity, b.after.capacity);
             }
+        }
+    }
+
+    fn assert_same_dataset(a: &Dataset, b: &Dataset, label: &str) {
+        assert_eq!(a.records.len(), b.records.len(), "{label}: record count");
+        assert_eq!(a.upgrades.len(), b.upgrades.len(), "{label}: upgrade count");
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.user, rb.user, "{label}");
+            assert_eq!(ra.capacity, rb.capacity, "{label}");
+            assert_eq!(ra.latency, rb.latency, "{label}");
+            assert_eq!(ra.loss, rb.loss, "{label}");
+            assert_eq!(ra.demand_with_bt, rb.demand_with_bt, "{label}");
+            assert_eq!(ra.demand_no_bt, rb.demand_no_bt, "{label}");
+            assert_eq!(ra.upload_mean, rb.upload_mean, "{label}");
+            assert_eq!(ra.web_latency, rb.web_latency, "{label}");
+            assert_eq!(ra.network, rb.network, "{label}");
+        }
+        for (ua, ub) in a.upgrades.iter().zip(&b.upgrades) {
+            assert_eq!(ua.user, ub.user, "{label}");
+            assert_eq!(ua.before.capacity, ub.before.capacity, "{label}");
+            assert_eq!(ua.after.capacity, ub.after.capacity, "{label}");
+            assert_eq!(ua.after.demand_with_bt, ub.after.demand_with_bt, "{label}");
+        }
+    }
+
+    #[test]
+    fn generation_is_block_size_invariant() {
+        // The block size is pure batching bookkeeping: whatever mix of
+        // kept and quarantined users lands in a block, the output must
+        // not move. ProbeBlackout at severity 1 quarantines roughly half
+        // the panel, so quarantined users fall mid-block everywhere.
+        use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+        for chaos in [
+            None,
+            Some(ChaosSpec::new(ChaosScenario::ProbeBlackout, 1.0)),
+        ] {
+            let mut cfg = WorldConfig::small(7);
+            cfg.user_scale = 0.4;
+            cfg.fcc_users = 20;
+            cfg.days = 2;
+            cfg.chaos = chaos;
+            let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+            let (baseline, base_reg, _) =
+                world.generate_with_traced_blocked(ShardPlan::serial(), GEN_BLOCK_USERS);
+            // Block of 1 degenerates to the scalar per-user walk; 7 puts
+            // block boundaries at odd offsets inside every cohort.
+            for block in [1u64, 7, 64] {
+                for plan in [ShardPlan::serial(), ShardPlan::new(8, 4)] {
+                    let (ds, reg, _) = world.generate_with_traced_blocked(plan, block);
+                    let label = format!("block {block} plan {plan:?} chaos {}", chaos.is_some());
+                    assert_same_dataset(&baseline, &ds, &label);
+                    assert_eq!(reg.to_json(), base_reg.to_json(), "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_matches_fresh_scratch_per_user() {
+        // A fresh GenScratch per user is the no-reuse reference: any
+        // state leaking across users through the shared buffers would
+        // split these outputs.
+        let mut cfg = WorldConfig::small(7);
+        cfg.user_scale = 0.4;
+        cfg.fcc_users = 20;
+        cfg.days = 2;
+        let world = World::with_countries(cfg, &["US", "JP", "BW", "SA", "IN"]);
+        let shared = world.generate();
+        let (_, cohorts) = world.build_market();
+        let total = cohorts.last().map_or(0, |c| c.end);
+        let mut reg = Registry::new();
+        let mut records = Vec::new();
+        let mut upgrades = Vec::new();
+        for user_index in 0..total {
+            let mut fresh = GenScratch::new(world.config.days);
+            if let Some((record, upgrade)) =
+                world.observe_indexed(user_index, &cohorts, &mut reg, &mut fresh)
+            {
+                records.push(record);
+                upgrades.extend(upgrade);
+            }
+        }
+        assert_eq!(records.len(), shared.records.len());
+        assert_eq!(upgrades.len(), shared.upgrades.len());
+        for (a, b) in shared.records.iter().zip(&records) {
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.capacity, b.capacity);
+            assert_eq!(a.demand_with_bt, b.demand_with_bt);
+            assert_eq!(a.demand_no_bt, b.demand_no_bt);
+            assert_eq!(a.upload_mean, b.upload_mean);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_user_worlds_generate_cleanly() {
+        // 0-user world: no countries at all — every entry point must
+        // return an empty dataset rather than tripping over an empty
+        // block walk.
+        let mut cfg = WorldConfig::small(7);
+        cfg.fcc_users = 0;
+        let empty = World::with_countries(cfg.clone(), &[]);
+        assert_eq!(empty.n_users(), 0);
+        let ds = empty.generate_with(ShardPlan::new(4, 2));
+        assert!(ds.records.is_empty() && ds.upgrades.is_empty());
+        let (_, seen) =
+            empty.fold_users(ShardPlan::serial(), Vec::new, |acc: &mut Vec<u64>, _, _| {
+                acc.push(1)
+            });
+        assert!(seen.is_empty());
+
+        // 1-user world: a single cohort of one — the lone user sits in a
+        // block all by itself under every block size.
+        let mut one_cfg = WorldConfig::small(7);
+        one_cfg.user_scale = 1e-9; // rounds to the max(1) floor
+        one_cfg.fcc_users = 0;
+        one_cfg.days = 1;
+        let one = World::with_countries(one_cfg, &["JP"]);
+        assert_eq!(one.n_users(), 1);
+        let (baseline, base_reg, _) =
+            one.generate_with_traced_blocked(ShardPlan::serial(), GEN_BLOCK_USERS);
+        assert!(baseline.records.len() <= 1);
+        for block in [1u64, 2, 256] {
+            let (ds, reg, _) = one.generate_with_traced_blocked(ShardPlan::new(2, 2), block);
+            assert_same_dataset(&baseline, &ds, &format!("single-user block {block}"));
+            assert_eq!(reg.to_json(), base_reg.to_json());
         }
     }
 

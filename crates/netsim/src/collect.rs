@@ -16,14 +16,37 @@
 
 use crate::chaos::{ChaosPlan, RawPoll};
 use crate::counters::{
-    max_plausible_bytes, upnp_deltas_stats, DeltaStats, NetstatCounter, UpnpCounter,
+    max_plausible_bytes, upnp_delta_stats, upnp_deltas_stats, DeltaStats, NetstatCounter,
+    UpnpCounter,
 };
 use crate::workload::GroundTruth;
-use bb_stats::descriptive::quantile;
+use bb_stats::descriptive::quantile_unstable;
 use bb_trace::{Log2Histogram, Registry};
 use bb_types::time::{diurnal_multiplier, SLOTS_PER_HOUR};
 use bb_types::{Bandwidth, DemandSummary, SLOT_SECS};
 use rand::{Rng, SeedableRng};
+
+/// Reusable buffers for the batched collection hot path. One instance per
+/// shard (or per thread) amortises every per-user allocation the scalar
+/// path used to make: the bulk acceptance-draw buffer, the raw poll
+/// sequence, and the demand-summary rate scratch.
+#[derive(Clone, Debug, Default)]
+pub struct CollectScratch {
+    /// Per-slot standard-uniform acceptance draws, filled block-at-a-time
+    /// from the generator's key stream.
+    pub draws: Vec<f64>,
+    /// Raw poll buffer `(slot, down, up, cross)` reused across users.
+    pub polls: Vec<RawPoll>,
+    /// Rate buffer for [`UsageSeries::demand_with`].
+    pub rates: Vec<f64>,
+}
+
+impl CollectScratch {
+    /// Empty scratch; buffers grow to the window size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Where the measurement software sits.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -226,6 +249,44 @@ impl UsageSeries {
         chaos_rng: &mut C,
         reg: &mut Registry,
     ) -> Self {
+        let mut scratch = CollectScratch::new();
+        Self::collect_via_counters_chaos_with(
+            truth,
+            uptime,
+            source,
+            link_capacity,
+            chaos,
+            rng,
+            chaos_rng,
+            reg,
+            &mut scratch,
+        )
+    }
+
+    /// [`UsageSeries::collect_via_counters_chaos`] with caller-provided
+    /// scratch buffers — the batched hot path the world generator drives.
+    ///
+    /// The result is **bit-identical** to the scalar reference
+    /// ([`UsageSeries::collect_via_counters_chaos_reference`]) for every
+    /// input: acceptance draws come from the same word stream (filled a
+    /// ChaCha block at a time instead of one `gen::<f64>()` per slot),
+    /// the per-hour acceptance probabilities are the same 24 values the
+    /// scalar path recomputes per slot, and the UPnP delta decode walks
+    /// the contiguous poll buffer pair-by-pair with the allocation-free
+    /// [`upnp_delta_stats`] instead of materialising a two-read slice
+    /// and a one-delta `Vec` per poll pair.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_via_counters_chaos_with<R: Rng + ?Sized, C: Rng + ?Sized>(
+        truth: &GroundTruth,
+        uptime: f64,
+        source: CounterSource,
+        link_capacity: Bandwidth,
+        chaos: &ChaosPlan,
+        rng: &mut R,
+        chaos_rng: &mut C,
+        reg: &mut Registry,
+        scratch: &mut CollectScratch,
+    ) -> Self {
         assert!(uptime > 0.0 && uptime <= 1.0, "uptime in (0,1]");
         const MAX_GAP_SLOTS: usize = 2;
 
@@ -238,29 +299,68 @@ impl UsageSeries {
         // detection is imperfect, so a sliver leaks into UPnP-sourced
         // measurements. `netstat` never sees other devices at all.
         const CROSS_DETECTION: f64 = 0.9;
-        let mut upnp_down = UpnpCounter::new();
-        let mut upnp_up = UpnpCounter::new();
-        let mut net_down = NetstatCounter::new();
-        let mut net_up = NetstatCounter::new();
-        let mut detected_cross = 0.0f64;
+        let n_slots = truth.slot_bytes.len();
+
+        // The diurnal profile has 24 values; resolve the per-slot
+        // acceptance probability table once instead of per slot, and
+        // pull the whole window's acceptance draws in bulk — the word
+        // stream is consumed exactly as n_slots sequential scalar draws.
+        let mut p_by_hour = [0.0f64; 24];
+        for (hour, p) in p_by_hour.iter_mut().enumerate() {
+            *p = (uptime * diurnal_multiplier(hour as u8)).min(1.0);
+        }
+        scratch.draws.resize(n_slots, 0.0);
+        rng.fill_standard_f64(&mut scratch.draws);
+
         // (slot index, down reading, up reading, detected cross estimate)
-        let mut polls: Vec<RawPoll> = Vec::new();
-        for (i, &bytes) in truth.slot_bytes.iter().enumerate() {
-            let up = truth.up_slot_bytes[i];
-            let cross = truth.cross_slot_bytes[i];
-            upnp_down.add((bytes + cross) as u64);
-            upnp_up.add(up as u64);
-            net_down.add(bytes as u64);
-            net_up.add(up as u64);
-            detected_cross += cross * CROSS_DETECTION;
-            let hour = ((i % 2880) / SLOTS_PER_HOUR) as u8;
-            let p = (uptime * diurnal_multiplier(hour)).min(1.0);
-            if rng.gen::<f64>() < p {
-                let (d, u) = match source {
-                    CounterSource::Upnp => (upnp_down.read() as u64, upnp_up.read() as u64),
-                    CounterSource::Netstat => (net_down.read(), net_up.read()),
-                };
-                polls.push((i, d, u, detected_cross));
+        scratch.polls.clear();
+        let mut polls = std::mem::take(&mut scratch.polls);
+        // Only the active source's counter pair is materialised — the
+        // scalar reference drives all four in lockstep, but the inactive
+        // pair's readings never reach the poll stream, so skipping them
+        // is output-invariant. Slots advance an hour at a time: the
+        // acceptance probability is constant within an hour, so the
+        // modulo/divide drops out of the inner loop.
+        match source {
+            CounterSource::Upnp => {
+                let mut down = UpnpCounter::new();
+                let mut up = UpnpCounter::new();
+                let mut detected_cross = 0.0f64;
+                let mut i = 0usize;
+                while i < n_slots {
+                    let p = p_by_hour[(i % 2880) / SLOTS_PER_HOUR];
+                    let end = n_slots.min(i + (SLOTS_PER_HOUR - i % SLOTS_PER_HOUR));
+                    for j in i..end {
+                        let cross = truth.cross_slot_bytes[j];
+                        down.add((truth.slot_bytes[j] + cross) as u64);
+                        up.add(truth.up_slot_bytes[j] as u64);
+                        detected_cross += cross * CROSS_DETECTION;
+                        if scratch.draws[j] < p {
+                            polls.push((j, down.read() as u64, up.read() as u64, detected_cross));
+                        }
+                    }
+                    i = end;
+                }
+            }
+            CounterSource::Netstat => {
+                let mut down = NetstatCounter::new();
+                let mut up = NetstatCounter::new();
+                let mut i = 0usize;
+                while i < n_slots {
+                    let p = p_by_hour[(i % 2880) / SLOTS_PER_HOUR];
+                    let end = n_slots.min(i + (SLOTS_PER_HOUR - i % SLOTS_PER_HOUR));
+                    for j in i..end {
+                        down.add(truth.slot_bytes[j] as u64);
+                        up.add(truth.up_slot_bytes[j] as u64);
+                        // Cross traffic never reaches the host's netstat,
+                        // and the detected-cross estimate is only read on
+                        // the UPnP decode path — the poll carries 0 here.
+                        if scratch.draws[j] < p {
+                            polls.push((j, down.read(), up.read(), 0.0));
+                        }
+                    }
+                    i = end;
+                }
             }
         }
 
@@ -270,16 +370,19 @@ impl UsageSeries {
 
         // Reconstruct deltas; UPnP readings may have wrapped. Heuristic
         // firings accumulate in locals and flush to `reg` after the loop.
-        let max_plausible =
-            |gap: usize| max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS);
-        let n_slots = truth.slot_bytes.len();
-        let mut bins = Vec::new();
+        // Surviving gaps are only ever 1 or 2 slots, so the two possible
+        // plausibility bounds are resolved ahead of the loop.
+        let mp_by_gap = [
+            max_plausible_bytes(link_capacity.bps(), SLOT_SECS),
+            max_plausible_bytes(link_capacity.bps(), 2.0 * SLOT_SECS),
+        ];
+        let mut bins = Vec::with_capacity(polls.len().saturating_sub(1));
         let mut stale_dropped = 0u64;
         let mut merged_intervals = 0u64;
         let mut out_of_order_dropped = 0u64;
         let mut duplicate_dropped = 0u64;
+        let mut gap_count = [0u64; 2];
         let mut delta_stats = DeltaStats::default();
-        let mut gap_hist = Log2Histogram::new();
         for w in polls.windows(2) {
             let (i0, d0, u0, x0) = w[0];
             let (i1, d1, u1, x1) = w[1];
@@ -302,19 +405,18 @@ impl UsageSeries {
                 stale_dropped += 1;
                 continue; // stale: the client was offline too long
             }
-            gap_hist.push(gap as f64, 1.0);
+            gap_count[gap - 1] += 1;
             if gap > 1 {
                 merged_intervals += 1; // polling jitter merged adjacent slots
             }
             let (down, up) = match source {
                 CounterSource::Upnp => {
-                    let (d, ds) = upnp_deltas_stats(&[d0 as u32, d1 as u32], max_plausible(gap));
-                    let (u, us) = upnp_deltas_stats(&[u0 as u32, u1 as u32], max_plausible(gap));
-                    delta_stats.absorb(ds);
-                    delta_stats.absorb(us);
+                    let mp = mp_by_gap[gap - 1];
+                    let d = upnp_delta_stats(d0 as u32, d1 as u32, mp, &mut delta_stats);
+                    let u = upnp_delta_stats(u0 as u32, u1 as u32, mp, &mut delta_stats);
                     // Subtract the detected cross traffic for the interval.
-                    let corrected = (d[0] as f64 - (x1 - x0)).max(0.0) as u64;
-                    (corrected, u[0])
+                    let corrected = (d as f64 - (x1 - x0)).max(0.0) as u64;
+                    (corrected, u)
                 }
                 CounterSource::Netstat => (d1.saturating_sub(d0), u1.saturating_sub(u0)),
             };
@@ -325,6 +427,126 @@ impl UsageSeries {
             // BitTorrent users once deltas span several slots).
             // Clock skew can push slot indices past the observation
             // window; clamp the lookup range instead of panicking.
+            let lo = (i0 + 1).min(n_slots);
+            let hi = (i1 + 1).min(n_slots);
+            let bt_slots = truth.bt_active[lo..hi].iter().filter(|b| **b).count();
+            let bt = 2 * bt_slots > gap;
+            bins.push(BinObs {
+                down_bytes: down as f64 / gap as f64,
+                up_bytes: up as f64 / gap as f64,
+                bt,
+            });
+        }
+        let mut gap_hist = Log2Histogram::new();
+        gap_hist.push_n(1.0, 1.0, gap_count[0]);
+        gap_hist.push_n(2.0, 1.0, gap_count[1]);
+        reg.add("netsim.collect.polls", polls.len() as u64);
+        reg.add("netsim.collect.stale_dropped", stale_dropped);
+        reg.add("netsim.collect.merged_intervals", merged_intervals);
+        reg.add("netsim.collect.out_of_order_dropped", out_of_order_dropped);
+        reg.add("netsim.collect.duplicate_dropped", duplicate_dropped);
+        reg.merge_hist("netsim.collect.gap_slots", gap_hist);
+        if source == CounterSource::Upnp {
+            reg.add("netsim.upnp.wraps", delta_stats.wraps);
+            reg.add("netsim.upnp.resets", delta_stats.resets);
+            reg.add("netsim.upnp.reset_clamped", delta_stats.clamped);
+        }
+        scratch.polls = polls;
+        UsageSeries {
+            width: BinWidth::Slot,
+            bins,
+        }
+    }
+
+    /// The pre-batching scalar implementation, kept verbatim as the
+    /// equivalence oracle for the batched path. Not part of the public
+    /// API surface; the `scalar_vs_batched` test suite (and nothing
+    /// else) should call this.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_via_counters_chaos_reference<R: Rng + ?Sized, C: Rng + ?Sized>(
+        truth: &GroundTruth,
+        uptime: f64,
+        source: CounterSource,
+        link_capacity: Bandwidth,
+        chaos: &ChaosPlan,
+        rng: &mut R,
+        chaos_rng: &mut C,
+        reg: &mut Registry,
+    ) -> Self {
+        assert!(uptime > 0.0 && uptime <= 1.0, "uptime in (0,1]");
+        const MAX_GAP_SLOTS: usize = 2;
+        const CROSS_DETECTION: f64 = 0.9;
+        let mut upnp_down = UpnpCounter::new();
+        let mut upnp_up = UpnpCounter::new();
+        let mut net_down = NetstatCounter::new();
+        let mut net_up = NetstatCounter::new();
+        let mut detected_cross = 0.0f64;
+        let mut polls: Vec<RawPoll> = Vec::new();
+        for (i, &bytes) in truth.slot_bytes.iter().enumerate() {
+            let up = truth.up_slot_bytes[i];
+            let cross = truth.cross_slot_bytes[i];
+            upnp_down.add((bytes + cross) as u64);
+            upnp_up.add(up as u64);
+            net_down.add(bytes as u64);
+            net_up.add(up as u64);
+            detected_cross += cross * CROSS_DETECTION;
+            let hour = ((i % 2880) / SLOTS_PER_HOUR) as u8;
+            let p = (uptime * diurnal_multiplier(hour)).min(1.0);
+            if rng.gen::<f64>() < p {
+                let (d, u) = match source {
+                    CounterSource::Upnp => (upnp_down.read() as u64, upnp_up.read() as u64),
+                    CounterSource::Netstat => (net_down.read(), net_up.read()),
+                };
+                polls.push((i, d, u, detected_cross));
+            }
+        }
+
+        let polls = chaos.apply_to_polls(polls, chaos_rng, reg);
+
+        let max_plausible =
+            |gap: usize| max_plausible_bytes(link_capacity.bps(), gap as f64 * SLOT_SECS);
+        let n_slots = truth.slot_bytes.len();
+        let mut bins = Vec::new();
+        let mut stale_dropped = 0u64;
+        let mut merged_intervals = 0u64;
+        let mut out_of_order_dropped = 0u64;
+        let mut duplicate_dropped = 0u64;
+        let mut delta_stats = DeltaStats::default();
+        let mut gap_hist = Log2Histogram::new();
+        for w in polls.windows(2) {
+            let (i0, d0, u0, x0) = w[0];
+            let (i1, d1, u1, x1) = w[1];
+            let gap = match i1.checked_sub(i0) {
+                None => {
+                    out_of_order_dropped += 1;
+                    continue;
+                }
+                Some(0) => {
+                    duplicate_dropped += 1;
+                    continue;
+                }
+                Some(g) => g,
+            };
+            if gap > MAX_GAP_SLOTS {
+                stale_dropped += 1;
+                continue; // stale: the client was offline too long
+            }
+            gap_hist.push(gap as f64, 1.0);
+            if gap > 1 {
+                merged_intervals += 1;
+            }
+            let (down, up) = match source {
+                CounterSource::Upnp => {
+                    let (d, ds) = upnp_deltas_stats(&[d0 as u32, d1 as u32], max_plausible(gap));
+                    let (u, us) = upnp_deltas_stats(&[u0 as u32, u1 as u32], max_plausible(gap));
+                    delta_stats.absorb(ds);
+                    delta_stats.absorb(us);
+                    let corrected = (d[0] as f64 - (x1 - x0)).max(0.0) as u64;
+                    (corrected, u[0])
+                }
+                CounterSource::Netstat => (d1.saturating_sub(d0), u1.saturating_sub(u0)),
+            };
             let lo = (i0 + 1).min(n_slots);
             let hi = (i1 + 1).min(n_slots);
             let bt_slots = truth.bt_active[lo..hi].iter().filter(|b| **b).count();
@@ -362,6 +584,14 @@ impl UsageSeries {
         self.bins.is_empty()
     }
 
+    /// Whether any observed bin is BitTorrent-flagged. When none are,
+    /// the BT-excluding filter keeps every bin, so the BT-excluded
+    /// demand summary equals the BT-included one exactly — callers can
+    /// skip the second pass.
+    pub fn any_bt(&self) -> bool {
+        self.bins.iter().any(|b| b.bt)
+    }
+
     /// Per-bin downlink rates (bps) after applying the BitTorrent filter.
     pub fn rates(&self, filter: BtFilter) -> Vec<f64> {
         let secs = self.width.secs();
@@ -373,31 +603,51 @@ impl UsageSeries {
     }
 
     /// Mean uplink rate over observed bins, after the BitTorrent filter.
+    ///
+    /// Computed streaming — a running sum in filter order is exactly the
+    /// `Vec`-collect-then-sum of the seed implementation, minus the
+    /// allocation.
     pub fn upload_mean(&self, filter: BtFilter) -> Option<Bandwidth> {
         let secs = self.width.secs();
-        let rates: Vec<f64> = self
-            .bins
-            .iter()
-            .filter(|b| filter == BtFilter::Include || !b.bt)
-            .map(|b| b.up_bytes * 8.0 / secs)
-            .collect();
-        if rates.is_empty() {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for b in &self.bins {
+            if filter == BtFilter::Include || !b.bt {
+                sum += b.up_bytes * 8.0 / secs;
+                n += 1;
+            }
+        }
+        if n == 0 {
             return None;
         }
-        Some(Bandwidth::from_bps(
-            rates.iter().sum::<f64>() / rates.len() as f64,
-        ))
+        Some(Bandwidth::from_bps(sum / n as f64))
     }
 
     /// The paper's demand summary: mean rate and 95th-percentile rate over
     /// observed bins. Returns `None` when no bins survive the filter.
     pub fn demand(&self, filter: BtFilter) -> Option<DemandSummary> {
-        let rates = self.rates(filter);
+        self.demand_with(filter, &mut Vec::new())
+    }
+
+    /// [`UsageSeries::demand`] with a caller-provided rates buffer. The
+    /// p95 uses a selection-based quantile over the scratch buffer
+    /// instead of cloning and fully sorting the rates; the result is
+    /// bit-identical (type-7 interpolation over the same order
+    /// statistics — see `quantile_unstable`).
+    pub fn demand_with(&self, filter: BtFilter, rates: &mut Vec<f64>) -> Option<DemandSummary> {
+        let secs = self.width.secs();
+        rates.clear();
+        rates.extend(
+            self.bins
+                .iter()
+                .filter(|b| filter == BtFilter::Include || !b.bt)
+                .map(|b| b.down_bytes * 8.0 / secs),
+        );
         if rates.is_empty() {
             return None;
         }
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-        let peak = quantile(&rates, 0.95);
+        let peak = quantile_unstable(rates, 0.95);
         // Guard against numeric jitter putting the p95 a hair below the
         // mean for near-constant series.
         let peak = peak.max(mean);
@@ -739,6 +989,131 @@ mod tests {
         );
         assert!(reg.counter("netsim.chaos.polls_skewed") > 0);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn batched_collection_is_bit_identical_to_scalar_reference() {
+        // The tentpole pin: the batched hot path (bulk acceptance draws,
+        // per-hour probability table, scalar UPnP delta decode, tallied
+        // gap histogram) must reproduce the pre-batching implementation
+        // bit for bit — series AND registry — across counter sources,
+        // BT mixes, uptimes, and every chaos scenario family.
+        let plans = [
+            ("none", crate::chaos::ChaosPlan::NONE),
+            ("churn", crate::chaos::ChaosScenario::PollChurn.plan(1.0)),
+            ("skew", crate::chaos::ChaosScenario::ClockSkew.plan(0.95)),
+            ("reset", crate::chaos::ChaosScenario::ResetStorm.plan(1.0)),
+            ("omnibus", crate::chaos::ChaosScenario::Omnibus.plan(0.75)),
+        ];
+        let mut scratch = CollectScratch::new();
+        for (seed, bt, uptime) in [(41u64, true, 0.6), (53, false, 0.97), (67, true, 0.25)] {
+            let t = truth(seed, bt);
+            let cap = Bandwidth::from_mbps(10.0);
+            for source in [CounterSource::Upnp, CounterSource::Netstat] {
+                for (name, plan) in &plans {
+                    let mut reg_a = Registry::new();
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5);
+                    let mut chaos_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A);
+                    let reference = UsageSeries::collect_via_counters_chaos_reference(
+                        &t,
+                        uptime,
+                        source,
+                        cap,
+                        plan,
+                        &mut rng,
+                        &mut chaos_rng,
+                        &mut reg_a,
+                    );
+                    let mut reg_b = Registry::new();
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5);
+                    let mut chaos_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A);
+                    // Deliberately reuse one scratch across every case:
+                    // leftover capacity and stale contents must not leak
+                    // into the result.
+                    let batched = UsageSeries::collect_via_counters_chaos_with(
+                        &t,
+                        uptime,
+                        source,
+                        cap,
+                        plan,
+                        &mut rng,
+                        &mut chaos_rng,
+                        &mut reg_b,
+                        &mut scratch,
+                    );
+                    assert_eq!(reference, batched, "{source:?} {name} seed {seed}");
+                    assert_eq!(
+                        reg_a.to_json(),
+                        reg_b.to_json(),
+                        "{source:?} {name} seed {seed}"
+                    );
+                    // The RNGs must land in the same state so downstream
+                    // draws in the generation pipeline stay aligned.
+                    assert_eq!(
+                        rng.gen::<u64>(),
+                        {
+                            let mut rng2 = ChaCha8Rng::seed_from_u64(seed ^ 0xA5);
+                            let mut chaos2 = ChaCha8Rng::seed_from_u64(seed ^ 0x5A);
+                            let mut reg2 = Registry::new();
+                            UsageSeries::collect_via_counters_chaos_reference(
+                                &t,
+                                uptime,
+                                source,
+                                cap,
+                                plan,
+                                &mut rng2,
+                                &mut chaos2,
+                                &mut reg2,
+                            );
+                            rng2.gen::<u64>()
+                        },
+                        "{source:?} {name} seed {seed}: RNG stream diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demand_with_is_bit_identical_to_sort_based_quantile() {
+        use bb_stats::descriptive::quantile;
+        let mut rates_scratch = Vec::new();
+        for (seed, bt) in [(13u64, true), (17, false), (19, true)] {
+            let t = truth(seed, bt);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            let s = UsageSeries::collect_via_counters(
+                &t,
+                0.7,
+                CounterSource::Upnp,
+                Bandwidth::from_mbps(10.0),
+                &mut rng,
+            );
+            for filter in [BtFilter::Include, BtFilter::Exclude] {
+                let rates = s.rates(filter);
+                let expected = if rates.is_empty() {
+                    None
+                } else {
+                    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+                    let peak = quantile(&rates, 0.95).max(mean);
+                    Some(DemandSummary::new(
+                        Bandwidth::from_bps(mean),
+                        Bandwidth::from_bps(peak),
+                    ))
+                };
+                let got = s.demand_with(filter, &mut rates_scratch);
+                assert_eq!(got, s.demand(filter), "{filter:?} seed {seed}");
+                match (got, expected) {
+                    (None, None) => {}
+                    (Some(g), Some(e)) => {
+                        assert!(
+                            g.mean.bps() == e.mean.bps() && g.peak.bps() == e.peak.bps(),
+                            "{filter:?} seed {seed}: {g:?} vs {e:?}"
+                        );
+                    }
+                    (g, e) => panic!("{filter:?} seed {seed}: {g:?} vs {e:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -127,27 +127,43 @@ pub fn upnp_deltas_stats(reads: &[u32], max_plausible: u64) -> (Vec<u64>, DeltaS
     let mut out = Vec::with_capacity(reads.len().saturating_sub(1));
     let mut stats = DeltaStats::default();
     for pair in reads.windows(2) {
-        let delta = pair[1].wrapping_sub(pair[0]) as u64;
-        if delta <= max_plausible {
-            if pair[1] < pair[0] {
-                stats.wraps += 1;
-            }
-            out.push(delta);
-        } else {
-            // Implausibly large wrap ⇒ the register reset mid-interval; the
-            // best available estimate is the bytes accumulated since boot,
-            // bounded by what the link could actually have carried.
-            stats.resets += 1;
-            let since_boot = pair[1] as u64;
-            if since_boot > max_plausible {
-                stats.clamped += 1;
-                out.push(max_plausible);
-            } else {
-                out.push(since_boot);
-            }
-        }
+        out.push(upnp_delta_stats(
+            pair[0],
+            pair[1],
+            max_plausible,
+            &mut stats,
+        ));
     }
     (out, stats)
+}
+
+/// One step of [`upnp_deltas_stats`]: the reconstructed delta for a single
+/// consecutive pair of readings, with heuristic firings tallied into
+/// `stats`. This is the allocation-free form the batched collection loop
+/// uses — one poll pair at a time over a contiguous poll buffer, instead
+/// of materialising a two-element slice and a one-element `Vec` per pair.
+#[inline]
+pub fn upnp_delta_stats(prev: u32, cur: u32, max_plausible: u64, stats: &mut DeltaStats) -> u64 {
+    debug_assert!(max_plausible > 0, "max_plausible must be positive");
+    let delta = cur.wrapping_sub(prev) as u64;
+    if delta <= max_plausible {
+        if cur < prev {
+            stats.wraps += 1;
+        }
+        delta
+    } else {
+        // Implausibly large wrap ⇒ the register reset mid-interval; the
+        // best available estimate is the bytes accumulated since boot,
+        // bounded by what the link could actually have carried.
+        stats.resets += 1;
+        let since_boot = cur as u64;
+        if since_boot > max_plausible {
+            stats.clamped += 1;
+            max_plausible
+        } else {
+            since_boot
+        }
+    }
 }
 
 /// The largest byte count a link of `capacity_bps` can carry in
@@ -273,5 +289,29 @@ mod tests {
     fn delta_count_matches_windows() {
         assert!(upnp_deltas(&[5], 100).is_empty());
         assert_eq!(upnp_deltas(&[1, 2, 3], 100).len(), 2);
+    }
+
+    #[test]
+    fn scalar_delta_matches_slice_reconstruction() {
+        // The pairwise form must agree with the slice form on every pair,
+        // including wraps, resets and clamps in sequence.
+        let max_plausible = max_plausible_bytes(100e6, 30.0);
+        let reads = [
+            u32::MAX - 1000,
+            u32::MAX - 500,
+            400,
+            100_000_000,
+            200,
+            3_000_000_000,
+            2_000_000_000,
+        ];
+        let (expect, expect_stats) = upnp_deltas_stats(&reads, max_plausible);
+        let mut stats = DeltaStats::default();
+        let got: Vec<u64> = reads
+            .windows(2)
+            .map(|w| upnp_delta_stats(w[0], w[1], max_plausible, &mut stats))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(stats, expect_stats);
     }
 }

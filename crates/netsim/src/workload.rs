@@ -152,6 +152,34 @@ impl GroundTruth {
         }
         self.bt_active.iter().filter(|b| **b).count() as f64 / n as f64
     }
+
+    /// An all-zero truth over `axis`, sized for [`simulate_user_into`] to
+    /// fill. Reusing one of these across users keeps the five per-window
+    /// buffers allocated once per shard instead of once per user.
+    pub fn empty(axis: TimeAxis) -> Self {
+        let n_slots = axis.n_slots() as usize;
+        GroundTruth {
+            axis,
+            slot_bytes: vec![0.0; n_slots],
+            up_slot_bytes: vec![0.0; n_slots],
+            cross_slot_bytes: vec![0.0; n_slots],
+            bt_active: vec![false; n_slots],
+        }
+    }
+
+    /// Reset to the all-zero state over `axis`, reusing the allocations.
+    pub fn reset(&mut self, axis: TimeAxis) {
+        let n_slots = axis.n_slots() as usize;
+        self.axis = axis;
+        self.slot_bytes.clear();
+        self.slot_bytes.resize(n_slots, 0.0);
+        self.up_slot_bytes.clear();
+        self.up_slot_bytes.resize(n_slots, 0.0);
+        self.cross_slot_bytes.clear();
+        self.cross_slot_bytes.resize(n_slots, 0.0);
+        self.bt_active.clear();
+        self.bt_active.resize(n_slots, false);
+    }
 }
 
 /// The capacity-adaptive desired rate of a session (see module docs).
@@ -181,12 +209,29 @@ pub fn simulate_user<R: Rng + ?Sized>(
     axis: TimeAxis,
     rng: &mut R,
 ) -> GroundTruth {
+    let mut out = GroundTruth::empty(axis);
+    simulate_user_into(link, workload, axis, rng, &mut out, &mut Vec::new());
+    out
+}
+
+/// [`simulate_user`] into caller-provided buffers: `out` is reset and
+/// filled in place, `cross_up_scratch` absorbs the discarded uplink side
+/// of the cross-traffic process. Draw-for-draw and operation-for-
+/// operation identical to [`simulate_user`] — the generation hot loop
+/// uses this form to amortise the five per-window buffer allocations
+/// across every user in a shard block.
+pub fn simulate_user_into<R: Rng + ?Sized>(
+    link: &AccessLink,
+    workload: &UserWorkload,
+    axis: TimeAxis,
+    rng: &mut R,
+    out: &mut GroundTruth,
+    cross_up_scratch: &mut Vec<f64>,
+) {
     let n_slots = axis.n_slots() as usize;
-    let mut slot_bytes = vec![0.0; n_slots];
-    let mut up_slot_bytes = vec![0.0; n_slots];
-    let mut cross_slot_bytes = vec![0.0; n_slots];
-    let mut cross_up_scratch = vec![0.0; n_slots];
-    let mut bt_active = vec![false; n_slots];
+    out.reset(axis);
+    cross_up_scratch.clear();
+    cross_up_scratch.resize(n_slots, 0.0);
 
     if !workload.intensity.is_zero() {
         let lambda = workload.intensity.bps() / 8.0 / mean_session_bytes(&workload.mix);
@@ -195,8 +240,8 @@ pub fn simulate_user<R: Rng + ?Sized>(
             axis,
             lambda,
             rng,
-            &mut slot_bytes,
-            &mut up_slot_bytes,
+            &mut out.slot_bytes,
+            &mut out.up_slot_bytes,
             None,
             |rng| workload.mix.sample(rng),
         );
@@ -208,9 +253,9 @@ pub fn simulate_user<R: Rng + ?Sized>(
             axis,
             lambda,
             rng,
-            &mut slot_bytes,
-            &mut up_slot_bytes,
-            Some(&mut bt_active),
+            &mut out.slot_bytes,
+            &mut out.up_slot_bytes,
+            Some(&mut out.bt_active),
             |_| AppClass::BitTorrent,
         );
     }
@@ -223,19 +268,18 @@ pub fn simulate_user<R: Rng + ?Sized>(
             axis,
             lambda,
             rng,
-            &mut cross_slot_bytes,
-            &mut cross_up_scratch,
+            &mut out.cross_slot_bytes,
+            cross_up_scratch,
             None,
             |rng| AppMix::TYPICAL.sample(rng),
         );
     }
-    drop(cross_up_scratch);
 
     // Enforce the physical per-slot ceiling: host and household traffic
     // share the downlink, so scale both down proportionally when their sum
     // exceeds it.
     let slot_cap = link.capacity.bytes_over(SLOT_SECS);
-    for (b, c) in slot_bytes.iter_mut().zip(&mut cross_slot_bytes) {
+    for (b, c) in out.slot_bytes.iter_mut().zip(&mut out.cross_slot_bytes) {
         let total = *b + *c;
         if total > slot_cap {
             let scale = slot_cap / total;
@@ -244,7 +288,7 @@ pub fn simulate_user<R: Rng + ?Sized>(
         }
     }
     let up_slot_cap = link.up_capacity.bytes_over(SLOT_SECS);
-    for b in &mut up_slot_bytes {
+    for b in &mut out.up_slot_bytes {
         if *b > up_slot_cap {
             *b = up_slot_cap;
         }
@@ -255,7 +299,7 @@ pub fn simulate_user<R: Rng + ?Sized>(
     if let Some(cap) = workload.cap_bytes {
         let throttle_slot = Bandwidth::from_kbps(THROTTLE_RATE_KBPS).bytes_over(SLOT_SECS);
         let mut cumulative = 0.0;
-        for (b, u) in slot_bytes.iter_mut().zip(&mut up_slot_bytes) {
+        for (b, u) in out.slot_bytes.iter_mut().zip(&mut out.up_slot_bytes) {
             if cumulative >= cap {
                 if *b > throttle_slot {
                     *b = throttle_slot;
@@ -266,14 +310,6 @@ pub fn simulate_user<R: Rng + ?Sized>(
             }
             cumulative += *b + *u;
         }
-    }
-
-    GroundTruth {
-        axis,
-        slot_bytes,
-        up_slot_bytes,
-        cross_slot_bytes,
-        bt_active,
     }
 }
 
@@ -402,6 +438,34 @@ mod tests {
 
     fn axis_days(d: u32) -> TimeAxis {
         TimeAxis::new(Year(2012), d)
+    }
+
+    #[test]
+    fn simulate_user_into_reused_buffers_match_fresh_allocation() {
+        let link = clean_link(10.0);
+        let workloads = [
+            UserWorkload::with_bt(Bandwidth::from_mbps(1.0), 0.5),
+            UserWorkload::without_bt(Bandwidth::from_mbps(2.0)),
+            UserWorkload::without_bt(Bandwidth::ZERO),
+        ];
+        // One truth + scratch reused across users and axis lengths: stale
+        // contents from the previous (longer) window must never leak.
+        let mut out = GroundTruth::empty(axis_days(1));
+        let mut cross_up = Vec::new();
+        for (i, wl) in workloads.iter().enumerate() {
+            for days in [7u32, 3] {
+                let axis = axis_days(days);
+                let seed = 100 + i as u64 * 10 + days as u64;
+                let fresh = simulate_user(&link, wl, axis, &mut rng(seed));
+                let mut r = rng(seed);
+                simulate_user_into(&link, wl, axis, &mut r, &mut out, &mut cross_up);
+                assert_eq!(out, fresh, "workload {i} days {days}");
+                // Same RNG state afterwards, too.
+                let mut r_fresh = rng(seed);
+                simulate_user(&link, wl, axis, &mut r_fresh);
+                assert_eq!(r.gen::<u64>(), r_fresh.gen::<u64>());
+            }
+        }
     }
 
     fn rng(seed: u64) -> ChaCha8Rng {

@@ -23,7 +23,7 @@
 //! All result-bearing responses are the exact artifact bytes the batch
 //! CLI writes for the same parameters.
 
-use crate::http::{read_request, write_sse_head, Request, Response, ThreadPool};
+use crate::http::{read_request, write_sse_head, Request, RequestError, Response, ThreadPool};
 use crate::runner::{JobSpec, RunParams};
 use crate::scheduler::Scheduler;
 use bb_dataset::WorldConfig;
@@ -160,7 +160,18 @@ impl std::fmt::Debug for Server {
 fn handle_connection(inner: &Inner, mut stream: TcpStream) {
     let request = match read_request(&mut stream) {
         Ok(request) => request,
-        Err(_) => return, // includes the shutdown nudge connection
+        // Parse-level rejections still get a proper HTTP answer; only a
+        // dead transport (which includes the shutdown nudge connection)
+        // is silently dropped.
+        Err(RequestError::Malformed(message)) => {
+            let _ = Response::bad_request(&message).write_to(&mut stream);
+            return;
+        }
+        Err(RequestError::TooLarge) => {
+            let _ = Response::payload_too_large().write_to(&mut stream);
+            return;
+        }
+        Err(RequestError::Io(_)) => return,
     };
     // SSE is the one route that streams instead of building a Response.
     let segments: Vec<String> = request.segments().iter().map(|s| s.to_string()).collect();

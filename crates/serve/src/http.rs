@@ -1,9 +1,10 @@
 //! Minimal HTTP/1.1 over std: request parsing, response writing, and a
 //! fixed-size thread pool. Enough protocol for the gateway's own routes
 //! and `curl` — not a general server. Connections are `Connection:
-//! close`; bodies require `Content-Length`; query strings are split on
-//! `&`/`=` without percent-decoding (route values are plain
-//! identifiers).
+//! close`; bodies require `Content-Length` and are capped *at header
+//! parse time* (the declared length is validated before any buffer is
+//! sized from it); query keys and values are percent-decoded, with `+`
+//! as space.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -15,6 +16,76 @@ use std::thread;
 /// Largest accepted request body; protects the scheduler from
 /// accidental uploads (job specs are a few dozen bytes).
 const MAX_BODY: usize = 1 << 20;
+
+/// Why a request could not be parsed. The connection handler maps these
+/// onto proper HTTP responses instead of silently dropping the socket.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Syntactically invalid request (bad request line, garbage
+    /// `Content-Length`, ...) — answer 400.
+    Malformed(String),
+    /// Declared body length exceeds [`MAX_BODY`] — answer 413. Raised
+    /// from the header alone, before any allocation.
+    TooLarge,
+    /// Transport failure mid-read; there is nobody to answer.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Decode `%XX` escapes (and `+` as space) in a query component.
+/// Malformed escapes are kept literally rather than rejected — query
+/// values here are route parameters, not user content, and a stray `%`
+/// should read back as written.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len()
+                && bytes[i + 1].is_ascii_hexdigit()
+                && bytes[i + 2].is_ascii_hexdigit() =>
+            {
+                let byte = u8::from_str_radix(&s[i + 1..i + 3], 16).expect("two hex digits");
+                out.push(byte);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Validate a `Content-Length` header value without ever materialising
+/// an attacker-controlled allocation: garbage (including negative
+/// numbers) is a 400, anything over [`MAX_BODY`] — even values too big
+/// for `usize` — is a 413.
+fn parse_content_length(value: &str) -> Result<usize, RequestError> {
+    let value = value.trim();
+    let parsed: usize = value.parse().map_err(|e: std::num::ParseIntError| {
+        if matches!(e.kind(), std::num::IntErrorKind::PosOverflow) {
+            RequestError::TooLarge
+        } else {
+            RequestError::Malformed(format!("invalid Content-Length {value:?}"))
+        }
+    })?;
+    if parsed > MAX_BODY {
+        return Err(RequestError::TooLarge);
+    }
+    Ok(parsed)
+}
 
 /// A parsed request: method, decoded path segments, query map, body.
 #[derive(Debug)]
@@ -41,20 +112,23 @@ impl Request {
     }
 }
 
-/// Read and parse one request from `stream`. Returns `Err` on I/O
-/// failure or a malformed request line.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+/// Read and parse one request from `stream`: I/O failures surface as
+/// [`RequestError::Io`], protocol problems as answerable
+/// [`RequestError::Malformed`]/[`RequestError::TooLarge`] variants. The
+/// declared `Content-Length` is validated while still a string — the
+/// body buffer is only ever sized from a value known to be ≤ the cap.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
         .to_string();
     let target = parts
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+        .ok_or_else(|| RequestError::Malformed("missing request target".into()))?;
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q),
         None => (target.to_string(), ""),
@@ -62,7 +136,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
     let mut query = BTreeMap::new();
     for pair in query_str.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        query.insert(k.to_string(), v.to_string());
+        query.insert(percent_decode(k), percent_decode(v));
     }
     // Headers: only Content-Length matters to us.
     let mut content_length = 0usize;
@@ -77,15 +151,9 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                content_length = parse_content_length(value)?;
             }
         }
-    }
-    if content_length > MAX_BODY {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request body too large",
-        ));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -166,6 +234,15 @@ impl Response {
         }
     }
 
+    /// 413 for a declared body length over the cap.
+    pub fn payload_too_large() -> Self {
+        Response {
+            status: 413,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("request body exceeds {MAX_BODY} bytes\n").into_bytes(),
+        }
+    }
+
     /// The reason phrase for this status.
     fn reason(&self) -> &'static str {
         match self.status {
@@ -174,6 +251,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
             _ => "Internal Server Error",
         }
     }
@@ -289,6 +367,66 @@ mod tests {
         assert_eq!(req.query("format"), Some("json"));
         assert_eq!(req.query("x"), Some(""));
         assert_eq!(req.body, b"body");
+        Response::json("{}").write_to(&mut conn).unwrap();
+        drop(conn);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn query_components_are_percent_decoded() {
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("m%64"), "md");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%25"), "100%");
+        // Malformed escapes survive literally instead of erroring.
+        assert_eq!(percent_decode("50%"), "50%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+        // Multi-byte UTF-8 round-trips.
+        assert_eq!(percent_decode("%C3%A9"), "é");
+    }
+
+    #[test]
+    fn content_length_is_validated_before_any_allocation() {
+        assert_eq!(parse_content_length(" 42 ").unwrap(), 42);
+        assert_eq!(parse_content_length("0").unwrap(), 0);
+        assert_eq!(parse_content_length("1048576").unwrap(), MAX_BODY);
+        // One over the cap, numeric but huge, and too big for usize all
+        // classify as TooLarge (413), never as a buffer size.
+        for huge in ["1048577", "999999999999", "99999999999999999999999999"] {
+            assert!(
+                matches!(parse_content_length(huge), Err(RequestError::TooLarge)),
+                "{huge}"
+            );
+        }
+        // Garbage — including negative numbers — is Malformed (400).
+        for garbage in ["-1", "abc", "1e6", "0x10", "12 34", ""] {
+            assert!(
+                matches!(
+                    parse_content_length(garbage),
+                    Err(RequestError::Malformed(_))
+                ),
+                "{garbage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_query_params_reach_the_request_decoded() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /exhibits/t4?form%61t=m%64&note=a+b%20c HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            s.flush().unwrap();
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn).unwrap();
+        assert_eq!(req.query("format"), Some("md"));
+        assert_eq!(req.query("note"), Some("a b c"));
         Response::json("{}").write_to(&mut conn).unwrap();
         drop(conn);
         client.join().unwrap();

@@ -219,3 +219,104 @@ fn cache_hits_misses_and_corruption_are_counted_and_correct() {
     assert!(health.contains("\"hits\":2"), "{health}");
     assert!(health.contains("\"rejected\":1"), "{health}");
 }
+
+/// Send raw header bytes (no body) and return the status line's code.
+/// Used for requests whose *headers* must be rejected — the server has
+/// to answer over HTTP rather than silently dropping the socket.
+fn raw_status(addr: SocketAddr, head: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(head.as_bytes()).expect("write head");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no HTTP status in {raw:?}"))
+}
+
+#[test]
+fn bad_content_length_is_rejected_before_allocation_with_400_or_413() {
+    let dir = tmpdir("serve-content-length");
+    let server = small_server(&dir);
+    let addr = server.addr();
+
+    // Oversized declarations — including ones that do not even fit in
+    // u64 — must answer 413 from the header alone. Before the fix these
+    // either allocated `vec![0; attacker_len]` or dropped the socket
+    // without a response.
+    for huge in ["1048577", "999999999999", "99999999999999999999999999"] {
+        assert_eq!(
+            raw_status(
+                addr,
+                &format!("POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {huge}\r\n\r\n")
+            ),
+            413,
+            "Content-Length: {huge}"
+        );
+    }
+
+    // Garbage (and negative-looking) declarations are a 400, not a
+    // silent zero-length body.
+    for garbage in ["-1", "abc", "18xo", "1e6"] {
+        assert_eq!(
+            raw_status(
+                addr,
+                &format!("POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {garbage}\r\n\r\n")
+            ),
+            400,
+            "Content-Length: {garbage}"
+        );
+    }
+
+    // A well-formed request on the same server still works.
+    assert_eq!(get(addr, "/healthz").0, 200);
+}
+
+#[test]
+fn query_params_are_percent_decoded_end_to_end() {
+    let dir = tmpdir("serve-percent-decode");
+    let server = small_server(&dir);
+    let addr = server.addr();
+    run_job(&server, "{}");
+
+    let plain = get(addr, "/metrics?job=0");
+    assert_eq!(plain.0, 200);
+    // "%30" is "0" and "%6Aob" is "job": both the key and the value of
+    // a query parameter arrive percent-decoded at the route.
+    let encoded = get(addr, "/metrics?%6Aob=%30");
+    assert_eq!(encoded.0, 200);
+    assert_eq!(encoded.1, plain.1, "encoded query must hit the same job");
+
+    let exhibit_plain = get(addr, "/exhibits/fig1a?format=md");
+    assert_eq!(exhibit_plain.0, 200);
+    let exhibit_encoded = get(addr, "/exhibits/fig1a?format=m%64");
+    assert_eq!(exhibit_encoded.0, 200);
+    assert_eq!(exhibit_encoded.1, exhibit_plain.1);
+}
+
+#[test]
+fn non_finite_severity_is_a_400_at_submission() {
+    let dir = tmpdir("serve-nonfinite-severity");
+    let server = small_server(&dir);
+    let addr = server.addr();
+
+    // 1e999 overflows f64 parsing to +inf; the submit-time validator
+    // must catch it (is_finite), not let it seed a chaos campaign.
+    for body in [
+        r#"{"scenario": "omnibus", "severity": 1e999}"#,
+        r#"{"scenario": "omnibus", "severity": -1e999}"#,
+        r#"{"scenario": "omnibus", "severity": 2.0}"#,
+        r#"{"scenario": "omnibus", "severity": -0.25}"#,
+    ] {
+        let (status, response) = post_job(addr, body);
+        assert_eq!(status, 400, "{body}: {response}");
+        assert!(response.contains("severity"), "{body}: {response}");
+    }
+    // The boundary values are valid.
+    for body in [
+        r#"{"scenario": "omnibus", "severity": 0.0}"#,
+        r#"{"scenario": "omnibus", "severity": 1.0}"#,
+    ] {
+        assert_eq!(post_job(addr, body).0, 202, "{body}");
+    }
+}

@@ -53,6 +53,37 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
     quantile_sorted(&sorted, q)
 }
 
+/// [`quantile`] by in-place selection: bit-identical to [`quantile`] on
+/// the same data, without the clone or the O(n log n) sort. The two
+/// order statistics that the type-7 definition interpolates between are
+/// found with `select_nth_unstable_by` (O(n) expected) — the *values* at
+/// those ranks are sort-order independent, so the interpolated result is
+/// exactly the one `quantile` computes. `data` is reordered arbitrarily.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile_unstable(data: &mut [f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let n = data.len();
+    if n == 1 {
+        return data[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let (_, &mut lo_val, upper) =
+        data.select_nth_unstable_by(lo, |a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    if lo == hi {
+        lo_val
+    } else {
+        // hi == lo + 1: the smallest element of the upper partition.
+        let hi_val = upper.iter().copied().fold(f64::INFINITY, f64::min);
+        let frac = pos - lo as f64;
+        lo_val * (1.0 - frac) + hi_val * frac
+    }
+}
+
 /// [`quantile`] over data that is already sorted ascending (no copy).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
@@ -141,6 +172,37 @@ mod tests {
     #[test]
     fn variance_of_singleton_is_zero() {
         assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_unstable_is_bit_identical_to_quantile() {
+        // The selection path must agree with the sort path to the last
+        // bit — the streaming demand summaries depend on it.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [1usize, 2, 3, 4, 5, 7, 19, 20, 21, 100, 997] {
+            let data: Vec<f64> = (0..n).map(|_| next() * 1e7).collect();
+            for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+                let mut scratch = data.clone();
+                let selected = quantile_unstable(&mut scratch, q);
+                let sorted = quantile(&data, q);
+                assert!(
+                    selected == sorted,
+                    "n={n} q={q}: selection {selected} vs sort {sorted}"
+                );
+            }
+        }
+        // Duplicates (ties at the interpolation boundary) as well.
+        let dup = [3.0, 1.0, 3.0, 3.0, 1.0, 2.0, 2.0, 3.0];
+        for q in [0.0, 0.3, 0.5, 0.7, 0.95, 1.0] {
+            let mut scratch = dup.to_vec();
+            assert_eq!(quantile_unstable(&mut scratch, q), quantile(&dup, q));
+        }
     }
 
     #[test]

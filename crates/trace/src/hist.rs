@@ -35,15 +35,26 @@ impl Log2Histogram {
 
     /// Absorb `value` relative to `base` (typically 0.1 Mbps).
     pub fn push(&mut self, value: f64, base: f64) {
+        self.push_n(value, base, 1);
+    }
+
+    /// Absorb `value` `n` times in one bucket update. Counts are exact
+    /// integers, so this is state-identical to `n` scalar [`Self::push`]
+    /// calls — the batched collection loop uses it to flush tallied gap
+    /// widths without a map lookup per poll pair.
+    pub fn push_n(&mut self, value: f64, base: f64, n: u64) {
         debug_assert!(base > 0.0);
+        if n == 0 {
+            return;
+        }
         if value <= 0.0 {
-            self.nonpositive += 1;
+            self.nonpositive += n;
             return;
         }
         *self
             .counts
             .entry(Self::bucket_of(value / base))
-            .or_insert(0) += 1;
+            .or_insert(0) += n;
     }
 
     /// Total observations.
@@ -100,6 +111,19 @@ mod tests {
         // 0.401 spills into the next tier.
         h.push(0.401, 0.1);
         assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn push_n_matches_repeated_push() {
+        let mut batched = Log2Histogram::new();
+        let mut scalar = Log2Histogram::new();
+        for (value, n) in [(1.0, 3u64), (2.0, 0), (-4.0, 2), (750.0, 5)] {
+            batched.push_n(value, 1.0, n);
+            for _ in 0..n {
+                scalar.push(value, 1.0);
+            }
+        }
+        assert_eq!(batched, scalar);
     }
 
     #[test]

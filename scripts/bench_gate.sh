@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CI throughput gate for the bb-engine generation hot path.
+#
+# Re-measures one reduced benchmark cell (single-thread `reproduce
+# --users U`) and fails if users/sec drops more than MAX_DROP_PCT below
+# the committed baseline for that cell in BENCH_engine.json. Takes the
+# best of N runs so scheduler noise cannot fail the gate on its own —
+# a genuine hot-path regression slows every run, noise slows some.
+#
+# Usage: scripts/bench_gate.sh [users] [runs] [max_drop_pct]
+#   users         cell to re-measure (default 10000; must exist as a
+#                 threads=1 cell in BENCH_engine.json)
+#   runs          samples to take, best wins (default 3)
+#   max_drop_pct  allowed users/sec drop vs baseline (default 15)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+USERS="${1:-10000}"
+RUNS="${2:-3}"
+MAX_DROP_PCT="${3:-15}"
+BASELINE_FILE=BENCH_engine.json
+BIN=target/release/reproduce
+
+baseline=$(python3 - "$BASELINE_FILE" "$USERS" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+users = int(sys.argv[2])
+cells = [c for c in doc["cells"] if c["users"] == users and c["threads"] == 1]
+if not cells:
+    sys.exit(f"no threads=1 cell for users={users} in {sys.argv[1]}")
+print(cells[0]["users_per_sec"])
+EOF
+)
+
+echo "bench-gate: building release binary…" >&2
+cargo build --release -p bb-bench --bin reproduce >&2
+
+best=0
+for i in $(seq "$RUNS"); do
+    dir="$(mktemp -d)"
+    t0=$(date +%s.%N)
+    "$BIN" --users "$USERS" --days 1 --threads 1 --out "$dir" >/dev/null 2>&1
+    t1=$(date +%s.%N)
+    rm -rf "$dir"
+    rate=$(awk -v u="$USERS" -v a="$t0" -v b="$t1" 'BEGIN { printf "%.1f", u / (b - a) }')
+    echo "bench-gate: run $i/$RUNS: $rate users/sec" >&2
+    best=$(awk -v r="$rate" -v b="$best" 'BEGIN { print (r > b) ? r : b }')
+done
+
+awk -v got="$best" -v base="$baseline" -v drop="$MAX_DROP_PCT" 'BEGIN {
+    floor = base * (100 - drop) / 100
+    printf "bench-gate: best %.1f users/sec vs committed baseline %.1f (floor %.1f = -%d%%)\n", \
+        got, base, floor, drop
+    if (got < floor) {
+        printf "bench-gate: FAIL — regression beyond %d%%; if intentional, refresh BENCH_engine.json via scripts/bench_scale.sh\n", drop
+        exit 1
+    }
+    print "bench-gate: OK"
+}'

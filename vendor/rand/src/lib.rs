@@ -33,6 +33,19 @@ pub trait RngCore {
             rem.copy_from_slice(&word[..rem.len()]);
         }
     }
+
+    /// Fill `dest` with standard-uniform `[0, 1)` doubles.
+    ///
+    /// Contract: consumes the word stream exactly as `dest.len()`
+    /// sequential [`Standard`] `f64` draws would, so a batched caller
+    /// stays bit-identical to its scalar twin. Block generators override
+    /// this to emit whole key-stream blocks without per-draw buffer
+    /// bookkeeping.
+    fn fill_standard_f64(&mut self, dest: &mut [f64]) {
+        for slot in dest {
+            *slot = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -44,6 +57,9 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
+    }
+    fn fill_standard_f64(&mut self, dest: &mut [f64]) {
+        (**self).fill_standard_f64(dest)
     }
 }
 
