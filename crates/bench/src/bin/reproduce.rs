@@ -133,6 +133,10 @@ the same parameters):
   --threads T     worker threads; at least 1 (default 1)
   --shards S      shard count; at least 1 (default: from --threads);
                   part of the cache key
+  --access-log F  append one JSONL line per request to F (ts, request
+                  id, method, route template, path, status, bytes, µs);
+                  live telemetry is also exposed at GET /metrics.prom
+                  (Prometheus text) and GET /debug/telemetry (JSON)
   --quiet         suppress startup lines on stderr
   -h, --help      print this help
 ";
@@ -483,6 +487,7 @@ struct ServeArgs {
     users: u64,
     threads: usize,
     shards: Option<usize>,
+    access_log: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -498,6 +503,7 @@ impl ServeArgs {
             users: 2000,
             threads: 1,
             shards: None,
+            access_log: None,
             quiet: false,
         };
         while let Some(flag) = it.next() {
@@ -539,6 +545,13 @@ impl ServeArgs {
                     }
                     args.shards = Some(shards);
                 }
+                "--access-log" => {
+                    let path = take(&mut it, &flag)?;
+                    if path.is_empty() {
+                        return Err("--access-log must not be empty".into());
+                    }
+                    args.access_log = Some(PathBuf::from(path));
+                }
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => return Ok(None),
                 other => return Err(format!("unknown serve flag {other:?}")),
@@ -562,6 +575,9 @@ fn run_serve(args: &ServeArgs) {
         plan,
         default_seed: args.seed,
         default_users: args.users,
+        access_log: args.access_log.clone(),
+        sse_keepalive: std::time::Duration::from_secs(10),
+        debug_routes: false,
     };
     let server = match Server::start(config) {
         Ok(server) => server,

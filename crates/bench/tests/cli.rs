@@ -80,18 +80,20 @@ fn bad_arguments_exit_2_with_usage_not_a_panic() {
 fn serve_bad_arguments_exit_2_with_usage_not_a_panic() {
     let dir = tmpdir("cli-serve-bad-args");
     let cases: &[&[&str]] = &[
-        &["serve", "--port"],          // missing value
-        &["serve", "--port", "abc"],   // unparseable port
-        &["serve", "--port", "70000"], // not a u16
-        &["serve", "--cache-dir"],     // missing value
-        &["serve", "--cache-dir", ""], // empty cache root
-        &["serve", "--threads", "0"],  // zero workers
-        &["serve", "--shards", "0"],   // zero shards
-        &["serve", "--days", "0"],     // empty window
-        &["serve", "--users", "0"],    // empty default stream
-        &["serve", "--seed", "1.5"],   // non-integer seed
-        &["serve", "--frobnicate"],    // unknown serve flag
-        &["serve", "--out", "x"],      // batch-only flag after serve
+        &["serve", "--port"],           // missing value
+        &["serve", "--port", "abc"],    // unparseable port
+        &["serve", "--port", "70000"],  // not a u16
+        &["serve", "--cache-dir"],      // missing value
+        &["serve", "--cache-dir", ""],  // empty cache root
+        &["serve", "--threads", "0"],   // zero workers
+        &["serve", "--shards", "0"],    // zero shards
+        &["serve", "--days", "0"],      // empty window
+        &["serve", "--users", "0"],     // empty default stream
+        &["serve", "--seed", "1.5"],    // non-integer seed
+        &["serve", "--access-log"],     // missing value
+        &["serve", "--access-log", ""], // empty log path
+        &["serve", "--frobnicate"],     // unknown serve flag
+        &["serve", "--out", "x"],       // batch-only flag after serve
     ];
     for args in cases {
         let out = reproduce(args, &dir);
@@ -128,6 +130,14 @@ fn serve_help_exits_0_and_documents_the_subcommand() {
         assert!(
             stdout.contains("reproduce serve"),
             "{args:?}: serve form documented"
+        );
+        assert!(
+            stdout.contains("--access-log"),
+            "{args:?}: access log flag documented"
+        );
+        assert!(
+            stdout.contains("/metrics.prom"),
+            "{args:?}: telemetry endpoint documented"
         );
     }
 }

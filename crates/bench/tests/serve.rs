@@ -157,6 +157,11 @@ fn served_job_is_byte_identical_to_batch_and_repeat_hits_the_cache() {
             "1",
             "--shards",
             "5",
+            // With the access log on, every byte-identity assertion
+            // below doubles as the pin that telemetry stays strictly
+            // out of the artifacts.
+            "--access-log",
+            "access.jsonl",
             "--quiet",
         ],
     );
@@ -208,7 +213,43 @@ fn served_job_is_byte_identical_to_batch_and_repeat_hits_the_cache() {
     let (_, health) = get(&addr, "/healthz");
     let health = String::from_utf8_lossy(&health).to_string();
     assert!(health.contains("\"hits\":1"), "{health}");
+    assert!(health.contains("\"uptime_secs\""), "{health}");
     let (status, cached) = get(&addr, "/metrics?job=1");
     assert_eq!(status, 200);
     assert_eq!(cached, batch("metrics.json"), "cached /metrics vs batch");
+
+    // Live telemetry rides alongside without perturbing the artifacts:
+    // the Prometheus exposition covers the traffic this test generated…
+    let (status, prom) = get(&addr, "/metrics.prom");
+    assert_eq!(status, 200);
+    let prom = String::from_utf8_lossy(&prom).to_string();
+    for needle in [
+        "serve_requests{method=\"POST\",route=\"/jobs\"} 2",
+        "serve_jobs_completed 2",
+        "serve_cache_hits 1",
+        "serve_cache_misses 1",
+        "serve_request_us_bucket",
+        "serve_queue_depth 0",
+    ] {
+        assert!(prom.contains(needle), "{needle} missing in {prom}");
+    }
+    // …and the access log is valid JSONL, one line per request so far,
+    // with the expected fields.
+    let log = std::fs::read_to_string(dir.join("access.jsonl")).expect("access log");
+    assert!(log.lines().count() >= 10, "{log}");
+    for line in log.lines() {
+        let parsed: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        for field in [
+            "ts", "id", "method", "route", "path", "status", "bytes", "us",
+        ] {
+            assert!(parsed.get(field).is_some(), "missing {field} in {line}");
+        }
+    }
+    assert!(log.contains("\"route\": \"/jobs/{id}/events\""), "{log}");
+
+    // A re-read after the scrape still serves the identical bytes —
+    // telemetry reads never mutate artifact state.
+    let (_, again) = get(&addr, "/metrics?job=1");
+    assert_eq!(again, batch("metrics.json"));
 }

@@ -6,14 +6,19 @@
 //! GET  /jobs/{id}             one job's state
 //! GET  /jobs/{id}/events      SSE progress stream (full replay)
 //! GET  /metrics               latest job's metrics.json   (?job=N)
+//! GET  /metrics.prom          live telemetry, Prometheus text format
+//! GET  /debug/telemetry       live telemetry, full JSON snapshot
 //! GET  /ledger                latest job's ledger.jsonl   (?job=N, ?exhibit=ID)
 //! GET  /exhibits              exhibit id list
 //! GET  /exhibits/{id}         one exhibit (?format=md|json|txt|csv|gp)
 //! GET  /countries/{cc}        per-country drill-down      (?job=N)
 //! GET  /survival              chaos survival matrix       (?scenario=NAME, ?format=json|md)
-//! GET  /healthz               liveness + scheduler/cache counters
+//! GET  /healthz               liveness + uptime + scheduler/cache counters
 //! GET  /version               service and format versions
 //! ```
+//!
+//! Every `GET` route also answers `HEAD` with identical headers
+//! (including the `Content-Length` the body would have) and no body.
 //!
 //! Concurrency model: the listener thread accepts; a fixed pool handles
 //! connections; exactly one scheduler worker computes jobs, so requests
@@ -22,22 +27,34 @@
 //! completed jobs even while the worker is busy resuming another job.
 //! All result-bearing responses are the exact artifact bytes the batch
 //! CLI writes for the same parameters.
+//!
+//! Every request is instrumented end-to-end: a monotonic request id, the
+//! in-flight gauge, per-route RED metrics, and (with `--access-log`) one
+//! JSONL access-log line. A panicking handler is caught here, answered
+//! with a 500, and counted in `serve.panics` — it never takes a pool
+//! worker down. Telemetry labels always use the route *template*
+//! (`/jobs/{id}`), keeping metric cardinality bounded.
 
 use crate::http::{read_request, write_sse_head, Request, RequestError, Response, ThreadPool};
 use crate::runner::{JobSpec, RunParams};
 use crate::scheduler::Scheduler;
+use crate::sse::Feed;
+use crate::telemetry::ServeTelemetry;
 use bb_dataset::WorldConfig;
 use bb_engine::ShardPlan;
 use bb_netsim::chaos::ChaosScenario;
 use bb_report::{json as report_json, markdown};
 use bb_study::robustness::{chaos_sweep, SurvivalMatrix};
+use bb_trace::telemetry::SystemClock;
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// The reduced severity grid behind `GET /survival`: the mandatory
 /// fault-free baseline plus two probe points. The full grid belongs to
@@ -65,11 +82,24 @@ pub struct ServerConfig {
     pub default_seed: u64,
     /// User count used when a job spec omits one.
     pub default_users: u64,
+    /// Append one JSONL line per request to this file.
+    pub access_log: Option<PathBuf>,
+    /// Idle interval after which SSE streams emit a `: keepalive`
+    /// comment frame (and thereby notice dead peers).
+    pub sse_keepalive: Duration,
+    /// Enable the test-only `/debug/panic` and `/debug/hold` routes.
+    /// Never set outside tests.
+    pub debug_routes: bool,
 }
 
 struct Inner {
     scheduler: Scheduler,
     config: ServerConfig,
+    telemetry: Arc<ServeTelemetry>,
+    /// A feed that never closes, behind `/debug/hold`: a deterministic
+    /// way for tests to hold an SSE stream open until the subscriber
+    /// drops (exercising keepalives and `serve.sse.dropped`).
+    hold: Feed,
     /// Lazily computed survival matrices, one per scenario.
     survival: Mutex<BTreeMap<&'static str, Arc<SurvivalMatrix>>>,
     shutdown: AtomicBool,
@@ -92,16 +122,29 @@ impl Server {
             fcc_users: config.fcc_users,
             plan: config.plan,
         };
+        let telemetry = Arc::new(ServeTelemetry::new(
+            Arc::new(SystemClock::new()),
+            config.access_log.as_deref(),
+        )?);
         let inner = Arc::new(Inner {
-            scheduler: Scheduler::start(&config.cache_dir, run),
+            scheduler: Scheduler::start(&config.cache_dir, run, Arc::clone(&telemetry)),
             config,
+            telemetry,
+            hold: Feed::new(),
             survival: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
         });
         let accept = {
             let inner = Arc::clone(&inner);
             thread::spawn(move || {
-                let pool = ThreadPool::new(HTTP_THREADS);
+                // The worker-level catch is a backstop: handlers answer
+                // their own panics with a 500 (and count them), so only
+                // a panic outside the handler path reaches the pool.
+                let pool = ThreadPool::instrumented(
+                    HTTP_THREADS,
+                    Some(Arc::clone(&inner.telemetry.pool_busy)),
+                    Some(Arc::clone(&inner.telemetry.panics)),
+                );
                 for stream in listener.incoming() {
                     if inner.shutdown.load(Ordering::Relaxed) {
                         break;
@@ -118,6 +161,11 @@ impl Server {
             addr,
             accept: Some(accept),
         })
+    }
+
+    /// The live-telemetry surface, for in-process inspection in tests.
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.inner.telemetry
     }
 
     /// The bound address (useful with port 0).
@@ -158,96 +206,256 @@ impl std::fmt::Debug for Server {
 }
 
 fn handle_connection(inner: &Inner, mut stream: TcpStream) {
-    let request = match read_request(&mut stream) {
+    let telemetry = &inner.telemetry;
+    let req_id = telemetry.next_request_id();
+    let start = telemetry.now_micros();
+    telemetry.in_flight.add(1);
+    serve_one(inner, &mut stream, req_id, start);
+    telemetry.in_flight.add(-1);
+}
+
+/// Record one finished exchange: RED metrics + the access-log line.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    inner: &Inner,
+    req_id: u64,
+    start: u64,
+    method: &str,
+    template: &str,
+    path: &str,
+    status: u16,
+    bytes: u64,
+) {
+    let telemetry = &inner.telemetry;
+    let micros = telemetry.now_micros().saturating_sub(start);
+    telemetry.observe_request(method, template, status, micros);
+    telemetry.log_access(req_id, method, template, path, status, bytes, micros);
+}
+
+fn serve_one(inner: &Inner, stream: &mut TcpStream, req_id: u64, start: u64) {
+    let request = match read_request(stream) {
         Ok(request) => request,
         // Parse-level rejections still get a proper HTTP answer; only a
         // dead transport (which includes the shutdown nudge connection)
         // is silently dropped.
         Err(RequestError::Malformed(message)) => {
-            let _ = Response::bad_request(&message).write_to(&mut stream);
+            let response = Response::bad_request(&message);
+            let _ = response.write_to(stream);
+            finish_request(
+                inner,
+                req_id,
+                start,
+                "-",
+                "(malformed)",
+                "-",
+                response.status(),
+                response.body_len() as u64,
+            );
             return;
         }
         Err(RequestError::TooLarge) => {
-            let _ = Response::payload_too_large().write_to(&mut stream);
+            let response = Response::payload_too_large();
+            let _ = response.write_to(stream);
+            finish_request(
+                inner,
+                req_id,
+                start,
+                "-",
+                "(too-large)",
+                "-",
+                response.status(),
+                response.body_len() as u64,
+            );
             return;
         }
         Err(RequestError::Io(_)) => return,
     };
-    // SSE is the one route that streams instead of building a Response.
+    // HEAD is GET with the body suppressed: route identically, answer
+    // with identical headers (incl. Content-Length), write no body.
+    let head_only = request.method == "HEAD";
+    let method = if head_only {
+        "GET"
+    } else {
+        request.method.as_str()
+    };
     let segments: Vec<String> = request.segments().iter().map(|s| s.to_string()).collect();
-    if request.method == "GET"
-        && segments.len() == 3
-        && segments[0] == "jobs"
-        && segments[2] == "events"
-    {
-        serve_events(inner, &segments[1], &mut stream);
+
+    // The streaming routes write their own response head and bypass the
+    // Response path entirely.
+    if method == "GET" && segments.len() == 3 && segments[0] == "jobs" && segments[2] == "events" {
+        let template = "/jobs/{id}/events";
+        let feed = segments[1]
+            .parse::<u64>()
+            .ok()
+            .and_then(|id| inner.scheduler.feed(id));
+        let status = match feed {
+            Some(feed) => {
+                if head_only {
+                    let _ = write_sse_head(stream);
+                } else {
+                    stream_feed(inner, &feed, stream);
+                }
+                200
+            }
+            None => {
+                let response = Response::not_found("no such job");
+                let _ = if head_only {
+                    response.write_head_to(stream)
+                } else {
+                    response.write_to(stream)
+                };
+                404
+            }
+        };
+        finish_request(
+            inner,
+            req_id,
+            start,
+            &request.method,
+            template,
+            &request.path,
+            status,
+            0,
+        );
         return;
     }
-    let response = route(inner, &request);
-    let _ = response.write_to(&mut stream);
+    if method == "GET"
+        && inner.config.debug_routes
+        && segments.len() == 2
+        && segments[0] == "debug"
+        && segments[1] == "hold"
+    {
+        if head_only {
+            let _ = write_sse_head(stream);
+        } else {
+            stream_feed(inner, &inner.hold, stream);
+        }
+        finish_request(
+            inner,
+            req_id,
+            start,
+            &request.method,
+            "/debug/hold",
+            &request.path,
+            200,
+            0,
+        );
+        return;
+    }
+
+    // A panicking handler answers 500 and keeps the worker; the poisoned
+    // state a panic could leave behind is confined to the survival cache
+    // mutex (whose lock already propagates the poison explicitly).
+    let (response, template) =
+        match catch_unwind(AssertUnwindSafe(|| route(inner, method, &request))) {
+            Ok(routed) => routed,
+            Err(_) => {
+                inner.telemetry.panics.inc();
+                (Response::internal_error("handler panicked"), "(panic)")
+            }
+        };
+    let written = if head_only {
+        response.write_head_to(stream).map(|_| 0u64)
+    } else {
+        response
+            .write_to(stream)
+            .map(|_| response.body_len() as u64)
+    };
+    finish_request(
+        inner,
+        req_id,
+        start,
+        &request.method,
+        template,
+        &request.path,
+        response.status(),
+        written.unwrap_or(0),
+    );
 }
 
-/// `GET /jobs/{id}/events`: replay + follow the job's SSE feed.
-fn serve_events(inner: &Inner, id: &str, stream: &mut TcpStream) {
-    let feed = id
-        .parse::<u64>()
-        .ok()
-        .and_then(|id| inner.scheduler.feed(id));
-    match feed {
-        Some(feed) => {
-            if write_sse_head(stream).is_ok() {
-                let _ = feed.stream_to(stream, inner.scheduler.shutdown_flag());
-            }
-        }
-        None => {
-            let _ = Response::not_found("no such job").write_to(stream);
-        }
+/// Stream an SSE feed to a subscriber, counting a dropped peer.
+fn stream_feed(inner: &Inner, feed: &Feed, stream: &mut TcpStream) {
+    if write_sse_head(stream).is_err() {
+        inner.telemetry.sse_dropped.inc();
+        return;
+    }
+    if feed
+        .stream_to(
+            stream,
+            inner.scheduler.shutdown_flag(),
+            inner.config.sse_keepalive,
+        )
+        .is_err()
+    {
+        inner.telemetry.sse_dropped.inc();
     }
 }
 
-fn route(inner: &Inner, request: &Request) -> Response {
+/// Dispatch one request. Returns the response together with the route
+/// *template* used as the bounded-cardinality telemetry label. `method`
+/// is the effective method — `HEAD` arrives here as `GET`.
+fn route(inner: &Inner, method: &str, request: &Request) -> (Response, &'static str) {
     let segments = request.segments();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", []) => index(),
-        ("GET", ["healthz"]) => healthz(inner),
-        ("GET", ["version"]) => version(),
-        ("POST", ["jobs"]) => submit_job(inner, request),
+    match (method, segments.as_slice()) {
+        ("GET", []) => (index(), "/"),
+        ("GET", ["healthz"]) => (healthz(inner), "/healthz"),
+        ("GET", ["version"]) => (version(), "/version"),
+        ("POST", ["jobs"]) => (submit_job(inner, request), "/jobs"),
         ("GET", ["jobs"]) => {
             let jobs: Vec<serde_json::Value> =
                 inner.scheduler.jobs().iter().map(|j| j.to_json()).collect();
-            Response::json(serde_json::json!({ "jobs": jobs }).to_string())
+            (
+                Response::json(serde_json::json!({ "jobs": jobs }).to_string()),
+                "/jobs",
+            )
         }
-        ("GET", ["jobs", id]) => match id
-            .parse::<u64>()
-            .ok()
-            .and_then(|id| inner.scheduler.job(id))
-        {
-            Some(view) => Response::json(view.to_json().to_string()),
-            None => Response::not_found("no such job"),
-        },
-        ("GET", ["metrics"]) => artifact(inner, request, "metrics.json", "application/json"),
-        ("GET", ["ledger"]) => ledger(inner, request),
-        ("GET", ["exhibits"]) => exhibit_list(inner, request),
-        ("GET", ["exhibits", id]) => exhibit(inner, request, id),
-        ("GET", ["countries", cc]) => country(inner, request, cc),
-        ("GET", ["survival"]) => survival(inner, request),
-        ("POST", _) | ("GET", _) => Response::not_found("no such route"),
-        _ => Response::method_not_allowed(),
+        ("GET", ["jobs", id]) => (
+            match id
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| inner.scheduler.job(id))
+            {
+                Some(view) => Response::json(view.to_json().to_string()),
+                None => Response::not_found("no such job"),
+            },
+            "/jobs/{id}",
+        ),
+        ("GET", ["metrics"]) => (
+            artifact(inner, request, "metrics.json", "application/json"),
+            "/metrics",
+        ),
+        ("GET", ["metrics.prom"]) => (metrics_prom(inner), "/metrics.prom"),
+        ("GET", ["debug", "telemetry"]) => (debug_telemetry(inner), "/debug/telemetry"),
+        ("GET", ["debug", "panic"]) if inner.config.debug_routes => {
+            panic!("deliberate panic from the /debug/panic test route")
+        }
+        ("GET", ["ledger"]) => (ledger(inner, request), "/ledger"),
+        ("GET", ["exhibits"]) => (exhibit_list(inner, request), "/exhibits"),
+        ("GET", ["exhibits", id]) => (exhibit(inner, request, id), "/exhibits/{id}"),
+        ("GET", ["countries", cc]) => (country(inner, request, cc), "/countries/{cc}"),
+        ("GET", ["survival"]) => (survival(inner, request), "/survival"),
+        ("POST", _) | ("GET", _) => (Response::not_found("no such route"), "(unmatched)"),
+        _ => (Response::method_not_allowed(), "(method)"),
     }
 }
 
 fn index() -> Response {
     Response::text(
-        "bb-serve: POST /jobs; GET /jobs /jobs/{id} /jobs/{id}/events /metrics /ledger \
-         /exhibits /exhibits/{id} /countries/{cc} /survival /healthz /version\n",
+        "bb-serve: POST /jobs; GET /jobs /jobs/{id} /jobs/{id}/events /metrics /metrics.prom \
+         /debug/telemetry /ledger /exhibits /exhibits/{id} /countries/{cc} /survival /healthz \
+         /version\n",
     )
 }
 
 fn healthz(inner: &Inner) -> Response {
+    let telemetry = &inner.telemetry;
     Response::json(
         serde_json::json!({
             "status": "ok",
             "jobs": inner.scheduler.job_count(),
+            "uptime_secs": telemetry.registry().uptime_secs(),
+            "in_flight": telemetry.in_flight.get(),
+            "queue_depth": telemetry.queue_depth.get(),
             "cache": serde_json::json!({
                 "hits": inner.scheduler.cache_hits(),
                 "misses": inner.scheduler.cache_misses(),
@@ -256,6 +464,21 @@ fn healthz(inner: &Inner) -> Response {
         })
         .to_string(),
     )
+}
+
+/// `GET /metrics.prom`: the live registry in Prometheus text format.
+/// Deliberately a different path from `/metrics`, which serves the
+/// byte-identical batch artifact — the two must never mix.
+fn metrics_prom(inner: &Inner) -> Response {
+    Response::ok(
+        "text/plain; version=0.0.4; charset=utf-8",
+        inner.telemetry.registry().to_prometheus(),
+    )
+}
+
+/// `GET /debug/telemetry`: everything, including ring-buffer windows.
+fn debug_telemetry(inner: &Inner) -> Response {
+    Response::json(inner.telemetry.registry().to_json())
 }
 
 fn version() -> Response {

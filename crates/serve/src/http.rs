@@ -24,8 +24,8 @@ pub enum RequestError {
     /// Syntactically invalid request (bad request line, garbage
     /// `Content-Length`, ...) — answer 400.
     Malformed(String),
-    /// Declared body length exceeds [`MAX_BODY`] — answer 413. Raised
-    /// from the header alone, before any allocation.
+    /// Declared body length exceeds `MAX_BODY` (1 MiB) — answer 413.
+    /// Raised from the header alone, before any allocation.
     TooLarge,
     /// Transport failure mid-read; there is nobody to answer.
     Io(io::Error),
@@ -243,6 +243,25 @@ impl Response {
         }
     }
 
+    /// 500 with a plain-text reason (e.g. a caught handler panic).
+    pub fn internal_error(msg: &str) -> Self {
+        Response {
+            status: 500,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body length in bytes (what `Content-Length` will declare).
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
     /// The reason phrase for this status.
     fn reason(&self) -> &'static str {
         match self.status {
@@ -256,17 +275,30 @@ impl Response {
         }
     }
 
-    /// Serialise onto `stream` and flush.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let head = format!(
+    /// The status line + headers, with the `Content-Length` the full
+    /// response would carry.
+    fn head(&self) -> String {
+        format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
-        );
-        stream.write_all(head.as_bytes())?;
+        )
+    }
+
+    /// Serialise onto `stream` and flush.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        stream.write_all(self.head().as_bytes())?;
         stream.write_all(&self.body)?;
+        stream.flush()
+    }
+
+    /// Serialise the head only — the `HEAD` answer to a `GET` route:
+    /// identical status and headers (including the `Content-Length` the
+    /// body *would* have), no body bytes.
+    pub fn write_head_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        stream.write_all(self.head().as_bytes())?;
         stream.flush()
     }
 }
@@ -291,18 +323,47 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// A pool of `size` workers (at least 1).
     pub fn new(size: usize) -> Self {
+        Self::instrumented(size, None, None)
+    }
+
+    /// A pool whose workers maintain a busy gauge and survive panicking
+    /// jobs. A panic that escapes a job is caught at the worker loop (a
+    /// backstop — handlers catch their own panics to answer 500, but a
+    /// panic anywhere else must not shrink the pool permanently), counted
+    /// into `panics`, and the worker returns to the queue.
+    pub fn instrumented(
+        size: usize,
+        busy: Option<Arc<bb_trace::telemetry::Gauge>>,
+        panics: Option<Arc<bb_trace::telemetry::Counter>>,
+    ) -> Self {
         let (sender, receiver) = mpsc::channel::<Box<dyn FnOnce() + Send>>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..size.max(1))
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
+                let busy = busy.clone();
+                let panics = panics.clone();
                 thread::spawn(move || loop {
                     let job = match receiver.lock() {
                         Ok(rx) => rx.recv(),
                         Err(_) => return,
                     };
                     match job {
-                        Ok(job) => job(),
+                        Ok(job) => {
+                            if let Some(busy) = &busy {
+                                busy.add(1);
+                            }
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if let Some(busy) = &busy {
+                                busy.add(-1);
+                            }
+                            if outcome.is_err() {
+                                if let Some(panics) = &panics {
+                                    panics.inc();
+                                }
+                            }
+                        }
                         Err(_) => return, // channel closed: pool dropped
                     }
                 })
@@ -445,5 +506,28 @@ mod tests {
         }
         drop(pool); // joins after draining
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn pool_workers_survive_panicking_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let panics = Arc::new(bb_trace::telemetry::Counter::default());
+        let done = Arc::new(AtomicUsize::new(0));
+        // 2 workers, 4 panicking jobs: without the catch, both workers
+        // would be dead after two jobs and the remaining work would hang
+        // the drop-join forever.
+        let pool = ThreadPool::instrumented(2, None, Some(Arc::clone(&panics)));
+        for i in 0..8 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("injected test panic");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 4, "surviving jobs all ran");
+        assert_eq!(panics.get(), 4, "every panic was counted");
     }
 }

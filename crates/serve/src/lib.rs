@@ -21,9 +21,14 @@
 //! * [`scheduler`] — the job queue and worker;
 //! * [`runner`] — one job = one checkpointed streaming run, assembled
 //!   from the exact code paths the batch CLI uses;
+//! * [`telemetry`] — the live instrumentation surface: per-route RED
+//!   metrics, gauges, job/cache series, the JSONL access log. Rendered
+//!   at `/metrics.prom` (Prometheus) and `/debug/telemetry` (JSON);
+//!   strictly separate from the byte-identical artifacts;
 //! * [`gateway`] — the routes: `/jobs`, `/jobs/{id}/events` (SSE),
-//!   `/metrics`, `/ledger`, `/exhibits/{id}`, `/countries/{cc}`,
-//!   `/survival`, `/healthz`, `/version`.
+//!   `/metrics`, `/metrics.prom`, `/debug/telemetry`, `/ledger`,
+//!   `/exhibits/{id}`, `/countries/{cc}`, `/survival`, `/healthz`,
+//!   `/version`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,8 +39,10 @@ pub mod http;
 pub mod runner;
 pub mod scheduler;
 pub mod sse;
+pub mod telemetry;
 
 pub use cache::ResultCache;
 pub use gateway::{Server, ServerConfig};
 pub use runner::JobSpec;
 pub use scheduler::{JobState, JobView, Scheduler};
+pub use telemetry::ServeTelemetry;

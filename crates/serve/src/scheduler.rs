@@ -17,6 +17,7 @@
 use crate::cache::{cache_key, ResultCache};
 use crate::runner::{self, JobHooks, JobSpec, RunParams};
 use crate::sse::Feed;
+use crate::telemetry::ServeTelemetry;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,6 +103,7 @@ struct Shared {
     run: RunParams,
     checkpoints: PathBuf,
     shutdown: AtomicBool,
+    telemetry: Arc<ServeTelemetry>,
 }
 
 /// The scheduler: a queue, a cache, and one worker thread.
@@ -112,8 +114,15 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Start the worker. `cache_dir` holds both the result cache and
-    /// the per-job checkpoint directories.
-    pub fn start(cache_dir: impl Into<PathBuf>, run: RunParams) -> Self {
+    /// the per-job checkpoint directories. `telemetry` receives the
+    /// queue-depth gauge, job wall-time histogram, cache outcome
+    /// series, and shard-progress gauge — none of which ever touch the
+    /// job's artifact bytes.
+    pub fn start(
+        cache_dir: impl Into<PathBuf>,
+        run: RunParams,
+        telemetry: Arc<ServeTelemetry>,
+    ) -> Self {
         let cache_dir = cache_dir.into();
         let shared = Arc::new(Shared {
             table: Mutex::new(JobTable::default()),
@@ -122,6 +131,7 @@ impl Scheduler {
             run,
             checkpoints: cache_dir.join("checkpoints"),
             shutdown: AtomicBool::new(false),
+            telemetry,
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -159,6 +169,7 @@ impl Scheduler {
         let index = table.jobs.len() - 1;
         table.queue.push_back(index);
         drop(table);
+        self.shared.telemetry.queue_depth.add(1);
         self.shared.wake.notify_all();
         id
     }
@@ -277,6 +288,9 @@ fn worker_loop(shared: &Shared) {
                 table = shared.wake.wait(table).expect("job table");
             }
         };
+        let telemetry = &shared.telemetry;
+        telemetry.queue_depth.add(-1);
+        let job_start = telemetry.now_micros();
         let (spec, key) = {
             let table = shared.table.lock().expect("job table");
             (
@@ -285,14 +299,27 @@ fn worker_loop(shared: &Shared) {
             )
         };
         let feed = set_state(shared, index, JobState::Running);
+        // `lookup` bumps the cache's own counters; mirror the outcome
+        // into the live time series (a digest mismatch reads as a miss
+        // *and* a rejection, matching the cache's counting).
+        let rejected_before = shared.cache.rejected();
         let outcome = match shared.cache.lookup(key) {
-            Some(files) => Ok((files, true)),
+            Some(files) => {
+                telemetry.cache_hit();
+                Ok((files, true))
+            }
             None => {
+                if shared.cache.rejected() > rejected_before {
+                    telemetry.cache_rejection();
+                }
+                telemetry.cache_miss();
                 let checkpoint_dir = shared.checkpoints.join(format!("{key:016x}"));
                 let hooks = JobHooks {
                     progress: Some({
                         let feed = Arc::clone(&feed);
+                        let shards_done = Arc::clone(&telemetry.shards_done);
                         Arc::new(move |p: bb_engine::ShardProgress| {
+                            shards_done.set(p.done as i64);
                             feed.push(
                                 "shard",
                                 &format!(
@@ -321,8 +348,13 @@ fn worker_loop(shared: &Shared) {
                 )
             }
         };
+        telemetry
+            .job_wall_us
+            .observe(telemetry.now_micros() - job_start);
+        telemetry.shards_done.set(0);
         match outcome {
             Ok((files, from_cache)) => {
+                telemetry.jobs_completed.inc();
                 let mut table = shared.table.lock().expect("job table");
                 let record = &mut table.jobs[index];
                 record.view.state = JobState::Done;
@@ -338,6 +370,7 @@ fn worker_loop(shared: &Shared) {
                 );
             }
             Err(message) => {
+                telemetry.jobs_failed.inc();
                 let mut table = shared.table.lock().expect("job table");
                 let record = &mut table.jobs[index];
                 record.view.state = JobState::Failed;

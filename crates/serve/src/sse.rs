@@ -11,9 +11,11 @@
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long a blocked reader sleeps between shutdown-flag checks.
+/// How long a blocked reader sleeps between shutdown-flag checks. Also
+/// the granularity of keepalive emission: an idle stream's keepalive
+/// frame arrives within one slice of the configured interval.
 const WAIT_SLICE: Duration = Duration::from_millis(100);
 
 /// A replayable SSE frame log.
@@ -72,15 +74,30 @@ impl Feed {
 
     /// Stream the feed to `out`: full replay from the first frame, then
     /// live frames as they arrive, returning once the feed is closed
-    /// and drained (or `shutdown` is set, or the peer goes away).
-    pub fn stream_to(&self, out: &mut impl Write, shutdown: &AtomicBool) -> io::Result<()> {
+    /// and drained (or `shutdown` is set, or the peer goes away — an
+    /// `Err` return means the subscriber dropped mid-stream).
+    ///
+    /// Whenever nothing has been written for `keepalive`, a
+    /// `: keepalive` SSE comment frame is emitted. Clients ignore
+    /// comments, but the write keeps intermediaries from timing the
+    /// stream out and — because writing to a dead peer fails — turns a
+    /// silently vanished subscriber into an `Err` within roughly one
+    /// keepalive interval instead of holding the connection forever.
+    pub fn stream_to(
+        &self,
+        out: &mut impl Write,
+        shutdown: &AtomicBool,
+        keepalive: Duration,
+    ) -> io::Result<()> {
         let mut next = 0usize;
+        let mut last_write = Instant::now();
         loop {
             let (chunk, closed) = {
                 let mut state = self.state.lock().expect("feed lock");
                 while state.frames.len() == next
                     && !state.closed
                     && !shutdown.load(Ordering::Relaxed)
+                    && last_write.elapsed() < keepalive
                 {
                     let (next_state, _) = self
                         .cond
@@ -94,6 +111,14 @@ impl Feed {
                 next += chunk.matches("\n\n").count();
                 out.write_all(chunk.as_bytes())?;
                 out.flush()?;
+                last_write = Instant::now();
+            } else if !closed
+                && !shutdown.load(Ordering::Relaxed)
+                && last_write.elapsed() >= keepalive
+            {
+                out.write_all(b": keepalive\n\n")?;
+                out.flush()?;
+                last_write = Instant::now();
             }
             if closed || shutdown.load(Ordering::Relaxed) {
                 return Ok(());
@@ -121,7 +146,8 @@ mod tests {
         };
         let mut out = Vec::new();
         let shutdown = AtomicBool::new(false);
-        feed.stream_to(&mut out, &shutdown).unwrap();
+        feed.stream_to(&mut out, &shutdown, Duration::from_secs(3600))
+            .unwrap();
         writer.join().unwrap();
         let text = String::from_utf8(out).unwrap();
         // Full replay: the frames pushed before the reader attached are
@@ -145,7 +171,8 @@ mod tests {
             let (feed, shutdown) = (Arc::clone(&feed), Arc::clone(&shutdown));
             std::thread::spawn(move || {
                 let mut out = Vec::new();
-                feed.stream_to(&mut out, &shutdown).unwrap();
+                feed.stream_to(&mut out, &shutdown, Duration::from_secs(3600))
+                    .unwrap();
                 out
             })
         };
@@ -153,5 +180,29 @@ mod tests {
         shutdown.store(true, Ordering::Relaxed);
         let out = reader.join().unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn idle_streams_emit_keepalive_comment_frames() {
+        let feed = Arc::new(Feed::new());
+        feed.push("status", "{\"state\": \"running\"}");
+        let closer = {
+            let feed = Arc::clone(&feed);
+            std::thread::spawn(move || {
+                // Long enough for at least one WAIT_SLICE-granular
+                // keepalive at a 1ms interval, generous for slow CI.
+                std::thread::sleep(Duration::from_millis(400));
+                feed.finish("done", "{}");
+            })
+        };
+        let mut out = Vec::new();
+        let shutdown = AtomicBool::new(false);
+        feed.stream_to(&mut out, &shutdown, Duration::from_millis(1))
+            .unwrap();
+        closer.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(": keepalive\n\n"), "{text}");
+        assert!(text.contains("event: status"), "{text}");
+        assert!(text.trim_end().ends_with("data: {}"), "{text}");
     }
 }

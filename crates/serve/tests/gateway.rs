@@ -20,7 +20,13 @@ fn tmpdir(name: &str) -> PathBuf {
 /// Start a server over a tiny world so jobs finish in well under a
 /// second even in debug builds.
 fn small_server(cache_dir: &Path) -> Server {
-    Server::start(ServerConfig {
+    small_server_with(cache_dir, |_| {})
+}
+
+/// Like [`small_server`], with a config tweak (debug routes, access
+/// log, keepalive interval).
+fn small_server_with(cache_dir: &Path, tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut config = ServerConfig {
         port: 0,
         cache_dir: cache_dir.to_path_buf(),
         days: 1,
@@ -28,8 +34,12 @@ fn small_server(cache_dir: &Path) -> Server {
         plan: ShardPlan::new(3, 1),
         default_seed: 20141105,
         default_users: 250,
-    })
-    .expect("bind an ephemeral port")
+        access_log: None,
+        sse_keepalive: std::time::Duration::from_secs(10),
+        debug_routes: false,
+    };
+    tweak(&mut config);
+    Server::start(config).expect("bind an ephemeral port")
 }
 
 /// Minimal HTTP/1.1 client. Responses use `Connection: close`, so the

@@ -20,6 +20,11 @@
 //!   exportable to Chrome trace-event JSON (`--chrome-trace`). Plan- and
 //!   machine-dependent by nature, written to separate sidecars and never
 //!   mixed into the deterministic registry or ledger.
+//! - [`Telemetry`]: the **live service** half — concurrent atomic
+//!   counters, gauges, log₂ latency histograms and per-second ring-buffer
+//!   time series for the gateway, rendered as Prometheus text exposition
+//!   or a JSON snapshot. Wall-clock-dependent by definition and therefore
+//!   never written into any byte-identical artifact.
 //!
 //! [`Log2Histogram`] lives here (re-exported by `bb-engine` for
 //! compatibility) because both halves and the engine's sketch layer
@@ -33,9 +38,14 @@ pub mod hist;
 pub mod intern;
 pub mod registry;
 pub mod span;
+pub mod telemetry;
 
 pub use event::{Event, EventBuilder, EventLog, EventTail, Value};
 pub use hist::Log2Histogram;
 pub use intern::intern;
 pub use registry::Registry;
 pub use span::{SpanGuard, SpanNode, SpanStats, Timings};
+pub use telemetry::{
+    AtomicLog2Histogram, Clock, Counter, FakeClock, Gauge, MetricId, SystemClock, Telemetry,
+    TimeSeries,
+};

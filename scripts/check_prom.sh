@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Validate a Prometheus text-exposition scrape (and, given a second
+# scrape, that counters moved monotonically between them).
+#
+# Checks, per scrape:
+#   - every line is a comment (`# ...`) or a sample
+#     `name[{labels}] value` with a parseable float value;
+#   - every sample's family has a preceding `# TYPE family kind` line;
+#   - every histogram family has `_bucket` samples whose cumulative
+#     counts are non-decreasing in `le` order, an `le="+Inf"` bucket,
+#     and `_sum`/`_count` samples with `+Inf == _count`.
+#
+# With two files:
+#   - every counter-family sample present in the first scrape is present
+#     in the second with a value >= the first (counters never go down).
+#
+# Usage: scripts/check_prom.sh SCRAPE1 [SCRAPE2]
+set -euo pipefail
+
+if [ "$#" -lt 1 ] || [ "$#" -gt 2 ]; then
+    echo "usage: $0 SCRAPE1 [SCRAPE2]" >&2
+    exit 2
+fi
+
+python3 - "$@" <<'PY'
+import re
+import sys
+
+SAMPLE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (-?[0-9.+eE]+|[+-]Inf|NaN)$')
+TYPE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$')
+
+
+def parse(path):
+    """-> (samples {(name, labels) -> float}, types {family -> kind})"""
+    samples, types = {}, {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip('\n')
+            if not line:
+                continue
+            if line.startswith('#'):
+                m = TYPE.match(line)
+                if m:
+                    if m.group(1) in types:
+                        sys.exit(f'{path}:{lineno}: duplicate # TYPE for {m.group(1)!r}')
+                    types[m.group(1)] = m.group(2)
+                elif not line.startswith('# '):
+                    sys.exit(f'{path}:{lineno}: malformed comment: {line!r}')
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                sys.exit(f'{path}:{lineno}: malformed sample line: {line!r}')
+            name, labels, value = m.group(1), m.group(2) or '', m.group(3)
+            key = (name, labels)
+            if key in samples:
+                sys.exit(f'{path}:{lineno}: duplicate sample: {line!r}')
+            samples[key] = float(value.replace('Inf', 'inf'))
+    return samples, types
+
+
+def family_of(name, types):
+    """Map a sample name to its TYPE family (histograms expose
+    family_bucket/_sum/_count under a `# TYPE family histogram`)."""
+    if name in types:
+        return name
+    for suffix in ('_bucket', '_sum', '_count'):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(path):
+    samples, types = parse(path)
+    if not samples:
+        sys.exit(f'{path}: no samples at all')
+    for (name, labels) in samples:
+        if family_of(name, types) is None:
+            sys.exit(f'{path}: sample {name!r} has no # TYPE line')
+    # Histogram structure: group buckets by (family, labels-minus-le).
+    def series_key(labels):
+        inner = labels.strip('{}')
+        pairs = re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"', inner)
+        return ','.join(sorted(p for p in pairs if not p.startswith('le=')))
+
+    hists = {}
+    for (name, labels), value in samples.items():
+        family = family_of(name, types)
+        if types.get(family) != 'histogram':
+            continue
+        series = series_key(labels)
+        kind = name[len(family):]
+        if kind == '_bucket':
+            m = re.search(r'le="([^"]*)"', labels)
+            if not m:
+                sys.exit(f'{path}: bucket without le label: {name}{labels}')
+            le = float('inf') if m.group(1) == '+Inf' else float(m.group(1))
+            hists.setdefault((family, series), {}).setdefault('buckets', []).append((le, value))
+        else:
+            hists.setdefault((family, series), {})[kind] = value
+    for (family, series), parts in hists.items():
+        where = f'{path}: histogram {family}{series or ""}'
+        buckets = sorted(parts.get('buckets', []))
+        if not buckets:
+            sys.exit(f'{where}: no _bucket samples')
+        if buckets[-1][0] != float('inf'):
+            sys.exit(f'{where}: no le="+Inf" bucket')
+        counts = [c for _, c in buckets]
+        if counts != sorted(counts):
+            sys.exit(f'{where}: cumulative bucket counts decrease: {buckets}')
+        if '_count' not in parts or '_sum' not in parts:
+            sys.exit(f'{where}: missing _sum or _count')
+        if buckets[-1][1] != parts['_count']:
+            sys.exit(f'{where}: +Inf bucket {buckets[-1][1]} != _count {parts["_count"]}')
+    return samples, types
+
+
+first, types1 = check(sys.argv[1])
+print(f'{sys.argv[1]}: well-formed ({len(first)} samples)')
+
+if len(sys.argv) > 2:
+    second, _ = check(sys.argv[2])
+    print(f'{sys.argv[2]}: well-formed ({len(second)} samples)')
+    regressions = []
+    for key, before in first.items():
+        name, labels = key
+        family = family_of(name, types1)
+        # Counter families and histogram bucket/sum/count samples are
+        # all monotone; gauges are not.
+        if types1.get(family) not in ('counter', 'histogram'):
+            continue
+        after = second.get(key)
+        if after is None:
+            regressions.append(f'{name}{labels}: vanished between scrapes')
+        elif after < before:
+            regressions.append(f'{name}{labels}: {before} -> {after}')
+    if regressions:
+        sys.exit('counters went backwards:\n  ' + '\n  '.join(regressions))
+    print('monotonicity: ok')
+PY
