@@ -62,6 +62,8 @@ use std::path::{Path, PathBuf};
 const USAGE: &str = "\
 usage: reproduce [options]
        reproduce serve [serve options]
+       reproduce coordinator [coordinator options]
+       reproduce worker --connect ADDR [worker options]
 
 Regenerates the paper's tables and figures from the synthetic world.
 
@@ -139,6 +141,44 @@ the same parameters):
                   (Prometheus text) and GET /debug/telemetry (JSON)
   --quiet         suppress startup lines on stderr
   -h, --help      print this help
+
+coordinator options (reproduce coordinator: serve shard leases to
+`reproduce worker` processes over TCP and merge their snapshot-encoded
+partials in shard order; metrics.json, the ledger, and every exhibit
+are byte-identical to a single-process `reproduce --users` run of the
+same seed/users/days/fcc/chaos — the bound address is printed on stdout
+as 'bb-federate coordinator listening on HOST:PORT'):
+  --listen ADDR   TCP bind address (default 127.0.0.1:0 = ephemeral)
+  --users U       stream ~U users; at least 1 (default 2000)
+  --workers K     expected worker count; only sets the default shard
+                  count (K*4 oversubscription); at least 1 (default 2)
+  --shards S      shard count; at least 1 (default: workers*4)
+  --seed S        world seed (default: the pinned reproduction seed)
+  --days D        observation window in days; at least 1 (default 7)
+  --fcc N         US-only FCC gateway cohort size (default 600)
+  --chaos NAME    degraded-collection scenario (see the batch options)
+  --severity S    chaos severity in [0, 1] (default 0.5)
+  --lease-timeout SECS
+                  reassign a leased shard after SECS without a result
+                  or heartbeat; at least 1 (default 30)
+  --out DIR       output directory for exhibits (default: results)
+  --metrics PATH  write the merged metrics registry to PATH plus a
+                  federation .runtime.json sidecar (workers,
+                  reassignments, rejections — process-dependent)
+  --ledger PATH   write the provenance event log as JSONL to PATH
+  --quiet         suppress progress lines on stderr
+  -h, --help      print this help
+
+worker options (reproduce worker: claim shard ranges from a
+coordinator, compute them with the same per-range fold the in-process
+path uses, stream the partials back; run as many workers as you like):
+  --connect ADDR  coordinator address (required; HOST:PORT from the
+                  coordinator's stdout line)
+  --die-on-assign N
+                  crash-injection test hook: abort without a result on
+                  receiving the Nth shard assignment (N at least 1)
+  --quiet         suppress progress lines on stderr
+  -h, --help      print this help
 ";
 
 /// Exit code of the `--fail-after-shard` injected crash: distinguishable
@@ -157,6 +197,45 @@ macro_rules! progress {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("coordinator") => {
+            match CoordinatorCli::try_parse(argv.into_iter().skip(1)) {
+                Ok(None) => print!("{USAGE}"),
+                Ok(Some(args)) => {
+                    if let Err(err) = bb_bench::federation::run_coordinator(&args) {
+                        eprintln!("reproduce: coordinator: {err}");
+                        std::process::exit(1);
+                    }
+                }
+                Err(err) => {
+                    eprint!("reproduce: {err}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        Some("worker") => {
+            match WorkerCli::try_parse(argv.into_iter().skip(1)) {
+                Ok(None) => print!("{USAGE}"),
+                Ok(Some(args)) => {
+                    if let Err(err) = bb_bench::federation::run_worker_process(
+                        &args.connect,
+                        args.die_on_assign,
+                        args.quiet,
+                    ) {
+                        eprintln!("reproduce: worker: {err}");
+                        std::process::exit(1);
+                    }
+                }
+                Err(err) => {
+                    eprint!("reproduce: {err}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
     if argv.first().map(String::as_str) == Some("serve") {
         match ServeArgs::try_parse(argv.into_iter().skip(1)) {
             Ok(None) => {
@@ -558,6 +637,156 @@ impl ServeArgs {
             }
         }
         Ok(Some(args))
+    }
+}
+
+/// Parser for the `coordinator` subcommand. Produces the federation
+/// module's argument struct directly.
+struct CoordinatorCli;
+
+impl CoordinatorCli {
+    /// Parse the flags after `coordinator`. `Ok(None)` means `--help`.
+    fn try_parse(
+        mut it: impl Iterator<Item = String>,
+    ) -> Result<Option<bb_bench::federation::CoordinatorArgs>, String> {
+        let mut listen = String::from("127.0.0.1:0");
+        let mut seed = REPRO_SEED;
+        let mut users: u64 = 2000;
+        let mut days = WorldConfig::paper_scale(0).days;
+        let mut fcc_users = WorldConfig::paper_scale(0).fcc_users;
+        let mut workers: usize = 2;
+        let mut shards: Option<usize> = None;
+        let mut chaos: Option<ChaosScenario> = None;
+        let mut severity: Option<f64> = None;
+        let mut lease_secs: u64 = 30;
+        let mut out = PathBuf::from("results");
+        let mut metrics = None;
+        let mut ledger = None;
+        let mut quiet = false;
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--listen" => {
+                    listen = take(&mut it, &flag)?;
+                    if listen.is_empty() {
+                        return Err("--listen must not be empty".into());
+                    }
+                }
+                "--seed" => seed = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--users" => {
+                    users = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if users == 0 {
+                        return Err("--users must be at least 1".into());
+                    }
+                }
+                "--days" => {
+                    days = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if days == 0 {
+                        return Err("--days must be at least 1".into());
+                    }
+                }
+                "--fcc" => fcc_users = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--workers" => {
+                    workers = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if workers == 0 {
+                        return Err("--workers must be at least 1".into());
+                    }
+                }
+                "--shards" => {
+                    let n: usize = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    shards = Some(n);
+                }
+                "--chaos" => {
+                    let name = take(&mut it, &flag)?;
+                    chaos = Some(ChaosScenario::parse(&name).ok_or_else(|| {
+                        let known: Vec<&str> =
+                            ChaosScenario::ALL.iter().map(|s| s.name()).collect();
+                        format!("--chaos takes one of {}, got {name:?}", known.join(", "))
+                    })?);
+                }
+                "--severity" => {
+                    let s: f64 = num(&flag, &take(&mut it, &flag)?, "a number in [0, 1]")?;
+                    if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                        return Err(format!("--severity must be in [0, 1], got {s}"));
+                    }
+                    severity = Some(s);
+                }
+                "--lease-timeout" => {
+                    lease_secs = num(&flag, &take(&mut it, &flag)?, "a whole number of seconds")?;
+                    if lease_secs == 0 {
+                        return Err("--lease-timeout must be at least 1".into());
+                    }
+                }
+                "--out" => out = PathBuf::from(take(&mut it, &flag)?),
+                "--metrics" => metrics = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--ledger" => ledger = Some(PathBuf::from(take(&mut it, &flag)?)),
+                "--quiet" => quiet = true,
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown coordinator flag {other:?}")),
+            }
+        }
+        if severity.is_some() && chaos.is_none() {
+            return Err("--severity requires --chaos NAME".into());
+        }
+        Ok(Some(bb_bench::federation::CoordinatorArgs {
+            listen,
+            seed,
+            users,
+            days,
+            fcc_users,
+            shards: shards.unwrap_or(workers * 4),
+            chaos: chaos.map(|scenario| ChaosSpec::new(scenario, severity.unwrap_or(0.5))),
+            out,
+            metrics,
+            ledger,
+            lease_timeout: std::time::Duration::from_secs(lease_secs),
+            quiet,
+        }))
+    }
+}
+
+/// Configuration of the `worker` subcommand.
+struct WorkerCli {
+    connect: String,
+    die_on_assign: Option<u64>,
+    quiet: bool,
+}
+
+impl WorkerCli {
+    /// Parse the flags after `worker`. `Ok(None)` means `--help`.
+    fn try_parse(mut it: impl Iterator<Item = String>) -> Result<Option<WorkerCli>, String> {
+        let mut connect: Option<String> = None;
+        let mut die_on_assign = None;
+        let mut quiet = false;
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--connect" => {
+                    let addr = take(&mut it, &flag)?;
+                    if addr.is_empty() {
+                        return Err("--connect must not be empty".into());
+                    }
+                    connect = Some(addr);
+                }
+                "--die-on-assign" => {
+                    let n: u64 = num(&flag, &take(&mut it, &flag)?, "an assignment count")?;
+                    if n == 0 {
+                        return Err("--die-on-assign must be at least 1".into());
+                    }
+                    die_on_assign = Some(n);
+                }
+                "--quiet" => quiet = true,
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown worker flag {other:?}")),
+            }
+        }
+        let connect = connect.ok_or("worker requires --connect ADDR")?;
+        Ok(Some(WorkerCli {
+            connect,
+            die_on_assign,
+            quiet,
+        }))
     }
 }
 

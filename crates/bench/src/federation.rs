@@ -1,0 +1,348 @@
+//! The federated streaming run: coordinator and worker entry points for
+//! the `reproduce coordinator` / `reproduce worker` subcommands.
+//!
+//! `bb-federate` moves opaque shard payloads; this module fixes what a
+//! payload *is* for the reproduction harness — the snapshot encoding of
+//! one shard's `(StreamStudy, Registry)` partial, computed by
+//! [`World::stream_shard`], the exact per-range body every in-process
+//! streaming fold uses. The coordinator decodes the payloads, folds
+//! them **in shard order** (the same `acc.merge(next)` reduction as
+//! `bb_engine::run_sharded`), and then hands the merged study to the
+//! provenance/bundle code shared with `reproduce --users` and the serve
+//! gateway. Byte-identity of `metrics.json`, the ledger, and every
+//! exhibit with a single-process run therefore holds by construction —
+//! and the killed-worker battery in `crates/bench/tests/federate.rs`
+//! plus the CI `federation-smoke` job `cmp` it anyway.
+//!
+//! Process-dependent federation bookkeeping (reassignments, rejected
+//! frames, per-worker counters) goes to the `.runtime.json` sidecar and
+//! stderr — never into the deterministic artifacts, mirroring how the
+//! checkpoint layer reports.
+
+use bb_dataset::{World, WorldConfig};
+use bb_engine::{atomic_write, Mergeable, Snapshot};
+use bb_federate::{
+    run_worker, Coordinator, CoordinatorConfig, FederationReport, JobSpec, WorkerOptions,
+};
+use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
+use bb_report::bundle;
+use bb_study::{provenance, StreamStudy};
+use bb_trace::{EventLog, Registry, Telemetry};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the `reproduce coordinator` subcommand needs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorArgs {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub listen: String,
+    /// World seed.
+    pub seed: u64,
+    /// Requested (approximate) streamed user count.
+    pub users: u64,
+    /// Observation window in days.
+    pub days: u32,
+    /// US-only FCC gateway cohort size.
+    pub fcc_users: usize,
+    /// Shard count to cut the user space into.
+    pub shards: usize,
+    /// Optional degraded-collection campaign.
+    pub chaos: Option<ChaosSpec>,
+    /// Exhibit output directory.
+    pub out: PathBuf,
+    /// Optional metrics JSON path (plus `.runtime.json` sidecar).
+    pub metrics: Option<PathBuf>,
+    /// Optional provenance ledger JSONL path.
+    pub ledger: Option<PathBuf>,
+    /// Lease timeout before a silent shard is reassigned.
+    pub lease_timeout: Duration,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+/// The wire job a coordinator config implies.
+fn job_spec(args: &CoordinatorArgs, n_items: u64) -> JobSpec {
+    JobSpec {
+        seed: args.seed,
+        users: args.users,
+        days: args.days,
+        fcc_users: args.fcc_users as u64,
+        chaos_scenario: args
+            .chaos
+            .as_ref()
+            .map_or_else(|| "-".into(), |c| c.scenario.name().to_string()),
+        chaos_severity: args.chaos.as_ref().map_or(0.0, |c| c.severity),
+        n_items,
+        shards: args.shards.max(1) as u64,
+    }
+}
+
+/// Rebuild the world a [`JobSpec`] describes (worker side).
+fn job_world(job: &JobSpec) -> Result<World, String> {
+    let mut cfg = WorldConfig::streaming(
+        job.seed,
+        job.users,
+        job.days,
+        usize::try_from(job.fcc_users).map_err(|_| "fcc overflows usize".to_string())?,
+    );
+    if job.chaos_scenario != "-" {
+        let scenario = ChaosScenario::parse(&job.chaos_scenario)
+            .ok_or_else(|| format!("unknown chaos scenario {:?}", job.chaos_scenario))?;
+        if !job.chaos_severity.is_finite() || !(0.0..=1.0).contains(&job.chaos_severity) {
+            return Err(format!("severity out of range: {}", job.chaos_severity));
+        }
+        cfg.chaos = Some(ChaosSpec::new(scenario, job.chaos_severity));
+    }
+    Ok(World::new(cfg))
+}
+
+/// Run the coordinator to completion: serve shard leases, merge the
+/// validated payloads in shard order, and write the same artifact set
+/// as a single-process `reproduce --users` run.
+pub fn run_coordinator(args: &CoordinatorArgs) -> Result<(), String> {
+    let mut cfg = WorldConfig::streaming(args.seed, args.users, args.days, args.fcc_users);
+    cfg.chaos = args.chaos;
+    if let Some(spec) = &cfg.chaos {
+        progress(
+            args.quiet,
+            &format!("chaos campaign active: {}", spec.label()),
+        );
+    }
+    let world = World::new(cfg);
+    let n_items = world.n_users();
+    let job = job_spec(args, n_items);
+    let telemetry = Arc::new(Telemetry::system());
+    let mut coordinator_cfg = CoordinatorConfig::new(job);
+    coordinator_cfg.lease_timeout = args.lease_timeout;
+    let coordinator = Coordinator::bind(&args.listen, coordinator_cfg, Arc::clone(&telemetry))
+        .map_err(|e| format!("bind {}: {e}", args.listen))?;
+    let addr = coordinator
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    progress(
+        args.quiet,
+        &format!(
+            "federating {n_items} users over {} shards: seed {}, {} days, lease {:?}",
+            coordinator.shard_count(),
+            args.seed,
+            args.days,
+            args.lease_timeout
+        ),
+    );
+    // The bound address on stdout, flushed, so parents (tests, the CI
+    // smoke job) can scrape the ephemeral port — same contract as
+    // `bb-serve listening on …`.
+    println!("bb-federate coordinator listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let started = std::time::Instant::now();
+    // Forged or corrupt payloads must die here, not at merge time: a
+    // full decode is the validation.
+    let (payloads, report) = coordinator.run(|_, payload| {
+        <(StreamStudy, Registry)>::from_snapshot_str(payload)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+    report_federation(args.quiet, &report);
+
+    let mut partials = Vec::with_capacity(payloads.len());
+    for (shard, payload) in payloads.iter().enumerate() {
+        let partial = <(StreamStudy, Registry)>::from_snapshot_str(payload)
+            .map_err(|e| format!("decode merged shard {shard}: {e}"))?;
+        partials.push(partial);
+    }
+    // Identical to `run_sharded`'s in-order reduction.
+    let (study, mut registry) = partials
+        .into_iter()
+        .reduce(|mut acc, next| {
+            acc.merge(next);
+            acc
+        })
+        .ok_or("no shards to merge")?;
+    let elapsed = started.elapsed();
+    progress(
+        args.quiet,
+        &format!(
+            "merged {} users ({} Dasu / {} FCC, {} movers) from {} workers in {:.1?}",
+            study.users,
+            study.dasu_users,
+            study.fcc_users,
+            study.movers,
+            report.workers_seen,
+            elapsed
+        ),
+    );
+
+    // From here on: exactly the single-process streaming output path.
+    provenance::register_stream_metrics(&mut registry, &study);
+    let mut ledger = EventLog::new();
+    provenance::stream_provenance(&mut ledger, args.seed, &study, &registry);
+
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("create {}: {e}", args.out.display()))?;
+    write_metrics(args, &registry, &report)?;
+    write_ledger(args, &ledger)?;
+    for (name, content) in bundle::stream_exhibit_files(&study) {
+        std::fs::write(args.out.join(&name), content).map_err(|e| format!("write {name}: {e}"))?;
+    }
+    if let Some(stats) = study.population_stats() {
+        println!("# Streaming scale run\n");
+        println!("| quantity | paper | measured |");
+        println!("|---|---|---|");
+        println!("| users streamed | — | {} |", study.users);
+        println!(
+            "| median download capacity | 7.4 Mbps | {:.1} Mbps |",
+            stats.median_capacity_mbps
+        );
+        println!(
+            "| share below 1 Mbps | ~10% | {:.0}% |",
+            stats.frac_below_1mbps * 100.0
+        );
+        println!(
+            "| median latency | ~100 ms | {:.0} ms |",
+            stats.median_latency_ms
+        );
+        println!(
+            "| share with loss > 1% | ~14% | {:.1}% |",
+            stats.frac_loss_above_1pct * 100.0
+        );
+    }
+    progress(
+        args.quiet,
+        &format!("wrote federated exhibits to {}", args.out.display()),
+    );
+    Ok(())
+}
+
+/// Run one worker process against `addr` until the coordinator finishes
+/// it. Returns the number of shards computed.
+pub fn run_worker_process(
+    addr: &str,
+    die_on_assign: Option<u64>,
+    quiet: bool,
+) -> Result<u64, String> {
+    let opts = WorkerOptions {
+        die_on_assign,
+        ..WorkerOptions::default()
+    };
+    let report = run_worker(addr, &opts, |job: &JobSpec| {
+        let world = job_world(job)?;
+        let derived = world.n_users();
+        if derived != job.n_items {
+            // Refuse rather than contaminate the merge: a worker whose
+            // derivation disagrees would fold different users.
+            return Err(format!(
+                "user-count mismatch: coordinator pinned {} users, this worker derives {derived}",
+                job.n_items
+            ));
+        }
+        if !quiet {
+            eprintln!(
+                "worker: joined job seed {} ({} users, {} shards)",
+                job.seed, job.n_items, job.shards
+            );
+        }
+        Ok(move |_shard: u64, range: std::ops::Range<u64>| {
+            let partial: (StreamStudy, Registry) =
+                world.stream_shard(range, StreamStudy::new, |s, r, u| s.absorb(r, u));
+            partial.to_snapshot_string()
+        })
+    })?;
+    if !quiet {
+        eprintln!(
+            "worker {}: computed {} shard(s), coordinator finished",
+            report.worker, report.computed
+        );
+    }
+    Ok(report.computed)
+}
+
+fn progress(quiet: bool, line: &str) {
+    if !quiet {
+        eprintln!("reproduce: {line}");
+    }
+}
+
+fn report_federation(quiet: bool, report: &FederationReport) {
+    progress(
+        quiet,
+        &format!(
+            "federation: {} workers, {} reassignments, {} rejected frames, \
+             {} rejected results, {} duplicates",
+            report.workers_seen,
+            report.reassignments,
+            report.frames_rejected,
+            report.results_rejected,
+            report.duplicate_results
+        ),
+    );
+    for reason in &report.reasons {
+        progress(quiet, &format!("federation: {reason}"));
+    }
+}
+
+/// Write the plan-invariant metrics JSON plus the federation-shaped
+/// `.runtime.json` sidecar (the coordinator's analogue of the
+/// single-process scheduling sidecar: process-dependent, never merged
+/// into the byte-stable artifacts).
+fn write_metrics(
+    args: &CoordinatorArgs,
+    registry: &Registry,
+    report: &FederationReport,
+) -> Result<(), String> {
+    let Some(path) = &args.metrics else {
+        return Ok(());
+    };
+    create_parent(path)?;
+    atomic_write(path, &registry.to_json())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    let runtime = format!(
+        "{{\n  \"federation\": {{\"workers\": {}, \"reassignments\": {}, \
+         \"rejected_frames\": {}, \"rejected_results\": {}, \"duplicates\": {}}}\n}}\n",
+        report.workers_seen,
+        report.reassignments,
+        report.frames_rejected,
+        report.results_rejected,
+        report.duplicate_results
+    );
+    let sidecar = path.with_extension("runtime.json");
+    atomic_write(&sidecar, &runtime).map_err(|e| format!("write {}: {e}", sidecar.display()))?;
+    progress(
+        args.quiet,
+        &format!(
+            "wrote metrics to {} (runtime sidecar {})",
+            path.display(),
+            sidecar.display()
+        ),
+    );
+    Ok(())
+}
+
+fn write_ledger(args: &CoordinatorArgs, ledger: &EventLog) -> Result<(), String> {
+    let Some(path) = &args.ledger else {
+        return Ok(());
+    };
+    create_parent(path)?;
+    atomic_write(path, &ledger.to_jsonl()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    progress(
+        args.quiet,
+        &format!(
+            "wrote provenance ledger ({} events) to {}",
+            ledger.len(),
+            path.display()
+        ),
+    );
+    Ok(())
+}
+
+fn create_parent(path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+    }
+    Ok(())
+}

@@ -10,6 +10,8 @@
 use bb_dataset::{Dataset, World, WorldConfig};
 use std::sync::OnceLock;
 
+pub mod federation;
+
 /// The master seed of the reproduction: every published number in
 /// `EXPERIMENTS.md` comes from this seed.
 pub const REPRO_SEED: u64 = 20141105; // IMC 2014 opened on November 5.

@@ -301,20 +301,56 @@ impl World {
         let (survey, cohorts) = self.build_market();
         let total = cohorts.last().map_or(0, |c| c.end);
         let ((folded, registry), stats) = run_sharded_traced(total, plan, |_, range| {
-            let mut acc = init();
-            let mut reg = Registry::new();
-            self.shard_users_blocked(
-                range,
-                GEN_BLOCK_USERS,
-                &cohorts,
-                &mut reg,
-                &mut |record, upgrade| {
-                    absorb(&mut acc, &record, upgrade.as_ref());
-                },
-            );
-            (acc, reg)
+            self.stream_shard_with(&cohorts, range, &init, &absorb)
         });
         (survey, folded, registry, stats)
+    }
+
+    /// Compute one shard range of the streaming fold in isolation: the
+    /// same cohort layout, block walk, and per-shard [`Registry`] as
+    /// [`World::fold_users_traced`] — it is literally the same code, so
+    /// partials computed by different *processes* (the federation
+    /// workers) merge byte-identically to an in-process fold. The range
+    /// must come from the same `ShardPlan::ranges(n_users())` cut the
+    /// merging side uses.
+    pub fn stream_shard<A, I, F>(
+        &self,
+        range: std::ops::Range<u64>,
+        init: I,
+        absorb: F,
+    ) -> (A, Registry)
+    where
+        I: Fn() -> A,
+        F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>),
+    {
+        let (_, cohorts) = self.build_market();
+        self.stream_shard_with(&cohorts, range, &init, &absorb)
+    }
+
+    /// The shared per-shard body of every streaming fold entry point.
+    fn stream_shard_with<A, I, F>(
+        &self,
+        cohorts: &[Cohort<'_>],
+        range: std::ops::Range<u64>,
+        init: &I,
+        absorb: &F,
+    ) -> (A, Registry)
+    where
+        I: Fn() -> A,
+        F: Fn(&mut A, &UserRecord, Option<&UpgradeObservation>),
+    {
+        let mut acc = init();
+        let mut reg = Registry::new();
+        self.shard_users_blocked(
+            range,
+            GEN_BLOCK_USERS,
+            cohorts,
+            &mut reg,
+            &mut |record, upgrade| {
+                absorb(&mut acc, &record, upgrade.as_ref());
+            },
+        );
+        (acc, reg)
     }
 
     /// [`World::generate_with_traced`] with durable per-shard
@@ -389,18 +425,7 @@ impl World {
         let total = cohorts.last().map_or(0, |c| c.end);
         let ((folded, registry), stats, report) =
             run_sharded_checkpointed(total, plan, store, resume, hooks, |_, range| {
-                let mut acc = init();
-                let mut reg = Registry::new();
-                self.shard_users_blocked(
-                    range,
-                    GEN_BLOCK_USERS,
-                    &cohorts,
-                    &mut reg,
-                    &mut |record, upgrade| {
-                        absorb(&mut acc, &record, upgrade.as_ref());
-                    },
-                );
-                (acc, reg)
+                self.stream_shard_with(&cohorts, range, &init, &absorb)
             })?;
         Ok((survey, folded, registry, stats, report))
     }

@@ -1,0 +1,533 @@
+//! The coordinator: a lease-based shard dispatcher over TCP.
+//!
+//! The coordinator owns the authoritative shard table. Every shard is in
+//! exactly one of three states — *pending* (in the queue), *leased*
+//! (assigned to a worker, with a deadline), or *merged* (a validated
+//! payload is stored at its index). Workers only ever move shards
+//! forward; every failure path moves a shard back to *pending*:
+//!
+//! * worker disconnect (clean close, I/O error, or a rejected frame) —
+//!   all of its leases requeue immediately;
+//! * lease deadline passes with no heartbeat — the shard requeues, and
+//!   a straggler's late result is dropped as a duplicate if someone
+//!   else merged it first;
+//! * payload fails validation — the shard requeues and the sender is
+//!   dropped.
+//!
+//! Determinism does not depend on any of this machinery: payloads are
+//! stored *by shard index* and handed back in shard order once every
+//! index is filled, so the merge is a pure function of the job,
+//! identical to a single-process fold whatever the claim interleaving
+//! was.
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobSpec, Message, PROTOCOL_VERSION};
+use bb_engine::ShardPlan;
+use bb_trace::Telemetry;
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Coordinator`].
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// The job advertised to every worker.
+    pub job: JobSpec,
+    /// How long a leased shard may go without a result or heartbeat
+    /// before it is reassigned.
+    pub lease_timeout: Duration,
+    /// The sleep a [`Message::Wait`] directive suggests.
+    pub poll_ms: u64,
+}
+
+impl CoordinatorConfig {
+    /// A config with the default 30 s lease and 200 ms poll.
+    pub fn new(job: JobSpec) -> Self {
+        CoordinatorConfig {
+            job,
+            lease_timeout: Duration::from_secs(30),
+            poll_ms: 200,
+        }
+    }
+}
+
+/// What one federated run did — the federation analogue of the
+/// checkpoint layer's `CheckpointReport`: process-dependent bookkeeping
+/// that never touches the deterministic artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct FederationReport {
+    /// Workers that completed the handshake.
+    pub workers_seen: u64,
+    /// Shards handed back to the queue (disconnects, expired leases,
+    /// rejected results).
+    pub reassignments: u64,
+    /// Frames or messages that violated the protocol.
+    pub frames_rejected: u64,
+    /// Result payloads that failed validation.
+    pub results_rejected: u64,
+    /// Valid results for shards that were already merged (stragglers
+    /// finishing after a reassignment) — benign, dropped.
+    pub duplicate_results: u64,
+    /// Human-readable causes, in occurrence order.
+    pub reasons: Vec<String>,
+}
+
+/// A live lease: which worker holds the shard and until when.
+struct Lease {
+    worker: u64,
+    issued_us: u64,
+    deadline_us: u64,
+}
+
+/// The shard table plus the report being accumulated.
+struct State {
+    pending: VecDeque<usize>,
+    leases: HashMap<usize, Lease>,
+    payloads: Vec<Option<String>>,
+    remaining: usize,
+    report: FederationReport,
+    done: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cfg: CoordinatorConfig,
+    ranges: Vec<Range<u64>>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.telemetry.now_micros()
+    }
+
+    /// Move every expired lease back to the queue. Callers hold no lock.
+    fn sweep_expired(&self) {
+        let now = self.now_us();
+        let mut state = self.state.lock().expect("federation state");
+        let expired: Vec<usize> = state
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.deadline_us < now)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for shard in expired {
+            let lease = state.leases.remove(&shard).expect("swept lease");
+            state.pending.push_back(shard);
+            self.count_reassignment(
+                &mut state,
+                "lease-expired",
+                format!(
+                    "shard {shard}: lease held by worker {} expired",
+                    lease.worker
+                ),
+            );
+        }
+    }
+
+    /// Requeue every lease held by `worker` (it died or misbehaved).
+    fn drop_worker(&self, worker: u64, cause: &str) {
+        let mut state = self.state.lock().expect("federation state");
+        let held: Vec<usize> = state
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.worker == worker)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for shard in held {
+            state.leases.remove(&shard);
+            state.pending.push_back(shard);
+            self.count_reassignment(
+                &mut state,
+                "worker-lost",
+                format!("shard {shard}: worker {worker} {cause}"),
+            );
+        }
+    }
+
+    fn count_reassignment(&self, state: &mut State, reason: &'static str, detail: String) {
+        state.report.reassignments += 1;
+        state.report.reasons.push(detail);
+        self.telemetry
+            .counter_with("federate.reassignments", &[("reason", reason)])
+            .inc();
+    }
+
+    fn count_rejected_frame(&self, detail: String) {
+        let mut state = self.state.lock().expect("federation state");
+        state.report.frames_rejected += 1;
+        state.report.reasons.push(detail);
+        self.telemetry.counter("federate.frames.rejected").inc();
+    }
+
+    /// Answer a `Ready` (or a just-merged `Result`): hand out a shard,
+    /// ask the worker to poll again, or finish it.
+    fn next_directive(&self, worker: u64) -> Message {
+        self.sweep_expired();
+        let now = self.now_us();
+        let mut state = self.state.lock().expect("federation state");
+        if state.remaining == 0 {
+            return Message::Finished;
+        }
+        if let Some(shard) = state.pending.pop_front() {
+            state.leases.insert(
+                shard,
+                Lease {
+                    worker,
+                    issued_us: now,
+                    deadline_us: now + self.cfg.lease_timeout.as_micros() as u64,
+                },
+            );
+            drop(state);
+            self.telemetry
+                .counter_with(
+                    "federate.worker.assigned",
+                    &[("worker", &worker.to_string())],
+                )
+                .inc();
+            let range = &self.ranges[shard];
+            return Message::Assign {
+                shard: shard as u64,
+                start: range.start,
+                end: range.end,
+            };
+        }
+        Message::Wait {
+            poll_ms: self.cfg.poll_ms,
+        }
+    }
+
+    /// Extend the lease of a shard still being computed.
+    fn heartbeat(&self, worker: u64, shard: u64) {
+        let deadline = self.now_us() + self.cfg.lease_timeout.as_micros() as u64;
+        let mut state = self.state.lock().expect("federation state");
+        if let Some(lease) = state.leases.get_mut(&(shard as usize)) {
+            if lease.worker == worker {
+                lease.deadline_us = deadline;
+            }
+        }
+    }
+}
+
+/// What `accept_result` decided.
+enum Accepted {
+    /// Stored; the worker may continue.
+    Merged,
+    /// Someone else already merged this shard; payload dropped.
+    Duplicate,
+    /// The payload failed validation; the sender must be dropped.
+    Invalid(String),
+}
+
+/// A bound coordinator, ready to [`run`](Coordinator::run).
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and build
+    /// the shard table for `cfg.job`. Instruments register on
+    /// `telemetry`, whose clock also drives the lease deadlines.
+    pub fn bind(
+        addr: &str,
+        cfg: CoordinatorConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        let shards = usize::try_from(cfg.job.shards.max(1)).unwrap_or(1);
+        let ranges = ShardPlan::new(shards, 1).ranges(cfg.job.n_items);
+        let n = ranges.len();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: (0..n).collect(),
+                leases: HashMap::new(),
+                payloads: vec![None; n],
+                remaining: n,
+                report: FederationReport::default(),
+                done: false,
+            }),
+            cfg,
+            ranges,
+            telemetry,
+        });
+        Ok(Coordinator { listener, shared })
+    }
+
+    /// The bound address (scrape this for ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Number of shards in the table.
+    pub fn shard_count(&self) -> usize {
+        self.shared.ranges.len()
+    }
+
+    /// Accept workers until every shard has a validated payload, then
+    /// return the payloads **in shard order** plus the report.
+    ///
+    /// `validate` vets each result payload (shard index, payload text)
+    /// before it is merged; returning `Err` counts a rejection, requeues
+    /// the shard, and drops the sender. Connection threads are detached:
+    /// a worker still blocked mid-compute when the job completes
+    /// receives `Finished` on its next request.
+    pub fn run<V>(self, validate: V) -> (Vec<String>, FederationReport)
+    where
+        V: Fn(u64, &str) -> Result<(), String> + Send + Sync + 'static,
+    {
+        let validate = Arc::new(validate);
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        loop {
+            if self.shared.state.lock().expect("federation state").done {
+                break;
+            }
+            self.shared.sweep_expired();
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let validate = Arc::clone(&validate);
+                    std::thread::spawn(move || handle_connection(&shared, stream, &*validate));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut state = self.shared.state.lock().expect("federation state");
+        let payloads = state
+            .payloads
+            .iter_mut()
+            .map(|slot| slot.take().expect("merged shard payload"))
+            .collect();
+        (payloads, std::mem::take(&mut state.report))
+    }
+}
+
+/// Serve one worker connection until it finishes, dies, or misbehaves.
+fn handle_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    validate: &(dyn Fn(u64, &str) -> Result<(), String> + Send + Sync),
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: exactly one Hello with the exact protocol version.
+    let worker = match read_frame(&mut reader) {
+        Ok(text) => match Message::decode(&text) {
+            Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => {
+                let mut state = shared.state.lock().expect("federation state");
+                state.report.workers_seen += 1;
+                state.report.workers_seen
+            }
+            Ok(Message::Hello { protocol }) => {
+                shared.count_rejected_frame(format!(
+                    "handshake: unsupported protocol v{protocol} \
+                     (this coordinator speaks v{PROTOCOL_VERSION})"
+                ));
+                let reject = Message::Reject {
+                    reason: format!("unsupported protocol v{protocol}"),
+                };
+                let _ = write_frame(&mut writer, &reject.encode());
+                return;
+            }
+            Ok(other) => {
+                shared.count_rejected_frame(format!("handshake: expected Hello, got {other:?}"));
+                return;
+            }
+            Err(reason) => {
+                shared.count_rejected_frame(format!("handshake: undecodable message: {reason}"));
+                return;
+            }
+        },
+        Err(FrameError::Closed) => {
+            shared.count_rejected_frame("handshake: disconnected before Hello".into());
+            return;
+        }
+        Err(FrameError::Io(e)) => {
+            shared.count_rejected_frame(format!("handshake: i/o error: {e}"));
+            return;
+        }
+        Err(FrameError::Rejected(reason)) => {
+            shared.count_rejected_frame(format!("handshake: {reason}"));
+            return;
+        }
+    };
+    let connected = shared.telemetry.gauge("federate.workers.connected");
+    let inflight = shared.telemetry.gauge_with(
+        "federate.worker.inflight",
+        &[("worker", &worker.to_string())],
+    );
+    connected.add(1);
+    let welcome = Message::Welcome {
+        worker,
+        job: shared.cfg.job.clone(),
+    };
+    if write_frame(&mut writer, &welcome.encode()).is_err() {
+        shared.drop_worker(worker, "disconnected during welcome");
+        connected.add(-1);
+        return;
+    }
+
+    // This connection's view of how many leases the worker holds; the
+    // gauge mirrors it and is zeroed on every exit path, so a scrape
+    // can never see a phantom (or negative) in-flight count.
+    let mut outstanding: i64 = 0;
+    loop {
+        let directive = match read_frame(&mut reader) {
+            Ok(text) => match Message::decode(&text) {
+                Ok(Message::Ready { .. }) => shared.next_directive(worker),
+                Ok(Message::Heartbeat { shard, .. }) => {
+                    shared.heartbeat(worker, shard);
+                    continue; // one-way: no reply
+                }
+                Ok(Message::Result { shard, payload, .. }) => {
+                    if outstanding > 0 {
+                        outstanding -= 1;
+                        inflight.add(-1);
+                    }
+                    match accept_result(shared, worker, shard, &payload, validate) {
+                        Accepted::Merged | Accepted::Duplicate => shared.next_directive(worker),
+                        Accepted::Invalid(reason) => {
+                            let _ = write_frame(
+                                &mut writer,
+                                &Message::Reject {
+                                    reason: reason.clone(),
+                                }
+                                .encode(),
+                            );
+                            shared.drop_worker(worker, &format!("sent a bad result: {reason}"));
+                            break;
+                        }
+                    }
+                }
+                Ok(other) => {
+                    shared.count_rejected_frame(format!(
+                        "worker {worker}: unexpected message {other:?}"
+                    ));
+                    shared.drop_worker(worker, "violated the protocol");
+                    break;
+                }
+                Err(reason) => {
+                    shared.count_rejected_frame(format!("worker {worker}: undecodable: {reason}"));
+                    shared.drop_worker(worker, "sent an undecodable message");
+                    break;
+                }
+            },
+            Err(FrameError::Closed) => {
+                shared.drop_worker(worker, "disconnected");
+                break;
+            }
+            Err(FrameError::Io(e)) => {
+                shared.drop_worker(worker, &format!("i/o error: {e}"));
+                break;
+            }
+            Err(FrameError::Rejected(reason)) => {
+                shared.count_rejected_frame(format!("worker {worker}: {reason}"));
+                shared.drop_worker(worker, "sent a corrupt frame");
+                break;
+            }
+        };
+        if let Message::Assign { .. } = directive {
+            outstanding += 1;
+            inflight.add(1);
+        }
+        let finished = matches!(directive, Message::Finished);
+        if write_frame(&mut writer, &directive.encode()).is_err() {
+            shared.drop_worker(worker, "disconnected");
+            break;
+        }
+        if finished {
+            break;
+        }
+    }
+    inflight.set(0);
+    connected.add(-1);
+}
+
+/// Validate and merge one result payload.
+fn accept_result(
+    shared: &Shared,
+    worker: u64,
+    shard: u64,
+    payload: &str,
+    validate: &(dyn Fn(u64, &str) -> Result<(), String> + Send + Sync),
+) -> Accepted {
+    let index = shard as usize;
+    if index >= shared.ranges.len() {
+        return Accepted::Invalid(format!(
+            "shard {shard} out of range ({} shards)",
+            shared.ranges.len()
+        ));
+    }
+    {
+        let state = shared.state.lock().expect("federation state");
+        if state.payloads[index].is_some() {
+            drop(state);
+            return record_duplicate(shared);
+        }
+    }
+    // Validation can decode a multi-hundred-KiB snapshot: do it outside
+    // the lock, then re-check for a racing merge of the same shard.
+    if let Err(reason) = validate(shard, payload) {
+        let mut state = shared.state.lock().expect("federation state");
+        state.report.results_rejected += 1;
+        let detail = format!("shard {shard}: worker {worker} payload rejected: {reason}");
+        state.report.reasons.push(detail.clone());
+        state.leases.remove(&index);
+        if !state.pending.contains(&index) {
+            state.pending.push_back(index);
+        }
+        state.report.reassignments += 1;
+        drop(state);
+        shared.telemetry.counter("federate.results.rejected").inc();
+        shared
+            .telemetry
+            .counter_with("federate.reassignments", &[("reason", "rejected-result")])
+            .inc();
+        return Accepted::Invalid(detail);
+    }
+    let now = shared.now_us();
+    let mut state = shared.state.lock().expect("federation state");
+    if state.payloads[index].is_some() {
+        drop(state);
+        return record_duplicate(shared);
+    }
+    if let Some(lease) = state.leases.remove(&index) {
+        shared
+            .telemetry
+            .histogram("federate.shard.round_trip_us")
+            .observe(now.saturating_sub(lease.issued_us));
+    }
+    // A reassigned shard may still sit in `pending` while the original
+    // lessee finishes first; merging removes it from the queue.
+    state.pending.retain(|&p| p != index);
+    state.payloads[index] = Some(payload.to_string());
+    state.remaining -= 1;
+    if state.remaining == 0 {
+        state.done = true;
+    }
+    drop(state);
+    shared
+        .telemetry
+        .counter_with("federate.worker.merged", &[("worker", &worker.to_string())])
+        .inc();
+    Accepted::Merged
+}
+
+fn record_duplicate(shared: &Shared) -> Accepted {
+    let mut state = shared.state.lock().expect("federation state");
+    state.report.duplicate_results += 1;
+    drop(state);
+    shared.telemetry.counter("federate.results.duplicate").inc();
+    Accepted::Duplicate
+}

@@ -1,0 +1,38 @@
+//! # bb-federate — multi-process shard federation.
+//!
+//! The engine's shard fold (`bb_engine::shard`) already guarantees that
+//! per-shard partials merged **in shard order** are byte-identical for
+//! any plan; the checkpoint layer (`bb_engine::snapshot`) already gives
+//! every accumulator an exact text encoding. This crate adds the last
+//! step to horizontal scale: moving those encoded partials between
+//! *processes* over a zero-dependency TCP protocol, so a world of 100M+
+//! users can be folded by a fleet of workers and still produce the same
+//! bytes as one process.
+//!
+//! * [`protocol`] — length-prefixed frames (u32 length + FNV-1a-64
+//!   digest, both checked before any allocation) around
+//!   snapshot-text-encoded messages.
+//! * [`coordinator`] — the shard lease state machine: pending → leased
+//!   (deadline + heartbeat) → merged, with every failure path landing
+//!   back in pending. Telemetry (reassignment counters, per-worker
+//!   gauges, round-trip histograms) registers on a `bb_trace::Telemetry`.
+//! * [`worker`] — the claim loop: `Hello` → `Welcome(job)` →
+//!   `Ready`/`Result` ↔ `Assign`/`Wait`/`Finished`, with a heartbeat
+//!   side thread while a shard computes.
+//!
+//! The crate is payload-agnostic: payloads are opaque strings validated
+//! by a caller-supplied hook. `bb-bench` layers the streaming study on
+//! top and pins byte-identity against single-process runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, FederationReport};
+pub use protocol::{
+    read_frame, write_frame, FrameError, JobSpec, Message, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -1,0 +1,234 @@
+//! The worker: claim shards, compute them, stream the payloads back.
+//!
+//! A worker is a strict request–response client: it sends `Hello`, gets
+//! the job from `Welcome`, then loops `Ready`/`Result` → directive.
+//! While a shard computes, a side thread sends one-way `Heartbeat`
+//! frames so a slow-but-alive shard keeps its lease; the two writers
+//! share the socket behind a mutex so frames never interleave.
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobSpec, Message, PROTOCOL_VERSION};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker tuning and test hooks.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Interval between heartbeats while a shard computes.
+    pub heartbeat: Duration,
+    /// Crash-injection test hook: on receiving the Nth assignment
+    /// (1-based), die without sending a result — the federation
+    /// analogue of `reproduce --fail-after-shard`.
+    pub die_on_assign: Option<u64>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            heartbeat: Duration::from_secs(5),
+            die_on_assign: None,
+        }
+    }
+}
+
+/// What one worker process did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// The id the coordinator assigned.
+    pub worker: u64,
+    /// Shards computed and sent (empty claims are normal when workers
+    /// outnumber shards).
+    pub computed: u64,
+}
+
+/// Connect to `addr`, handshake, and serve shard assignments until the
+/// coordinator says `Finished`.
+///
+/// `build` turns the received [`JobSpec`] into the compute closure
+/// `(shard, range) -> payload`; returning `Err` (e.g. the worker derives
+/// a different user total than the coordinator pinned) aborts before
+/// claiming anything. The payload is opaque here — the binary layer
+/// snapshot-encodes the streaming accumulator.
+pub fn run_worker<B, C>(addr: &str, opts: &WorkerOptions, build: B) -> Result<WorkerReport, String>
+where
+    B: FnOnce(&JobSpec) -> Result<C, String>,
+    C: FnMut(u64, Range<u64>) -> String,
+{
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone socket: {e}"))?,
+    ));
+    let mut reader = BufReader::new(stream);
+
+    send(
+        &writer,
+        &Message::Hello {
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(WireError::into_message)?;
+    let (worker, job) = match recv(&mut reader).map_err(WireError::into_message)? {
+        Message::Welcome { worker, job } => (worker, job),
+        Message::Reject { reason } => return Err(format!("coordinator rejected us: {reason}")),
+        other => return Err(format!("expected Welcome, got {other:?}")),
+    };
+    let mut compute = build(&job)?;
+
+    let mut report = WorkerReport {
+        worker,
+        computed: 0,
+    };
+    let mut assignments = 0u64;
+    // After the handshake, losing the coordinator is a normal way for
+    // a worker's life to end: the job finished elsewhere (the last
+    // result raced our poll) or the coordinator crashed — either way
+    // correctness is the coordinator's problem (it reassigns leases),
+    // so we report what we did and exit cleanly.
+    macro_rules! or_done {
+        ($call:expr) => {
+            match $call {
+                Ok(value) => value,
+                Err(WireError::Disconnected) => return Ok(report),
+                Err(WireError::Fatal(e)) => return Err(e),
+            }
+        };
+    }
+    or_done!(send(&writer, &Message::Ready { worker }));
+    loop {
+        match or_done!(recv(&mut reader)) {
+            Message::Assign { shard, start, end } => {
+                assignments += 1;
+                if opts.die_on_assign == Some(assignments) {
+                    // Simulates a machine loss mid-shard: the lease is
+                    // held, the work incomplete, the socket dies with us.
+                    std::process::abort();
+                }
+                let payload = {
+                    let _beat = Heartbeater::start(&writer, worker, shard, opts.heartbeat);
+                    compute(shard, start..end)
+                };
+                report.computed += 1;
+                or_done!(send(
+                    &writer,
+                    &Message::Result {
+                        worker,
+                        shard,
+                        payload,
+                    }
+                ));
+            }
+            Message::Wait { poll_ms } => {
+                std::thread::sleep(Duration::from_millis(poll_ms.min(1_000)));
+                or_done!(send(&writer, &Message::Ready { worker }));
+            }
+            Message::Finished => return Ok(report),
+            Message::Reject { reason } => {
+                return Err(format!("coordinator rejected worker {worker}: {reason}"))
+            }
+            other => return Err(format!("unexpected directive {other:?}")),
+        }
+    }
+}
+
+/// A wire failure, split by whether the peer simply went away.
+enum WireError {
+    /// The socket closed or reset: EOF, broken pipe, connection reset.
+    Disconnected,
+    /// Anything else — I/O errors, digest mismatches, undecodable frames.
+    Fatal(String),
+}
+
+impl WireError {
+    fn into_message(self) -> String {
+        match self {
+            WireError::Disconnected => "coordinator closed the connection".into(),
+            WireError::Fatal(e) => e,
+        }
+    }
+}
+
+fn disconnectish(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+fn send(writer: &Mutex<TcpStream>, message: &Message) -> Result<(), WireError> {
+    let mut stream = writer.lock().expect("worker socket");
+    match write_frame(&mut *stream, &message.encode()) {
+        Ok(()) => Ok(()),
+        Err(e) if disconnectish(&e) => Err(WireError::Disconnected),
+        Err(e) => Err(WireError::Fatal(format!("send: {e}"))),
+    }
+}
+
+fn recv(reader: &mut BufReader<TcpStream>) -> Result<Message, WireError> {
+    let text = match read_frame(reader) {
+        Ok(text) => text,
+        Err(FrameError::Closed) => return Err(WireError::Disconnected),
+        Err(FrameError::Io(e)) if disconnectish(&e) => return Err(WireError::Disconnected),
+        Err(e) => return Err(WireError::Fatal(format!("receive: {e}"))),
+    };
+    Message::decode(&text).map_err(WireError::Fatal)
+}
+
+/// Sends `Heartbeat` every `interval` until dropped.
+struct Heartbeater {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeater {
+    fn start(
+        writer: &Arc<Mutex<TcpStream>>,
+        worker: u64,
+        shard: u64,
+        interval: Duration,
+    ) -> Heartbeater {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let writer = Arc::clone(writer);
+            std::thread::spawn(move || {
+                let tick = Duration::from_millis(20);
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_beat += tick;
+                    if since_beat >= interval {
+                        since_beat = Duration::ZERO;
+                        // A send failure here means the coordinator is
+                        // gone; the main thread will see it on its next
+                        // send/recv, so just stop beating.
+                        if send(&writer, &Message::Heartbeat { worker, shard }).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+        Heartbeater {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeater {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

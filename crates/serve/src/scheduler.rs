@@ -168,8 +168,16 @@ impl Scheduler {
         });
         let index = table.jobs.len() - 1;
         table.queue.push_back(index);
+        // Publish the new depth while still holding the table lock: an
+        // increment outside it can interleave with the worker's decrement
+        // and leave the gauge transiently negative (or over-deep) under a
+        // concurrent scrape. Setting to the queue's actual length makes
+        // the gauge a snapshot of the protected state, never an edit.
+        self.shared
+            .telemetry
+            .queue_depth
+            .set(table.queue.len() as i64);
         drop(table);
-        self.shared.telemetry.queue_depth.add(1);
         self.shared.wake.notify_all();
         id
     }
@@ -283,13 +291,15 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(index) = table.queue.pop_front() {
+                    // Same rule as `submit`: publish the depth under the
+                    // table lock so the gauge always equals the queue.
+                    shared.telemetry.queue_depth.set(table.queue.len() as i64);
                     break index;
                 }
                 table = shared.wake.wait(table).expect("job table");
             }
         };
         let telemetry = &shared.telemetry;
-        telemetry.queue_depth.add(-1);
         let job_start = telemetry.now_micros();
         let (spec, key) = {
             let table = shared.table.lock().expect("job table");

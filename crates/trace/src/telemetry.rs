@@ -27,6 +27,18 @@
 //! Prometheus text exposition ([`Telemetry::to_prometheus`], mapping
 //! log₂ buckets onto cumulative `le` buckets).
 //!
+//! Two subsystems register instrument families here. The gateway
+//! (`bb-serve`) owns the `serve.*` names — RED metrics, queue depth,
+//! job wall times. The federation coordinator (`bb-federate`) owns
+//! `federate.*`: `federate.workers.connected` and the per-worker
+//! `federate.worker.{inflight,assigned,merged}` gauges/counters,
+//! `federate.reassignments` labelled by cause (`worker-lost`,
+//! `lease-expired`, `rejected-result`), `federate.frames.rejected` /
+//! `federate.results.{rejected,duplicate}`, and the
+//! `federate.shard.round_trip_us` histogram. The coordinator also
+//! leases shards against [`Telemetry::now_micros`], so lease-expiry
+//! behaviour is testable on a [`FakeClock`] like any sliding window.
+//!
 //! Everything here is plan-, process- and wall-clock-dependent. None of
 //! it may ever be written into `metrics.json`, the ledger, or an exhibit
 //! file — the byte-identity tests pin that separation.

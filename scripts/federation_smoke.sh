@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Federation smoke: a coordinator plus three worker processes — one
+# crash-injected via --die-on-assign, one SIGKILLed mid-run — must
+# produce metrics, ledger, and exhibit tree byte-identical to a
+# single-process run under a different thread plan, with the sidecar
+# recording at least one reassignment.
+set -euo pipefail
+
+BIN=${BIN:-target/release/reproduce}
+case "$BIN" in /*) ;; *) BIN="$PWD/$BIN" ;; esac
+test -x "$BIN" || { echo "reproduce binary not found at $BIN (set BIN=...)"; exit 1; }
+
+WORK=${1:-federation-smoke}
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+ARGS=(--users 1500 --days 1 --fcc 40 --quiet)
+
+echo "== single-process reference (threads 2, shards 6)"
+"$BIN" "${ARGS[@]}" --threads 2 --shards 6 --out ref \
+    --metrics ref-metrics.json --ledger ref-ledger.jsonl
+
+echo "== coordinator + 3 workers (one aborts, one SIGKILLed)"
+"$BIN" coordinator --listen 127.0.0.1:0 "${ARGS[@]}" --shards 6 \
+    --lease-timeout 10 --out fed \
+    --metrics fed-metrics.json --ledger fed-ledger.jsonl > coord.log &
+COORD=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^bb-federate coordinator listening on //p' coord.log)
+    test -n "$ADDR" && break
+    sleep 0.2
+done
+test -n "$ADDR" || { echo "coordinator never announced its port"; cat coord.log; exit 1; }
+echo "   coordinator at $ADDR"
+
+"$BIN" worker --connect "$ADDR" --quiet &
+SURVIVOR=$!
+"$BIN" worker --connect "$ADDR" --quiet --die-on-assign 1 &
+ABORTER=$!
+"$BIN" worker --connect "$ADDR" --quiet &
+VICTIM=$!
+sleep 0.5
+kill -9 "$VICTIM" 2>/dev/null || true
+
+wait "$COORD" || { echo "coordinator failed"; exit 1; }
+wait "$SURVIVOR" || { echo "surviving worker failed"; exit 1; }
+set +e
+wait "$ABORTER"
+ABORT_CODE=$?
+wait "$VICTIM"
+set -e
+test "$ABORT_CODE" -ne 0 || { echo "crash-injected worker did not die"; exit 1; }
+
+echo "== artifacts must be byte-identical to the reference"
+cmp ref-metrics.json fed-metrics.json
+cmp ref-ledger.jsonl fed-ledger.jsonl
+diff -r ref fed
+
+echo "== the sidecar must record the recovery"
+REASSIGNED=$(grep -o '"reassignments": *[0-9]*' fed-metrics.runtime.json | grep -o '[0-9]*$')
+test -n "$REASSIGNED" || { echo "no reassignments field"; cat fed-metrics.runtime.json; exit 1; }
+test "$REASSIGNED" -ge 1 || { echo "expected >=1 reassignment"; cat fed-metrics.runtime.json; exit 1; }
+
+echo "federation smoke: OK ($REASSIGNED reassignment(s) absorbed, bytes identical)"
