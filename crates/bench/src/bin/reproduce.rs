@@ -64,6 +64,7 @@ usage: reproduce [options]
        reproduce serve [serve options]
        reproduce coordinator [coordinator options]
        reproduce worker --connect ADDR [worker options]
+       reproduce chaosnet --upstream ADDR [chaosnet options]
 
 Regenerates the paper's tables and figures from the synthetic world.
 
@@ -161,23 +162,70 @@ as 'bb-federate coordinator listening on HOST:PORT'):
   --lease-timeout SECS
                   reassign a leased shard after SECS without a result
                   or heartbeat; at least 1 (default 30)
+  --io-deadline SECS
+                  drop a worker socket silent for SECS (half-open or
+                  stalled peers become counted lease expiries instead
+                  of hung threads); at least 1 (default 30)
+  --checkpoint DIR
+                  durably commit every merged shard payload to DIR as
+                  it lands (atomic rename + fsync'd manifest), so a
+                  killed coordinator can restart with --resume
+  --resume        restore committed shards from --checkpoint DIR and
+                  re-lease only the missing ranges; resumed output is
+                  byte-identical to a cold single-process run
   --out DIR       output directory for exhibits (default: results)
   --metrics PATH  write the merged metrics registry to PATH plus a
                   federation .runtime.json sidecar (workers,
-                  reassignments, rejections — process-dependent)
+                  reassignments, rejections, reconnects, deadline
+                  expiries, resumed shards — process-dependent)
   --ledger PATH   write the provenance event log as JSONL to PATH
   --quiet         suppress progress lines on stderr
   -h, --help      print this help
 
 worker options (reproduce worker: claim shard ranges from a
 coordinator, compute them with the same per-range fold the in-process
-path uses, stream the partials back; run as many workers as you like):
+path uses, stream the partials back; run as many workers as you like;
+losing the coordinator triggers a deterministic backoff reconnect loop
+that re-sends the in-flight result on the new connection):
   --connect ADDR  coordinator address (required; HOST:PORT from the
                   coordinator's stdout line)
   --die-on-assign N
                   crash-injection test hook: abort without a result on
                   receiving the Nth shard assignment (N at least 1)
+  --max-reconnects N
+                  consecutive failed connect/handshake attempts before
+                  giving up; a successful handshake resets the count;
+                  0 disables reconnecting (default 5)
+  --backoff-cap SECS
+                  ceiling of the exponential reconnect backoff; at
+                  least 1 (default 5)
+  --backoff-seed S
+                  seed of the deterministic backoff jitter (default:
+                  the process id)
+  --io-deadline SECS
+                  treat a coordinator silent for SECS as lost and
+                  reconnect; at least 1 (default 30)
   --quiet         suppress progress lines on stderr
+  -h, --help      print this help
+
+chaosnet options (reproduce chaosnet: a deterministic flaky-network
+TCP proxy; point workers at its address and it forwards to --upstream,
+injecting a seeded schedule of connection cuts, stalls, and delivery
+delays — the bound address is printed on stdout as 'bb-chaosnet
+listening on HOST:PORT -> UPSTREAM'; SIGTERM/SIGINT print the fault
+stats and exit):
+  --upstream ADDR coordinator address to forward to (required)
+  --seed S        fault schedule seed (default: the pinned seed)
+  --cut N         per-mille of connections severed mid-stream
+                  (default 0)
+  --stall N       per-mille of connections silenced while held open
+                  (default 0)
+  --delay N       per-mille of connections with per-chunk delivery
+                  delay (default 0; cut+stall+delay at most 1000)
+  --cut-bytes MAX max bytes forwarded before a cut or stall fires
+                  (default 4096)
+  --delay-ms MAX  max per-chunk delay in milliseconds (default 50)
+  --quiet         suppress the stats line on stderr
   -h, --help      print this help
 ";
 
@@ -220,13 +268,24 @@ fn main() {
                 Ok(Some(args)) => {
                     if let Err(err) = bb_bench::federation::run_worker_process(
                         &args.connect,
-                        args.die_on_assign,
+                        &args.options,
                         args.quiet,
                     ) {
                         eprintln!("reproduce: worker: {err}");
                         std::process::exit(1);
                     }
                 }
+                Err(err) => {
+                    eprint!("reproduce: {err}\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
+        Some("chaosnet") => {
+            match ChaosnetCli::try_parse(argv.into_iter().skip(1)) {
+                Ok(None) => print!("{USAGE}"),
+                Ok(Some(args)) => run_chaosnet(&args),
                 Err(err) => {
                     eprint!("reproduce: {err}\n\n{USAGE}");
                     std::process::exit(2);
@@ -659,9 +718,12 @@ impl CoordinatorCli {
         let mut chaos: Option<ChaosScenario> = None;
         let mut severity: Option<f64> = None;
         let mut lease_secs: u64 = 30;
+        let mut io_deadline_secs: u64 = 30;
         let mut out = PathBuf::from("results");
         let mut metrics = None;
         let mut ledger = None;
+        let mut checkpoint: Option<PathBuf> = None;
+        let mut resume = false;
         let mut quiet = false;
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -719,6 +781,21 @@ impl CoordinatorCli {
                         return Err("--lease-timeout must be at least 1".into());
                     }
                 }
+                "--io-deadline" => {
+                    io_deadline_secs =
+                        num(&flag, &take(&mut it, &flag)?, "a whole number of seconds")?;
+                    if io_deadline_secs == 0 {
+                        return Err("--io-deadline must be at least 1".into());
+                    }
+                }
+                "--checkpoint" => {
+                    let dir = take(&mut it, &flag)?;
+                    if dir.is_empty() {
+                        return Err("--checkpoint must not be empty".into());
+                    }
+                    checkpoint = Some(PathBuf::from(dir));
+                }
+                "--resume" => resume = true,
                 "--out" => out = PathBuf::from(take(&mut it, &flag)?),
                 "--metrics" => metrics = Some(PathBuf::from(take(&mut it, &flag)?)),
                 "--ledger" => ledger = Some(PathBuf::from(take(&mut it, &flag)?)),
@@ -729,6 +806,9 @@ impl CoordinatorCli {
         }
         if severity.is_some() && chaos.is_none() {
             return Err("--severity requires --chaos NAME".into());
+        }
+        if resume && checkpoint.is_none() {
+            return Err("--resume requires --checkpoint DIR".into());
         }
         Ok(Some(bb_bench::federation::CoordinatorArgs {
             listen,
@@ -742,6 +822,9 @@ impl CoordinatorCli {
             metrics,
             ledger,
             lease_timeout: std::time::Duration::from_secs(lease_secs),
+            io_deadline: std::time::Duration::from_secs(io_deadline_secs),
+            checkpoint,
+            resume,
             quiet,
         }))
     }
@@ -750,7 +833,7 @@ impl CoordinatorCli {
 /// Configuration of the `worker` subcommand.
 struct WorkerCli {
     connect: String,
-    die_on_assign: Option<u64>,
+    options: bb_bench::federation::WorkerOptions,
     quiet: bool,
 }
 
@@ -758,7 +841,7 @@ impl WorkerCli {
     /// Parse the flags after `worker`. `Ok(None)` means `--help`.
     fn try_parse(mut it: impl Iterator<Item = String>) -> Result<Option<WorkerCli>, String> {
         let mut connect: Option<String> = None;
-        let mut die_on_assign = None;
+        let mut options = bb_bench::federation::WorkerOptions::default();
         let mut quiet = false;
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -774,7 +857,30 @@ impl WorkerCli {
                     if n == 0 {
                         return Err("--die-on-assign must be at least 1".into());
                     }
-                    die_on_assign = Some(n);
+                    options.die_on_assign = Some(n);
+                }
+                "--max-reconnects" => {
+                    options.max_reconnects =
+                        num(&flag, &take(&mut it, &flag)?, "a retry count")?;
+                }
+                "--backoff-cap" => {
+                    let secs: u64 =
+                        num(&flag, &take(&mut it, &flag)?, "a whole number of seconds")?;
+                    if secs == 0 {
+                        return Err("--backoff-cap must be at least 1".into());
+                    }
+                    options.backoff_cap = std::time::Duration::from_secs(secs);
+                }
+                "--backoff-seed" => {
+                    options.backoff_seed = num(&flag, &take(&mut it, &flag)?, "an integer")?;
+                }
+                "--io-deadline" => {
+                    let secs: u64 =
+                        num(&flag, &take(&mut it, &flag)?, "a whole number of seconds")?;
+                    if secs == 0 {
+                        return Err("--io-deadline must be at least 1".into());
+                    }
+                    options.io_deadline = Some(std::time::Duration::from_secs(secs));
                 }
                 "--quiet" => quiet = true,
                 "--help" | "-h" => return Ok(None),
@@ -784,10 +890,152 @@ impl WorkerCli {
         let connect = connect.ok_or("worker requires --connect ADDR")?;
         Ok(Some(WorkerCli {
             connect,
-            die_on_assign,
+            options,
             quiet,
         }))
     }
+}
+
+/// Configuration of the `chaosnet` subcommand.
+struct ChaosnetCli {
+    listen: String,
+    upstream: std::net::SocketAddr,
+    seed: u64,
+    cut_per_mille: u64,
+    stall_per_mille: u64,
+    delay_per_mille: u64,
+    cut_bytes_max: u64,
+    delay_ms_max: u64,
+    quiet: bool,
+}
+
+impl ChaosnetCli {
+    /// Parse the flags after `chaosnet`. `Ok(None)` means `--help`.
+    fn try_parse(mut it: impl Iterator<Item = String>) -> Result<Option<ChaosnetCli>, String> {
+        let mut args = ChaosnetCli {
+            listen: String::from("127.0.0.1:0"),
+            upstream: "127.0.0.1:0".parse().expect("literal addr"),
+            seed: REPRO_SEED,
+            cut_per_mille: 0,
+            stall_per_mille: 0,
+            delay_per_mille: 0,
+            cut_bytes_max: 4096,
+            delay_ms_max: 50,
+            quiet: false,
+        };
+        let mut upstream_set = false;
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--upstream" => {
+                    let addr = take(&mut it, &flag)?;
+                    args.upstream = addr
+                        .parse()
+                        .map_err(|e| format!("--upstream {addr:?}: {e}"))?;
+                    upstream_set = true;
+                }
+                "--listen" => {
+                    args.listen = take(&mut it, &flag)?;
+                    if args.listen.is_empty() {
+                        return Err("--listen must not be empty".into());
+                    }
+                }
+                "--seed" => args.seed = num(&flag, &take(&mut it, &flag)?, "an integer")?,
+                "--cut" => {
+                    args.cut_per_mille = per_mille(&flag, &take(&mut it, &flag)?)?;
+                }
+                "--stall" => {
+                    args.stall_per_mille = per_mille(&flag, &take(&mut it, &flag)?)?;
+                }
+                "--delay" => {
+                    args.delay_per_mille = per_mille(&flag, &take(&mut it, &flag)?)?;
+                }
+                "--cut-bytes" => {
+                    args.cut_bytes_max = num(&flag, &take(&mut it, &flag)?, "a byte count")?;
+                    if args.cut_bytes_max == 0 {
+                        return Err("--cut-bytes must be at least 1".into());
+                    }
+                }
+                "--delay-ms" => {
+                    args.delay_ms_max = num(&flag, &take(&mut it, &flag)?, "milliseconds")?;
+                    if args.delay_ms_max == 0 {
+                        return Err("--delay-ms must be at least 1".into());
+                    }
+                }
+                "--quiet" => args.quiet = true,
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown chaosnet flag {other:?}")),
+            }
+        }
+        if !upstream_set {
+            return Err("chaosnet requires --upstream HOST:PORT".into());
+        }
+        if args.cut_per_mille + args.stall_per_mille + args.delay_per_mille > 1000 {
+            return Err("--cut + --stall + --delay must not exceed 1000".into());
+        }
+        Ok(Some(args))
+    }
+}
+
+/// The `chaosnet` subcommand: a standalone flaky-network proxy between
+/// `reproduce worker` processes and a coordinator.
+fn run_chaosnet(args: &ChaosnetCli) {
+    // The library proxy always binds an ephemeral loopback port and
+    // prints it on stdout; a fixed --listen would need a second
+    // forwarding hop, so it is simply not supported.
+    if args.listen != "127.0.0.1:0" {
+        eprintln!("reproduce: chaosnet: only --listen 127.0.0.1:0 (ephemeral) is supported");
+        std::process::exit(2);
+    }
+    let plan = bb_federate::ChaosPlan::seeded(
+        args.seed,
+        args.cut_per_mille,
+        args.stall_per_mille,
+        args.delay_per_mille,
+        args.cut_bytes_max,
+        args.delay_ms_max,
+    );
+    let proxy = match bb_federate::ChaosProxy::start(args.upstream, plan) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("reproduce: chaosnet: start proxy: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        eprintln!(
+            "chaosnet: seed {}, cut {}‰, stall {}‰, delay {}‰",
+            args.seed, args.cut_per_mille, args.stall_per_mille, args.delay_per_mille
+        );
+    }
+    // The bound address on stdout, flushed — same scrape contract as the
+    // coordinator and serve banners.
+    println!(
+        "bb-chaosnet listening on {} -> {}",
+        proxy.local_addr(),
+        args.upstream
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    signals::install();
+    while !signals::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = proxy.stats();
+    if !args.quiet {
+        eprintln!(
+            "chaosnet: {} connections, {} cuts, {} stalls, {} delayed chunks, {} bytes",
+            stats.connections, stats.cuts, stats.stalls, stats.delayed_chunks, stats.bytes_forwarded
+        );
+    }
+}
+
+/// `--cut`/`--stall`/`--delay` take per-mille probabilities in [0, 1000].
+fn per_mille(flag: &str, value: &str) -> Result<u64, String> {
+    let n: u64 = num(flag, value, "a per-mille value in [0, 1000]")?;
+    if n > 1000 {
+        return Err(format!("{flag} must be at most 1000, got {n}"));
+    }
+    Ok(n)
 }
 
 /// The `serve` subcommand: start the gateway and run until killed.
@@ -808,7 +1056,7 @@ fn run_serve(args: &ServeArgs) {
         sse_keepalive: std::time::Duration::from_secs(10),
         debug_routes: false,
     };
-    let server = match Server::start(config) {
+    let mut server = match Server::start(config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("reproduce: serve: {e}");
@@ -830,8 +1078,52 @@ fn run_serve(args: &ServeArgs) {
     println!("bb-serve listening on http://{}", server.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    loop {
-        std::thread::park();
+    signals::install();
+    while !signals::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    if !args.quiet {
+        eprintln!("serve: shutdown signal received, draining in-flight requests");
+    }
+    // Graceful path: stop accepting, drain the in-flight pool, flush the
+    // access log. A job still computing keeps its per-shard checkpoints
+    // (they are committed as shards finish), so a restarted server
+    // resumes it from the last durable shard; exiting without joining
+    // the scheduler thread is what lets a long job stop mid-run.
+    server.shutdown();
+    std::process::exit(0);
+}
+
+/// Minimal async-signal-safe SIGTERM/SIGINT latch. The binary links
+/// libc through std anyway; `signal(2)` with a flag-setting handler is
+/// the one legal thing a handler may do without locks or allocation.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the latch for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    /// True once either signal has been delivered.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
     }
 }
 

@@ -20,17 +20,20 @@
 //! checkpoint layer reports.
 
 use bb_dataset::{World, WorldConfig};
-use bb_engine::{atomic_write, Mergeable, Snapshot};
-use bb_federate::{
-    run_worker, Coordinator, CoordinatorConfig, FederationReport, JobSpec, WorkerOptions,
+use bb_engine::{
+    atomic_write, CheckpointParams, CheckpointStore, Mergeable, ResumeManifest, Snapshot,
 };
+use bb_federate::{run_worker, Coordinator, CoordinatorConfig, FederationReport, JobSpec};
 use bb_netsim::chaos::{ChaosScenario, ChaosSpec};
 use bb_report::bundle;
 use bb_study::{provenance, StreamStudy};
 use bb_trace::{EventLog, Registry, Telemetry};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+pub use bb_federate::WorkerOptions;
 
 /// Everything the `reproduce coordinator` subcommand needs.
 #[derive(Clone, Debug)]
@@ -57,6 +60,14 @@ pub struct CoordinatorArgs {
     pub ledger: Option<PathBuf>,
     /// Lease timeout before a silent shard is reassigned.
     pub lease_timeout: Duration,
+    /// Read/write deadline on every worker socket.
+    pub io_deadline: Duration,
+    /// Durable checkpoint directory: every merged shard payload is
+    /// persisted here as it lands, so a killed coordinator can restart
+    /// with `resume` and re-lease only the missing ranges.
+    pub checkpoint: Option<PathBuf>,
+    /// Restore committed shards from `checkpoint` before serving.
+    pub resume: bool,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
 }
@@ -113,10 +124,12 @@ pub fn run_coordinator(args: &CoordinatorArgs) -> Result<(), String> {
     let n_items = world.n_users();
     let job = job_spec(args, n_items);
     let telemetry = Arc::new(Telemetry::system());
-    let mut coordinator_cfg = CoordinatorConfig::new(job);
+    let mut coordinator_cfg = CoordinatorConfig::new(job.clone());
     coordinator_cfg.lease_timeout = args.lease_timeout;
+    coordinator_cfg.io_deadline = args.io_deadline;
     let coordinator = Coordinator::bind(&args.listen, coordinator_cfg, Arc::clone(&telemetry))
         .map_err(|e| format!("bind {}: {e}", args.listen))?;
+    let durability = prepare_checkpoint(args, &job, &coordinator)?;
     let addr = coordinator
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
@@ -140,11 +153,28 @@ pub fn run_coordinator(args: &CoordinatorArgs) -> Result<(), String> {
     let started = std::time::Instant::now();
     // Forged or corrupt payloads must die here, not at merge time: a
     // full decode is the validation.
-    let (payloads, report) = coordinator.run(|_, payload| {
+    let validate = |_: u64, payload: &str| {
         <(StreamStudy, Registry)>::from_snapshot_str(payload)
             .map(|_| ())
             .map_err(|e| e.to_string())
-    });
+    };
+    // Durability hook: each freshly merged payload becomes a committed
+    // shard file plus a manifest update, atomically, as it lands.
+    let n_shards = coordinator.shard_count();
+    let persist = move |index: usize, payload: &str| -> Result<(), String> {
+        let Some((store, done)) = &durability else {
+            return Ok(());
+        };
+        let digest = store
+            .save_shard_text(index, payload)
+            .map_err(|e| e.to_string())?;
+        let mut done = done.lock().expect("checkpoint done map");
+        done.insert(index, digest);
+        store
+            .save_manifest(n_items, n_shards, &done)
+            .map_err(|e| e.to_string())
+    };
+    let (payloads, report) = coordinator.run_with(validate, persist);
     report_federation(args.quiet, &report);
 
     let mut partials = Vec::with_capacity(payloads.len());
@@ -216,18 +246,93 @@ pub fn run_coordinator(args: &CoordinatorArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// The checkpoint handles the persist hook needs: the store plus the
+/// digest map the manifest is rewritten from.
+type Durability = (Arc<CheckpointStore>, Arc<Mutex<BTreeMap<usize, u64>>>);
+
+/// Set up coordinator durability: open (or create) the checkpoint
+/// store, and on `--resume` restore every committed shard that survives
+/// digest *and* full decode validation into the coordinator's table so
+/// only the missing ranges are leased out. The manifest is rewritten up
+/// front, exactly like the single-process checkpointed runner: a fresh
+/// run truncates a stale done-list, a resume drops rejected entries.
+fn prepare_checkpoint(
+    args: &CoordinatorArgs,
+    job: &JobSpec,
+    coordinator: &Coordinator,
+) -> Result<Option<Durability>, String> {
+    let Some(dir) = &args.checkpoint else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    // The params pin the run identity the same way `reproduce --users
+    // --checkpoint` does: a checkpoint taken for a different job is
+    // rejected wholesale, never silently merged.
+    let params = CheckpointParams::new()
+        .set("mode", "federated")
+        .set("seed", job.seed)
+        .set("users", job.users)
+        .set("days", job.days)
+        .set("fcc", job.fcc_users)
+        .set("chaos", &job.chaos_scenario)
+        .set("severity", format!("{:016x}", job.chaos_severity.to_bits()))
+        .set("shards", job.shards);
+    let store = Arc::new(CheckpointStore::new(dir, params));
+    let n_items = job.n_items;
+    let n_shards = coordinator.shard_count();
+    let mut done = BTreeMap::new();
+    if args.resume {
+        let mut restored = Vec::new();
+        match store.load_manifest(n_items, n_shards) {
+            ResumeManifest::Missing => {
+                progress(args.quiet, "resume: no manifest found, starting cold");
+            }
+            ResumeManifest::Rejected(reason) => {
+                progress(
+                    args.quiet,
+                    &format!("resume: checkpoint rejected ({reason}), starting cold"),
+                );
+            }
+            ResumeManifest::Valid(entries) => {
+                for (index, digest) in entries {
+                    match store.load_shard_text(index, digest) {
+                        Ok(text) => {
+                            // Same bar as a worker payload: a full decode
+                            // is the validation.
+                            match <(StreamStudy, Registry)>::from_snapshot_str(&text) {
+                                Ok(_) => {
+                                    done.insert(index, digest);
+                                    restored.push((index, text));
+                                }
+                                Err(e) => progress(
+                                    args.quiet,
+                                    &format!("resume: shard {index} undecodable ({e}), recomputing"),
+                                ),
+                            }
+                        }
+                        Err(reason) => {
+                            progress(args.quiet, &format!("resume: {reason}, recomputing"));
+                        }
+                    }
+                }
+            }
+        }
+        let n_restored = coordinator.preload(restored);
+        progress(
+            args.quiet,
+            &format!("resume: restored {n_restored} of {n_shards} shards from {}", dir.display()),
+        );
+    }
+    store
+        .save_manifest(n_items, n_shards, &done)
+        .map_err(|e| e.to_string())?;
+    Ok(Some((store, Arc::new(Mutex::new(done)))))
+}
+
 /// Run one worker process against `addr` until the coordinator finishes
 /// it. Returns the number of shards computed.
-pub fn run_worker_process(
-    addr: &str,
-    die_on_assign: Option<u64>,
-    quiet: bool,
-) -> Result<u64, String> {
-    let opts = WorkerOptions {
-        die_on_assign,
-        ..WorkerOptions::default()
-    };
-    let report = run_worker(addr, &opts, |job: &JobSpec| {
+pub fn run_worker_process(addr: &str, opts: &WorkerOptions, quiet: bool) -> Result<u64, String> {
+    let report = run_worker(addr, opts, |job: &JobSpec| {
         let world = job_world(job)?;
         let derived = world.n_users();
         if derived != job.n_items {
@@ -252,8 +357,8 @@ pub fn run_worker_process(
     })?;
     if !quiet {
         eprintln!(
-            "worker {}: computed {} shard(s), coordinator finished",
-            report.worker, report.computed
+            "worker {}: computed {} shard(s) over {} reconnect(s), coordinator finished",
+            report.worker, report.computed, report.reconnects
         );
     }
     Ok(report.computed)
@@ -270,12 +375,16 @@ fn report_federation(quiet: bool, report: &FederationReport) {
         quiet,
         &format!(
             "federation: {} workers, {} reassignments, {} rejected frames, \
-             {} rejected results, {} duplicates",
+             {} rejected results, {} duplicates, {} reconnects, \
+             {} deadline expiries, {} resumed shards",
             report.workers_seen,
             report.reassignments,
             report.frames_rejected,
             report.results_rejected,
-            report.duplicate_results
+            report.duplicate_results,
+            report.worker_reconnects,
+            report.deadline_expiries,
+            report.resumed_shards
         ),
     );
     for reason in &report.reasons {
@@ -300,12 +409,16 @@ fn write_metrics(
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     let runtime = format!(
         "{{\n  \"federation\": {{\"workers\": {}, \"reassignments\": {}, \
-         \"rejected_frames\": {}, \"rejected_results\": {}, \"duplicates\": {}}}\n}}\n",
+         \"rejected_frames\": {}, \"rejected_results\": {}, \"duplicates\": {}, \
+         \"reconnects\": {}, \"deadline_expiries\": {}, \"resumed_shards\": {}}}\n}}\n",
         report.workers_seen,
         report.reassignments,
         report.frames_rejected,
         report.results_rejected,
-        report.duplicate_results
+        report.duplicate_results,
+        report.worker_reconnects,
+        report.deadline_expiries,
+        report.resumed_shards
     );
     let sidecar = path.with_extension("runtime.json");
     atomic_write(&sidecar, &runtime).map_err(|e| format!("write {}: {e}", sidecar.display()))?;

@@ -68,51 +68,69 @@ fn wait_with_deadline(
     }
 }
 
-/// Spawn the coordinator and scrape its advertised address from stdout;
-/// the rest of stdout keeps draining on a side thread so the pipe can
-/// never fill up and stall the run.
-fn spawn_coordinator(dir: &Path) -> (Child, String, std::thread::JoinHandle<String>) {
+/// Spawn a coordinator on `listen` and scrape its advertised address
+/// from the banner; a spawn that never produces the banner (e.g. the
+/// port is still draining from a killed predecessor) is reaped and
+/// reported as `Err` so callers can retry.
+fn try_spawn_coordinator(
+    dir: &Path,
+    listen: &str,
+    extra: &[&str],
+) -> Result<(Child, String, std::thread::JoinHandle<String>), String> {
+    let mut args = vec![
+        "coordinator",
+        "--listen",
+        listen,
+        "--users",
+        USERS,
+        "--days",
+        "1",
+        "--fcc",
+        "20",
+        "--shards",
+        SHARDS,
+        "--lease-timeout",
+        "5",
+        "--out",
+        "fed",
+        "--metrics",
+        "fed-metrics.json",
+        "--ledger",
+        "fed-ledger.jsonl",
+        "--quiet",
+    ];
+    args.extend_from_slice(extra);
     let mut child = bin()
-        .args([
-            "coordinator",
-            "--listen",
-            "127.0.0.1:0",
-            "--users",
-            USERS,
-            "--days",
-            "1",
-            "--fcc",
-            "20",
-            "--shards",
-            SHARDS,
-            "--lease-timeout",
-            "5",
-            "--out",
-            "fed",
-            "--metrics",
-            "fed-metrics.json",
-            "--ledger",
-            "fed-ledger.jsonl",
-            "--quiet",
-        ])
+        .args(&args)
         .current_dir(dir)
         .stdout(Stdio::piped())
         .spawn()
-        .expect("spawn coordinator");
+        .map_err(|e| format!("spawn coordinator: {e}"))?;
     let mut lines = BufReader::new(child.stdout.take().expect("coordinator stdout"));
     let mut banner = String::new();
-    lines.read_line(&mut banner).expect("read banner");
-    let addr = banner
+    let _ = lines.read_line(&mut banner);
+    let Some(addr) = banner
         .trim()
         .strip_prefix("bb-federate coordinator listening on ")
-        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
-        .to_string();
+        .map(str::to_string)
+    else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(format!("unexpected banner: {banner:?}"));
+    };
     let drain = std::thread::spawn(move || {
         let mut rest = String::new();
         let _ = lines.read_to_string(&mut rest);
         rest
     });
-    (child, addr, drain)
+    Ok((child, addr, drain))
+}
+
+/// Spawn the coordinator on an ephemeral port; the rest of stdout keeps
+/// draining on a side thread so the pipe can never fill up and stall
+/// the run.
+fn spawn_coordinator(dir: &Path, extra: &[&str]) -> (Child, String, std::thread::JoinHandle<String>) {
+    try_spawn_coordinator(dir, "127.0.0.1:0", extra).expect("spawn coordinator")
 }
 
 fn spawn_worker(dir: &Path, addr: &str, extra: &[&str]) -> Child {
@@ -176,7 +194,7 @@ fn killed_workers_leave_byte_identical_artifacts() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    let (mut coordinator, addr, drain) = spawn_coordinator(&dir);
+    let (mut coordinator, addr, drain) = spawn_coordinator(&dir, &[]);
 
     // Three workers: one healthy, one that aborts the moment it receives
     // its first assignment (a deterministic crash with the lease still
@@ -235,6 +253,177 @@ fn killed_workers_leave_byte_identical_artifacts() {
     assert!(
         sidecar_field(&sidecar, "workers") >= 3,
         "all three workers handshook: {sidecar}"
+    );
+}
+
+/// The coordinator itself is SIGKILLed mid-run and restarted with
+/// `--resume` on the same address: committed shards are restored from
+/// the checkpoint instead of recomputed, the workers reconnect through
+/// their backoff loops (one of them across a chaosnet proxy injecting
+/// connection cuts), and every deterministic artifact is byte-identical
+/// to a single-process run. The sidecar must prove both halves of the
+/// story: at least one resumed shard and at least one reconnect.
+#[test]
+fn killed_coordinator_resumes_byte_identical() {
+    let dir = tmpdir("federate-coordinator-resume");
+
+    let out = bin()
+        .args([
+            "--users",
+            USERS,
+            "--days",
+            "1",
+            "--fcc",
+            "20",
+            "--threads",
+            "2",
+            "--shards",
+            SHARDS,
+            "--out",
+            "ref",
+            "--metrics",
+            "ref-metrics.json",
+            "--ledger",
+            "ref-ledger.jsonl",
+            "--quiet",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("reference run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "reference run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let (mut first, addr, first_drain) = spawn_coordinator(&dir, &["--checkpoint", "ckpt"]);
+
+    // A deterministic flaky link in front of the coordinator: a quarter
+    // of the proxied connections are severed after at most 4 KiB.
+    let mut chaos = bin()
+        .args([
+            "chaosnet",
+            "--upstream",
+            &addr,
+            "--seed",
+            "11",
+            "--cut",
+            "250",
+            "--cut-bytes",
+            "4096",
+            "--quiet",
+        ])
+        .current_dir(&dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn chaosnet");
+    let mut chaos_lines = BufReader::new(chaos.stdout.take().expect("chaosnet stdout"));
+    let mut chaos_banner = String::new();
+    chaos_lines.read_line(&mut chaos_banner).expect("chaosnet banner");
+    let proxy_addr = chaos_banner
+        .trim()
+        .strip_prefix("bb-chaosnet listening on ")
+        .and_then(|rest| rest.split(" -> ").next())
+        .unwrap_or_else(|| panic!("unexpected chaosnet banner: {chaos_banner:?}"))
+        .to_string();
+
+    // Two workers with generous reconnect budgets: one direct, one
+    // through the flaky link.
+    let reconnect = ["--max-reconnects", "40", "--backoff-cap", "1"];
+    let mut direct = spawn_worker(
+        &dir,
+        &addr,
+        &[&reconnect[..], &["--backoff-seed", "3"]].concat(),
+    );
+    let mut flaky = spawn_worker(
+        &dir,
+        &proxy_addr,
+        &[&reconnect[..], &["--backoff-seed", "5"]].concat(),
+    );
+
+    // Wait until the manifest has committed at least one shard — only
+    // then is there provably something for `--resume` to restore.
+    let manifest = dir.join("ckpt").join("manifest");
+    let poll_start = Instant::now();
+    loop {
+        let committed = std::fs::read_to_string(&manifest)
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find_map(|line| line.strip_prefix("done "))
+                    .and_then(|n| n.trim().parse::<u64>().ok())
+            })
+            .unwrap_or(0);
+        if committed >= 1 {
+            break;
+        }
+        assert!(
+            poll_start.elapsed() < Duration::from_secs(120),
+            "no shard committed to the checkpoint within 120s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Machine loss: SIGKILL, no shutdown path runs.
+    first.kill().expect("kill coordinator");
+    let _ = first.wait();
+    let _ = first_drain.join();
+
+    // Restart on the *same* address with --resume; the port can take a
+    // moment to come back after the kill, so retry the spawn.
+    let mut restarted = None;
+    for _ in 0..50 {
+        match try_spawn_coordinator(&dir, &addr, &["--checkpoint", "ckpt", "--resume"]) {
+            Ok(spawned) => {
+                restarted = Some(spawned);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    let (mut second, addr2, drain) = restarted.expect("coordinator restart on the same address");
+    assert_eq!(addr2, addr, "the restart must advertise the same address");
+
+    let status = wait_with_deadline(&mut second, "resumed coordinator", Duration::from_secs(180));
+    assert_eq!(status.code(), Some(0), "the resumed coordinator finishes");
+    let status = wait_with_deadline(&mut direct, "direct worker", Duration::from_secs(60));
+    assert_eq!(status.code(), Some(0), "the direct worker exits cleanly");
+    let status = wait_with_deadline(&mut flaky, "flaky-link worker", Duration::from_secs(60));
+    assert_eq!(status.code(), Some(0), "the flaky-link worker exits cleanly");
+    let _ = chaos.kill();
+    let _ = chaos.wait();
+
+    // Crash, resume, reconnects, cut links — none of it may show in the
+    // deterministic artifacts.
+    let read = |rel: &str| std::fs::read(dir.join(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+    assert_eq!(
+        read("ref-metrics.json"),
+        read("fed-metrics.json"),
+        "metrics.json must not betray the coordinator crash"
+    );
+    assert_eq!(
+        read("ref-ledger.jsonl"),
+        read("fed-ledger.jsonl"),
+        "provenance ledger must not betray the coordinator crash"
+    );
+    assert_trees_identical(&dir.join("ref"), &dir.join("fed"));
+    let fed_stdout = drain.join().expect("stdout drain");
+    assert_eq!(
+        fed_stdout.as_bytes(),
+        out.stdout.as_slice(),
+        "the resumed run reports the same exhibit table"
+    );
+
+    // The sidecar tells the survivability story.
+    let sidecar = String::from_utf8(read("fed-metrics.runtime.json")).expect("sidecar is UTF-8");
+    assert!(
+        sidecar_field(&sidecar, "resumed_shards") >= 1,
+        "at least one shard must be restored from the checkpoint: {sidecar}"
+    );
+    assert!(
+        sidecar_field(&sidecar, "reconnects") >= 1,
+        "at least one worker must have reconnected: {sidecar}"
     );
 }
 

@@ -103,6 +103,140 @@ fn run_job_to_done(addr: &str, body: &str) -> (u64, String) {
     (id, sse)
 }
 
+/// Shards the manifest in any per-job checkpoint dir says are committed
+/// (0 when no job has checkpointed anything yet).
+fn committed_shards(cache: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(cache.join("checkpoints")) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        if let Ok(text) = std::fs::read_to_string(entry.path().join("manifest")) {
+            let done = text
+                .lines()
+                .find_map(|line| line.strip_prefix("done "))
+                .and_then(|n| n.trim().parse().ok())
+                .unwrap_or(0);
+            if done > 0 {
+                return done;
+            }
+        }
+    }
+    0
+}
+
+/// SIGTERM mid-job is a *graceful* shutdown: the server exits 0 instead
+/// of dying on the default signal disposition, the per-shard checkpoint
+/// survives, and a restarted server resumes the interrupted job from
+/// committed shards — finishing with artifacts byte-identical to the
+/// batch CLI.
+#[test]
+fn sigterm_mid_job_shuts_down_gracefully_and_the_restart_resumes() {
+    let dir = tmpdir("serve-sigterm");
+
+    // A release build chews through 300 users before the signal can
+    // land; debug is ~25x slower. Size the job per profile so at least
+    // one shard commits while several still remain to be interrupted.
+    let users = if cfg!(debug_assertions) { "300" } else { "12000" };
+
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args([
+            "--users",
+            users,
+            "--days",
+            "1",
+            "--fcc",
+            "20",
+            "--quiet",
+            "--threads",
+            "2",
+            "--shards",
+            "8",
+            "--out",
+            "batch",
+            "--metrics",
+            "batch/metrics.json",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("batch run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "batch: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let server_args = [
+        "--port", "0", "--cache-dir", "cache", "--days", "1", "--fcc", "20", "--users", users,
+        "--threads", "1", "--shards", "6", "--quiet",
+    ];
+    let (mut guard, addr) = start_server(&dir, &server_args);
+
+    // Submit a job but do not wait for it; instead watch the per-job
+    // checkpoint until at least one shard is durably committed.
+    let (status, response) = http(&addr, "POST", "/jobs", b"{}");
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&response));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while committed_shards(&dir.join("cache")) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no shard committed before the signal"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // SIGTERM, not SIGKILL: the shutdown path must run.
+    let sigterm = Command::new("kill")
+        .args(["-TERM", &guard.0.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(sigterm.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = guard.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "SIGTERM must be a graceful exit, not the default signal death"
+    );
+
+    // Same cache dir, fresh process: the interrupted job's checkpoint is
+    // picked up, so the re-run restores at least one shard instead of
+    // recomputing everything…
+    let (_guard2, addr) = start_server(&dir, &server_args);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if get(&addr, "/healthz").0 == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "restarted server never healthy");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_id, sse) = run_job_to_done(&addr, "{}");
+    assert!(
+        sse.contains("\"from_cache\": false"),
+        "the killed job must not have produced a cache entry: {sse}"
+    );
+    assert!(
+        sse.contains("\"restored\": true"),
+        "the resumed job must restore committed shards: {sse}"
+    );
+
+    // …and the interruption is invisible in the result bytes.
+    let (status, metrics) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let batch = std::fs::read(dir.join("batch").join("metrics.json")).expect("batch metrics");
+    assert_eq!(metrics, batch, "resumed /metrics vs batch");
+}
+
 #[test]
 fn served_job_is_byte_identical_to_batch_and_repeat_hits_the_cache() {
     let dir = tmpdir("serve-e2e");

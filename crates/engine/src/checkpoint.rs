@@ -214,7 +214,12 @@ pub struct CheckpointStore {
 }
 
 /// Outcome of validating an existing manifest on resume.
-enum ManifestState {
+///
+/// Public so callers that persist *pre-encoded* shard bodies through
+/// [`CheckpointStore::save_shard_text`] (the federation coordinator)
+/// can drive the same resume protocol as [`run_sharded_checkpointed`].
+#[derive(Debug)]
+pub enum ResumeManifest {
     /// No manifest file — a genuinely cold start, nothing to reject.
     Missing,
     /// Manifest exists but is unusable; the reason explains why.
@@ -272,7 +277,9 @@ impl CheckpointStore {
         body
     }
 
-    fn write_manifest(
+    /// Atomically (re)write the manifest listing `done` shard digests for
+    /// a run over `n_items` items split into `n_shards` shards.
+    pub fn save_manifest(
         &self,
         n_items: u64,
         n_shards: usize,
@@ -282,17 +289,17 @@ impl CheckpointStore {
     }
 
     /// Validate the existing manifest against this run's identity.
-    fn load_manifest(&self, n_items: u64, n_shards: usize) -> ManifestState {
+    pub fn load_manifest(&self, n_items: u64, n_shards: usize) -> ResumeManifest {
         let content = match fs::read_to_string(self.manifest_path()) {
             Ok(content) => content,
             Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
-                return ManifestState::Missing
+                return ResumeManifest::Missing
             }
-            Err(err) => return ManifestState::Rejected(format!("manifest unreadable: {err}")),
+            Err(err) => return ResumeManifest::Rejected(format!("manifest unreadable: {err}")),
         };
         match self.parse_manifest(&content, n_items, n_shards) {
-            Ok(done) => ManifestState::Valid(done),
-            Err(reason) => ManifestState::Rejected(reason),
+            Ok(done) => ResumeManifest::Valid(done),
+            Err(reason) => ResumeManifest::Rejected(reason),
         }
     }
 
@@ -369,26 +376,38 @@ impl CheckpointStore {
         Ok(done)
     }
 
-    fn shard_body<A: Snapshot>(&self, index: usize, partial: &A) -> String {
+    /// Persist `snapshot_text` (a complete [`Snapshot`] encoding, ending
+    /// in a newline) as shard `index` with the usual header, checksum and
+    /// atomic rename. Returns the file's body digest — the value the
+    /// manifest must pin for this shard. Byte-identical to the file a
+    /// typed [`run_sharded_checkpointed`] commit would have produced.
+    pub fn save_shard_text(
+        &self,
+        index: usize,
+        snapshot_text: &str,
+    ) -> Result<u64, CheckpointError> {
         let mut body = String::new();
         body.push_str("bb-checkpoint-shard v1\n");
         body.push_str(&format!("format {FORMAT_VERSION}\n"));
         body.push_str(&format!("shard {index}\n"));
-        body.push_str(&partial.to_snapshot_string());
-        body
-    }
-
-    fn write_shard<A: Snapshot>(&self, index: usize, partial: &A) -> Result<u64, CheckpointError> {
-        let body = self.shard_body(index, partial);
+        body.push_str(snapshot_text);
+        if !body.ends_with('\n') {
+            return Err(CheckpointError::new(format!(
+                "shard {index}: snapshot text must end with a newline"
+            )));
+        }
         let digest = fnv1a64(body.as_bytes());
         let content = format!("{body}!checksum {digest:016x}\n");
         self.write_atomic(&format!("shard-{index:05}.ckpt"), &content)?;
         Ok(digest)
     }
 
-    /// Load shard `index`, verifying both the file's own checksum and the
-    /// digest the manifest promised for it.
-    fn load_shard<A: Snapshot>(&self, index: usize, expected_digest: u64) -> Result<A, String> {
+    /// Load shard `index` as raw snapshot text (header stripped),
+    /// verifying the file's own checksum and the digest the manifest
+    /// promised for it. Callers that need a typed value decode the text
+    /// themselves; validation failures degrade to recomputation, so the
+    /// error is a reason string, not a [`CheckpointError`].
+    pub fn load_shard_text(&self, index: usize, expected_digest: u64) -> Result<String, String> {
         let path = self.shard_path(index);
         let content = fs::read_to_string(&path)
             .map_err(|err| format!("shard {index}: unreadable ({err})"))?;
@@ -398,6 +417,13 @@ impl CheckpointStore {
             return Err(format!(
                 "shard {index}: digest {digest:016x} does not match manifest's {expected_digest:016x}"
             ));
+        }
+        let mut rest = body;
+        for _ in 0..3 {
+            rest = match rest.split_once('\n') {
+                Some((_, tail)) => tail,
+                None => return Err(format!("shard {index}: truncated header")),
+            };
         }
         let mut r = SnapshotReader::new(body);
         let header = r
@@ -420,6 +446,18 @@ impl CheckpointStore {
         if stored_index != index as u64 {
             return Err(format!("shard {index}: file claims shard {stored_index}"));
         }
+        Ok(rest.to_string())
+    }
+
+    fn write_shard<A: Snapshot>(&self, index: usize, partial: &A) -> Result<u64, CheckpointError> {
+        self.save_shard_text(index, &partial.to_snapshot_string())
+    }
+
+    /// Load shard `index`, verifying both the file's own checksum and the
+    /// digest the manifest promised for it.
+    fn load_shard<A: Snapshot>(&self, index: usize, expected_digest: u64) -> Result<A, String> {
+        let text = self.load_shard_text(index, expected_digest)?;
+        let mut r = SnapshotReader::new(&text);
         let partial = A::read_snapshot(&mut r).map_err(|e| format!("shard {index}: {e}"))?;
         r.expect_eof().map_err(|e| format!("shard {index}: {e}"))?;
         Ok(partial)
@@ -482,12 +520,12 @@ where
     let mut done: BTreeMap<usize, u64> = BTreeMap::new();
     if resume {
         match store.load_manifest(n_items, n_shards) {
-            ManifestState::Missing => {}
-            ManifestState::Rejected(reason) => {
+            ResumeManifest::Missing => {}
+            ResumeManifest::Rejected(reason) => {
                 report.rejected += 1;
                 report.reasons.push(reason);
             }
-            ManifestState::Valid(entries) => {
+            ResumeManifest::Valid(entries) => {
                 for (index, digest) in entries {
                     match store.load_shard::<A>(index, digest) {
                         Ok(partial) => {
@@ -508,7 +546,7 @@ where
 
     // Rewrite the manifest up front so a fresh (non-resume) run truncates
     // any stale done-list and a resume drops rejected entries.
-    store.write_manifest(n_items, n_shards, &done)?;
+    store.save_manifest(n_items, n_shards, &done)?;
 
     let finished = AtomicU64::new(0);
     if let Some(progress) = hooks.progress {
@@ -535,7 +573,7 @@ where
             let mut done = state.lock().expect("checkpoint state poisoned");
             done.insert(index, digest);
             store
-                .write_manifest(n_items, n_shards, &done)
+                .save_manifest(n_items, n_shards, &done)
                 .map_err(|err| err.to_string())?;
         }
         let committed = commits.fetch_add(1, Ordering::Relaxed) + 1;

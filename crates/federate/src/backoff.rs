@@ -1,0 +1,102 @@
+//! Deterministic capped exponential backoff with seeded jitter.
+//!
+//! The reconnect loop in [`crate::worker`] must be *reproducible*: a
+//! test that injects three connection failures has to observe the same
+//! three delays on every run. So instead of sampling a thread-local RNG,
+//! the jitter for attempt `n` is a pure function of `(seed, n)` via
+//! [`bb_engine::splitmix64`] — the schedule is a value, not a process.
+//!
+//! The contract, pinned by `tests/survivability.rs`:
+//!
+//! * The un-jittered step for attempt `n` is `min(cap, base << n)`, with
+//!   the shift saturating at the cap instead of overflowing.
+//! * Jitter adds `[0, step/2)` on top, so the total delay lies in
+//!   `[step, 1.5 * step)` — never below the exponential floor, never
+//!   more than 50% above it.
+//! * While the un-jittered step is still below the cap, the total delay
+//!   is strictly increasing in `n` (because `2 * step(n) > 1.5 *
+//!   step(n) > total(n)`).
+//! * Two [`Backoff`] values with the same `(base, cap, seed)` produce
+//!   identical schedules.
+
+use std::time::Duration;
+
+use bb_engine::splitmix64;
+
+/// Jitter resolution: the fraction added to a step is a multiple of
+/// `1/4096` of half the step.
+const JITTER_GRAIN: u64 = 4096;
+
+/// A deterministic capped-exponential backoff schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, saturating
+    /// at `cap`, with jitter drawn deterministically from `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff { base, cap, seed }
+    }
+
+    /// The delay before retry attempt `attempt` (0-based). Pure: the
+    /// same `(self, attempt)` always yields the same duration.
+    pub fn delay(&self, attempt: u64) -> Duration {
+        let base_us = self.base.as_micros().min(u128::from(u64::MAX)) as u64;
+        let cap_us = self.cap.as_micros().min(u128::from(u64::MAX)) as u64;
+        let shift = u32::try_from(attempt.min(63)).expect("attempt capped at 63");
+        // `checked_shl` only rejects oversized shift *counts*, not value
+        // overflow — guard with leading_zeros so a large attempt
+        // saturates at the cap instead of wrapping toward zero.
+        let step_us = if base_us == 0 {
+            0
+        } else if shift >= base_us.leading_zeros() {
+            cap_us
+        } else {
+            (base_us << shift).min(cap_us)
+        };
+        // splitmix64 of (seed, attempt) — decorrelated per attempt, and
+        // the golden-ratio odd constant keeps distinct seeds apart.
+        let noise = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(attempt),
+        );
+        let jitter_us = (step_us / 2).saturating_mul(noise % JITTER_GRAIN) / JITTER_GRAIN;
+        Duration::from_micros(step_us.saturating_add(jitter_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Backoff::new(Duration::from_millis(50), Duration::from_secs(5), 42);
+        let b = Backoff::new(Duration::from_millis(50), Duration::from_secs(5), 42);
+        for attempt in 0..32 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let b = Backoff::new(Duration::from_millis(50), Duration::from_secs(5), 1);
+        for attempt in [63, 64, 1000, u64::MAX] {
+            let d = b.delay(attempt);
+            assert!(d >= Duration::from_secs(5), "{d:?}");
+            assert!(d < Duration::from_millis(7500), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_base_never_panics() {
+        let b = Backoff::new(Duration::ZERO, Duration::from_secs(1), 9);
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(63), Duration::ZERO);
+    }
+}

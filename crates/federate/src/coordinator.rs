@@ -12,7 +12,9 @@
 //!   a straggler's late result is dropped as a duplicate if someone
 //!   else merged it first;
 //! * payload fails validation — the shard requeues and the sender is
-//!   dropped.
+//!   dropped;
+//! * a socket sits silent past `io_deadline` — the half-open peer is
+//!   dropped with a counted deadline expiry, never a hung thread.
 //!
 //! Determinism does not depend on any of this machinery: payloads are
 //! stored *by shard index* and handed back in shard order once every
@@ -20,7 +22,9 @@
 //! identical to a single-process fold whatever the claim interleaving
 //! was.
 
-use crate::protocol::{read_frame, write_frame, FrameError, JobSpec, Message, PROTOCOL_VERSION};
+use crate::protocol::{
+    is_timeout, read_frame, write_frame, FrameError, JobSpec, Message, PROTOCOL_VERSION,
+};
 use bb_engine::ShardPlan;
 use bb_trace::Telemetry;
 use std::collections::{HashMap, VecDeque};
@@ -40,15 +44,22 @@ pub struct CoordinatorConfig {
     pub lease_timeout: Duration,
     /// The sleep a [`Message::Wait`] directive suggests.
     pub poll_ms: u64,
+    /// Read/write deadline on every worker socket: a peer silent for
+    /// this long is dropped (leases requeued) instead of hanging its
+    /// receiver thread forever. Must comfortably exceed the worker
+    /// heartbeat interval.
+    pub io_deadline: Duration,
 }
 
 impl CoordinatorConfig {
-    /// A config with the default 30 s lease and 200 ms poll.
+    /// A config with the default 30 s lease, 200 ms poll, and 30 s
+    /// socket deadline.
     pub fn new(job: JobSpec) -> Self {
         CoordinatorConfig {
             job,
             lease_timeout: Duration::from_secs(30),
             poll_ms: 200,
+            io_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -70,6 +81,15 @@ pub struct FederationReport {
     /// Valid results for shards that were already merged (stragglers
     /// finishing after a reassignment) — benign, dropped.
     pub duplicate_results: u64,
+    /// Handshakes that declared a prior worker id — peers that came
+    /// back through the reconnect loop.
+    pub worker_reconnects: u64,
+    /// Sockets dropped because a read or write sat past the configured
+    /// deadline (half-open or slow-loris peers).
+    pub deadline_expiries: u64,
+    /// Shards restored from a checkpoint via [`Coordinator::preload`]
+    /// instead of being computed by any worker.
+    pub resumed_shards: u64,
     /// Human-readable causes, in occurrence order.
     pub reasons: Vec<String>,
 }
@@ -160,6 +180,17 @@ impl Shared {
         state.report.frames_rejected += 1;
         state.report.reasons.push(detail);
         self.telemetry.counter("federate.frames.rejected").inc();
+    }
+
+    /// A socket deadline fired: count it, with the phase (`handshake`,
+    /// `session`, `write`) as the instrument label.
+    fn count_deadline(&self, phase: &'static str, detail: String) {
+        let mut state = self.state.lock().expect("federation state");
+        state.report.deadline_expiries += 1;
+        state.report.reasons.push(detail);
+        self.telemetry
+            .counter_with("federate.deadline.expired", &[("phase", phase)])
+            .inc();
     }
 
     /// Answer a `Ready` (or a just-merged `Result`): hand out a shard,
@@ -266,6 +297,31 @@ impl Coordinator {
         self.shared.ranges.len()
     }
 
+    /// Seed already-validated payloads (shard index → snapshot text)
+    /// into the table before [`run`](Coordinator::run): those shards are
+    /// never leased, and each is counted as a resumed shard in the
+    /// report. Returns the number of shards restored. Out-of-range
+    /// indices and repeats of an already-filled slot are ignored.
+    pub fn preload(&self, payloads: impl IntoIterator<Item = (usize, String)>) -> usize {
+        let mut state = self.shared.state.lock().expect("federation state");
+        let mut restored = 0;
+        for (index, payload) in payloads {
+            if index >= self.shared.ranges.len() || state.payloads[index].is_some() {
+                continue;
+            }
+            state.payloads[index] = Some(payload);
+            state.pending.retain(|&p| p != index);
+            state.leases.remove(&index);
+            state.remaining -= 1;
+            state.report.resumed_shards += 1;
+            restored += 1;
+        }
+        if state.remaining == 0 {
+            state.done = true;
+        }
+        restored
+    }
+
     /// Accept workers until every shard has a validated payload, then
     /// return the payloads **in shard order** plus the report.
     ///
@@ -278,7 +334,22 @@ impl Coordinator {
     where
         V: Fn(u64, &str) -> Result<(), String> + Send + Sync + 'static,
     {
+        self.run_with(validate, |_, _| Ok(()))
+    }
+
+    /// [`run`](Coordinator::run) with a durability hook: `persist` is
+    /// called once per freshly merged shard (index, payload text),
+    /// after the in-memory merge and outside any lock. A persist
+    /// failure never aborts the run — it degrades durability and is
+    /// recorded as a reason — so a full-disk coordinator still finishes
+    /// the job it was asked for.
+    pub fn run_with<V, P>(self, validate: V, persist: P) -> (Vec<String>, FederationReport)
+    where
+        V: Fn(u64, &str) -> Result<(), String> + Send + Sync + 'static,
+        P: Fn(usize, &str) -> Result<(), String> + Send + Sync + 'static,
+    {
         let validate = Arc::new(validate);
+        let persist: Arc<PersistFn> = Arc::new(persist);
         self.listener
             .set_nonblocking(true)
             .expect("nonblocking listener");
@@ -291,7 +362,10 @@ impl Coordinator {
                 Ok((stream, _)) => {
                     let shared = Arc::clone(&self.shared);
                     let validate = Arc::clone(&validate);
-                    std::thread::spawn(move || handle_connection(&shared, stream, &*validate));
+                    let persist = Arc::clone(&persist);
+                    std::thread::spawn(move || {
+                        handle_connection(&shared, stream, &*validate, &*persist)
+                    });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -309,13 +383,27 @@ impl Coordinator {
     }
 }
 
+/// The durability hook [`Coordinator::run_with`] threads through to
+/// [`accept_result`].
+type PersistFn = dyn Fn(usize, &str) -> Result<(), String> + Send + Sync;
+
 /// Serve one worker connection until it finishes, dies, or misbehaves.
 fn handle_connection(
     shared: &Shared,
     stream: TcpStream,
     validate: &(dyn Fn(u64, &str) -> Result<(), String> + Send + Sync),
+    persist: &PersistFn,
 ) {
     let _ = stream.set_nodelay(true);
+    // Deadlines go on before try_clone: the option lives on the socket,
+    // so reader and writer both inherit it. A peer silent past the
+    // deadline surfaces as a WouldBlock/TimedOut read or write below —
+    // counted, reasoned, and the thread exits instead of hanging.
+    let deadline = shared.cfg.io_deadline;
+    if deadline > Duration::ZERO {
+        let _ = stream.set_read_timeout(Some(deadline));
+        let _ = stream.set_write_timeout(Some(deadline));
+    }
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
@@ -324,12 +412,25 @@ fn handle_connection(
     // Handshake: exactly one Hello with the exact protocol version.
     let worker = match read_frame(&mut reader) {
         Ok(text) => match Message::decode(&text) {
-            Ok(Message::Hello { protocol }) if protocol == PROTOCOL_VERSION => {
+            Ok(Message::Hello { protocol, prior }) if protocol == PROTOCOL_VERSION => {
                 let mut state = shared.state.lock().expect("federation state");
                 state.report.workers_seen += 1;
-                state.report.workers_seen
+                let worker = state.report.workers_seen;
+                if prior != 0 {
+                    state.report.worker_reconnects += 1;
+                    state
+                        .report
+                        .reasons
+                        .push(format!("worker {worker}: reconnected (was worker {prior})"));
+                    drop(state);
+                    shared
+                        .telemetry
+                        .counter("federate.reconnect.accepted")
+                        .inc();
+                }
+                worker
             }
-            Ok(Message::Hello { protocol }) => {
+            Ok(Message::Hello { protocol, .. }) => {
                 shared.count_rejected_frame(format!(
                     "handshake: unsupported protocol v{protocol} \
                      (this coordinator speaks v{PROTOCOL_VERSION})"
@@ -351,6 +452,13 @@ fn handle_connection(
         },
         Err(FrameError::Closed) => {
             shared.count_rejected_frame("handshake: disconnected before Hello".into());
+            return;
+        }
+        Err(FrameError::Io(e)) if is_timeout(&e) => {
+            shared.count_deadline(
+                "handshake",
+                "handshake: peer sent no Hello within the socket deadline".into(),
+            );
             return;
         }
         Err(FrameError::Io(e)) => {
@@ -395,7 +503,7 @@ fn handle_connection(
                         outstanding -= 1;
                         inflight.add(-1);
                     }
-                    match accept_result(shared, worker, shard, &payload, validate) {
+                    match accept_result(shared, worker, shard, &payload, validate, persist) {
                         Accepted::Merged | Accepted::Duplicate => shared.next_directive(worker),
                         Accepted::Invalid(reason) => {
                             let _ = write_frame(
@@ -427,6 +535,14 @@ fn handle_connection(
                 shared.drop_worker(worker, "disconnected");
                 break;
             }
+            Err(FrameError::Io(e)) if is_timeout(&e) => {
+                shared.count_deadline(
+                    "session",
+                    format!("worker {worker}: silent past the socket deadline"),
+                );
+                shared.drop_worker(worker, "hit the socket deadline (half-open or stalled)");
+                break;
+            }
             Err(FrameError::Io(e)) => {
                 shared.drop_worker(worker, &format!("i/o error: {e}"));
                 break;
@@ -442,7 +558,13 @@ fn handle_connection(
             inflight.add(1);
         }
         let finished = matches!(directive, Message::Finished);
-        if write_frame(&mut writer, &directive.encode()).is_err() {
+        if let Err(e) = write_frame(&mut writer, &directive.encode()) {
+            if is_timeout(&e) {
+                shared.count_deadline(
+                    "write",
+                    format!("worker {worker}: directive write blocked past the socket deadline"),
+                );
+            }
             shared.drop_worker(worker, "disconnected");
             break;
         }
@@ -461,6 +583,7 @@ fn accept_result(
     shard: u64,
     payload: &str,
     validate: &(dyn Fn(u64, &str) -> Result<(), String> + Send + Sync),
+    persist: &PersistFn,
 ) -> Accepted {
     let index = shard as usize;
     if index >= shared.ranges.len() {
@@ -521,6 +644,16 @@ fn accept_result(
         .telemetry
         .counter_with("federate.worker.merged", &[("worker", &worker.to_string())])
         .inc();
+    // Durability hook, outside the lock (it fsyncs). A failure degrades
+    // durability — a crash-restart would recompute this shard — but the
+    // in-memory merge stands, so the run itself still completes.
+    if let Err(reason) = persist(index, payload) {
+        let mut state = shared.state.lock().expect("federation state");
+        state
+            .report
+            .reasons
+            .push(format!("shard {shard}: checkpoint persist failed: {reason}"));
+    }
     Accepted::Merged
 }
 

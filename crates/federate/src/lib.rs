@@ -18,21 +18,39 @@
 //!   gauges, round-trip histograms) registers on a `bb_trace::Telemetry`.
 //! * [`worker`] — the claim loop: `Hello` → `Welcome(job)` →
 //!   `Ready`/`Result` ↔ `Assign`/`Wait`/`Finished`, with a heartbeat
-//!   side thread while a shard computes.
+//!   side thread while a shard computes and a deterministic
+//!   backoff-reconnect loop when the coordinator goes away.
+//! * [`backoff`] — the capped-exponential, seeded-jitter schedule that
+//!   reconnect loop follows: a pure function of `(seed, attempt)`, so
+//!   tests replay it exactly.
+//! * [`chaosnet`] — a deterministic in-process TCP chaos proxy
+//!   (connection cuts, stalls past the deadline, delayed delivery) that
+//!   slots between workers and coordinator in tests.
 //!
 //! The crate is payload-agnostic: payloads are opaque strings validated
 //! by a caller-supplied hook. `bb-bench` layers the streaming study on
 //! top and pins byte-identity against single-process runs.
+//!
+//! Survivability model (DESIGN.md §16): the coordinator persists every
+//! merged payload through `bb_engine`'s checkpoint store
+//! ([`Coordinator::run_with`] + [`Coordinator::preload`]), so *any*
+//! process — worker or coordinator — may die and the federation still
+//! converges on the same bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
+pub mod chaosnet;
 pub mod coordinator;
 pub mod protocol;
 pub mod worker;
 
+pub use backoff::Backoff;
+pub use chaosnet::{ChaosPlan, ChaosProxy, ChaosStats, Fault};
 pub use coordinator::{Coordinator, CoordinatorConfig, FederationReport};
 pub use protocol::{
-    read_frame, write_frame, FrameError, JobSpec, Message, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    is_timeout, read_frame, write_frame, FrameError, JobSpec, Message, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use worker::{run_worker, WorkerOptions, WorkerReport};

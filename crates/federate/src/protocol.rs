@@ -23,7 +23,11 @@ use bb_engine::snapshot::{fnv1a64, SnapshotReader, SnapshotWriter};
 use std::io::{Read, Write};
 
 /// Protocol revision; both ends must agree exactly.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added [`Message::Hello`]'s `prior` field so a reconnecting worker
+/// can declare the id it previously held and the coordinator can count
+/// the reconnect instead of mistaking it for a brand-new peer.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on a frame body. Large enough for any realistic shard
 /// payload (a streaming-study snapshot is a few hundred KiB), small
@@ -198,6 +202,9 @@ pub enum Message {
     Hello {
         /// The worker's [`PROTOCOL_VERSION`]; must match exactly.
         protocol: u32,
+        /// The worker id this peer held before a reconnect, or 0 for a
+        /// fresh connection (assigned ids start at 1).
+        prior: u64,
     },
     /// Coordinator → worker: handshake accepted; here is the job.
     Welcome {
@@ -257,9 +264,10 @@ impl Message {
     pub fn encode(&self) -> String {
         let mut w = SnapshotWriter::new();
         match self {
-            Message::Hello { protocol } => {
+            Message::Hello { protocol, prior } => {
                 w.begin("FedHello", PROTOCOL_VERSION);
                 w.u64("protocol", u64::from(*protocol));
+                w.u64("prior", *prior);
                 w.end();
             }
             Message::Welcome { worker, job } => {
@@ -335,6 +343,7 @@ impl Message {
             "FedHello" => Message::Hello {
                 protocol: u32::try_from(r.take_u64("protocol").map_err(err)?)
                     .map_err(|_| "protocol overflows u32".to_string())?,
+                prior: r.take_u64("prior").map_err(err)?,
             },
             "FedWelcome" => Message::Welcome {
                 worker: r.take_u64("worker").map_err(err)?,
@@ -372,6 +381,17 @@ impl Message {
     }
 }
 
+/// True when an I/O error is a socket deadline firing rather than a real
+/// transport failure. `SO_RCVTIMEO`/`SO_SNDTIMEO` surface as
+/// `WouldBlock` on Unix and `TimedOut` on other platforms; both mean the
+/// peer was silent past the configured deadline.
+pub fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,7 +413,10 @@ mod tests {
     #[test]
     fn every_message_roundtrips() {
         let messages = vec![
-            Message::Hello { protocol: 1 },
+            Message::Hello {
+                protocol: 2,
+                prior: 7,
+            },
             Message::Welcome {
                 worker: 3,
                 job: sample_job(),
@@ -507,7 +530,7 @@ mod tests {
             "",
             "!begin",
             "!begin Fed",
-            "!begin FedReady v2\n!end\n",
+            "!begin FedReady v9\n!end\n",
             "x",
         ] {
             assert!(Message::decode(text).is_err(), "{text:?}");

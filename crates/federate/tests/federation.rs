@@ -108,7 +108,15 @@ fn any_partition_merges_to_serial_bytes() {
                 .map(|w| {
                     let addr = addr.clone();
                     std::thread::spawn(move || {
-                        run_worker(&addr, &WorkerOptions::default(), |_job| {
+                        // `max_reconnects: 0` keeps the straggler
+                        // fail-fast: a worker that raced completion
+                        // reports "connect"/"closed" immediately
+                        // instead of burning backoff across 128 cases.
+                        let opts = WorkerOptions {
+                            max_reconnects: 0,
+                            ..WorkerOptions::default()
+                        };
+                        run_worker(&addr, &opts, |_job| {
                             Ok(move |shard: u64, range: Range<u64>| {
                                 // Deterministic per-(case, worker, shard) delay:
                                 // late shards finish out of claim order.
@@ -173,6 +181,7 @@ fn expired_lease_is_reassigned_and_converges() {
         &mut writer,
         &Message::Hello {
             protocol: PROTOCOL_VERSION,
+            prior: 0,
         },
     );
     let worker = match Message::decode(&read_frame(&mut reader).expect("frame")).expect("decode") {
@@ -218,7 +227,7 @@ fn heartbeat_keeps_a_slow_lease_alive() {
 
     let opts = WorkerOptions {
         heartbeat: Duration::from_millis(40),
-        die_on_assign: None,
+        ..WorkerOptions::default()
     };
     run_worker(&addr, &opts, |_job| {
         Ok(|shard: u64, range: Range<u64>| {

@@ -169,6 +169,7 @@ impl Script {
     fn handshake(&mut self) -> u64 {
         self.send(&Message::Hello {
             protocol: bb_federate::PROTOCOL_VERSION,
+            prior: 0,
         });
         match self.recv() {
             Message::Welcome { worker, .. } => worker,
@@ -212,6 +213,7 @@ fn bit_flipped_body_fails_the_digest() {
 
     let hello = Message::Hello {
         protocol: bb_federate::PROTOCOL_VERSION,
+        prior: 0,
     };
     let mut frame = encode_frame(hello.encode().as_bytes());
     let last = frame.len() - 1;
@@ -338,6 +340,7 @@ fn wrong_protocol_version_is_turned_away() {
     let mut client = Script::connect(&addr);
     client.send(&Message::Hello {
         protocol: bb_federate::PROTOCOL_VERSION + 1,
+        prior: 0,
     });
     match client.recv() {
         Message::Reject { reason } => {

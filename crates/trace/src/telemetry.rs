@@ -35,9 +35,15 @@
 //! `federate.reassignments` labelled by cause (`worker-lost`,
 //! `lease-expired`, `rejected-result`), `federate.frames.rejected` /
 //! `federate.results.{rejected,duplicate}`, and the
-//! `federate.shard.round_trip_us` histogram. The coordinator also
-//! leases shards against [`Telemetry::now_micros`], so lease-expiry
-//! behaviour is testable on a [`FakeClock`] like any sliding window.
+//! `federate.shard.round_trip_us` histogram. Survivability adds two
+//! more families: `federate.reconnect.accepted` counts Hello frames
+//! that arrived with a non-zero `prior` session ordinal (a worker that
+//! came back through its backoff loop), and `federate.deadline.expired`
+//! — labelled by `phase` (`handshake`, `session`, `write`) — counts
+//! sockets the coordinator abandoned because a read or write sat past
+//! its deadline. The coordinator also leases shards against
+//! [`Telemetry::now_micros`], so lease-expiry behaviour is testable on
+//! a [`FakeClock`] like any sliding window.
 //!
 //! Everything here is plan-, process- and wall-clock-dependent. None of
 //! it may ever be written into `metrics.json`, the ledger, or an exhibit

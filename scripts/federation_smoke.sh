@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Federation smoke: a coordinator plus three worker processes — one
-# crash-injected via --die-on-assign, one SIGKILLed mid-run — must
+# Federation smoke, two stages.
+#
+# Stage 1 — killed workers: a coordinator plus three worker processes —
+# one crash-injected via --die-on-assign, one SIGKILLed mid-run — must
 # produce metrics, ledger, and exhibit tree byte-identical to a
 # single-process run under a different thread plan, with the sidecar
 # recording at least one reassignment.
+#
+# Stage 2 — killed coordinator: a checkpointed coordinator is SIGKILLed
+# mid-run and restarted on the same address with --resume; two workers
+# (one through a chaosnet proxy injecting connection cuts) reconnect via
+# backoff. Artifacts and the stdout table must still be byte-identical,
+# and the sidecar must record >=1 resumed shard and >=1 reconnect.
 set -euo pipefail
 
 BIN=${BIN:-target/release/reproduce}
@@ -64,4 +72,106 @@ REASSIGNED=$(grep -o '"reassignments": *[0-9]*' fed-metrics.runtime.json | grep 
 test -n "$REASSIGNED" || { echo "no reassignments field"; cat fed-metrics.runtime.json; exit 1; }
 test "$REASSIGNED" -ge 1 || { echo "expected >=1 reassignment"; cat fed-metrics.runtime.json; exit 1; }
 
-echo "federation smoke: OK ($REASSIGNED reassignment(s) absorbed, bytes identical)"
+echo "federation smoke stage 1: OK ($REASSIGNED reassignment(s) absorbed, bytes identical)"
+
+# ---------------------------------------------------------------------------
+# Stage 2: SIGKILL the coordinator mid-run, restart with --resume.
+
+RARGS=(--users 12000 --days 1 --fcc 40 --quiet)
+
+echo "== crash-resume reference (threads 2, shards 8)"
+"$BIN" "${RARGS[@]}" --threads 2 --shards 8 --out ref2 \
+    --metrics ref2-metrics.json --ledger ref2-ledger.jsonl > ref2-stdout.txt
+
+echo "== checkpointed coordinator + 2 reconnecting workers (one via chaosnet)"
+"$BIN" coordinator --listen 127.0.0.1:0 "${RARGS[@]}" --shards 8 \
+    --lease-timeout 10 --checkpoint ckpt --out fed2 \
+    --metrics fed2-metrics.json --ledger fed2-ledger.jsonl > coord2.log &
+COORD=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^bb-federate coordinator listening on //p' coord2.log)
+    test -n "$ADDR" && break
+    sleep 0.2
+done
+test -n "$ADDR" || { echo "coordinator never announced its port"; cat coord2.log; exit 1; }
+echo "   coordinator at $ADDR"
+
+"$BIN" chaosnet --upstream "$ADDR" --seed 11 --cut 250 --cut-bytes 4096 \
+    --quiet > chaos.log &
+CHAOS=$!
+PADDR=""
+for _ in $(seq 1 100); do
+    PADDR=$(sed -n 's/^bb-chaosnet listening on \([^ ]*\) -> .*/\1/p' chaos.log)
+    test -n "$PADDR" && break
+    sleep 0.2
+done
+test -n "$PADDR" || { echo "chaosnet never announced its port"; cat chaos.log; exit 1; }
+echo "   chaosnet at $PADDR"
+
+"$BIN" worker --connect "$ADDR" --quiet \
+    --max-reconnects 40 --backoff-cap 1 --backoff-seed 3 &
+W1=$!
+"$BIN" worker --connect "$PADDR" --quiet \
+    --max-reconnects 40 --backoff-cap 1 --backoff-seed 5 &
+W2=$!
+
+# Wait until the manifest has durably committed at least one shard, so
+# --resume provably has something to restore, then SIGKILL.
+DONE=""
+for _ in $(seq 1 600); do
+    DONE=$(sed -n 's/^done //p' ckpt/manifest 2>/dev/null | head -1)
+    test -n "$DONE" && test "$DONE" -ge 1 && break
+    sleep 0.05
+done
+test -n "$DONE" && test "$DONE" -ge 1 \
+    || { echo "no shard committed before the kill"; exit 1; }
+echo "   $DONE shard(s) committed; SIGKILLing the coordinator"
+kill -9 "$COORD" 2>/dev/null || true
+set +e; wait "$COORD"; set -e
+
+echo "== restarting on the same address with --resume"
+RESTARTED=""
+for _ in $(seq 1 50); do
+    "$BIN" coordinator --listen "$ADDR" "${RARGS[@]}" --shards 8 \
+        --lease-timeout 10 --checkpoint ckpt --resume --out fed2 \
+        --metrics fed2-metrics.json --ledger fed2-ledger.jsonl > coord2b.log &
+    COORD=$!
+    for _ in $(seq 1 20); do
+        if grep -q '^bb-federate coordinator listening on ' coord2b.log; then
+            RESTARTED=yes
+            break
+        fi
+        kill -0 "$COORD" 2>/dev/null || break
+        sleep 0.1
+    done
+    test -n "$RESTARTED" && break
+    kill -9 "$COORD" 2>/dev/null || true
+    set +e; wait "$COORD"; set -e
+    sleep 0.2
+done
+test -n "$RESTARTED" || { echo "coordinator failed to restart on $ADDR"; cat coord2b.log; exit 1; }
+
+wait "$COORD" || { echo "resumed coordinator failed"; cat coord2b.log; exit 1; }
+wait "$W1" || { echo "direct worker failed"; exit 1; }
+wait "$W2" || { echo "chaosnet worker failed"; exit 1; }
+kill "$CHAOS" 2>/dev/null || true
+set +e; wait "$CHAOS"; set -e
+
+echo "== resumed artifacts must be byte-identical to the reference"
+cmp ref2-metrics.json fed2-metrics.json
+cmp ref2-ledger.jsonl fed2-ledger.jsonl
+diff -r ref2 fed2
+tail -n +2 coord2b.log > fed2-stdout.txt
+cmp ref2-stdout.txt fed2-stdout.txt
+
+echo "== the sidecar must record the resume and the reconnects"
+RESUMED=$(grep -o '"resumed_shards": *[0-9]*' fed2-metrics.runtime.json | grep -o '[0-9]*$')
+RECONNECTS=$(grep -o '"reconnects": *[0-9]*' fed2-metrics.runtime.json | grep -o '[0-9]*$')
+test -n "$RESUMED" && test "$RESUMED" -ge 1 \
+    || { echo "expected >=1 resumed shard"; cat fed2-metrics.runtime.json; exit 1; }
+test -n "$RECONNECTS" && test "$RECONNECTS" -ge 1 \
+    || { echo "expected >=1 reconnect"; cat fed2-metrics.runtime.json; exit 1; }
+
+echo "federation smoke stage 2: OK ($RESUMED shard(s) resumed, $RECONNECTS reconnect(s), bytes identical)"
